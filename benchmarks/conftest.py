@@ -1,0 +1,40 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table or figure of the paper and writes the
+reproduced rows/series to ``benchmarks/results/<name>.txt`` (and prints them
+when run with ``-s``), alongside the timing numbers pytest-benchmark
+collects.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir, request):
+    """Write (and echo) a reproduction report for the current benchmark."""
+
+    def _write(name: str, lines):
+        text = "\n".join(lines if not isinstance(lines, str) else [lines])
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n--- {name} ---")
+        print(text)
+        return path
+
+    return _write
+
+
+def quick_mode() -> bool:
+    """REPRO_QUICK=1 shrinks the heavy Fig. 5 sweep for smoke runs."""
+    return os.environ.get("REPRO_QUICK", "0") == "1"

@@ -1,0 +1,58 @@
+"""Ablation: the posit exponent-size parameter ``es``.
+
+Design choice probed: the paper-era posit16 uses es = 1.  Sweeping es for
+16-bit posits shows the trade: smaller es -> taller accuracy peak but
+narrower dynamic range; larger es -> flatter triangle covering more
+decades.  (The 2022 standard later settled on es = 2 everywhere.)
+"""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import decimal_accuracy_posit, dynamic_range_decades
+from repro.posit import PositFormat
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    probe = Fraction(10007, 9973)
+    for es in (0, 1, 2, 3):
+        fmt = PositFormat(16, es)
+        peak = decimal_accuracy_posit(fmt, probe)
+        at_1e3 = decimal_accuracy_posit(fmt, probe * 1000)
+        at_1e6 = decimal_accuracy_posit(fmt, probe * 10**6)
+        rows.append((es, fmt, peak, at_1e3, at_1e6, dynamic_range_decades(fmt)))
+    return rows
+
+
+def test_ablation_posit_es(benchmark, sweep, report):
+    fmt = PositFormat(16, 1)
+    probe = Fraction(10007, 9973)
+    benchmark(
+        lambda: [decimal_accuracy_posit(fmt, probe * Fraction(10) ** k) for k in range(-6, 7)]
+    )
+
+    lines = [
+        f"{'es':>3} {'useed':>6} {'peak acc':>9} {'acc@1e3':>8} {'acc@1e6':>8} {'decades':>8}"
+    ]
+    for es, fmt, peak, a3, a6, decades in sweep:
+        lines.append(
+            f"{es:>3} {fmt.useed:>6} {peak:>9.2f} {a3:>8.2f} {a6:>8.2f} {decades:>8.1f}"
+        )
+    lines.append("")
+    lines.append("smaller es: taller, narrower accuracy triangle; larger es: flatter,")
+    lines.append("wider. The paper's posit16 (es=1) spans ~17 decades.")
+    report("ablation_posit_es", lines)
+
+    # Peak accuracy falls as es grows (fraction bits traded for range)...
+    peaks = [r[2] for r in sweep]
+    assert peaks[0] >= peaks[1] >= peaks[2] >= peaks[3] - 0.1
+    # ...while dynamic range grows strictly.
+    decades = [r[5] for r in sweep]
+    assert decades == sorted(decades)
+    assert decades[1] == pytest.approx(16.9, abs=0.2)  # the paper's es=1 case
+    # Far-from-1 accuracy favors larger es.
+    assert sweep[3][4] > sweep[0][4]

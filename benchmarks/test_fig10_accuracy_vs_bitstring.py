@@ -1,0 +1,87 @@
+"""Fig. 10: accuracy as a function of the bit string, 16-bit formats.
+
+Claims reproduced: posit16 has nearly fixed-point-like accuracy over most
+codes while covering ~17 decades of dynamic range; binary16 normals cover
+9 decades; bfloat16 covers ~76 decades at under 3 decimal digits; fixed
+point covers < 5 decades.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import accuracy_vs_bitstring, dynamic_range_decades
+from repro.fixedpoint import QFormat
+from repro.floats import BFLOAT16, BINARY16, SoftFloat
+from repro.posit import POSIT16, Posit
+
+
+@pytest.fixture(scope="module")
+def curves():
+    def posit_value(pat):
+        p = Posit(POSIT16, pat)
+        return None if p.is_nar() else p.to_fraction()
+
+    def float_value(fmt):
+        def get(pat):
+            sf = SoftFloat(fmt, pat)
+            return sf.to_fraction() if sf.is_finite() else None
+
+        return get
+
+    def fixed_value(pat):
+        return Fraction(pat, 1 << 8)  # Q7.8 positive codes
+
+    return {
+        "posit16": accuracy_vs_bitstring(posit_value, range(1, 0x8000)),
+        "binary16": accuracy_vs_bitstring(float_value(BINARY16), range(0x0400, 0x7C00)),
+        "bfloat16": accuracy_vs_bitstring(float_value(BFLOAT16), range(0x0080, 0x7F80)),
+        "fixed Q7.8": accuracy_vs_bitstring(fixed_value, range(1, 0x8000)),
+    }
+
+
+def test_fig10_accuracy_vs_bitstring(benchmark, curves, report):
+    def posit_value(pat):
+        p = Posit(POSIT16, pat)
+        return None if p.is_nar() else p.to_fraction()
+
+    benchmark(lambda: accuracy_vs_bitstring(posit_value, range(1, 0x8000, 64)))
+
+    q = QFormat(7, 8)
+    ranges = {
+        "posit16": dynamic_range_decades(POSIT16),
+        "binary16 (normal)": dynamic_range_decades(BINARY16),
+        "bfloat16": dynamic_range_decades(BFLOAT16),
+        "fixed Q7.8": dynamic_range_decades(q),
+    }
+
+    lines = ["dynamic ranges (decades):"]
+    for name, d in ranges.items():
+        lines.append(f"  {name:<18} {d:6.1f}")
+    lines.append("")
+    lines.append("peak / median decimal accuracy along positive codes:")
+    import statistics
+
+    for name, curve in curves.items():
+        accs = [a for _, a in curve]
+        lines.append(
+            f"  {name:<12} peak {max(accs):5.2f}  median {statistics.median(accs):5.2f}"
+        )
+    lines.append("")
+    lines.append("paper: posit ~17 decades, float16 9, bfloat16 ~76, fixed < 5;")
+    lines.append("posits approach fixed-point accuracy at far larger dynamic range")
+    report("fig10_accuracy_vs_bitstring", lines)
+
+    assert 16.5 <= ranges["posit16"] <= 17.0
+    assert round(ranges["binary16 (normal)"]) == 9
+    assert 75 <= ranges["bfloat16"] <= 78
+    assert ranges["fixed Q7.8"] < 5
+
+    import statistics
+
+    med = {n: statistics.median([a for _, a in c]) for n, c in curves.items()}
+    # bfloat16 stays under 3 decimals; posit16's typical accuracy beats both
+    # 16-bit float formats.
+    assert med["bfloat16"] < 3.0
+    assert med["posit16"] > med["bfloat16"]
+    assert max(a for _, a in curves["posit16"]) > max(a for _, a in curves["binary16"])

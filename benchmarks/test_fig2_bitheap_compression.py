@@ -1,0 +1,85 @@
+"""Fig. 2: bit-heap-centric operator generation.
+
+The figure's architecture separates the *description* of a summation (the
+bit heap) from target-optimized compression.  The reproduction compresses
+multiplier and squarer heaps with two back-ends — classic FA/HA greedy and
+the ILP-flavoured heuristic over a GPC library (the [12] improvement) — and
+shows the heap abstraction serving several different operators.
+"""
+
+import pytest
+
+from repro.bitheap import (
+    COMPRESSORS,
+    FULL_ADDER,
+    HALF_ADDER,
+    build_bitheap_multiplier,
+    compress_greedy,
+    compress_heuristic,
+    multiplier_heap,
+    squarer_heap,
+)
+from repro.circuits import gate_cost
+
+
+@pytest.fixture(scope="module")
+def comparisons():
+    rows = []
+    for name, heap in [
+        ("mul 8x8", multiplier_heap(8, 8)),
+        ("mul 12x12", multiplier_heap(12, 12)),
+        ("mul 16x16", multiplier_heap(16, 16)),
+        ("square 8", squarer_heap(8)),
+        ("square 12", squarer_heap(12)),
+    ]:
+        base = compress_greedy(heap, compressors=[FULL_ADDER, HALF_ADDER])
+        best = compress_heuristic(heap)
+        rows.append((name, heap, base, best))
+    return rows
+
+
+def test_fig2_bitheap_compression(benchmark, comparisons, report):
+    benchmark(lambda: compress_greedy(multiplier_heap(12, 12)))
+
+    lines = [
+        f"{'operator':<10} {'bits':>5} {'height':>6} | {'FA/HA area':>10} {'stages':>6} | "
+        f"{'GPC area':>8} {'stages':>6} {'saving':>7}"
+    ]
+    for name, heap, base, best in comparisons:
+        saving = 1 - best.total_area() / base.total_area()
+        lines.append(
+            f"{name:<10} {heap.total_bits():>5} {heap.max_height():>6} | "
+            f"{base.total_area():>10.1f} {base.stage_count:>6} | "
+            f"{best.total_area():>8.1f} {best.stage_count:>6} {saving:>6.1%}"
+        )
+    # Close the loop: synthesize one multiplier to real gates and verify.
+    circ = build_bitheap_multiplier(6, 6)
+    mismatches = sum(
+        1
+        for x in range(64)
+        for y in range(0, 64, 3)
+        if circ.evaluate_buses(a=x, b=y)["p"] != x * y
+    )
+    lines.append("")
+    lines.append(
+        f"synthesized 6x6 multiplier from the heap: {len(circ.gates)} gates "
+        f"(area {gate_cost(circ):.0f}), verification mismatches: {mismatches}"
+    )
+    lines.append("")
+    lines.append("same heap abstraction drives multipliers and squarers (Fig. 2's")
+    lines.append("decoupling); back-ends are interchangeable and value-preserving.")
+    lines.append("The GPC library matches FA/HA area (FA is already ratio-optimal")
+    lines.append("under this cost model) while cutting compression stages sharply —")
+    lines.append("the depth advantage 6-LUT counters buy on FPGAs (Sec. II).")
+    report("fig2_bitheap_compression", lines)
+
+    for name, heap, base, best in comparisons:
+        assert base.final_heap.max_height() <= 2
+        assert best.final_heap.max_height() <= 2
+        # The pluggable back-ends stay within a small area band of each
+        # other, and the GPC library never needs more stages.
+        assert best.total_area() <= base.total_area() * 1.15
+        assert best.stage_count <= base.stage_count
+    # The stage advantage grows with size (16x16: 15 stages -> ~6).
+    big_base, big_best = comparisons[2][2], comparisons[2][3]
+    assert big_best.stage_count <= big_base.stage_count / 2

@@ -1,0 +1,69 @@
+"""Fig. 6: the 16-bit float ring.
+
+Claims reproduced: ~6% of patterns are trap-to-software (subnormals,
+infinities, NaNs); values reverse direction on the negative half (two
+monotone segments); the "theorems are valid" arc — operand pairs whose
+product neither overflows nor underflows — covers *less than half* the
+ring for multiplication.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis import float_ring, monotone_runs, trap_fraction
+from repro.floats import BINARY16, SoftFloat
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return float_ring(BINARY16)
+
+
+def _theorem_valid_fraction():
+    """Fraction of the ring inside the multiply-safe arc.
+
+    The rounding-error theorem for a product needs the exact result inside
+    the normal range for *any* pair drawn from the arc, i.e. operand
+    magnitudes within [sqrt(min_normal), sqrt(max_finite)].  Fig. 6 marks
+    these arcs: they cover less than half of the 2^16 patterns.
+    """
+    lo = math.sqrt(BINARY16.min_normal)
+    hi = math.sqrt(BINARY16.max_finite)
+    ok = 0
+    for pattern in range(1 << 16):
+        sf = SoftFloat(BINARY16, pattern)
+        if not sf.is_finite():
+            continue
+        v = abs(sf.to_float())
+        if lo <= v <= hi:
+            ok += 1
+    return ok / (1 << 16)
+
+
+def test_fig6_float_ring(benchmark, ring, report):
+    benchmark(lambda: float_ring(BINARY16, stride=16))
+
+    kinds = {}
+    for e in ring:
+        kinds[e.kind] = kinds.get(e.kind, 0) + 1
+    trap = trap_fraction(ring)
+    runs = monotone_runs(ring)
+    valid = _theorem_valid_fraction()
+
+    lines = ["binary16 pattern census on the two's-complement ring:"]
+    for kind in ("normal", "subnormal", "zero", "inf", "nan"):
+        lines.append(f"  {kind:<10} {kinds.get(kind, 0):>6} ({kinds.get(kind, 0) / 65536:.2%})")
+    lines.append("")
+    lines.append(f"trap-to-software fraction: {trap:.2%}   (paper: 'about 6 percent')")
+    lines.append(f"monotone value segments:   {runs}       (positive half up, negative half down)")
+    lines.append(
+        f"multiply-safe 'theorems valid' arc: {valid:.1%} of patterns "
+        "(paper: less than half)"
+    )
+    report("fig6_float_ring", lines)
+
+    assert 0.055 <= trap <= 0.07
+    assert runs == 2
+    assert valid < 0.5

@@ -1,0 +1,67 @@
+"""Fig. 7: the 16-bit posit ring.
+
+Claims reproduced: exactly two exception values, both with all 0 bits after
+the first bit; value order equals two's-complement integer order (one
+monotone segment all the way around); the easy-decode arcs (exactly two
+regime bits) cover half the ring; and the NaR test is a short OR tree
+("no more than six logic levels even for 64-bit posits").
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import monotone_runs, posit_ring, trap_fraction, two_regime_fraction
+from repro.circuits import Circuit
+from repro.posit import POSIT16, POSIT64
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return posit_ring(POSIT16)
+
+
+def _nar_detector_depth(nbits: int) -> int:
+    """Gate depth of the NaR detector: sign AND NOR(everything else)."""
+    c = Circuit(f"nar{nbits}")
+    bits = c.input_bus("x", nbits)
+    # Balanced OR tree over the low bits, then NOR + AND with the sign.
+    level = bits[:-1]
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(c.or_(level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    c.outputs(is_nar=c.and_(bits[-1], c.not_(level[0])))
+    return c.depth()
+
+
+def test_fig7_posit_ring(benchmark, ring, report):
+    benchmark(lambda: posit_ring(POSIT16, stride=16))
+
+    specials = [e for e in ring if e.kind in ("zero", "nar")]
+    runs = monotone_runs(ring)
+    arcs = two_regime_fraction(POSIT16)
+    depth16 = _nar_detector_depth(16)
+    depth64 = _nar_detector_depth(64)
+
+    lines = [
+        f"exception values: {len(specials)} "
+        f"(patterns {[hex(e.pattern) for e in specials]})",
+        f"trap fraction: {trap_fraction(ring):.5%} (one pattern of 65536)",
+        f"monotone value segments around the ring: {runs}",
+        f"two-regime-bit (easy decode) arc coverage: {arcs:.1%}",
+        f"NaR detector depth: {depth16} gate levels at 16 bits, {depth64} at 64",
+        "",
+        "paper: two exceptions, integer-order comparison, OR tree <= 6 levels @64b",
+    ]
+    report("fig7_posit_ring", lines)
+
+    assert len(specials) == 2
+    for e in specials:
+        assert e.pattern & (POSIT16.pattern_nar - 1) == 0
+    assert runs == 1
+    assert abs(arcs - 0.5) < 0.01
+    assert depth64 <= 2 + math.ceil(math.log2(63))  # OR tree + NOT/AND

@@ -1,0 +1,67 @@
+"""Fig. 8: the 8-bit posit multiplier (Yonemoto).
+
+The reproduction builds the complete gate-level posit8 multiplier — decode
+by two's-complement conditional negate + count-leading-signs, encode by
+arithmetic-shift regime construction — verifies it bit-exactly against the
+software posit over all 65536 operand pairs, and reports its cost next to
+same-width float multipliers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.floats import FP8_E4M3
+from repro.hwcost import adder_comparison, build_posit_multiplier, hardware_comparison
+from repro.posit import POSIT8, Posit
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return build_posit_multiplier(POSIT8)
+
+
+@pytest.fixture(scope="module")
+def reference_table():
+    table = np.empty((256, 256), dtype=np.int64)
+    for i in range(256):
+        a = Posit(POSIT8, i)
+        for j in range(256):
+            table[i, j] = (a * Posit(POSIT8, j)).pattern
+    return table
+
+
+def test_fig8_posit_multiplier(benchmark, circuit, reference_table, report):
+    pa, pb = np.meshgrid(np.arange(256), np.arange(256))
+    pa, pb = pa.ravel(), pb.ravel()
+
+    out = benchmark(lambda: circuit.evaluate_vector(a=pa, b=pb)["p"])
+    mismatches = int(np.count_nonzero(out != reference_table[pa, pb]))
+
+    rows = hardware_comparison(POSIT8, FP8_E4M3)
+    add_rows = adder_comparison(POSIT8, FP8_E4M3)
+    lines = [
+        f"gate-level posit8 multiplier: {circuit}",
+        f"exhaustive check vs software posit: {65536 - mismatches}/65536 exact",
+        "",
+        "multipliers:",
+        f"{'design':<24} {'gates':>6} {'sig-mult':>9} {'overhead':>9} {'depth':>6}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.design:<24} {r.gates:>6} {r.sig_mult_gates:>9} {r.overhead_gates:>9} {r.depth:>6}"
+        )
+    lines.append("")
+    lines.append("adders (all exhaustively verified too):")
+    lines.append(f"{'design':<24} {'gates':>6} {'depth':>6}")
+    for r in add_rows:
+        lines.append(f"{r.design:<24} {r.gates:>6} {r.depth:>6}")
+    lines.append("")
+    lines.append("paper: posit HW slightly above normals-only floats, below full IEEE;")
+    lines.append("measured: posit above normals-only (matches); posit overhead exceeds")
+    lines.append("even full IEEE at 8 bits with these textbook components (see EXPERIMENTS.md)")
+    report("fig8_posit_multiplier", lines)
+
+    assert mismatches == 0
+    normal, posit, full = rows
+    assert posit.gates > normal.gates  # the direction the paper concedes
+    assert full.gates > normal.gates  # full IEEE pays for subnormals/NaN

@@ -1,0 +1,73 @@
+"""Fig. 9: decimal accuracy as a function of magnitude, 16-bit formats.
+
+Shapes reproduced: float16 trapezoid (flat plateau, subnormal taper, hard
+cutoffs), bfloat16 a lower/wider trapezoid, fixed point a one-sided ramp,
+posit16 an isosceles triangle centered at magnitude 1 that *beats the
+floats in the common range* and loses outside it.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import (
+    accuracy_vs_magnitude,
+    decimal_accuracy_fixed,
+    decimal_accuracy_float,
+    decimal_accuracy_posit,
+)
+from repro.fixedpoint import QFormat
+from repro.floats import BFLOAT16, BINARY16
+from repro.posit import POSIT16
+
+SPAN = (-9.0, 9.0, 37)
+
+
+@pytest.fixture(scope="module")
+def curves():
+    q = QFormat(7, 8)  # 16-bit signed fixed point
+    return {
+        "binary16": accuracy_vs_magnitude(lambda x: decimal_accuracy_float(BINARY16, x), *SPAN),
+        "bfloat16": accuracy_vs_magnitude(lambda x: decimal_accuracy_float(BFLOAT16, x), *SPAN),
+        "posit16": accuracy_vs_magnitude(lambda x: decimal_accuracy_posit(POSIT16, x), *SPAN),
+        "fixed Q7.8": accuracy_vs_magnitude(lambda x: decimal_accuracy_fixed(q, x), *SPAN),
+    }
+
+
+def test_fig9_accuracy_vs_magnitude(benchmark, curves, report):
+    benchmark(
+        lambda: accuracy_vs_magnitude(
+            lambda x: decimal_accuracy_posit(POSIT16, x), -6, 6, 13
+        )
+    )
+
+    names = list(curves)
+    lines = [f"{'log10|x|':>8} | " + " ".join(f"{n:>10}" for n in names)]
+    n_points = len(curves["binary16"])
+    for i in range(0, n_points, 2):
+        lg = curves["binary16"][i][0]
+        lines.append(
+            f"{lg:>8.1f} | " + " ".join(f"{curves[n][i][1]:>10.2f}" for n in names)
+        )
+    report("fig9_accuracy_vs_magnitude", lines)
+
+    mid = n_points // 2  # magnitude ~1
+    f16 = [v for _, v in curves["binary16"]]
+    bf16 = [v for _, v in curves["bfloat16"]]
+    p16 = [v for _, v in curves["posit16"]]
+    fx = [v for _, v in curves["fixed Q7.8"]]
+
+    # Posit triangle: peak at the center, dominating both float formats there.
+    assert p16[mid] == max(p16)
+    assert p16[mid] > f16[mid] and p16[mid] > bf16[mid]
+    # Floats flat in the plateau, zero far outside; posit still nonzero there.
+    assert f16[mid] == pytest.approx(f16[mid + 3], abs=0.6)
+    assert f16[-1] == 0.0 and f16[0] == 0.0
+    assert p16[4] > 0.0 and p16[-5] > 0.0
+    # bfloat16: lower accuracy than binary16 in the plateau, wider coverage.
+    assert bf16[mid] < f16[mid]
+    assert bf16[2] > 0.0 and bf16[-3] > 0.0
+    # Fixed point: one-sided ramp with a cliff past its max value.
+    peak = fx.index(max(fx))
+    assert all(a <= b + 0.4 for a, b in zip(fx[:peak], fx[1:peak + 1]))
+    assert fx[-1] == 0.0

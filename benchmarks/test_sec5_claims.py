@@ -1,0 +1,99 @@
+"""Section V's remaining quantitative claims.
+
+* a 16-bit posit converts to a 58-bit signed fixed-point value (the add
+  datapath observation);
+* 16-bit float dynamic range is ~6e-5 .. 7e4, with an effective
+  multiply-safe range of only 1/256 .. 256;
+* IEEE comparison needs 22 predicate variants with NaN special cases,
+  posit comparison is the integer comparator (NaR == NaR, NaR < all);
+* reciprocation is symmetric for posits (exact on the power-of-two ring
+  positions);
+* the posit hardware cost table (see also Fig. 8's benchmark).
+"""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits import gate_cost
+from repro.floats import ALL_PREDICATES, BINARY16, FP8_E4M3, SoftFloat
+from repro.floats.compare import relation
+from repro.hwcost import build_float_comparator, build_integer_comparator
+from repro.posit import POSIT16, Posit
+
+
+def test_sec5_claims(benchmark, report):
+    # --- 58-bit fixed-point conversion -----------------------------------
+    def all_posits_fixed():
+        worst = 0
+        for pattern in range(0, 1 << 16, 9):
+            p = Posit(POSIT16, pattern)
+            if p.is_nar():
+                continue
+            scaled = p.to_fraction() * (1 << 28)
+            assert scaled.denominator == 1
+            worst = max(worst, abs(int(scaled)))
+        return worst
+
+    worst = benchmark(all_posits_fixed)
+    bits_needed = worst.bit_length() + 1  # plus sign
+
+    # --- float16 effective range ------------------------------------------
+    min_normal, max_finite = BINARY16.min_normal, BINARY16.max_finite
+    # Multiply-safe sub-range [1/r, r]: products of two values must neither
+    # overflow nor vanish (subnormals count as representable), so
+    # r^2 <= max_finite and r^-2 >= min_subnormal.
+    r_overflow = math.sqrt(max_finite)
+    r_underflow = 1 / math.sqrt(BINARY16.min_subnormal)
+    r_safe = min(r_overflow, r_underflow)
+
+    # --- comparison predicates ------------------------------------------
+    nan = SoftFloat.nan(BINARY16)
+    one = SoftFloat.from_float(BINARY16, 1.0)
+    nar = Posit.nar(POSIT16)
+
+    # --- reciprocal symmetry ----------------------------------------------
+    recip_exact = all(
+        Posit.from_float(POSIT16, 2.0**k).reciprocal().to_fraction() == Fraction(2) ** -k
+        for k in range(-14, 15)
+    )
+
+    # --- comparison-unit circuits ----------------------------------------
+    int_cmp = build_integer_comparator(8)
+    float_cmp = build_float_comparator(FP8_E4M3)
+
+    lines = [
+        f"posit16 as fixed point: worst |value * 2^28| needs {bits_needed} bits "
+        "(paper: 58-bit signed fixed point)",
+        "",
+        "comparison units (8-bit, both exhaustively verified):",
+        f"  integer/posit comparator: {len(int_cmp.gates)} gates "
+        f"(area {gate_cost(int_cmp):.0f})",
+        f"  float relation unit:      {len(float_cmp.gates)} gates "
+        f"(area {gate_cost(float_cmp):.0f})",
+        "",
+        f"binary16 range: {min_normal:.2e} .. {max_finite:.2e} "
+        "(paper: about 6e-5 to 7e4)",
+        f"multiply-safe sub-range: 1/{r_safe:.0f} .. {r_safe:.0f} "
+        "(paper: 1/256 to a little less than 256)",
+        "",
+        f"IEEE comparison predicates implemented: {len(ALL_PREDICATES)} (paper: 22)",
+        f"  NaN vs NaN quiet-equal: {ALL_PREDICATES['compareQuietEqual'](nan, nan)}",
+        f"  posit NaR == NaR: {nar == nar};  NaR < 1.0: {nar < Posit.one(POSIT16)}",
+        "",
+        f"posit reciprocal exact on all powers of two 2^-14..2^14: {recip_exact}",
+    ]
+    report("sec5_claims", lines)
+
+    assert bits_needed <= 58
+    assert 5e-5 < min_normal < 7e-5 and 6e4 < max_finite < 7e4
+    assert 255 < r_safe < 256
+    assert len(ALL_PREDICATES) == 22
+    assert not ALL_PREDICATES["compareQuietEqual"](nan, nan)
+    assert relation(nan, one) == "un"
+    assert nar == nar and nar < Posit.one(POSIT16)
+    assert recip_exact
+    # "Substantial circuit logic is needed for the comparison of two floats"
+    # while posits reuse the integer comparator unchanged.
+    assert gate_cost(float_cmp) > 1.5 * gate_cost(int_cmp)

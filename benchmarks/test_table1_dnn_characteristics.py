@@ -1,0 +1,70 @@
+"""Table I: DNN characteristics — params, MACs, float and 8-bit accuracy.
+
+Paper's rows (full-scale nets on CIFAR / Speech Commands):
+
+    ResNet20   274,442 params   40.8M MACs   91.04 float   90.34 8-bit
+    KWS-CNN1    69,982 params    2.5M MACs   91.99 float   91.90 8-bit
+    KWS-CNN2   179,404 params    8.6M MACs   92.71 float   92.60 8-bit
+
+Ours are architecture-faithful miniatures on synthetic data; the shape to
+reproduce: three models with the same relative ordering of size and MACs,
+float accuracy well above chance, and 8-bit accuracy within ~1% of float.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import spectrogram_features, synthetic_images, synthetic_keywords
+from repro.nn import QuantizedNetwork, evaluate_accuracy, train
+from repro.nn.zoo import kws_cnn1, kws_cnn2, resnet_mini
+
+from conftest import quick_mode
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    epochs = 2 if quick_mode() else 5
+    out = []
+
+    x, y = synthetic_images(160, classes=10, size=16, seed=0)
+    net = resnet_mini()
+    train(net, x[:1200], y[:1200], epochs=epochs, batch=64, lr=2e-3, seed=0)
+    out.append(("ResNet-mini", "synthetic-CIFAR", net, x[1200:1560], y[1200:1560], x[:128]))
+
+    wav, yk = synthetic_keywords(180, classes=8, seed=0)
+    feats = spectrogram_features(wav)
+    for builder, name in ((kws_cnn1, "KWS-CNN1"), (kws_cnn2, "KWS-CNN2")):
+        net = builder(input_shape=feats.shape[1:])
+        train(net, feats[:1100], yk[:1100], epochs=epochs, batch=64, lr=3e-3, seed=0)
+        out.append((name, "synthetic-SCD", net, feats[1100:1440], yk[1100:1440], feats[:128]))
+    return out
+
+
+def test_table1_dnn_characteristics(benchmark, workloads, report):
+    rows = []
+    for name, dataset, net, xte, yte, calib in workloads:
+        qn = QuantizedNetwork(net, calib)
+        float_acc = evaluate_accuracy(net.predict, xte, yte)
+        q8_acc = evaluate_accuracy(lambda v: qn.predict(v, None), xte, yte)
+        rows.append((name, dataset, net.param_count(), net.macs(), float_acc, q8_acc))
+
+    # Benchmark quantized inference of the first model.
+    name, dataset, net, xte, yte, calib = workloads[0]
+    qn = QuantizedNetwork(net, calib)
+    benchmark(lambda: qn.predict(xte[:64], None))
+
+    lines = [f"{'DNN':<12} {'Dataset':<16} {'Params':>8} {'MACs':>10} {'Float':>7} {'8-bit':>7}"]
+    for name, dataset, params, macs, f, q in rows:
+        lines.append(
+            f"{name:<12} {dataset:<16} {params:>8,} {macs:>10,} {100*f:>7.2f} {100*q:>7.2f}"
+        )
+    lines.append("")
+    lines.append("paper shape: CNN2 > CNN1 in params/MACs; 8-bit within ~1% of float")
+    report("table1_dnn_characteristics", lines)
+
+    by_name = {r[0]: r for r in rows}
+    assert by_name["KWS-CNN2"][2] > by_name["KWS-CNN1"][2]  # params ordering
+    assert by_name["KWS-CNN2"][3] > by_name["KWS-CNN1"][3]  # MACs ordering
+    for name, dataset, params, macs, f, q in rows:
+        assert f > 0.6, f"{name} failed to train ({f:.2f})"
+        assert q >= f - 0.05, f"{name}: 8-bit dropped too far ({f:.3f} -> {q:.3f})"

@@ -1,0 +1,40 @@
+"""Table II: the approximate-multiplier library (MRE / MAE / energy saving).
+
+Paper's rows (EvoApprox8B picks): MRE 0.03..19.45%, MAE 0.2..343.9,
+energy saving 0.02..68.08%.  Our stand-in designs ladder the same ranges;
+shape checks assert the monotone error-vs-energy trade-off.
+"""
+
+import pytest
+
+from repro.approx import TABLE2_SET, characterize, table2
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table2()
+
+
+def test_table2_rows(benchmark, rows, report):
+    benchmark(characterize, TABLE2_SET[4])
+
+    lines = [f"{'multiplier':<12} {'MRE [%]':>8} {'MAE':>9} {'WCE':>7} {'Energy Saving [%]':>18}"]
+    for r in rows:
+        lines.append(
+            f"{r.name:<12} {r.mre_percent:>8.2f} {r.mae:>9.1f} {r.wce:>7} "
+            f"{r.energy_saving_percent:>18.2f}"
+        )
+    lines.append("")
+    lines.append("paper (Table II): MRE 0.03..19.45%, MAE 0.2..343.9, saving 0.02..68.08%")
+    lines.append(
+        f"ours:             MRE {rows[0].mre_percent:.2f}..{rows[-1].mre_percent:.2f}%, "
+        f"MAE {rows[0].mae:.1f}..{max(r.mae for r in rows):.1f}, "
+        f"saving {min(r.energy_saving_percent for r in rows):.2f}.."
+        f"{max(r.energy_saving_percent for r in rows):.2f}%"
+    )
+    report("table2_approx_multipliers", lines)
+
+    # Shape assertions: ten designs, error-sorted, energy ladder upward.
+    assert len(rows) == 10
+    assert rows[0].mre_percent < 0.5 and rows[-1].mre_percent > 15
+    assert rows[-1].energy_saving_percent > 8 * rows[0].energy_saving_percent

@@ -1,0 +1,57 @@
+"""Approximate DNN inference and retraining (Section IV, Fig. 5 in miniature).
+
+Trains a small CNN on the synthetic image task, quantizes it to 8 bits,
+swaps in approximate multipliers of increasing error, and shows how STE
+retraining recovers the lost accuracy.
+
+Run:  python examples/approximate_dnn.py
+"""
+
+import copy
+
+import numpy as np
+
+from repro.approx import TABLE2_SET, characterize, signed_lut
+from repro.datasets import synthetic_images
+from repro.nn import Adam, QuantizedNetwork, evaluate_accuracy, train
+from repro.nn.zoo import resnet_mini
+
+
+def main():
+    rng = np.random.default_rng(0)
+    x, y = synthetic_images(160, classes=10, size=16, seed=0)
+    xtr, ytr = x[:1200], y[:1200]
+    xte, yte = x[1200:1500], y[1200:1500]
+
+    print("training float resnet-mini ...")
+    net = resnet_mini()
+    train(net, xtr, ytr, epochs=4, batch=64, lr=2e-3, seed=0)
+    float_acc = evaluate_accuracy(net.predict, xte, yte)
+
+    qn = QuantizedNetwork(net, xtr[:128])
+    q8_acc = evaluate_accuracy(lambda v: qn.predict(v, None), xte, yte)
+    print(f"float accuracy: {float_acc:.3f}   8-bit accuracy: {q8_acc:.3f}")
+    tolerance = q8_acc - 0.01  # the paper's 1% image-classification budget
+
+    print(f"\n{'multiplier':<12} {'MRE%':>6} {'approx':>7} {'retrained':>9} {'ok?':>4}")
+    for mult in (TABLE2_SET[1], TABLE2_SET[4], TABLE2_SET[7]):
+        metrics = characterize(mult)
+        lut = signed_lut(mult)
+        approx_acc = evaluate_accuracy(lambda v: qn.predict(v, lut), xte, yte)
+
+        retrain_net = copy.deepcopy(net)
+        rqn = QuantizedNetwork(retrain_net, xtr[:128])
+        opt = Adam(retrain_net.params(), lr=5e-4)
+        for _ in range(40):
+            idx = rng.integers(0, len(xtr), size=64)
+            rqn.train_step(xtr[idx], ytr[idx], opt, lut)
+        retrained_acc = evaluate_accuracy(lambda v: rqn.predict(v, lut), xte, yte)
+        ok = "yes" if retrained_acc >= tolerance else "no"
+        print(
+            f"{metrics.name:<12} {metrics.mre_percent:6.2f} {approx_acc:7.3f} "
+            f"{retrained_acc:9.3f} {ok:>4}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""Format shootout: float16 / bfloat16 / posit16 / LNS on edge kernels.
+
+Two kernels with opposite arithmetic profiles:
+
+* a *product chain* (gain stages, log-domain friendly) — LNS multiplies
+  exactly, floats and posits accumulate rounding;
+* an *accumulation* (dot product / neuron) — LNS pays for every add
+  through the Gaussian-log table, floats/posits add natively.
+
+Plus the information-per-bit view of Section V on both workload
+distributions.
+
+Run:  python examples/format_shootout.py
+"""
+
+import math
+import random
+
+import numpy as np
+
+from repro.analysis import format_information_comparison
+from repro.fixedpoint import QFormat
+from repro.floats import BFLOAT16, BINARY16, SoftFloat
+from repro.lns import LNS, LNSFormat
+from repro.posit import POSIT16, Posit
+
+LNS16 = LNSFormat(5, 8)  # 15-bit LNS with ~19 decades of range
+
+
+def product_chain(values):
+    """Computation error only: each format's reference is the exact product
+    of its own *quantized* inputs, so input-representation error (a fixed
+    per-format constant) does not mask how error grows per operation."""
+    f = SoftFloat.from_float(BINARY16, 1.0)
+    bf = SoftFloat.from_float(BFLOAT16, 1.0)
+    p = Posit.from_float(POSIT16, 1.0)
+    l = LNS.from_float(LNS16, 1.0)
+    exact = {"f": 1.0, "bf": 1.0, "p": 1.0, "l": 1.0}
+    for v in values:
+        qf = SoftFloat.from_float(BINARY16, v)
+        qbf = SoftFloat.from_float(BFLOAT16, v)
+        qp = Posit.from_float(POSIT16, v)
+        ql = LNS.from_float(LNS16, v)
+        exact["f"] *= qf.to_float()
+        exact["bf"] *= qbf.to_float()
+        exact["p"] *= qp.to_float()
+        exact["l"] *= ql.to_float()
+        f, bf, p, l = f * qf, bf * qbf, p * qp, l * ql
+
+    def rel(x, key):
+        return abs(x - exact[key]) / abs(exact[key])
+
+    return (
+        rel(f.to_float(), "f"),
+        rel(bf.to_float(), "bf"),
+        rel(p.to_float(), "p"),
+        rel(l.to_float(), "l"),
+    )
+
+
+def accumulation(values):
+    exact = sum(values)
+    f = SoftFloat.zero(BINARY16)
+    bf = SoftFloat.zero(BFLOAT16)
+    p = Posit.zero(POSIT16)
+    l = LNS.zero(LNS16)
+    for v in values:
+        f = f + SoftFloat.from_float(BINARY16, v)
+        bf = bf + SoftFloat.from_float(BFLOAT16, v)
+        p = p + Posit.from_float(POSIT16, v)
+        l = l + LNS.from_float(LNS16, v)
+
+    def rel(x):
+        return abs(x - exact) / abs(exact)
+
+    return rel(f.to_float()), rel(bf.to_float()), rel(p.to_float()), rel(l.to_float())
+
+
+def main():
+    rng = random.Random(0)
+
+    print("product chain of 24 gains in [0.7, 1.4]:")
+    errs = [0.0] * 4
+    for seed in range(6):
+        r = random.Random(seed)
+        vals = [r.uniform(0.7, 1.4) for _ in range(24)]
+        errs = [a + b for a, b in zip(errs, product_chain(vals))]
+    names = ("binary16", "bfloat16", "posit16", f"{LNS16}")
+    for name, e in zip(names, errs):
+        print(f"  {name:<10} mean rel err {e / 6:.2e}")
+
+    print("\naccumulation of 64 positive terms in [0.1, 2]:")
+    errs = [0.0] * 4
+    for seed in range(6):
+        r = random.Random(100 + seed)
+        vals = [r.uniform(0.1, 2.0) for _ in range(64)]
+        errs = [a + b for a, b in zip(errs, accumulation(vals))]
+    for name, e in zip(names, errs):
+        print(f"  {name:<10} mean rel err {e / 6:.2e}")
+
+    print("\ninformation per bit (unit-normal samples):")
+    samples = np.random.default_rng(0).normal(0, 1, 2500)
+    res = format_information_comparison(
+        samples,
+        {"posit16": POSIT16, "binary16": BINARY16, "bfloat16": BFLOAT16, "Q7.8": QFormat(7, 8)},
+    )
+    for name, bits in sorted(res.items(), key=lambda kv: -kv[1]):
+        print(f"  {name:<10} {bits:.3f}")
+    print("\nLNS wins multiplicative chains (exact log-domain adds); posits win")
+    print("mixed workloads near unit magnitude; bfloat16 only wins on range.")
+
+
+if __name__ == "__main__":
+    main()

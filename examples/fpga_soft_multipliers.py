@@ -1,0 +1,80 @@
+"""FPGA soft-logic arithmetic (Section III).
+
+Walks through the 3x3 multiplier regularization of Figs. 3-4,
+fractal-synthesis-style carry-chain packing, and the Agilex DSP model.
+
+Run:  python examples/fpga_soft_multipliers.py
+"""
+
+from repro.bitheap import partial_product_table
+from repro.fpga import (
+    AGILEX_MODES,
+    BRAINWAVE,
+    TYPICAL_SOFT_ARITHMETIC,
+    CarrySegment,
+    agilex_device,
+    fractal_pack,
+    naive_mapping_stats,
+    pack_segments,
+    regularize_3x3,
+)
+
+
+def figures_3_and_4():
+    print("=== Fig. 3: the pencil-and-paper 3x3 multiplier ===")
+    for col, pps in partial_product_table(3, 3).items():
+        print(f"  column {col}: {', '.join(pps)}")
+    naive = naive_mapping_stats()
+    print(
+        f"  -> {naive.rows} rows, column height up to {naive.max_column_height}, "
+        f"independent inputs {naive.min_column_inputs}..{naive.max_column_inputs} per column"
+    )
+
+    print("\n=== Fig. 4: regularized two-level form ===")
+    mul = regularize_3x3()
+    ok = all(mul.multiply(a, b) == a * b for a in range(8) for b in range(8))
+    stats = mul.stats()
+    print(f"  exhaustive 64-case equivalence: {'PASS' if ok else 'FAIL'}")
+    print(
+        f"  {stats.rows} rows -> {stats.chain_alms}-ALM carry chain + "
+        f"{stats.out_of_band_alms} out-of-band ALM, "
+        f"{stats.independent_inputs} independent inputs over {stats.total_alms} ALMs"
+    )
+
+
+def packing():
+    print("\n=== Fractal-synthesis-style carry-chain packing ===")
+    # A soft-multiplier array: many short segments of mixed lengths.
+    segments = [CarrySegment(f"mul{i}", 3 + (i * 5) % 11) for i in range(60)]
+    demand = sum(s.length for s in segments)
+    capacity, chains = 16, 34  # just enough physical room: packing is tight
+    print(f"  {len(segments)} segments, {demand} positions into {chains} chains of {capacity}")
+    first_fit = pack_segments(segments, capacity, chains, seed=0)
+    best = fractal_pack(segments, capacity, chains, seeds=48)
+    print(f"  seed 0   : unplaced {first_fit.unplaced}, chains {first_fit.chains_used}, "
+          f"splits {first_fit.splits}, utilization {first_fit.utilization:.1%}")
+    print(f"  best seed: unplaced {best.unplaced}, chains {best.chains_used}, "
+          f"splits {best.splits}, utilization {best.utilization:.1%} (seed {best.seed})")
+    print(f"  typical soft arithmetic packs {TYPICAL_SOFT_ARITHMETIC.overall_packing():.0%}; "
+          f"Brainwave-style reaches {BRAINWAVE.overall_packing():.1%}")
+
+
+def dsp():
+    print("\n=== Agilex DSP-block model ===")
+    dev = agilex_device()
+    for name, mode in AGILEX_MODES.items():
+        fits = "2 lanes" if mode.lanes == 2 else "1 lane "
+        print(
+            f"  {name:<9} {fits}  -> {dev.peak_tflops(mode):5.1f} TFLOPs peak "
+            f"({mode.fmt})"
+        )
+    print(
+        f"  soft logic at low precision: "
+        f"{dev.soft_logic_tflops(alms=900_000, alms_per_op=10, clock_hz=600e6):.0f} TFLOPs+"
+    )
+
+
+if __name__ == "__main__":
+    figures_3_and_4()
+    packing()
+    dsp()

@@ -1,0 +1,113 @@
+"""Transprecision linear solves: low-precision LU + iterative refinement.
+
+The paper's introduction lists "transprecision/mixed-precision computing"
+among the active directions.  The classic instance: factorize A in a cheap
+16-bit format, then recover full accuracy with float64 residual
+corrections.  The storage format's accuracy profile (Fig. 9) decides how
+many refinement sweeps are needed — posit16's extra digits near unit
+magnitude buy faster convergence than binary16/bfloat16 on well-scaled
+systems.
+
+Run:  python examples/mixed_precision_refinement.py
+"""
+
+import numpy as np
+
+from repro.posit import POSIT16, POSIT8
+from repro.posit.tensor import PositCodec
+
+
+def quantize_binary16(a):
+    return np.float16(a).astype(np.float64)  # bit-exact binary16 grid
+
+
+def quantize_bfloat16(a):
+    # Truncate float32 to bfloat16 with RNE on the stored pattern.
+    x = np.asarray(a, dtype=np.float32)
+    u = x.view(np.uint32)
+    rounded = (u + 0x7FFF + ((u >> 16) & 1)) >> 16
+    return (rounded.astype(np.uint32) << 16).view(np.float32).astype(np.float64)
+
+
+_P16 = PositCodec(POSIT16)
+
+
+def quantize_posit16(a):
+    return _P16.quantize(np.asarray(a, dtype=np.float64))
+
+
+def lu_solve_quantized(a, b, quantize):
+    """LU factorization carried out *on the quantized grid* (no piv､ growth
+    control beyond partial pivoting), then forward/back substitution."""
+    n = len(b)
+    lu = quantize(a.copy())
+    piv = np.arange(n)
+    for k in range(n - 1):
+        p = k + np.argmax(np.abs(lu[k:, k]))
+        if p != k:
+            lu[[k, p]] = lu[[p, k]]
+            piv[[k, p]] = piv[[p, k]]
+        if lu[k, k] == 0:
+            continue
+        lu[k + 1 :, k] = quantize(lu[k + 1 :, k] / lu[k, k])
+        lu[k + 1 :, k + 1 :] = quantize(
+            lu[k + 1 :, k + 1 :] - np.outer(lu[k + 1 :, k], lu[k, k + 1 :])
+        )
+
+    def solve(rhs):
+        y = quantize(rhs[piv].copy())
+        for i in range(1, n):
+            y[i] = quantize(y[i] - lu[i, :i] @ y[:i])
+        x = y.copy()
+        for i in range(n - 1, -1, -1):
+            x[i] = quantize((x[i] - lu[i, i + 1 :] @ x[i + 1 :]) / lu[i, i])
+        return x
+
+    return solve
+
+
+def refine(a, b, quantize, max_iters=20, tol=1e-12):
+    """Iterative refinement: low-precision solves + float64 residuals.
+
+    The residual is normalized before each correction solve — the standard
+    trick that keeps tiny corrections out of the low-precision format's
+    underflow region (16-bit formats bottom out around 1e-8).
+    """
+    solve = lu_solve_quantized(a, b, quantize)
+    x = solve(b / np.linalg.norm(b)) * np.linalg.norm(b)
+    history = []
+    for it in range(max_iters):
+        r = b - a @ x  # float64 residual
+        err = np.linalg.norm(r) / np.linalg.norm(b)
+        history.append(err)
+        if err < tol:
+            break
+        nr = np.linalg.norm(r)
+        x = x + solve(r / nr) * nr
+    return x, history
+
+
+def main():
+    rng = np.random.default_rng(3)
+    n = 40
+    a = rng.normal(0, 1, (n, n)) + n * np.eye(n) / 4  # well-conditioned
+    x_true = rng.normal(0, 1, n)
+    b = a @ x_true
+
+    print(f"solving a {n}x{n} system with 16-bit LU + float64 refinement\n")
+    print(f"{'format':<10} {'iters to 1e-12':>14}  residual trajectory (first 5)")
+    for name, q in (
+        ("binary16", quantize_binary16),
+        ("bfloat16", quantize_bfloat16),
+        ("posit16", quantize_posit16),
+    ):
+        x, hist = refine(a, b, q)
+        traj = "  ".join(f"{h:.1e}" for h in hist[:5])
+        iters = len(hist) if hist[-1] < 1e-12 else f">{len(hist)}"
+        print(f"{name:<10} {iters!s:>14}  {traj}")
+    print("\neach refinement sweep multiplies the error by ~(precision of the")
+    print("storage format); more digits per iteration = fewer iterations.")
+
+
+if __name__ == "__main__":
+    main()

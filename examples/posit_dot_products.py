@@ -1,0 +1,83 @@
+"""Posits in a numerical kernel: dot products with and without the quire.
+
+A realistic edge workload: accumulate many small products (a dot product /
+neuron activation) in 16-bit arithmetic.  Compares binary16, bfloat16,
+posit16 with naive accumulation, and posit16 with the quire, against an
+exact reference.
+
+Run:  python examples/posit_dot_products.py
+"""
+
+import math
+import random
+from fractions import Fraction
+
+from repro.floats import BFLOAT16, BINARY16, SoftFloat
+from repro.posit import POSIT16, Posit, Quire
+
+
+def dot_float(fmt, xs, ys):
+    acc = SoftFloat.zero(fmt)
+    for x, y in zip(xs, ys):
+        acc = acc + SoftFloat.from_float(fmt, x) * SoftFloat.from_float(fmt, y)
+    return acc.to_float()
+
+
+def dot_posit(xs, ys):
+    acc = Posit.zero(POSIT16)
+    for x, y in zip(xs, ys):
+        acc = acc + Posit.from_float(POSIT16, x) * Posit.from_float(POSIT16, y)
+    return acc.to_float()
+
+
+def dot_quire(xs, ys):
+    q = Quire(POSIT16)
+    return q.dot(
+        [Posit.from_float(POSIT16, x) for x in xs],
+        [Posit.from_float(POSIT16, y) for y in ys],
+    ).to_float()
+
+
+def relative_error(got, want):
+    if want == 0:
+        return abs(got)
+    return abs(got - want) / abs(want)
+
+
+def run_trial(n, scale, seed):
+    rng = random.Random(seed)
+    xs = [rng.gauss(0, scale) for _ in range(n)]
+    ys = [rng.gauss(0, 1) for _ in range(n)]
+    exact = float(sum(Fraction(x) * Fraction(y) for x, y in zip(xs, ys)))
+    return {
+        "binary16": relative_error(dot_float(BINARY16, xs, ys), exact),
+        "bfloat16": relative_error(dot_float(BFLOAT16, xs, ys), exact),
+        "posit16": relative_error(dot_posit(xs, ys), exact),
+        "posit16+quire": relative_error(dot_quire(xs, ys), exact),
+    }
+
+
+def main():
+    print(f"{'n':>5} {'scale':>7} | {'binary16':>10} {'bfloat16':>10} {'posit16':>10} {'quire':>10}")
+    for n, scale in [(16, 1.0), (64, 1.0), (256, 1.0), (64, 30.0)]:
+        # Average over a few trials to smooth the comparison.
+        sums = {k: 0.0 for k in ("binary16", "bfloat16", "posit16", "posit16+quire")}
+        trials = 5
+        for seed in range(trials):
+            errs = run_trial(n, scale, seed)
+            for k, v in errs.items():
+                sums[k] += v
+        avg = {k: v / trials for k, v in sums.items()}
+        print(
+            f"{n:>5} {scale:>7.1f} | {avg['binary16']:>10.2e} {avg['bfloat16']:>10.2e} "
+            f"{avg['posit16']:>10.2e} {avg['posit16+quire']:>10.2e}"
+        )
+    print(
+        "\nposit16 beats both 16-bit float formats near unit magnitude "
+        "(Fig. 9's accuracy peak), and the quire removes accumulation error "
+        "entirely (single final rounding)."
+    )
+
+
+if __name__ == "__main__":
+    main()

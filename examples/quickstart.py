@@ -1,0 +1,86 @@
+"""Quickstart: a tour of the number systems in this library.
+
+Run:  python examples/quickstart.py
+"""
+
+from fractions import Fraction
+
+from repro.floats import BFLOAT16, BINARY16, BINARY32, FP19, RoundingMode, SoftFloat
+from repro.fixedpoint import FixedPoint, QFormat
+from repro.posit import POSIT8, POSIT16, Posit, Quire
+
+
+def floats_demo():
+    print("=== Parametric softfloat ===")
+    for fmt in (BINARY16, BFLOAT16, FP19, BINARY32):
+        x = SoftFloat.from_float(fmt, 3.14159265)
+        print(f"{fmt!s:22} pi ~ {x.to_float():<12.8g} pattern {x.pattern:#x}")
+
+    a = SoftFloat.from_float(BINARY16, 1.0)
+    b = SoftFloat.from_float(BINARY16, 3.0)
+    q = a / b
+    print(f"1/3 in binary16 (RNE): {q.to_float()}")
+    print(f"1/3 toward zero:       {a.div(b, RoundingMode.TOWARD_ZERO).to_float()}")
+
+    # The IEEE trap regions of Fig. 6: subnormals exist and are slow in HW.
+    tiny = SoftFloat.min_subnormal(BINARY16)
+    print(f"smallest subnormal:    {tiny.to_float():.3e} ({tiny.classify().value})")
+
+
+def fixed_demo():
+    print("\n=== Fixed point ===")
+    q44 = QFormat(4, 4)
+    x = FixedPoint.from_float(q44, 1.3)
+    print(f"1.3 in {q44}: {x.to_float()} (error {abs(x.to_float() - 1.3):.4f})")
+    y = x * x
+    print(f"square, exact widened result in {y.fmt}: {y.to_float()}")
+    print(f"resized back to {q44}: {y.resize(q44).to_float()}")
+
+
+def posit_demo():
+    print("\n=== Posits (Section V) ===")
+    x = Posit.from_float(POSIT16, 3.0)
+    y = Posit.from_float(POSIT16, 1.5)
+    print(f"3.0 * 1.5 = {(x * y).to_float()}  (pattern {(x * y).pattern:#06x})")
+
+    # Two's-complement negation is exact; NaR is the single exception value.
+    print(f"-x pattern = two's complement: {x.negate().pattern:#06x}")
+    print(f"1/0 -> {Posit.one(POSIT16) / Posit.zero(POSIT16)!r}")
+
+    # Posit ordering is plain integer ordering (Fig. 7).
+    vals = [Posit.from_float(POSIT16, v) for v in (-2.5, 0.0, 1e-4, 7.0)]
+    ordered = sorted(vals, key=lambda p: p._int_key())
+    print("integer-sorted:", [round(p.to_float(), 5) for p in ordered])
+
+    # No underflow/overflow: saturation instead.
+    print(f"maxpos^2 = {(Posit.maxpos(POSIT16) * Posit.maxpos(POSIT16)).to_float():.3e}")
+
+    # The quire: exact dot products (the 58-bit fixed-point observation).
+    q = Quire(POSIT16)
+    xs = [Posit.from_float(POSIT16, v) for v in (1e-3, 1e3, -1e3, 1.0)]
+    ones = [Posit.one(POSIT16)] * 4
+    print(f"quire dot  (1e-3 + 1e3 - 1e3 + 1): {q.dot(xs, ones).to_float()}")
+    s = Posit.zero(POSIT16)
+    for v in xs:
+        s = s + v
+    print(f"naive sum  (same terms):           {s.to_float()}")
+
+
+def accuracy_demo():
+    print("\n=== Tapered accuracy (Fig. 9) ===")
+    from repro.analysis import decimal_accuracy_float, decimal_accuracy_posit
+
+    probe = Fraction(10007, 9973)
+    for mag in (-4, -2, 0, 2, 4):
+        x = probe * Fraction(10) ** mag
+        f = decimal_accuracy_float(BINARY16, x)
+        p = decimal_accuracy_posit(POSIT16, x)
+        marker = "posit" if p > f else "float"
+        print(f"|x| ~ 1e{mag:+d}: float16 {f:4.2f} digits, posit16 {p:4.2f} digits -> {marker} wins")
+
+
+if __name__ == "__main__":
+    floats_demo()
+    fixed_demo()
+    posit_demo()
+    accuracy_demo()

@@ -1,0 +1,52 @@
+"""Export verified arithmetic datapaths as synthesizable Verilog.
+
+The FloPoCo workflow the paper describes ends in HDL; this script emits
+the exhaustively verified posit and float datapaths (and a bit-heap
+generated multiplier) as structural Verilog-2001 into ``generated_rtl/``.
+
+Run:  python examples/verilog_export.py
+"""
+
+from pathlib import Path
+
+from repro.bitheap import build_bitheap_multiplier
+from repro.circuits import to_verilog
+from repro.floats import FP8_E4M3
+from repro.hwcost import (
+    build_float_adder,
+    build_float_multiplier,
+    build_integer_comparator,
+    build_posit_adder,
+    build_posit_multiplier,
+)
+from repro.posit import POSIT8
+
+
+def main():
+    out_dir = Path("generated_rtl")
+    out_dir.mkdir(exist_ok=True)
+
+    designs = [
+        build_posit_multiplier(POSIT8),
+        build_posit_adder(POSIT8),
+        build_float_multiplier(FP8_E4M3, full_ieee=True),
+        build_float_multiplier(FP8_E4M3, full_ieee=False),
+        build_float_adder(FP8_E4M3, full_ieee=True),
+        build_integer_comparator(8),
+        build_bitheap_multiplier(6, 6),
+    ]
+    print(f"writing {len(designs)} modules to {out_dir}/\n")
+    for circ in designs:
+        path = out_dir / f"{circ.name}.v"
+        verilog = to_verilog(circ)
+        path.write_text(verilog)
+        print(
+            f"  {path}  ({len(circ.gates)} gates, depth {circ.depth()}, "
+            f"{len(verilog.splitlines())} lines)"
+        )
+    print("\nevery module was verified bit-exactly against its software model")
+    print("before emission (see tests/test_hwcost_*.py and tests/test_circuits_emit.py)")
+
+
+if __name__ == "__main__":
+    main()

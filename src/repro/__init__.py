@@ -1,0 +1,34 @@
+"""repro — reproduction of "Next Generation Arithmetic for Edge Computing".
+
+Subpackages (see README.md for the map to the paper's sections):
+
+* :mod:`repro.floats` — parametric IEEE-754-style softfloat
+* :mod:`repro.fixedpoint` — two's-complement Q formats
+* :mod:`repro.posit` — posits, quire, correctly rounded math functions
+* :mod:`repro.circuits` — gate-level netlists and cost models
+* :mod:`repro.bitheap` — weighted-bit heaps and compression
+* :mod:`repro.fpga` — soft-multiplier mapping, packing, DSP models
+* :mod:`repro.generators` — FloPoCo-style faithful operator generators
+* :mod:`repro.approx` — approximate multipliers and DNN simulation
+* :mod:`repro.nn` — numpy DNN framework with quantization and retraining
+* :mod:`repro.datasets` — synthetic image and keyword-spotting data
+* :mod:`repro.analysis` — ring plots, accuracy curves, information-per-bit
+* :mod:`repro.hwcost` — verified posit/float datapath circuits
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "floats",
+    "fixedpoint",
+    "posit",
+    "circuits",
+    "bitheap",
+    "fpga",
+    "generators",
+    "approx",
+    "nn",
+    "datasets",
+    "analysis",
+    "hwcost",
+]

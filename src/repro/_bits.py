@@ -1,0 +1,135 @@
+"""Low-level bit-manipulation helpers shared by every number system.
+
+All arithmetic in this library is done on unbounded Python integers so that
+intermediate results are exact; these helpers cover the recurring idioms
+(masking, two's complement, leading-zero counts, sticky-bit rounding) that
+bit-exact arithmetic keeps needing.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "mask",
+    "bit",
+    "bits_of",
+    "from_bits",
+    "to_twos_complement",
+    "from_twos_complement",
+    "bit_length",
+    "count_leading_zeros",
+    "count_leading_signs",
+    "isqrt_rem",
+    "round_to_nearest_even",
+    "shift_right_sticky",
+]
+
+
+def mask(width: int) -> int:
+    """Return an all-ones mask of ``width`` bits (``width`` may be 0)."""
+    if width < 0:
+        raise ValueError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit ``index`` (LSB = 0) of ``value`` as 0 or 1."""
+    return (value >> index) & 1
+
+
+def bits_of(value: int, width: int) -> list:
+    """Return ``width`` bits of ``value`` as a list, MSB first."""
+    return [(value >> i) & 1 for i in range(width - 1, -1, -1)]
+
+
+def from_bits(bits) -> int:
+    """Inverse of :func:`bits_of`: assemble an int from MSB-first bits."""
+    out = 0
+    for b in bits:
+        out = (out << 1) | (b & 1)
+    return out
+
+
+def to_twos_complement(value: int, width: int) -> int:
+    """Encode a signed integer into a ``width``-bit two's-complement pattern."""
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    if not lo <= value <= hi:
+        raise OverflowError(f"{value} does not fit in {width}-bit two's complement")
+    return value & mask(width)
+
+
+def from_twos_complement(pattern: int, width: int) -> int:
+    """Decode a ``width``-bit two's-complement pattern into a signed integer."""
+    pattern &= mask(width)
+    if pattern >> (width - 1):
+        return pattern - (1 << width)
+    return pattern
+
+
+def bit_length(value: int) -> int:
+    """Bit length of ``abs(value)`` (0 for 0)."""
+    return abs(value).bit_length()
+
+
+def count_leading_zeros(pattern: int, width: int) -> int:
+    """Number of leading zero bits of ``pattern`` viewed as ``width`` bits."""
+    pattern &= mask(width)
+    return width - pattern.bit_length()
+
+
+def count_leading_signs(pattern: int, width: int) -> int:
+    """Run length of copies of the MSB at the top of ``pattern``.
+
+    This is the "count leading zeros or ones" operation used by posit
+    regime decoding: for ``0b0001...`` it returns 3, for ``0b1110...`` it
+    returns 3 as well.
+    """
+    pattern &= mask(width)
+    msb = pattern >> (width - 1)
+    if msb:
+        pattern = ~pattern & mask(width)
+    return count_leading_zeros(pattern, width)
+
+
+def isqrt_rem(value: int):
+    """Return ``(s, r)`` with ``s*s + r == value`` and ``s`` the integer sqrt."""
+    if value < 0:
+        raise ValueError("isqrt_rem of a negative number")
+    import math
+
+    s = math.isqrt(value)
+    return s, value - s * s
+
+
+def shift_right_sticky(value: int, amount: int):
+    """Shift ``value`` right by ``amount`` and return ``(shifted, sticky)``.
+
+    ``sticky`` is 1 iff any shifted-out bit was non-zero; a negative amount
+    shifts left (sticky 0). This is the primitive behind all correctly
+    rounded operations: the exact result is first normalized to the target
+    precision plus a guard bit, with the remaining information compressed
+    into the sticky bit.
+    """
+    if amount <= 0:
+        return value << (-amount), 0
+    if amount >= value.bit_length() + 1:
+        return 0, int(value != 0)
+    sticky = int(value & mask(amount) != 0)
+    return value >> amount, sticky
+
+
+def round_to_nearest_even(value: int, cut: int) -> int:
+    """Drop the low ``cut`` bits of non-negative ``value``, rounding RNE.
+
+    Round-to-nearest with ties to even is the rounding used by both IEEE 754
+    (on significands) and the posit standard (on encodings); implementing it
+    once on integers keeps the two number systems consistent.
+    """
+    if cut <= 0:
+        return value << (-cut)
+    kept = value >> cut
+    rem = value & mask(cut)
+    half = 1 << (cut - 1)
+    if rem > half or (rem == half and (kept & 1)):
+        kept += 1
+    return kept

@@ -1,0 +1,46 @@
+"""Cross-format accuracy and structure studies (Figs. 6, 7, 9, 10).
+
+* :mod:`repro.analysis.ring` — the ring plots: how float and posit bit
+  patterns map onto the two's-complement integer ring, the float
+  "trap to software" fraction, and the monotonicity structure.
+* :mod:`repro.analysis.accuracy` — decimal-accuracy curves as a function
+  of magnitude (Fig. 9) and of the bit string (Fig. 10).
+* :mod:`repro.analysis.ranges` — dynamic ranges and information-per-bit.
+"""
+
+from .ring import (
+    float_ring,
+    posit_ring,
+    RingEntry,
+    trap_fraction,
+    monotone_runs,
+    two_regime_fraction,
+)
+from .accuracy import (
+    decimal_accuracy_float,
+    decimal_accuracy_posit,
+    decimal_accuracy_fixed,
+    accuracy_vs_magnitude,
+    accuracy_vs_bitstring,
+)
+from .ranges import dynamic_range_decades, format_summary
+from .information import code_entropy, information_per_bit, format_information_comparison
+
+__all__ = [
+    "float_ring",
+    "posit_ring",
+    "RingEntry",
+    "trap_fraction",
+    "monotone_runs",
+    "two_regime_fraction",
+    "decimal_accuracy_float",
+    "decimal_accuracy_posit",
+    "decimal_accuracy_fixed",
+    "accuracy_vs_magnitude",
+    "accuracy_vs_bitstring",
+    "dynamic_range_decades",
+    "format_summary",
+    "code_entropy",
+    "information_per_bit",
+    "format_information_comparison",
+]

@@ -1,0 +1,130 @@
+"""Decimal-accuracy curves (Figs. 9-10).
+
+Decimal accuracy of representing a real ``x`` in a format is
+``-log10(relative rounding error)`` — the number of correct decimal digits
+the format keeps.  Plotted against ``log10 |x|`` this gives the shapes the
+paper describes: a trapezoid for floats ("flat accuracy except for the
+subnormal range"), an upward ramp for fixed point, and an isosceles
+triangle centered at magnitude 1 for posits.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Callable, List, Optional, Tuple
+
+from ..fixedpoint import FixedPoint, QFormat
+from ..floats import FloatFormat, SoftFloat
+from ..posit import Posit, PositFormat
+
+__all__ = [
+    "decimal_accuracy_float",
+    "decimal_accuracy_posit",
+    "decimal_accuracy_fixed",
+    "accuracy_vs_magnitude",
+    "accuracy_vs_bitstring",
+]
+
+
+def _decimal_accuracy(exact: Fraction, rounded: Fraction) -> float:
+    """-log10 of the relative error (inf -> capped at 17 digits)."""
+    if exact == 0:
+        return 0.0
+    err = abs(rounded - exact) / abs(exact)
+    if err == 0:
+        return 17.0
+    return min(17.0, -math.log10(float(err)))
+
+
+def decimal_accuracy_float(fmt: FloatFormat, x: Fraction) -> float:
+    """Decimal accuracy of rounding ``x`` into a float format.
+
+    Values that overflow or underflow score 0 (no useful digits).
+    """
+    sf = SoftFloat.from_fraction(fmt, x)
+    if not sf.is_finite():
+        return 0.0
+    rounded = sf.to_fraction()
+    if rounded == 0 and x != 0:
+        return 0.0
+    return _decimal_accuracy(x, rounded)
+
+
+def decimal_accuracy_posit(fmt: PositFormat, x: Fraction) -> float:
+    p = Posit.from_fraction(fmt, x)
+    if p.is_nar():
+        return 0.0
+    rounded = p.to_fraction()
+    if rounded == 0 and x != 0:
+        return 0.0
+    acc = _decimal_accuracy(x, rounded)
+    # Saturated values carry no relative-accuracy guarantee.
+    if p.pattern in (fmt.pattern_maxpos, fmt.pattern_minpos) and acc < 1:
+        return max(acc, 0.0)
+    return acc
+
+
+def decimal_accuracy_fixed(fmt: QFormat, x: Fraction) -> float:
+    fp = FixedPoint.from_fraction(fmt, x)
+    rounded = fp.to_fraction()
+    if rounded == 0 and x != 0:
+        return 0.0
+    max_value = Fraction(fmt.max_raw) * Fraction(2) ** (-fmt.frac_bits)
+    if abs(x) > max_value:
+        return 0.0  # saturated: no accuracy guarantee
+    return _decimal_accuracy(x, rounded)
+
+
+def accuracy_vs_magnitude(
+    accuracy_fn: Callable[[Fraction], float],
+    log10_min: float = -10.0,
+    log10_max: float = 10.0,
+    points: int = 121,
+) -> List[Tuple[float, float]]:
+    """Sample a decimal-accuracy curve over magnitudes 10^min .. 10^max.
+
+    Each magnitude is probed with a bundle of mantissas to average away
+    the sawtooth of individual roundings (the paper's smooth curves).
+    """
+    out = []
+    # Odd-prime mantissa ratios: essentially never exactly representable,
+    # so the curve measures typical rounding (the paper's smooth plots)
+    # rather than lucky grid hits.
+    mantissas = [Fraction(p, 9973) for p in (10007, 12011, 14009, 16007, 18013)]
+    for i in range(points):
+        lg = log10_min + (log10_max - log10_min) * i / (points - 1)
+        # Fraction(float) is exact, so the probe magnitudes are well defined.
+        base = Fraction(10.0**lg)
+        accs = [accuracy_fn(m * base) for m in mantissas]
+        out.append((float(lg), sum(accs) / len(accs)))
+    return out
+
+
+def accuracy_vs_bitstring(
+    value_of_pattern: Callable[[int], Optional[Fraction]],
+    patterns: range,
+) -> List[Tuple[int, float]]:
+    """Fig. 10: accuracy achieved *at* each positive code of a format.
+
+    At a representable value the rounding error is zero, so the meaningful
+    quantity is the accuracy of representing the *neighbourhood*: half the
+    gap to the next code up, relative to the value — the best case an
+    input landing in this code's bin can expect.
+    """
+    out = []
+    prev: Optional[Tuple[int, Fraction]] = None
+    values = []
+    for pattern in patterns:
+        v = value_of_pattern(pattern)
+        if v is not None and v > 0:
+            values.append((pattern, v))
+    values.sort(key=lambda t: t[1])
+    for (p1, v1), (p2, v2) in zip(values, values[1:]):
+        gap = (v2 - v1) / 2
+        if v1 == 0:
+            continue
+        rel = gap / v1
+        acc = min(17.0, -math.log10(float(rel))) if rel > 0 else 17.0
+        out.append((p1, acc))
+    return out

@@ -1,0 +1,57 @@
+"""Dynamic ranges and format summaries (the numbers quoted around Fig. 10)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Union
+
+from ..fixedpoint import QFormat
+from ..floats import FloatFormat
+from ..posit import Posit, PositFormat
+
+__all__ = ["dynamic_range_decades", "format_summary", "FormatSummary"]
+
+
+def dynamic_range_decades(fmt: Union[FloatFormat, PositFormat, QFormat]) -> float:
+    """Orders of magnitude between the smallest and largest positive value.
+
+    Floats are measured over their *normal* range (the paper: "9 orders of
+    magnitude for IEEE 754 Standard 16-bit floats in the normal range").
+    """
+    if isinstance(fmt, FloatFormat):
+        return math.log10(fmt.max_finite) - math.log10(fmt.min_normal)
+    if isinstance(fmt, PositFormat):
+        return 2 * fmt.max_scale * math.log10(2.0)
+    if isinstance(fmt, QFormat):
+        if fmt.max_raw < 1:
+            return 0.0
+        return math.log10(fmt.max_raw)  # max/min = max_raw / 1 ulp units
+    raise TypeError(f"unsupported format {fmt!r}")
+
+
+@dataclass
+class FormatSummary:
+    name: str
+    width: int
+    dynamic_range_decades: float
+    max_decimal_accuracy: float
+    exception_patterns: int
+
+
+def format_summary(fmt: Union[FloatFormat, PositFormat, QFormat]) -> FormatSummary:
+    """Headline numbers for one format."""
+    if isinstance(fmt, FloatFormat):
+        # Peak accuracy: relative error 2^-(p+1) at the center of the range.
+        acc = (fmt.frac_bits + 1) * math.log10(2.0)
+        # Exceptions: both all-0 and all-1 exponent blocks.
+        exceptions = 2 * (1 << (fmt.frac_bits + 1))
+        return FormatSummary(fmt.name, fmt.width, dynamic_range_decades(fmt), acc, exceptions)
+    if isinstance(fmt, PositFormat):
+        acc = (fmt.max_fraction_bits + 1) * math.log10(2.0)
+        return FormatSummary(str(fmt), fmt.nbits, dynamic_range_decades(fmt), acc, 2)
+    if isinstance(fmt, QFormat):
+        acc = math.log10(max(2, fmt.max_raw))
+        return FormatSummary(str(fmt), fmt.width, dynamic_range_decades(fmt), acc, 0)
+    raise TypeError(f"unsupported format {fmt!r}")

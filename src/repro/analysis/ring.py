@@ -1,0 +1,125 @@
+"""Ring-plot structure of 16-bit floats and posits (Figs. 6-7).
+
+Both figures place every 16-bit pattern on the two's-complement integer
+ring (0 at the bottom, 0111...1 before the top, 100...0 at the top) and ask
+how the format's *values* behave along it: floats reverse direction on the
+negative half and devote ~6% of patterns to trap-to-software regions
+(subnormals, infinities, NaN); posits are monotone all the way around with
+exactly two exception patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from .._bits import from_twos_complement
+from ..floats import FloatClass, FloatFormat, SoftFloat
+from ..posit import Posit, PositFormat
+
+__all__ = ["RingEntry", "float_ring", "posit_ring", "trap_fraction", "monotone_runs"]
+
+
+@dataclass
+class RingEntry:
+    """One pattern on the ring."""
+
+    pattern: int
+    ring_position: int  # the two's-complement integer the pattern spells
+    kind: str  # 'normal', 'subnormal', 'zero', 'inf', 'nan', 'real', 'nar'
+    value: Optional[Fraction]  # None for non-real entries
+
+
+def float_ring(fmt: FloatFormat, stride: int = 1) -> List[RingEntry]:
+    """Classify every ``stride``-th float pattern on the integer ring."""
+    out = []
+    for pattern in range(0, 1 << fmt.width, stride):
+        sf = SoftFloat(fmt, pattern)
+        cls = sf.classify()
+        kind = {
+            FloatClass.ZERO: "zero",
+            FloatClass.SUBNORMAL: "subnormal",
+            FloatClass.NORMAL: "normal",
+            FloatClass.INFINITE: "inf",
+            FloatClass.QUIET_NAN: "nan",
+            FloatClass.SIGNALING_NAN: "nan",
+        }[cls]
+        value = sf.to_fraction() if sf.is_finite() else None
+        out.append(
+            RingEntry(pattern, from_twos_complement(pattern, fmt.width), kind, value)
+        )
+    return out
+
+
+def posit_ring(fmt: PositFormat, stride: int = 1) -> List[RingEntry]:
+    """Classify every ``stride``-th posit pattern on the integer ring."""
+    out = []
+    for pattern in range(0, 1 << fmt.nbits, stride):
+        p = Posit(fmt, pattern)
+        if p.is_nar():
+            kind, value = "nar", None
+        elif p.is_zero():
+            kind, value = "zero", Fraction(0)
+        else:
+            kind, value = "real", p.to_fraction()
+        out.append(
+            RingEntry(pattern, from_twos_complement(pattern, fmt.nbits), kind, value)
+        )
+    return out
+
+
+def trap_fraction(entries: List[RingEntry]) -> float:
+    """Fraction of patterns in trap-to-software regions.
+
+    For floats: subnormals + infinities + NaNs (exponent all-0 with nonzero
+    fraction, or all-1) — "calculations run orders of magnitude slower for
+    about 6 percent of the possible values".  For posits: NaR only.
+    """
+    slow = sum(1 for e in entries if e.kind in ("subnormal", "inf", "nan", "nar"))
+    return slow / len(entries)
+
+
+def monotone_runs(entries: List[RingEntry]) -> int:
+    """Number of maximal monotone segments of value along the ring.
+
+    Posits give exactly 1 (values only increase with ring position: the
+    total order *is* the integer order, Fig. 7); floats give 2 (values
+    increase on the positive half but run backwards on the negative half,
+    Fig. 6).  Equal adjacent values (the two signed zeros) do not break a
+    segment; non-real entries are skipped.
+    """
+    real = [e for e in sorted(entries, key=lambda e: e.ring_position) if e.value is not None]
+    if len(real) < 2:
+        return min(len(real), 1)
+    runs = 1
+    direction = 0  # +1 increasing, -1 decreasing, 0 unknown yet
+    for prev, cur in zip(real, real[1:]):
+        if cur.value == prev.value:
+            continue
+        step = 1 if cur.value > prev.value else -1
+        if direction == 0:
+            direction = step
+        elif step != direction:
+            runs += 1
+            direction = step
+    return runs
+
+
+def two_regime_fraction(fmt: PositFormat) -> float:
+    """Fraction of posit patterns with exactly two regime bits.
+
+    These are the shaded arcs of Fig. 7: patterns that "can be decoded as
+    easily as floats, because there are exactly two regime bits and a
+    count-leading-zero-or-one operation is not needed".
+    """
+    count = 0
+    total = 1 << fmt.nbits
+    for pattern in range(total):
+        p = Posit(fmt, pattern)
+        if p.is_nar() or p.is_zero():
+            continue
+        k = p.regime()
+        if k in (0, -1):  # regimes '10' and '01'
+            count += 1
+    return count / total

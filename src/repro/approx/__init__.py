@@ -1,0 +1,49 @@
+"""Approximate computing for DNNs (Section IV).
+
+An EvoApprox-style library of 8-bit approximate multipliers
+(:mod:`repro.approx.multipliers`), exhaustive error characterization
+(:mod:`repro.approx.metrics`, reproducing the MRE/MAE columns of Table II),
+an energy model (:mod:`repro.approx.energy`), and the LUT-backed behavioural
+simulation of approximate DNN layers (:mod:`repro.approx.simulate`) that
+plays the role of the GPU-accelerated ProxSim framework [27].
+
+The paper's Table II lists 10 multipliers drawn from EvoApprox8B [28] with
+MRE from 0.03% to 19.45% and energy savings from 0.02% to 68.08%.
+EvoApprox's evolved netlists are not redistributable here, so
+:data:`TABLE2_SET` instantiates 10 hand-designed multipliers from classical
+approximation families (truncation, broken-array, Mitchell logarithmic,
+OR-compressor) spanning the same error/energy ladder — same code path, same
+monotone error-vs-energy trade-off.
+"""
+
+from .multipliers import (
+    ApproxMultiplier,
+    ExactMultiplier,
+    TruncatedMultiplier,
+    BrokenArrayMultiplier,
+    MitchellLogMultiplier,
+    ORCompressorMultiplier,
+    DRUMMultiplier,
+    TABLE2_SET,
+)
+from .metrics import characterize, MultiplierMetrics, table2
+from .energy import energy_saving
+from .simulate import signed_lut, approx_matmul, approx_conv2d
+
+__all__ = [
+    "ApproxMultiplier",
+    "ExactMultiplier",
+    "TruncatedMultiplier",
+    "BrokenArrayMultiplier",
+    "MitchellLogMultiplier",
+    "ORCompressorMultiplier",
+    "DRUMMultiplier",
+    "TABLE2_SET",
+    "characterize",
+    "MultiplierMetrics",
+    "table2",
+    "energy_saving",
+    "signed_lut",
+    "approx_matmul",
+    "approx_conv2d",
+]

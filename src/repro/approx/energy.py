@@ -1,0 +1,74 @@
+"""Energy model for the approximate multipliers.
+
+EvoApprox8B reports post-synthesis energy for each evolved circuit; our
+stand-in designs get an analytic model instead: the energy of an 8x8 array
+multiplier is dominated by its partial-product bits and the adder cells
+that compress them, so each design's energy is the fraction of those
+operations it still performs.  The model only needs to be *monotone and
+roughly proportional* — Fig. 5 and Table II use it to order designs and to
+report the saving achieved at a given accuracy.
+"""
+
+from __future__ import annotations
+
+from .multipliers import (
+    ApproxMultiplier,
+    BrokenArrayMultiplier,
+    DRUMMultiplier,
+    ExactMultiplier,
+    MitchellLogMultiplier,
+    ORCompressorMultiplier,
+    TruncatedMultiplier,
+)
+
+__all__ = ["energy_saving", "relative_energy"]
+
+
+def _array_ops(bits: int) -> float:
+    """Operation count of the exact array: n^2 partial products, each
+    feeding roughly one adder cell."""
+    return 2.0 * bits * bits
+
+
+def relative_energy(mult: ApproxMultiplier) -> float:
+    """Energy relative to the exact 8x8 multiplier (1.0 = exact)."""
+    n = mult.bits
+    full = _array_ops(n)
+
+    if isinstance(mult, ExactMultiplier):
+        return 1.0
+
+    if isinstance(mult, TruncatedMultiplier):
+        # Column i+j survives iff i+j >= cut: count surviving PP bits.
+        kept = sum(1 for i in range(n) for j in range(n) if i + j >= mult.cut)
+        return 2.0 * kept / full
+
+    if isinstance(mult, BrokenArrayMultiplier):
+        # All PPs produced, but low columns lose their adder cells.
+        kept_adders = sum(1 for i in range(n) for j in range(n) if i + j >= mult.break_col)
+        return (n * n + kept_adders) / full
+
+    if isinstance(mult, ORCompressorMultiplier):
+        # All PPs produced; high columns keep adder cells, low columns get
+        # OR cells at ~1/4 the energy of an adder cell.
+        low = sum(1 for i in range(n) for j in range(n) if i + j < mult.cut)
+        high = n * n - low
+        return (n * n + high + 0.25 * low) / full
+
+    if isinstance(mult, MitchellLogMultiplier):
+        # Two LZCs + two small shifters + one (n + log) adder + antilog
+        # shifter: classic estimate ~35-40% of the array energy.
+        return 0.40 if mult.compensate else 0.37
+
+    if isinstance(mult, DRUMMultiplier):
+        # A k x k core plus leading-one detectors and shifters.
+        core = 2.0 * mult.k * mult.k
+        overhead = 4.0 * n
+        return (core + overhead) / full
+
+    raise TypeError(f"no energy model for {type(mult).__name__}")
+
+
+def energy_saving(mult: ApproxMultiplier) -> float:
+    """Energy saved versus the exact multiplier, in [0, 1)."""
+    return max(0.0, 1.0 - relative_energy(mult))

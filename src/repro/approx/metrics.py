@@ -1,0 +1,66 @@
+"""Exhaustive error characterization of approximate multipliers (Table II)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .energy import energy_saving
+from .multipliers import ApproxMultiplier, TABLE2_SET
+
+__all__ = ["MultiplierMetrics", "characterize", "table2"]
+
+
+@dataclass
+class MultiplierMetrics:
+    """Error and energy metrics of one multiplier, Table II's columns."""
+
+    name: str
+    mre_percent: float  # mean relative error over nonzero exact products
+    mae: float  # mean absolute error over all input pairs
+    wce: int  # worst-case absolute error
+    error_rate: float  # fraction of input pairs with any error
+    energy_saving_percent: float
+
+    def row(self) -> str:
+        return (
+            f"{self.name:<12} {self.mre_percent:7.2f} {self.mae:9.1f} "
+            f"{self.energy_saving_percent:7.2f}"
+        )
+
+
+def characterize(mult: ApproxMultiplier) -> MultiplierMetrics:
+    """Exhaustively measure a multiplier over all 2^16 operand pairs.
+
+    This mirrors how EvoApprox8B's library metrics are produced: MRE is the
+    mean of ``|err| / exact`` over pairs with a nonzero exact product, MAE
+    the mean absolute error over all pairs.
+    """
+    n = 1 << mult.bits
+    a, b = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    exact = (a * b).astype(np.int64)
+    approx = mult.lut().astype(np.int64)
+    err = approx - exact
+
+    nonzero = exact > 0
+    mre = float(np.mean(np.abs(err[nonzero]) / exact[nonzero])) * 100.0
+    mae = float(np.mean(np.abs(err)))
+    wce = int(np.max(np.abs(err)))
+    error_rate = float(np.mean(err != 0))
+    return MultiplierMetrics(
+        name=mult.name,
+        mre_percent=mre,
+        mae=mae,
+        wce=wce,
+        error_rate=error_rate,
+        energy_saving_percent=energy_saving(mult) * 100.0,
+    )
+
+
+def table2(mults: Optional[Sequence[ApproxMultiplier]] = None) -> List[MultiplierMetrics]:
+    """Characterize the Table II stand-in set, sorted by MRE like the paper."""
+    rows = [characterize(m) for m in (mults if mults is not None else TABLE2_SET)]
+    rows.sort(key=lambda r: r.mre_percent)
+    return rows

@@ -1,0 +1,250 @@
+"""8-bit approximate multiplier designs.
+
+Every multiplier is a deterministic function on unsigned 8-bit operands,
+implemented with vectorized numpy bit manipulation so the full 256 x 256
+behaviour table (the LUT that drives DNN simulation) is cheap to build.
+
+Families:
+
+* :class:`TruncatedMultiplier` — drop the ``k`` least-significant
+  partial-product columns; the classic area/energy lever.
+* :class:`BrokenArrayMultiplier` — omit carry propagation out of the low
+  ``k`` columns (errors are smaller than truncation for the same k).
+* :class:`MitchellLogMultiplier` — add the logarithms (piecewise-linear
+  log2 approximation); large energy saving, ~4-11% MRE depending on an
+  optional error-compensation term.
+* :class:`ORCompressorMultiplier` — replace low-column compressors with OR
+  gates (an approximate-compressor design).
+* :class:`DRUMMultiplier` — dynamic range selection of the top ``k`` bits
+  with unbiasing, very low MRE for its energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, List
+
+import numpy as np
+
+__all__ = [
+    "ApproxMultiplier",
+    "ExactMultiplier",
+    "TruncatedMultiplier",
+    "BrokenArrayMultiplier",
+    "MitchellLogMultiplier",
+    "ORCompressorMultiplier",
+    "DRUMMultiplier",
+    "TABLE2_SET",
+]
+
+
+class ApproxMultiplier:
+    """Base class: an unsigned ``bits x bits -> 2*bits`` multiplier."""
+
+    bits: int = 8
+    name: str = "abstract"
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorized approximate product of unsigned operand arrays."""
+        raise NotImplementedError
+
+    def lut(self) -> np.ndarray:
+        """The full behaviour table: ``lut[a, b]`` for all operand pairs."""
+        n = 1 << self.bits
+        a, b = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        return self.multiply(a.astype(np.int64), b.astype(np.int64))
+
+    def __call__(self, a, b):
+        return self.multiply(np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64))
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.name})"
+
+
+@dataclass
+class ExactMultiplier(ApproxMultiplier):
+    bits: int = 8
+
+    @property
+    def name(self):
+        return "exact"
+
+    def multiply(self, a, b):
+        return a * b
+
+
+@dataclass
+class TruncatedMultiplier(ApproxMultiplier):
+    """Drop partial products in columns below ``cut``."""
+
+    cut: int
+    bits: int = 8
+
+    @property
+    def name(self):
+        return f"trunc{self.cut}"
+
+    def multiply(self, a, b):
+        total = np.zeros_like(a * b)
+        for j in range(self.bits):
+            pp = ((b >> j) & 1) * a  # row j, weight 2^j: bits i+j
+            # Keep only bit positions >= cut: mask low (cut - j) bits of a.
+            drop = max(0, self.cut - j)
+            pp = (pp >> drop) << drop
+            total = total + (pp << j)
+        return total
+
+
+@dataclass
+class BrokenArrayMultiplier(ApproxMultiplier):
+    """Omit the carries crossing out of the low ``break_col`` columns.
+
+    Implemented as: exact sum of the high part, plus a carry-free (bitwise
+    XOR-accumulated) sum of the low part.
+    """
+
+    break_col: int
+    bits: int = 8
+
+    @property
+    def name(self):
+        return f"broken{self.break_col}"
+
+    def multiply(self, a, b):
+        exact = a * b
+        high = (exact >> self.break_col) << self.break_col
+        # Carry-free accumulation of the low columns.
+        low = np.zeros_like(exact)
+        for j in range(self.bits):
+            pp = (((b >> j) & 1) * a) << j
+            low = low ^ pp
+        low = low & ((1 << self.break_col) - 1)
+        # The high part above already contains the low columns' carries;
+        # remove them by recomputing the high part from truncated rows.
+        total = np.zeros_like(exact)
+        for j in range(self.bits):
+            pp = (((b >> j) & 1) * a) << j
+            total = total + ((pp >> self.break_col) << self.break_col)
+        return total + low
+
+
+@dataclass
+class MitchellLogMultiplier(ApproxMultiplier):
+    """Mitchell's logarithmic multiplier: ``2**(log~(a) + log~(b))``.
+
+    ``log~(x) = k + frac`` where ``k`` is the leading-one position and
+    ``frac`` the mantissa bits below it (piecewise-linear log2).  With
+    ``compensate`` a constant correction shrinks the always-negative error.
+    """
+
+    compensate: bool = False
+    bits: int = 8
+
+    @property
+    def name(self):
+        return "mitchell+c" if self.compensate else "mitchell"
+
+    def multiply(self, a, b):
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        out = np.zeros(np.broadcast(a, b).shape, dtype=np.int64)
+        nz = (a > 0) & (b > 0)
+        if not np.any(nz):
+            return out
+        av, bv = np.broadcast_to(a, out.shape)[nz], np.broadcast_to(b, out.shape)[nz]
+        F = 12  # fixed-point fraction bits of the log domain
+
+        def log_approx(x):
+            k = np.floor(np.log2(x)).astype(np.int64)  # leading-one index
+            frac = ((x - (1 << k).astype(np.int64)) << F) >> k
+            return (k << F) + frac
+
+        s = log_approx(av) + log_approx(bv)
+        if self.compensate:
+            s = s + (1 << (F - 3))  # +0.125: halves the mean |error|
+        k = s >> F
+        frac = s & ((1 << F) - 1)
+        # antilog: (1 + frac) * 2^k on the fixed-point grid.
+        out[nz] = (((1 << F) + frac) << k) >> F
+        return out
+
+
+@dataclass
+class ORCompressorMultiplier(ApproxMultiplier):
+    """Approximate compressors: OR instead of ADD in columns below ``cut``."""
+
+    cut: int
+    bits: int = 8
+
+    @property
+    def name(self):
+        return f"orcomp{self.cut}"
+
+    def multiply(self, a, b):
+        total = np.zeros_like(a * b)
+        low = np.zeros_like(total)
+        for j in range(self.bits):
+            pp = (((b >> j) & 1) * a) << j
+            low = low | (pp & ((1 << self.cut) - 1))
+            total = total + ((pp >> self.cut) << self.cut)
+        return total + low
+
+
+@dataclass
+class DRUMMultiplier(ApproxMultiplier):
+    """Dynamic-range unbiased multiplier: multiply the top ``k`` bits only.
+
+    Each operand is reduced to its ``k`` leading bits (from the leading
+    one), with the bit below the kept window forced to 1 as the unbiasing
+    term, then multiplied exactly and re-scaled.
+    """
+
+    k: int = 4
+    bits: int = 8
+
+    @property
+    def name(self):
+        return f"drum{self.k}"
+
+    def multiply(self, a, b):
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        out_shape = np.broadcast(a, b).shape
+        a = np.broadcast_to(a, out_shape).copy()
+        b = np.broadcast_to(b, out_shape).copy()
+
+        def reduce(x):
+            pos = np.where(x > 0, np.floor(np.log2(np.maximum(x, 1))).astype(np.int64), 0)
+            shift = np.maximum(pos - (self.k - 1), 0)
+            kept = (x >> shift) << shift
+            # Unbias: set the bit just below the kept window (when truncating).
+            unbias = np.where(shift > 0, 1 << np.maximum(shift - 1, 0), 0)
+            return kept | unbias
+
+        return reduce(a) * reduce(b)
+
+
+def _build_table2_set() -> List[ApproxMultiplier]:
+    """Ten multipliers laddering the Table II error/energy range.
+
+    Measured (exhaustive) MRE runs 0.08% .. 25% with energy saving rising
+    5% .. 77% — the same near-monotone trade-off as the paper's ten
+    EvoApprox picks (MRE 0.03% .. 19.45%, saving 0.02% .. 68%).  The
+    paper's multiplier id each entry stands in for is noted.
+    """
+    return [
+        TruncatedMultiplier(cut=2),   # MRE ~0.08, save ~5   (paper's 320)
+        TruncatedMultiplier(cut=4),   # ~0.56, ~16           (114)
+        TruncatedMultiplier(cut=5),   # ~1.26, ~23           (302)
+        TruncatedMultiplier(cut=6),   # ~2.64, ~33           (231)
+        DRUMMultiplier(k=4),          # ~3.04, ~50           (62)
+        TruncatedMultiplier(cut=7),   # ~5.2,  ~44           (163)
+        DRUMMultiplier(k=3),          # ~6.1,  ~61           (435)
+        TruncatedMultiplier(cut=8),   # ~9.8,  ~56           (24)
+        TruncatedMultiplier(cut=9),   # ~16.3, ~67           (195)
+        TruncatedMultiplier(cut=10),  # ~25.5, ~77           (280)
+    ]
+
+
+#: The stand-ins for Table II's ten EvoApprox multipliers, error-ordered.
+TABLE2_SET: List[ApproxMultiplier] = _build_table2_set()

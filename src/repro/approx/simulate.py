@@ -1,0 +1,105 @@
+"""LUT-backed behavioural simulation of approximate arithmetic (ProxSim [27]).
+
+ProxSim runs approximate-multiplier behavioural models inside convolutional
+and fully connected layers on a GPU; here the same thing is done with numpy
+fancy indexing over the multiplier's exhaustive 256x256 table — bit-exact
+with the circuit, "slow but correct".
+
+DNN quantization produces *signed* int8 operands while the multiplier
+designs are unsigned cores; :func:`signed_lut` wraps a core in the
+standard sign-magnitude envelope (the approach ProxSim-style flows use for
+unsigned EvoApprox cores).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .multipliers import ApproxMultiplier
+
+__all__ = ["signed_lut", "approx_matmul", "approx_conv2d"]
+
+
+def signed_lut(mult: ApproxMultiplier) -> np.ndarray:
+    """Signed behaviour table: ``lut[a + 128, b + 128] ~ a * b`` for int8.
+
+    The unsigned core multiplies magnitudes; the product sign is the XOR of
+    the operand signs (the sign-magnitude envelope of Section V's
+    discussion — floats and most approximate cores work this way).
+    """
+    a = np.arange(-128, 128, dtype=np.int64)
+    b = np.arange(-128, 128, dtype=np.int64)
+    av, bv = np.meshgrid(a, b, indexing="ij")
+    mag = mult.multiply(np.abs(av), np.abs(bv))
+    return np.where((av < 0) ^ (bv < 0), -mag, mag).astype(np.int32)
+
+
+def approx_matmul(
+    a: np.ndarray, b: np.ndarray, lut: Optional[np.ndarray], chunk: int = 64
+) -> np.ndarray:
+    """``a @ b`` for int8-valued arrays through a signed behaviour table.
+
+    ``a`` is (M, K), ``b`` is (K, N); accumulation is exact int64 (the
+    int32 accumulators of real accelerators never saturate at these sizes).
+    ``lut=None`` gives the exact product (the quantized baseline).
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if lut is None:
+        return a @ b
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ValueError(f"shape mismatch {a.shape} @ {b.shape}")
+    out = np.zeros((m, n), dtype=np.int64)
+    ai = a + 128
+    bi = b + 128
+    for start in range(0, k, chunk):
+        stop = min(start + chunk, k)
+        # products[m, n, kk] via fancy indexing on the behaviour table
+        prods = lut[ai[:, None, start:stop], bi.T[None, :, start:stop]]
+        out += prods.sum(axis=2, dtype=np.int64)
+    return out
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int):
+    """(N, C, H, W) -> (N*OH*OW, C*KH*KW) patch matrix."""
+    n, c, h, w = x.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    oh = (h + 2 * pad - kh) // stride + 1
+    ow = (w + 2 * pad - kw) // stride + 1
+    shape = (n, c, kh, kw, oh, ow)
+    strides = (
+        x.strides[0],
+        x.strides[1],
+        x.strides[2],
+        x.strides[3],
+        x.strides[2] * stride,
+        x.strides[3] * stride,
+    )
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    cols = patches.transpose(0, 4, 5, 1, 2, 3).reshape(n * oh * ow, c * kh * kw)
+    return np.ascontiguousarray(cols), oh, ow
+
+
+def approx_conv2d(
+    x: np.ndarray,
+    w: np.ndarray,
+    lut: Optional[np.ndarray],
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """2-D convolution of int8-valued tensors through the behaviour table.
+
+    ``x``: (N, C, H, W) activations; ``w``: (F, C, KH, KW) filters.
+    Returns (N, F, OH, OW) int64 accumulations.
+    """
+    n = x.shape[0]
+    f, c, kh, kw = w.shape
+    cols, oh, ow = _im2col(x, kh, kw, stride, pad)
+    wmat = w.reshape(f, c * kh * kw).T  # (CKK, F)
+    out = approx_matmul(cols, wmat, lut)
+    return out.reshape(n, oh, ow, f).transpose(0, 3, 1, 2)

@@ -1,0 +1,54 @@
+"""Bit heaps: arbitrary sums of weighted bits (Section II-D, Fig. 2).
+
+A bit heap generalizes the partial-product arrays of multiplier design: an
+operator's summation is described as a multiset of (weight, bit) pairs,
+*decoupled* from the hardware that eventually compresses it.  FloPoCo has
+used this abstraction since 2013 to capture sums of products, polynomials,
+and table-based filters; this package reproduces the abstraction, the
+partial-product front-ends (Fig. 3), and compression back-ends (greedy
+Dadda-style and an ILP-flavoured exhaustive-per-stage heuristic in the
+spirit of Kumm & Kappauf's compressor-tree synthesis).
+
+>>> from repro.bitheap import BitHeap
+>>> heap = BitHeap("demo")
+>>> for i in range(4):
+...     _ = heap.add_constant(5 << i)
+>>> heap.max_height() >= 2
+True
+"""
+
+from .heap import BitHeap, WeightedBit
+from .compressors import Compressor, COMPRESSORS, FULL_ADDER, HALF_ADDER, LUT6_42
+from .compress import CompressionResult, compress_greedy, compress_heuristic, final_adder_width
+from .ppgen import (
+    partial_product_array,
+    partial_product_table,
+    multiplier_heap,
+    squarer_heap,
+)
+from .synthesize import (
+    synthesize_compression,
+    build_bitheap_multiplier,
+    build_bitheap_squarer,
+)
+
+__all__ = [
+    "BitHeap",
+    "WeightedBit",
+    "Compressor",
+    "COMPRESSORS",
+    "FULL_ADDER",
+    "HALF_ADDER",
+    "LUT6_42",
+    "CompressionResult",
+    "compress_greedy",
+    "compress_heuristic",
+    "final_adder_width",
+    "partial_product_array",
+    "partial_product_table",
+    "multiplier_heap",
+    "squarer_heap",
+    "synthesize_compression",
+    "build_bitheap_multiplier",
+    "build_bitheap_squarer",
+]

@@ -1,0 +1,74 @@
+"""Compressor definitions for bit-heap reduction.
+
+A generalized parallel counter (GPC) consumes a column pattern of input bits
+and produces output bits at increasing weights.  The classic 3:2 (full
+adder) and 2:2 (half adder) compressors are joined by a 6:3 counter and a
+(1,4;1,5]-style LUT6 4:2 arrangement — the "pre-computed tables of 64
+entries" that Section II says FPGAs implement extremely efficiently, and
+the raw material of the ILP-based compressor-tree synthesis of [12].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["Compressor", "FULL_ADDER", "HALF_ADDER", "COUNTER_63", "LUT6_42", "COMPRESSORS"]
+
+
+@dataclass(frozen=True)
+class Compressor:
+    """A generalized parallel counter.
+
+    Attributes:
+        name: Identifier.
+        inputs: Bits consumed per column, LSB column first — ``(3,)`` is a
+            full adder, ``(2, 3)`` consumes 2 bits at weight w and 3 at w+1.
+        outputs: Bits produced per column starting at the input LSB weight —
+            always one bit per column for the counters used here.
+        area: Cost in LUT6-equivalents (FPGA view).
+    """
+
+    name: str
+    inputs: Tuple[int, ...]
+    outputs: Tuple[int, ...]
+    area: float
+
+    @property
+    def input_count(self) -> int:
+        return sum(self.inputs)
+
+    @property
+    def output_count(self) -> int:
+        return sum(self.outputs)
+
+    @property
+    def strength(self) -> float:
+        """Bits eliminated per unit area — the greedy selection metric."""
+        return (self.input_count - self.output_count) / self.area
+
+    def max_sum(self) -> int:
+        return sum(n * (1 << c) for c, n in enumerate(self.inputs))
+
+    def check(self) -> None:
+        """A compressor must be able to represent its maximal input sum."""
+        capacity = sum(n * (1 << c) for c, n in enumerate(self.outputs))
+        if capacity < self.max_sum():
+            raise ValueError(f"{self.name}: outputs cannot represent max input sum")
+
+
+#: Full adder: 3 bits -> sum + carry.  One ALM carry position on FPGAs.
+FULL_ADDER = Compressor("3:2", inputs=(3,), outputs=(1, 1), area=1.0)
+#: Half adder: 2 bits -> sum + carry.
+HALF_ADDER = Compressor("2:2", inputs=(2,), outputs=(1, 1), area=0.5)
+#: 6:3 counter: a 6-input column fits exactly one LUT6 per output bit.
+COUNTER_63 = Compressor("6:3", inputs=(6,), outputs=(1, 1, 1), area=3.0)
+#: (2,3) GPC covering two adjacent columns in one fracturable LUT6 pair.
+LUT6_42 = Compressor("(2,3)", inputs=(3, 2), outputs=(1, 1, 1), area=2.0)
+#: (1,4,1) style GPC: efficient on 6-LUT FPGAs.
+GPC_1415 = Compressor("(1,4)", inputs=(4, 1), outputs=(1, 1, 1), area=2.0)
+
+COMPRESSORS: List[Compressor] = [FULL_ADDER, HALF_ADDER, COUNTER_63, LUT6_42, GPC_1415]
+
+for _c in COMPRESSORS:
+    _c.check()

@@ -1,0 +1,142 @@
+"""The bit-heap data structure."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["WeightedBit", "BitHeap"]
+
+
+@dataclass(frozen=True)
+class WeightedBit:
+    """One bit of weight ``2**column``.
+
+    ``source`` names where the bit came from (e.g. ``"p[2,1]"`` for a
+    partial product, matching Fig. 3's notation); ``value`` optionally binds
+    a concrete 0/1 for simulation, and ``uid`` keeps bits distinct in sets.
+    """
+
+    column: int
+    source: str = ""
+    uid: int = field(default_factory=itertools.count().__next__)
+    value: Optional[int] = None
+
+
+class BitHeap:
+    """A multiset of weighted bits plus a signed constant.
+
+    The heap is the *specification* of a summation; compression
+    (:mod:`repro.bitheap.compress`) turns it into hardware.  Keeping the two
+    apart is the architecture of Fig. 2.
+    """
+
+    def __init__(self, name: str = "bitheap"):
+        self.name = name
+        self.columns: Dict[int, List[WeightedBit]] = {}
+        self.constant: int = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_bit(self, column: int, source: str = "", value: Optional[int] = None) -> WeightedBit:
+        """Add one bit of weight ``2**column``."""
+        bit = WeightedBit(column, source, value=value)
+        self.columns.setdefault(column, []).append(bit)
+        return bit
+
+    def add_bits(self, bits: Iterable[WeightedBit]) -> None:
+        for b in bits:
+            self.columns.setdefault(b.column, []).append(b)
+
+    def add_word(self, value_bits: int, width: int, shift: int = 0, source: str = "") -> List[WeightedBit]:
+        """Add an unsigned word: bit ``i`` of ``value_bits`` at column ``shift + i``.
+
+        Only positions whose bit *may* be 1 get heap bits when a concrete
+        ``value_bits`` is given — a heap with bound values is a simulation.
+        """
+        out = []
+        for i in range(width):
+            out.append(self.add_bit(shift + i, source=f"{source}[{i}]", value=(value_bits >> i) & 1))
+        return out
+
+    def add_symbolic_word(self, width: int, shift: int = 0, source: str = "") -> List[WeightedBit]:
+        """Add ``width`` unknown bits starting at column ``shift``."""
+        return [self.add_bit(shift + i, source=f"{source}[{i}]") for i in range(width)]
+
+    def add_constant(self, value: int) -> "BitHeap":
+        """Fold a signed constant into the heap (free at synthesis time)."""
+        self.constant += value
+        return self
+
+    def add_signed_word(self, width: int, shift: int = 0, source: str = "") -> List[WeightedBit]:
+        """Add a two's-complement word using the standard sign-extension
+        trick: complement the sign bit and add a constant, so the heap needs
+        no negatively weighted bits."""
+        bits = [self.add_bit(shift + i, source=f"{source}[{i}]") for i in range(width - 1)]
+        bits.append(self.add_bit(shift + width - 1, source=f"~{source}[{width - 1}]"))
+        self.add_constant(-(1 << (shift + width - 1)))
+        return bits
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def height(self, column: int) -> int:
+        return len(self.columns.get(column, []))
+
+    def max_height(self) -> int:
+        return max((len(v) for v in self.columns.values()), default=0)
+
+    def occupied_columns(self) -> List[int]:
+        return sorted(c for c, v in self.columns.items() if v)
+
+    def width(self) -> int:
+        cols = self.occupied_columns()
+        return (cols[-1] - cols[0] + 1) if cols else 0
+
+    def total_bits(self) -> int:
+        return sum(len(v) for v in self.columns.values())
+
+    def histogram(self) -> Dict[int, int]:
+        """Column -> height, the profile drawn as dot diagrams in FloPoCo."""
+        return {c: len(v) for c, v in sorted(self.columns.items()) if v}
+
+    def value(self) -> int:
+        """Evaluate the heap when every bit has a bound value."""
+        total = self.constant
+        for col, bits in self.columns.items():
+            for b in bits:
+                if b.value is None:
+                    raise ValueError(f"bit {b.source or b.uid} in column {col} is unbound")
+                total += b.value << col
+        return total
+
+    def copy(self) -> "BitHeap":
+        clone = BitHeap(self.name)
+        clone.constant = self.constant
+        for col, bits in self.columns.items():
+            clone.columns[col] = list(bits)
+        return clone
+
+    def ascii_art(self) -> str:
+        """Dot diagram of the heap (columns left = most significant)."""
+        cols = self.occupied_columns()
+        if not cols:
+            return "(empty heap)"
+        lo, hi = cols[0], cols[-1]
+        height = self.max_height()
+        lines = []
+        for row in range(height):
+            line = "".join(
+                "x" if self.height(c) > row else "." for c in range(hi, lo - 1, -1)
+            )
+            lines.append(line)
+        header = "".join(str(c % 10) for c in range(hi, lo - 1, -1))
+        return "\n".join([header] + lines)
+
+    def __repr__(self):
+        return (
+            f"BitHeap({self.name!r}, {self.total_bits()} bits over "
+            f"{self.width()} columns, max height {self.max_height()})"
+        )

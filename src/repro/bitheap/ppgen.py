@@ -1,0 +1,78 @@
+"""Partial-product front-ends for bit heaps.
+
+:func:`partial_product_array` builds exactly the Fig. 3 layout: for a
+``wa x wb`` multiplier, partial product ``p[j,i] = a_i AND b_j`` lands in
+column ``i + j``.  The column-height imbalance this creates (2 to 6
+independent inputs per column for the 3x3 case) is the motivation for the
+multiplier regularization of Section III / Fig. 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .heap import BitHeap, WeightedBit
+
+__all__ = [
+    "partial_product_array",
+    "partial_product_table",
+    "multiplier_heap",
+    "squarer_heap",
+]
+
+
+def partial_product_table(wa: int, wb: int) -> Dict[int, List[str]]:
+    """Column -> partial product names, the textual form of Fig. 3.
+
+    >>> partial_product_table(3, 3)[2]
+    ['p[0,2]', 'p[1,1]', 'p[2,0]']
+    """
+    table: Dict[int, List[str]] = {}
+    for j in range(wb):
+        for i in range(wa):
+            table.setdefault(i + j, []).append(f"p[{j},{i}]")
+    return {c: sorted(v) for c, v in sorted(table.items())}
+
+
+def partial_product_array(
+    wa: int, wb: int, a: Optional[int] = None, b: Optional[int] = None, name: str = ""
+) -> BitHeap:
+    """Bit heap of an unsigned ``wa x wb`` multiplier.
+
+    With concrete operands the heap is a simulation whose
+    :meth:`~repro.bitheap.heap.BitHeap.value` equals ``a * b``; without, it
+    is the symbolic specification handed to a compressor back-end.
+    """
+    heap = BitHeap(name or f"mul{wa}x{wb}")
+    for j in range(wb):
+        for i in range(wa):
+            value = None
+            if a is not None and b is not None:
+                value = ((a >> i) & 1) & ((b >> j) & 1)
+            heap.add_bit(i + j, source=f"p[{j},{i}]", value=value)
+    return heap
+
+
+def multiplier_heap(wa: int, wb: int) -> BitHeap:
+    """Symbolic multiplier heap (alias with the conventional name)."""
+    return partial_product_array(wa, wb)
+
+
+def squarer_heap(w: int, a: Optional[int] = None) -> BitHeap:
+    """Bit heap of an unsigned squarer — the operator *specialization* of
+    Section II-A: ``a_i * a_j + a_j * a_i`` folds to ``a_i * a_j`` one
+    column higher, and ``a_i * a_i = a_i``, so a square needs roughly half
+    the partial products of a generic multiplier.
+    """
+    heap = BitHeap(f"square{w}")
+    for i in range(w):
+        ai = None if a is None else (a >> i) & 1
+        # Diagonal: a_i AND a_i = a_i at column 2i.
+        heap.add_bit(2 * i, source=f"a[{i}]", value=ai)
+        for j in range(i + 1, w):
+            value = None
+            if a is not None:
+                value = ((a >> i) & 1) & ((a >> j) & 1)
+            # Symmetric pair promoted one column: 2 * a_i a_j = a_i a_j << 1.
+            heap.add_bit(i + j + 1, source=f"a[{i}]a[{j}]", value=value)
+    return heap

@@ -1,0 +1,156 @@
+"""Bit-heap to netlist synthesis: the right-hand side of Fig. 2.
+
+The heap describes *what* to sum; a compression back-end decides *how*;
+this module turns the chosen compression into gates on a
+:class:`repro.circuits.Circuit` — completing the figure's pipeline from
+operator description to target hardware.
+
+Each :class:`~repro.bitheap.compressors.Compressor` placement becomes a
+small counter circuit (full/half adders for 3:2 and 2:2, an internal adder
+tree for wider GPCs), and the final height-2 heap becomes one ripple
+carry-propagate adder.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..circuits import Circuit
+from ..circuits.netlist import Net
+from .compress import CompressionResult, compress_greedy
+from .heap import BitHeap, WeightedBit
+from .ppgen import partial_product_array, squarer_heap
+
+__all__ = ["synthesize_compression", "build_bitheap_multiplier", "build_bitheap_squarer"]
+
+
+def _counter_circuit(c: Circuit, ins_by_offset: List[List[Net]], out_columns: int) -> List[Net]:
+    """Generic GPC: sum input bits at their offsets into ``out_columns`` bits.
+
+    Uses an internal full/half-adder reduction — for the library's counters
+    (<= 6 inputs over <= 2 columns) this is exactly the LUT-internal logic.
+    """
+    columns: Dict[int, List[Net]] = {
+        off: list(bits) for off, bits in enumerate(ins_by_offset)
+    }
+    col = 0
+    outputs: List[Net] = []
+    while col < out_columns:
+        bits = columns.get(col, [])
+        while len(bits) > 1:
+            if len(bits) >= 3:
+                a, b, d = bits.pop(), bits.pop(), bits.pop()
+                s, cy = c.full_adder(a, b, d)
+            else:
+                a, b = bits.pop(), bits.pop()
+                s, cy = c.half_adder(a, b)
+            bits.append(s)
+            columns.setdefault(col + 1, []).append(cy)
+        outputs.append(bits[0] if bits else c.const(0))
+        col += 1
+    return outputs  # LSB-first, one bit per column
+
+
+def synthesize_compression(
+    c: Circuit,
+    result: CompressionResult,
+    bit_nets: Dict[int, Net],
+) -> List[Net]:
+    """Emit gates for a compression result.
+
+    ``bit_nets`` maps the *initial* heap bits' ``uid`` to driving nets; the
+    placements' produced bits get nets as their counters are emitted.
+    Returns the final sum word (LSB-first), aligned at the heap's lowest
+    occupied column.
+    """
+    nets = dict(bit_nets)
+
+    for stage in result.stages:
+        for placement in stage:
+            comp = placement.compressor
+            # Group consumed bits by column offset.
+            ins_by_offset: List[List[Net]] = [[] for _ in comp.inputs]
+            cursor = 0
+            for off, need in enumerate(comp.inputs):
+                for _ in range(need):
+                    bit = placement.consumed[cursor]
+                    cursor += 1
+                    ins_by_offset[off].append(nets[bit.uid])
+            outs = _counter_circuit(c, ins_by_offset, len(comp.outputs))
+            for off, bit in zip(range(len(comp.outputs)), placement.produced):
+                nets[bit.uid] = outs[off]
+
+    # Final carry-propagate adder over the height-<=2 heap.
+    final = result.final_heap
+    cols = final.occupied_columns()
+    if not cols:
+        return [c.const(0)]
+    lo, hi = cols[0], cols[-1]
+    out: List[Net] = []
+    carry: Optional[Net] = None
+    for col in range(lo, hi + 1):
+        bits = [nets[b.uid] for b in final.columns.get(col, [])]
+        if carry is not None:
+            bits.append(carry)
+        if not bits:
+            out.append(c.const(0))
+            carry = None
+        elif len(bits) == 1:
+            out.append(bits[0])
+            carry = None
+        elif len(bits) == 2:
+            s, carry = c.half_adder(bits[0], bits[1])
+            out.append(s)
+        else:  # 3 bits: two heap bits + carry
+            s, carry = c.full_adder(bits[0], bits[1], bits[2])
+            out.append(s)
+    if carry is not None:
+        out.append(carry)
+    # Align to column 0 if the heap started higher.
+    return [c.const(0)] * lo + out
+
+
+def build_bitheap_multiplier(
+    wa: int,
+    wb: int,
+    backend: Callable[[BitHeap], CompressionResult] = compress_greedy,
+) -> Circuit:
+    """An unsigned multiplier generated through the bit-heap pipeline."""
+    c = Circuit(f"bitheap_mul{wa}x{wb}")
+    a = c.input_bus("a", wa)
+    b = c.input_bus("b", wb)
+    heap = partial_product_array(wa, wb)
+    bit_nets: Dict[int, Net] = {}
+    bits = [bit for col in heap.columns.values() for bit in col]
+    for bit in bits:
+        # Sources look like "p[j,i]": recover the operand bits.
+        j, i = map(int, bit.source[2:-1].split(","))
+        bit_nets[bit.uid] = c.and_(a[i], b[j])
+    result = backend(heap)
+    c.output_bus("p", synthesize_compression(c, result, bit_nets)[: wa + wb])
+    return c
+
+
+def build_bitheap_squarer(
+    w: int,
+    backend: Callable[[BitHeap], CompressionResult] = compress_greedy,
+) -> Circuit:
+    """A specialized squarer generated through the bit-heap pipeline."""
+    c = Circuit(f"bitheap_square{w}")
+    a = c.input_bus("a", w)
+    heap = squarer_heap(w)
+    bit_nets: Dict[int, Net] = {}
+    for col in heap.columns.values():
+        for bit in col:
+            if bit.source.startswith("a[") and "]a[" not in bit.source:
+                i = int(bit.source[2:-1])
+                bit_nets[bit.uid] = c.buf(a[i])
+            else:
+                left, right = bit.source.split("]a[")
+                i = int(left[2:])
+                j = int(right[:-1])
+                bit_nets[bit.uid] = c.and_(a[i], a[j])
+    result = backend(heap)
+    out = synthesize_compression(c, result, bit_nets)
+    c.output_bus("p", (out + [c.const(0)] * (2 * w))[: 2 * w])
+    return c

@@ -1,0 +1,170 @@
+"""Cost models for gate-level circuits.
+
+Two views of cost, matching the paper's two hardware contexts:
+
+* **ASIC-ish gate counts** — raw primitive gates, with XOR weighted heavier
+  than AND/OR (a common standard-cell area proxy).
+* **FPGA LUT/ALM estimates** — modern FPGAs are built from 6-input LUTs
+  (Section II: "any technique that exploits pre-computed tables of 64
+  entries will be implemented extremely efficiently"), fracturable into two
+  smaller functions per ALM, plus dedicated carry chains.  We estimate LUT
+  demand by greedily clustering the gate DAG into <=6-input cones, and count
+  full-adder/MAJ pairs as carry-chain positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from .netlist import Circuit, Gate, GateKind
+
+__all__ = ["CostReport", "gate_cost", "lut_cost", "alm_estimate"]
+
+#: Relative area weights of primitive gates (NAND2-equivalents).
+_GATE_WEIGHT = {
+    GateKind.CONST0: 0.0,
+    GateKind.CONST1: 0.0,
+    GateKind.BUF: 0.0,
+    GateKind.NOT: 0.5,
+    GateKind.AND: 1.0,
+    GateKind.OR: 1.0,
+    GateKind.NAND: 1.0,
+    GateKind.NOR: 1.0,
+    GateKind.XOR: 2.0,
+    GateKind.XNOR: 2.0,
+    GateKind.MAJ: 2.0,
+    GateKind.MUX: 2.0,
+}
+
+
+@dataclass
+class CostReport:
+    """Aggregate cost of a circuit under both cost models."""
+
+    name: str
+    gates: int
+    gate_area: float
+    depth: int
+    luts: int
+    alms: float
+    carry_positions: int
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def __str__(self):
+        return (
+            f"{self.name}: {self.gates} gates (area {self.gate_area:.1f}), "
+            f"depth {self.depth}, ~{self.luts} LUT6 (~{self.alms:.1f} ALMs, "
+            f"{self.carry_positions} carry positions)"
+        )
+
+
+def gate_cost(circuit: Circuit) -> float:
+    """NAND2-equivalent area of the circuit."""
+    total = 0.0
+    for gate in circuit.gates:
+        weight = _GATE_WEIGHT[gate.kind]
+        # Wide gates decompose into a tree of 2-input gates.
+        fan = max(2, len(gate.inputs))
+        total += weight * max(1, fan - 1)
+    return total
+
+
+def _gate_fanin_cones(circuit: Circuit) -> List[Set[int]]:
+    """Greedy clustering of gates into <=6-input LUT cones.
+
+    Walks the netlist in topological order; each gate either merges into the
+    cone of one of its single-fanout predecessors (if the merged support
+    stays within 6 inputs) or opens a fresh cone.  This is a standard
+    fast technology-mapping approximation (optimal mapping is the job of
+    tools like the Fractal Synthesis flow of Section III).
+    """
+    driver: Dict[int, int] = {g.output: i for i, g in enumerate(circuit.gates)}
+    fanout: Dict[int, int] = {}
+    for g in circuit.gates:
+        for i in g.inputs:
+            fanout[i] = fanout.get(i, 0) + 1
+    for net in circuit.output_nets.values():
+        fanout[net.index] = fanout.get(net.index, 0) + 1
+
+    cone_of: Dict[int, int] = {}  # gate index -> cone id
+    supports: List[Set[int]] = []  # cone id -> set of input nets
+    members: List[Set[int]] = []  # cone id -> gate indices
+
+    combinational = {
+        i
+        for i, g in enumerate(circuit.gates)
+        if g.kind not in (GateKind.CONST0, GateKind.CONST1)
+    }
+
+    def _mergeable_cones(gate: Gate):
+        """Cones of single-fanout predecessors, i.e. merge candidates."""
+        cones = []
+        for net in gate.inputs:
+            src = driver.get(net)
+            if src is not None and src in cone_of and fanout.get(net, 0) == 1:
+                cones.append(cone_of[src])
+        return cones
+
+    for idx, gate in enumerate(circuit.gates):
+        if idx not in combinational:
+            continue
+        merged = False
+        for cone in _mergeable_cones(gate):
+            # Nets absorbed by this cone disappear; the others stay inputs.
+            extra = {
+                net
+                for net in gate.inputs
+                if not (
+                    driver.get(net) in cone_of
+                    and cone_of.get(driver.get(net)) == cone
+                    and fanout.get(net, 0) == 1
+                )
+            }
+            trial = supports[cone] | extra
+            if len(trial) <= 6:
+                supports[cone] = trial
+                members[cone].add(idx)
+                cone_of[idx] = cone
+                merged = True
+                break
+        if not merged:
+            cone_id = len(supports)
+            supports.append(set(gate.inputs))
+            members.append({idx})
+            cone_of[idx] = cone_id
+    return supports
+
+
+def lut_cost(circuit: Circuit) -> int:
+    """Estimated number of 6-input LUTs after greedy cone clustering."""
+    return len(_gate_fanin_cones(circuit))
+
+
+def carry_positions(circuit: Circuit) -> int:
+    """Number of MAJ gates — each is one position of a hardware carry chain."""
+    return sum(1 for g in circuit.gates if g.kind is GateKind.MAJ)
+
+
+def alm_estimate(circuit: Circuit) -> float:
+    """Estimated ALM count: an Intel-style ALM packs ~2 independent LUT4s
+    or one LUT6, and one full-adder pair per ALM on the carry chain."""
+    luts = lut_cost(circuit)
+    chain = carry_positions(circuit)
+    # Carry positions come in pairs per ALM; LUT logic packs ~1.6 small
+    # functions per ALM on average (fracturable LUT).
+    return max(luts / 1.6, chain / 2.0)
+
+
+def cost_report(circuit: Circuit) -> CostReport:
+    """Full cost summary of a circuit."""
+    return CostReport(
+        name=circuit.name,
+        gates=len(circuit.gates),
+        gate_area=gate_cost(circuit),
+        depth=circuit.depth(),
+        luts=lut_cost(circuit),
+        alms=alm_estimate(circuit),
+        carry_positions=carry_positions(circuit),
+        by_kind={k.value: v for k, v in circuit.gate_count().items()},
+    )

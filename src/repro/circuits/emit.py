@@ -1,0 +1,133 @@
+"""Verilog emission for gate-level circuits.
+
+FloPoCo's end product is synthesizable HDL; this emitter gives every
+:class:`repro.circuits.Circuit` — including the verified posit and float
+datapaths of :mod:`repro.hwcost` — a structural Verilog-2001 rendering:
+one wire per net, one continuous assignment per gate, ports named after
+the circuit's buses.
+
+The emission is deterministic (net order), so the output is diff-stable
+across runs — the property hardware teams need for CI on generated RTL.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from .netlist import Circuit, GateKind
+
+__all__ = ["to_verilog"]
+
+_BINARY_OP = {
+    GateKind.AND: "&",
+    GateKind.OR: "|",
+    GateKind.XOR: "^",
+}
+
+
+def _sanitize(name: str) -> str:
+    """Make a net/port name Verilog-legal (buses become name[i] -> name_i)."""
+    out = re.sub(r"[^A-Za-z0-9_]", "_", name)
+    if not out or not (out[0].isalpha() or out[0] == "_"):
+        out = "n_" + out
+    return out
+
+
+def _bus_groups(names: List[str]) -> Dict[str, int]:
+    """Detect LSB-first buses: {"a": width} for names like a[0..w-1]."""
+    buses: Dict[str, List[int]] = {}
+    for name in names:
+        m = re.fullmatch(r"(.+)\[(\d+)\]", name)
+        if m:
+            buses.setdefault(m.group(1), []).append(int(m.group(2)))
+    return {
+        bus: max(idx) + 1
+        for bus, idx in buses.items()
+        if sorted(idx) == list(range(max(idx) + 1))
+    }
+
+
+def to_verilog(circuit: Circuit, module_name: str = None) -> str:
+    """Render the circuit as a structural Verilog module."""
+    module = _sanitize(module_name or circuit.name)
+
+    input_names = [n.name for n in circuit.input_nets]
+    output_names = list(circuit.output_nets)
+    in_buses = _bus_groups(input_names)
+    out_buses = _bus_groups(output_names)
+
+    def net_ref(index: int) -> str:
+        return f"n{index}"
+
+    # Port declarations.
+    ports: List[str] = []
+    decls: List[str] = []
+    for bus, width in in_buses.items():
+        ports.append(_sanitize(bus))
+        decls.append(f"  input  [{width - 1}:0] {_sanitize(bus)};")
+    for name in input_names:
+        if not re.fullmatch(r"(.+)\[(\d+)\]", name):
+            ports.append(_sanitize(name))
+            decls.append(f"  input  {_sanitize(name)};")
+    for bus, width in out_buses.items():
+        ports.append(_sanitize(bus))
+        decls.append(f"  output [{width - 1}:0] {_sanitize(bus)};")
+    for name in output_names:
+        if not re.fullmatch(r"(.+)\[(\d+)\]", name):
+            ports.append(_sanitize(name))
+            decls.append(f"  output {_sanitize(name)};")
+
+    lines = [f"module {module} ({', '.join(ports)});"]
+    lines.extend(decls)
+
+    # Wires: one per internal net that a gate drives.
+    driven = [g.output for g in circuit.gates]
+    if driven:
+        lines.append("  wire " + ", ".join(net_ref(i) for i in driven) + ";")
+
+    # Bind input nets to port bits.
+    for net in circuit.input_nets:
+        m = re.fullmatch(r"(.+)\[(\d+)\]", net.name)
+        src = f"{_sanitize(m.group(1))}[{m.group(2)}]" if m else _sanitize(net.name)
+        lines.append(f"  wire n{net.index} = {src};")
+
+    # One assignment per gate, in construction (topological) order.
+    for gate in circuit.gates:
+        out = net_ref(gate.output)
+        ins = [net_ref(i) for i in gate.inputs]
+        k = gate.kind
+        if k is GateKind.CONST0:
+            rhs = "1'b0"
+        elif k is GateKind.CONST1:
+            rhs = "1'b1"
+        elif k is GateKind.BUF:
+            rhs = ins[0]
+        elif k is GateKind.NOT:
+            rhs = f"~{ins[0]}"
+        elif k in _BINARY_OP:
+            rhs = f" {_BINARY_OP[k]} ".join(ins)
+        elif k is GateKind.NAND:
+            rhs = "~(" + " & ".join(ins) + ")"
+        elif k is GateKind.NOR:
+            rhs = "~(" + " | ".join(ins) + ")"
+        elif k is GateKind.XNOR:
+            rhs = "~(" + " ^ ".join(ins) + ")"
+        elif k is GateKind.MAJ:
+            a, b, d = ins
+            rhs = f"({a} & {b}) | ({a} & {d}) | ({b} & {d})"
+        elif k is GateKind.MUX:
+            s, w0, w1 = ins
+            rhs = f"{s} ? {w1} : {w0}"
+        else:  # pragma: no cover
+            raise ValueError(f"cannot emit gate kind {k}")
+        lines.append(f"  assign {out} = {rhs};")
+
+    # Bind outputs.
+    for name, net in circuit.output_nets.items():
+        m = re.fullmatch(r"(.+)\[(\d+)\]", name)
+        dst = f"{_sanitize(m.group(1))}[{m.group(2)}]" if m else _sanitize(name)
+        lines.append(f"  assign {dst} = {net_ref(net.index)};")
+
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,380 @@
+"""Combinational netlist builder and evaluator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["GateKind", "Net", "Gate", "Circuit"]
+
+
+class GateKind(enum.Enum):
+    """Primitive gate types.
+
+    ``CONST0``/``CONST1`` are sourceless constants; everything else takes
+    the listed number of inputs.  ``MAJ`` (3-input majority) is the carry
+    function of a full adder and maps to a single level of FPGA carry logic.
+    """
+
+    CONST0 = "const0"
+    CONST1 = "const1"
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NAND = "nand"
+    NOR = "nor"
+    XNOR = "xnor"
+    MAJ = "maj"
+    MUX = "mux"  # inputs: (select, when0, when1)
+
+
+_ARITY = {
+    GateKind.CONST0: 0,
+    GateKind.CONST1: 0,
+    GateKind.BUF: 1,
+    GateKind.NOT: 1,
+    GateKind.MAJ: 3,
+    GateKind.MUX: 3,
+}
+
+
+@dataclass(frozen=True)
+class Net:
+    """A single wire, identified by index within its circuit."""
+
+    circuit_id: int
+    index: int
+    name: str = ""
+
+    def __repr__(self):
+        return f"Net({self.name or self.index})"
+
+
+@dataclass
+class Gate:
+    """A gate instance: ``kind`` driving ``output`` from ``inputs``."""
+
+    kind: GateKind
+    inputs: Tuple[int, ...]
+    output: int
+
+
+class Circuit:
+    """A mutable combinational circuit under construction.
+
+    Nets are created by :meth:`new_net`/:meth:`inputs`; gates by the logical
+    operator helpers (:meth:`and_`, :meth:`xor`, ...).  The circuit is a DAG
+    by construction — each gate drives a fresh net.
+    """
+
+    _next_id = 0
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self.id = Circuit._next_id
+        Circuit._next_id += 1
+        self._nets: List[str] = []
+        self.gates: List[Gate] = []
+        self.input_nets: List[Net] = []
+        self.output_nets: Dict[str, Net] = {}
+        self._const_cache: Dict[GateKind, Net] = {}
+
+    # ------------------------------------------------------------------
+    # Net and port management
+    # ------------------------------------------------------------------
+    def new_net(self, name: str = "") -> Net:
+        net = Net(self.id, len(self._nets), name)
+        self._nets.append(name)
+        return net
+
+    def inputs(self, *names: str) -> List[Net]:
+        """Declare primary inputs (order defines the evaluation interface)."""
+        nets = [self.new_net(n) for n in names]
+        self.input_nets.extend(nets)
+        return nets if len(nets) != 1 else nets  # always a list
+
+    def input_bus(self, name: str, width: int) -> List[Net]:
+        """Declare a ``width``-bit input bus, LSB first: ``name[0] .. name[w-1]``."""
+        return self.inputs(*(f"{name}[{i}]" for i in range(width)))
+
+    def outputs(self, **named: Net) -> None:
+        """Declare named primary outputs."""
+        for name, net in named.items():
+            self._check(net)
+            self.output_nets[name] = net
+
+    def output_bus(self, name: str, nets: Sequence[Net]) -> None:
+        """Declare an output bus, LSB first."""
+        for i, net in enumerate(nets):
+            self.outputs(**{f"{name}[{i}]": net})
+
+    def _check(self, net: Net):
+        if net.circuit_id != self.id:
+            raise ValueError(f"net {net} belongs to a different circuit")
+
+    # ------------------------------------------------------------------
+    # Gate constructors
+    # ------------------------------------------------------------------
+    def _gate(self, kind: GateKind, *ins: Net, name: str = "") -> Net:
+        for n in ins:
+            self._check(n)
+        arity = _ARITY.get(kind)
+        if arity is not None and len(ins) != arity:
+            raise ValueError(f"{kind.value} takes {arity} inputs, got {len(ins)}")
+        if arity is None and len(ins) < 2:
+            raise ValueError(f"{kind.value} takes at least 2 inputs")
+        out = self.new_net(name)
+        self.gates.append(Gate(kind, tuple(n.index for n in ins), out.index))
+        return out
+
+    def const(self, value: int) -> Net:
+        kind = GateKind.CONST1 if value else GateKind.CONST0
+        if kind not in self._const_cache:
+            self._const_cache[kind] = self._gate(kind)
+        return self._const_cache[kind]
+
+    def buf(self, a: Net, name: str = "") -> Net:
+        return self._gate(GateKind.BUF, a, name=name)
+
+    def not_(self, a: Net, name: str = "") -> Net:
+        return self._gate(GateKind.NOT, a, name=name)
+
+    def and_(self, *ins: Net, name: str = "") -> Net:
+        return self._gate(GateKind.AND, *ins, name=name)
+
+    def or_(self, *ins: Net, name: str = "") -> Net:
+        return self._gate(GateKind.OR, *ins, name=name)
+
+    def xor(self, *ins: Net, name: str = "") -> Net:
+        return self._gate(GateKind.XOR, *ins, name=name)
+
+    def nand(self, *ins: Net, name: str = "") -> Net:
+        return self._gate(GateKind.NAND, *ins, name=name)
+
+    def nor(self, *ins: Net, name: str = "") -> Net:
+        return self._gate(GateKind.NOR, *ins, name=name)
+
+    def xnor(self, *ins: Net, name: str = "") -> Net:
+        return self._gate(GateKind.XNOR, *ins, name=name)
+
+    def maj(self, a: Net, b: Net, c: Net, name: str = "") -> Net:
+        return self._gate(GateKind.MAJ, a, b, c, name=name)
+
+    def mux(self, select: Net, when0: Net, when1: Net, name: str = "") -> Net:
+        return self._gate(GateKind.MUX, select, when0, when1, name=name)
+
+    def half_adder(self, a: Net, b: Net) -> Tuple[Net, Net]:
+        """Return ``(sum, carry)``."""
+        return self.xor(a, b), self.and_(a, b)
+
+    def full_adder(self, a: Net, b: Net, cin: Net) -> Tuple[Net, Net]:
+        """Return ``(sum, carry)``; carry is a single MAJ gate."""
+        return self.xor(a, b, cin), self.maj(a, b, cin)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, **input_values: int) -> Dict[str, int]:
+        """Evaluate the circuit for named scalar inputs.
+
+        Bus inputs declared with :meth:`input_bus` can be passed as the bus
+        name with an integer value.
+        """
+        values = self._assign_inputs(input_values)
+        return self._run(values)
+
+    def evaluate_buses(self, **buses: int) -> Dict[str, int]:
+        """Evaluate with integer-valued buses; returns outputs with buses
+        re-packed into integers (LSB-first bit naming convention)."""
+        flat: Dict[str, int] = {}
+        names = {n.name for n in self.input_nets}
+        for bus, value in buses.items():
+            if bus in names:
+                flat[bus] = value
+                continue
+            width = sum(1 for n in names if n.startswith(f"{bus}["))
+            if width == 0:
+                raise KeyError(f"no input or bus named {bus!r}")
+            for i in range(width):
+                flat[f"{bus}[{i}]"] = (value >> i) & 1
+        raw = self.evaluate(**flat)
+        return self._pack_outputs(raw)
+
+    def _pack_outputs(self, raw: Dict[str, int]) -> Dict[str, int]:
+        packed: Dict[str, int] = {}
+        for name, value in raw.items():
+            if "[" in name and name.endswith("]"):
+                bus, idx = name[:-1].split("[")
+                packed.setdefault(bus, 0)
+                packed[bus] |= value << int(idx)
+            else:
+                packed[name] = value
+        return packed
+
+    def _assign_inputs(self, input_values: Dict[str, int]) -> List[Optional[int]]:
+        values: List[Optional[int]] = [None] * len(self._nets)
+        by_name = {n.name: n for n in self.input_nets}
+        missing = set(by_name) - set(input_values)
+        extra = set(input_values) - set(by_name)
+        if missing:
+            raise KeyError(f"missing inputs: {sorted(missing)}")
+        if extra:
+            raise KeyError(f"unknown inputs: {sorted(extra)}")
+        for name, v in input_values.items():
+            values[by_name[name].index] = v & 1
+        return values
+
+    def _run(self, values: List[Optional[int]]) -> Dict[str, int]:
+        for gate in self.gates:  # gates are in topological order by construction
+            ins = [values[i] for i in gate.inputs]
+            if any(v is None for v in ins):
+                raise RuntimeError("net used before being driven")
+            values[gate.output] = _EVAL[gate.kind](ins)
+        out = {}
+        for name, net in self.output_nets.items():
+            v = values[net.index]
+            if v is None:
+                raise RuntimeError(f"output {name} is undriven")
+            out[name] = v
+        return out
+
+    def evaluate_vector(self, **buses):
+        """Vectorized evaluation: each bus maps to a numpy integer array.
+
+        Evaluates the circuit once per array element, in bulk — the
+        workhorse behind exhaustive (2^16-case) equivalence checks of
+        datapath circuits.  Returns outputs as numpy arrays with buses
+        re-packed into integers.
+        """
+        import numpy as np
+
+        names = {n.name for n in self.input_nets}
+        lanes = None
+        flat = {}
+        for bus, value in buses.items():
+            arr = np.asarray(value, dtype=np.int64)
+            lanes = len(arr) if lanes is None else lanes
+            if bus in names:
+                flat[bus] = (arr & 1).astype(np.uint8)
+                continue
+            width = sum(1 for n in names if n.startswith(f"{bus}["))
+            if width == 0:
+                raise KeyError(f"no input or bus named {bus!r}")
+            for i in range(width):
+                flat[f"{bus}[{i}]"] = ((arr >> i) & 1).astype(np.uint8)
+        missing = names - set(flat)
+        if missing:
+            raise KeyError(f"missing inputs: {sorted(missing)}")
+
+        values = [None] * len(self._nets)
+        by_name = {n.name: n for n in self.input_nets}
+        for name, arr in flat.items():
+            values[by_name[name].index] = arr
+
+        ones = np.ones(lanes, dtype=np.uint8)
+        zeros = np.zeros(lanes, dtype=np.uint8)
+        for gate in self.gates:
+            ins = [values[i] for i in gate.inputs]
+            k = gate.kind
+            if k is GateKind.CONST0:
+                out = zeros
+            elif k is GateKind.CONST1:
+                out = ones
+            elif k is GateKind.BUF:
+                out = ins[0]
+            elif k is GateKind.NOT:
+                out = ins[0] ^ 1
+            elif k is GateKind.AND:
+                out = ins[0]
+                for x in ins[1:]:
+                    out = out & x
+            elif k is GateKind.OR:
+                out = ins[0]
+                for x in ins[1:]:
+                    out = out | x
+            elif k is GateKind.XOR:
+                out = ins[0]
+                for x in ins[1:]:
+                    out = out ^ x
+            elif k is GateKind.NAND:
+                out = ins[0]
+                for x in ins[1:]:
+                    out = out & x
+                out = out ^ 1
+            elif k is GateKind.NOR:
+                out = ins[0]
+                for x in ins[1:]:
+                    out = out | x
+                out = out ^ 1
+            elif k is GateKind.XNOR:
+                out = ins[0]
+                for x in ins[1:]:
+                    out = out ^ x
+                out = out ^ 1
+            elif k is GateKind.MAJ:
+                s = ins[0].astype(np.uint8) + ins[1] + ins[2]
+                out = (s >= 2).astype(np.uint8)
+            elif k is GateKind.MUX:
+                out = np.where(ins[0] != 0, ins[2], ins[1]).astype(np.uint8)
+            else:  # pragma: no cover
+                raise ValueError(f"unknown gate kind {k}")
+            values[gate.output] = out
+
+        packed = {}
+        for name, net in self.output_nets.items():
+            v = values[net.index]
+            if "[" in name and name.endswith("]"):
+                bus, idx = name[:-1].split("[")
+                if bus not in packed:
+                    packed[bus] = np.zeros(lanes, dtype=np.int64)
+                packed[bus] |= v.astype(np.int64) << int(idx)
+            else:
+                packed[name] = v.astype(np.int64)
+        return packed
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def gate_count(self) -> Dict[GateKind, int]:
+        counts: Dict[GateKind, int] = {}
+        for g in self.gates:
+            counts[g.kind] = counts.get(g.kind, 0) + 1
+        return counts
+
+    def depth(self) -> int:
+        """Longest input-to-output path, in gates (constants have depth 0)."""
+        level = [0] * len(self._nets)
+        for g in self.gates:
+            src = max((level[i] for i in g.inputs), default=0)
+            cost = 0 if g.kind in (GateKind.CONST0, GateKind.CONST1, GateKind.BUF) else 1
+            level[g.output] = src + cost
+        return max((level[n.index] for n in self.output_nets.values()), default=0)
+
+    def __repr__(self):
+        return (
+            f"Circuit({self.name!r}, {len(self.input_nets)} inputs, "
+            f"{len(self.output_nets)} outputs, {len(self.gates)} gates)"
+        )
+
+
+def _eval_var(fn):
+    return lambda ins: int(fn(ins))
+
+
+_EVAL = {
+    GateKind.CONST0: lambda ins: 0,
+    GateKind.CONST1: lambda ins: 1,
+    GateKind.BUF: lambda ins: ins[0],
+    GateKind.NOT: lambda ins: 1 - ins[0],
+    GateKind.AND: _eval_var(lambda ins: all(ins)),
+    GateKind.OR: _eval_var(lambda ins: any(ins)),
+    GateKind.XOR: _eval_var(lambda ins: sum(ins) & 1),
+    GateKind.NAND: _eval_var(lambda ins: not all(ins)),
+    GateKind.NOR: _eval_var(lambda ins: not any(ins)),
+    GateKind.XNOR: _eval_var(lambda ins: (sum(ins) & 1) == 0),
+    GateKind.MAJ: _eval_var(lambda ins: sum(ins) >= 2),
+    GateKind.MUX: lambda ins: ins[2] if ins[0] else ins[1],
+}

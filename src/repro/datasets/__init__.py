@@ -1,0 +1,23 @@
+"""Synthetic datasets standing in for CIFAR-10 and Speech Commands.
+
+The paper evaluates on CIFAR (image classification) and the Speech
+Commands dataset (keyword spotting).  Neither is redistributable nor
+downloadable in this offline reproduction, so this package generates
+*procedural* datasets that exercise the same code paths:
+
+* :func:`synthetic_images` — class-conditional textures (oriented
+  gratings, blobs, checkers) with per-sample jitter and noise, shaped like
+  small CIFAR images (C, H, W).  Horizontal flipping is a label-preserving
+  augmentation, as it is for CIFAR.
+* :func:`synthetic_keywords` — per-class tone/chirp signatures embedded in
+  noise, i.e. synthetic "spoken keywords"; :func:`spectrogram_features`
+  turns waveforms into log-spectrogram images like a KWS front-end.
+  Additive background noise is the natural augmentation, as in the paper.
+
+Both are deterministic given a seed.
+"""
+
+from .synth_images import synthetic_images
+from .synth_audio import synthetic_keywords, spectrogram_features
+
+__all__ = ["synthetic_images", "synthetic_keywords", "spectrogram_features"]

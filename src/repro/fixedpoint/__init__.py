@@ -1,0 +1,21 @@
+"""Parametric fixed-point arithmetic.
+
+Fixed-point (integer) representation is the third contender in the paper's
+Fig. 9 comparison: "the simplest and fastest format, but has very unbalanced
+accuracy about low magnitudes and a very restricted dynamic range".  This
+package models signed/unsigned two's-complement Q-formats with explicit
+rounding and overflow policies, and is the number system underneath the
+FloPoCo-style operator generators of :mod:`repro.generators`.
+
+>>> from repro.fixedpoint import QFormat, FixedPoint
+>>> q = QFormat(int_bits=4, frac_bits=4)        # Q4.4, signed
+>>> x = FixedPoint.from_float(q, 1.25)
+>>> y = FixedPoint.from_float(q, 2.5)
+>>> (x * y).to_float()
+3.125
+"""
+
+from .format import QFormat, Overflow, Rounding
+from .fixed import FixedPoint
+
+__all__ = ["QFormat", "Overflow", "Rounding", "FixedPoint"]

@@ -1,0 +1,209 @@
+"""Fixed-point values and arithmetic."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Union
+
+from .format import Overflow, QFormat, Rounding
+
+__all__ = ["FixedPoint"]
+
+Number = Union[int, float, Fraction]
+
+
+def _round_raw(numerator: int, denominator_log2: int, rounding: Rounding) -> int:
+    """Round ``numerator / 2**denominator_log2`` to an integer."""
+    if denominator_log2 <= 0:
+        return numerator << (-denominator_log2)
+    cut = denominator_log2
+    kept = numerator >> cut  # floor division, also for negatives
+    rem = numerator - (kept << cut)
+    half = 1 << (cut - 1)
+    if rounding is Rounding.TRUNCATE:
+        return kept
+    if rounding is Rounding.TOWARD_ZERO:
+        return kept + (1 if (numerator < 0 and rem) else 0)
+    if rounding is Rounding.NEAREST_AWAY:
+        if rem > half or (rem == half and numerator >= 0):
+            return kept + 1
+        return kept
+    if rounding is Rounding.NEAREST_EVEN:
+        if rem > half or (rem == half and (kept & 1)):
+            return kept + 1
+        return kept
+    raise ValueError(f"unknown rounding {rounding!r}")
+
+
+class FixedPoint:
+    """An immutable fixed-point value: integer ``raw`` scaled by the format.
+
+    The represented value is ``raw * 2**-fmt.frac_bits``.
+    """
+
+    __slots__ = ("fmt", "raw")
+
+    def __init__(self, fmt: QFormat, raw: int, overflow: Overflow = Overflow.ERROR):
+        raw = self._apply_overflow(fmt, raw, overflow)
+        object.__setattr__(self, "fmt", fmt)
+        object.__setattr__(self, "raw", raw)
+
+    def __setattr__(self, *a):  # pragma: no cover - immutability guard
+        raise AttributeError("FixedPoint is immutable")
+
+    @staticmethod
+    def _apply_overflow(fmt: QFormat, raw: int, overflow: Overflow) -> int:
+        if fmt.min_raw <= raw <= fmt.max_raw:
+            return raw
+        if overflow is Overflow.SATURATE:
+            return max(fmt.min_raw, min(fmt.max_raw, raw))
+        if overflow is Overflow.WRAP:
+            span = fmt.max_raw - fmt.min_raw + 1
+            return (raw - fmt.min_raw) % span + fmt.min_raw
+        raise OverflowError(f"raw value {raw} does not fit {fmt}")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_float(
+        cls,
+        fmt: QFormat,
+        value: float,
+        rounding: Rounding = Rounding.NEAREST_EVEN,
+        overflow: Overflow = Overflow.SATURATE,
+    ) -> "FixedPoint":
+        """Quantize a real value onto the format grid."""
+        return cls.from_fraction(fmt, Fraction(value), rounding, overflow)
+
+    @classmethod
+    def from_fraction(
+        cls,
+        fmt: QFormat,
+        value: Fraction,
+        rounding: Rounding = Rounding.NEAREST_EVEN,
+        overflow: Overflow = Overflow.SATURATE,
+    ) -> "FixedPoint":
+        scaled = value * (Fraction(2) ** fmt.frac_bits)
+        num, den = scaled.numerator, scaled.denominator
+        if den & (den - 1):
+            # Not a power of two: widen and round via an exact shift.
+            extra = 64 + den.bit_length()
+            q = (num << extra) // den
+            raw = _round_raw(q, extra, rounding)
+        else:
+            raw = _round_raw(num, den.bit_length() - 1, rounding)
+        return cls(fmt, raw, overflow)
+
+    @classmethod
+    def zero(cls, fmt: QFormat) -> "FixedPoint":
+        return cls(fmt, 0)
+
+    # ------------------------------------------------------------------
+    # Value access
+    # ------------------------------------------------------------------
+    def to_float(self) -> float:
+        return math.ldexp(self.raw, -self.fmt.frac_bits)
+
+    def to_fraction(self) -> Fraction:
+        return Fraction(self.raw) * (Fraction(2) ** -self.fmt.frac_bits)
+
+    @property
+    def pattern(self) -> int:
+        """Two's-complement storage pattern of ``raw``."""
+        return self.raw & ((1 << self.fmt.width) - 1)
+
+    # ------------------------------------------------------------------
+    # Arithmetic.  Additions/multiplications return *widened* exact results
+    # (the "computing just right" discipline: never lose bits silently);
+    # call :meth:`resize` to come back to a narrower format explicitly.
+    # ------------------------------------------------------------------
+    def add(self, other: "FixedPoint") -> "FixedPoint":
+        """Exact addition into the minimal enclosing format."""
+        f = max(self.fmt.frac_bits, other.fmt.frac_bits)
+        i = max(self.fmt.int_bits, other.fmt.int_bits) + 1
+        signed = self.fmt.signed or other.fmt.signed
+        out = QFormat(i, f, signed)
+        raw = (self.raw << (f - self.fmt.frac_bits)) + (other.raw << (f - other.fmt.frac_bits))
+        return FixedPoint(out, raw)
+
+    def sub(self, other: "FixedPoint") -> "FixedPoint":
+        f = max(self.fmt.frac_bits, other.fmt.frac_bits)
+        i = max(self.fmt.int_bits, other.fmt.int_bits) + 1
+        out = QFormat(i, f, True)
+        raw = (self.raw << (f - self.fmt.frac_bits)) - (other.raw << (f - other.fmt.frac_bits))
+        return FixedPoint(out, raw)
+
+    def mul(self, other: "FixedPoint") -> "FixedPoint":
+        """Exact multiplication into the minimal enclosing format."""
+        f = self.fmt.frac_bits + other.fmt.frac_bits
+        signed = self.fmt.signed or other.fmt.signed
+        i = self.fmt.int_bits + other.fmt.int_bits + (1 if signed else 0)
+        out = QFormat(i, f, signed)
+        return FixedPoint(out, self.raw * other.raw)
+
+    def resize(
+        self,
+        fmt: QFormat,
+        rounding: Rounding = Rounding.NEAREST_EVEN,
+        overflow: Overflow = Overflow.SATURATE,
+    ) -> "FixedPoint":
+        """Requantize to another format (the explicit truncation boxes of Fig. 1)."""
+        shift = self.fmt.frac_bits - fmt.frac_bits
+        raw = _round_raw(self.raw, shift, rounding) if shift > 0 else self.raw << (-shift)
+        return FixedPoint(fmt, raw, overflow)
+
+    def negate(self) -> "FixedPoint":
+        out = QFormat(self.fmt.int_bits + (0 if self.fmt.signed else 1), self.fmt.frac_bits, True)
+        return FixedPoint(out, -self.raw)
+
+    def __add__(self, other):
+        return self.add(other)
+
+    def __sub__(self, other):
+        return self.sub(other)
+
+    def __mul__(self, other):
+        return self.mul(other)
+
+    def __neg__(self):
+        return self.negate()
+
+    # ------------------------------------------------------------------
+    # Comparison: plain integer comparison once on a common grid.
+    # ------------------------------------------------------------------
+    def _common(self, other: "FixedPoint"):
+        f = max(self.fmt.frac_bits, other.fmt.frac_bits)
+        return (
+            self.raw << (f - self.fmt.frac_bits),
+            other.raw << (f - other.fmt.frac_bits),
+        )
+
+    def __eq__(self, other):
+        if not isinstance(other, FixedPoint):
+            return NotImplemented
+        a, b = self._common(other)
+        return a == b
+
+    def __lt__(self, other):
+        a, b = self._common(other)
+        return a < b
+
+    def __le__(self, other):
+        a, b = self._common(other)
+        return a <= b
+
+    def __gt__(self, other):
+        a, b = self._common(other)
+        return a > b
+
+    def __ge__(self, other):
+        a, b = self._common(other)
+        return a >= b
+
+    def __hash__(self):
+        return hash((self.to_fraction(),))
+
+    def __repr__(self):
+        return f"FixedPoint({self.fmt}, raw={self.raw} = {self.to_float()!r})"

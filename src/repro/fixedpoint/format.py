@@ -1,0 +1,90 @@
+"""Fixed-point format descriptors and policies."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["QFormat", "Overflow", "Rounding"]
+
+
+class Overflow(enum.Enum):
+    """What to do when a value exceeds the representable range."""
+
+    SATURATE = "saturate"
+    WRAP = "wrap"
+    ERROR = "error"
+
+
+class Rounding(enum.Enum):
+    """How to quantize a value onto the fixed-point grid."""
+
+    NEAREST_EVEN = "rne"
+    NEAREST_AWAY = "rna"
+    TRUNCATE = "truncate"  # toward negative infinity (plain bit drop)
+    TOWARD_ZERO = "rtz"
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A two's-complement fixed-point format Q``int_bits``.``frac_bits``.
+
+    A signed format stores ``1 + int_bits + frac_bits`` bits; the value of a
+    stored integer ``raw`` is ``raw * 2**-frac_bits``.  ``int_bits`` may be
+    negative (purely fractional formats whose MSB weight is below 1/2), and
+    ``frac_bits`` may be negative (coarse grids) — the same generality
+    FloPoCo's fixed-point formats have, which Section II's "computing just
+    right" needs to trim every last bit.
+    """
+
+    int_bits: int
+    frac_bits: int
+    signed: bool = True
+
+    def __post_init__(self):
+        if self.width < 1:
+            raise ValueError(f"empty format Q{self.int_bits}.{self.frac_bits}")
+
+    @property
+    def width(self) -> int:
+        """Total storage width in bits."""
+        return int(self.signed) + self.int_bits + self.frac_bits
+
+    @property
+    def scale(self) -> int:
+        """The weight of the LSB is ``2**-frac_bits``."""
+        return self.frac_bits
+
+    @property
+    def max_raw(self) -> int:
+        if self.signed:
+            return (1 << (self.width - 1)) - 1
+        return (1 << self.width) - 1
+
+    @property
+    def min_raw(self) -> int:
+        if self.signed:
+            return -(1 << (self.width - 1))
+        return 0
+
+    @property
+    def max_value(self) -> float:
+        import math
+
+        return math.ldexp(self.max_raw, -self.frac_bits)
+
+    @property
+    def min_value(self) -> float:
+        import math
+
+        return math.ldexp(self.min_raw, -self.frac_bits)
+
+    @property
+    def ulp(self) -> float:
+        import math
+
+        return math.ldexp(1, -self.frac_bits)
+
+    def __str__(self) -> str:
+        prefix = "Q" if self.signed else "UQ"
+        return f"{prefix}{self.int_bits}.{self.frac_bits}"

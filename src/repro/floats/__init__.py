@@ -1,0 +1,85 @@
+"""Parametric IEEE-754-style binary floating point, in exact integer arithmetic.
+
+This package provides a bit-exact software model of binary floating-point
+formats parameterized by exponent and fraction widths, in the spirit of the
+formats discussed in the paper: binary16 (IEEE half), bfloat16 (Google),
+FP19 {1, 8, 10} (Intel Agilex DSP), binary32 and binary64.
+
+The model supports the full IEEE 754 behaviour that Section V of the paper
+contrasts with posits: subnormals ("trap to software" regions of Fig. 6),
+signed zeros, infinities, NaN with its unordered comparisons, and the five
+rounding directions.
+
+>>> from repro.floats import BINARY16, SoftFloat
+>>> x = SoftFloat.from_float(BINARY16, 1.5)
+>>> y = SoftFloat.from_float(BINARY16, 2.25)
+>>> (x * y).to_float()
+3.375
+"""
+
+from .format import (
+    FloatFormat,
+    BINARY16,
+    BINARY32,
+    BINARY64,
+    BFLOAT16,
+    FP19,
+    FP8_E4M3,
+    FP8_E5M2,
+)
+from .rounding import RoundingMode
+from .softfloat import FloatClass, SoftFloat
+from .kulisch import KulischAccumulator
+from .math import (
+    float_exp,
+    float_log,
+    float_log2,
+    float_sin,
+    float_cos,
+    float_atan,
+    float_tanh,
+)
+from .division import newton_raphson_divide, reciprocal_seed, iterations_needed
+from .compare import (
+    compare_quiet_equal,
+    compare_quiet_unordered,
+    compare_signaling_less,
+    compare_signaling_less_equal,
+    compare_quiet_greater,
+    compare_quiet_less,
+    total_order,
+    ALL_PREDICATES,
+)
+
+__all__ = [
+    "FloatFormat",
+    "BINARY16",
+    "BINARY32",
+    "BINARY64",
+    "BFLOAT16",
+    "FP19",
+    "FP8_E4M3",
+    "FP8_E5M2",
+    "RoundingMode",
+    "FloatClass",
+    "SoftFloat",
+    "compare_quiet_equal",
+    "compare_quiet_unordered",
+    "compare_signaling_less",
+    "compare_signaling_less_equal",
+    "compare_quiet_greater",
+    "compare_quiet_less",
+    "total_order",
+    "ALL_PREDICATES",
+    "KulischAccumulator",
+    "float_exp",
+    "float_log",
+    "float_log2",
+    "float_sin",
+    "float_cos",
+    "float_atan",
+    "float_tanh",
+    "newton_raphson_divide",
+    "reciprocal_seed",
+    "iterations_needed",
+]

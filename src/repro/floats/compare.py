@@ -1,0 +1,139 @@
+"""IEEE 754 comparison predicates.
+
+Section V of the paper points out that the IEEE 754 standard requires 22
+different comparison operations because NaN compares "unordered" to
+everything (including itself) while negative and positive zero compare
+equal.  This module implements the four mutually exclusive relations
+(less / equal / greater / unordered) and derives the full predicate table
+from them, plus the ``totalOrder`` predicate that *does* give floats a
+total order on bit patterns (the property posits get for free from two's
+complement, cf. Fig. 7).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .softfloat import SoftFloat
+
+__all__ = [
+    "relation",
+    "compare_quiet_equal",
+    "compare_quiet_not_equal",
+    "compare_quiet_unordered",
+    "compare_quiet_less",
+    "compare_quiet_less_equal",
+    "compare_quiet_greater",
+    "compare_quiet_greater_equal",
+    "compare_signaling_less",
+    "compare_signaling_less_equal",
+    "compare_signaling_greater",
+    "compare_signaling_greater_equal",
+    "total_order",
+    "ALL_PREDICATES",
+]
+
+
+def relation(a: SoftFloat, b: SoftFloat) -> str:
+    """Return the IEEE relation between two values.
+
+    One of ``"lt"``, ``"eq"``, ``"gt"``, ``"un"`` (unordered).  ``+0`` and
+    ``-0`` are equal; NaN is unordered against everything.
+    """
+    ka, kb = a._ordered_key(), b._ordered_key()
+    if ka is None or kb is None:
+        return "un"
+    if ka < kb:
+        return "lt"
+    if ka > kb:
+        return "gt"
+    return "eq"
+
+
+def _quiet(accept) -> Callable[[SoftFloat, SoftFloat], bool]:
+    def predicate(a: SoftFloat, b: SoftFloat) -> bool:
+        return relation(a, b) in accept
+
+    return predicate
+
+
+def _signaling(accept) -> Callable[[SoftFloat, SoftFloat], bool]:
+    def predicate(a: SoftFloat, b: SoftFloat) -> bool:
+        rel = relation(a, b)
+        if rel == "un":
+            raise FloatingPointError("invalid: unordered operands in signaling comparison")
+        return rel in accept
+
+    return predicate
+
+
+compare_quiet_equal = _quiet({"eq"})
+compare_quiet_not_equal = _quiet({"lt", "gt", "un"})
+compare_quiet_unordered = _quiet({"un"})
+compare_quiet_ordered = _quiet({"lt", "eq", "gt"})
+compare_quiet_less = _quiet({"lt"})
+compare_quiet_less_equal = _quiet({"lt", "eq"})
+compare_quiet_greater = _quiet({"gt"})
+compare_quiet_greater_equal = _quiet({"gt", "eq"})
+compare_quiet_less_unordered = _quiet({"lt", "un"})
+compare_quiet_greater_unordered = _quiet({"gt", "un"})
+compare_quiet_not_less = _quiet({"gt", "eq", "un"})
+compare_quiet_not_greater = _quiet({"lt", "eq", "un"})
+
+compare_signaling_equal = _signaling({"eq"})
+compare_signaling_not_equal = _signaling({"lt", "gt"})
+compare_signaling_less = _signaling({"lt"})
+compare_signaling_less_equal = _signaling({"lt", "eq"})
+compare_signaling_greater = _signaling({"gt"})
+compare_signaling_greater_equal = _signaling({"gt", "eq"})
+compare_signaling_not_less = _signaling({"gt", "eq"})
+compare_signaling_not_greater = _signaling({"lt", "eq"})
+compare_signaling_less_greater = _signaling({"lt", "gt"})
+compare_signaling_not_less_greater = _signaling({"eq"})
+
+
+def total_order(a: SoftFloat, b: SoftFloat) -> bool:
+    """IEEE 754 ``totalOrder(a, b)``: a <= b in the total ordering.
+
+    Orders ``-NaN < -inf < ... < -0 < +0 < ... < +inf < +NaN``: exactly the
+    sign-magnitude pattern order, in contrast to the two's-complement
+    integer order that posits use (Fig. 6 vs Fig. 7).
+    """
+    if a.fmt != b.fmt:
+        raise ValueError("totalOrder requires matching formats")
+    width = a.fmt.width
+
+    def key(x: SoftFloat) -> int:
+        # Map sign-magnitude patterns onto a monotone integer scale.
+        if x.sign:
+            return -(x.pattern & ((1 << (width - 1)) - 1))
+        return x.pattern + 1
+
+    return key(a) <= key(b)
+
+
+#: The 22 comparison predicates IEEE 754-2008 defines (table 5.1 / 5.3.).
+ALL_PREDICATES: Dict[str, Callable[[SoftFloat, SoftFloat], bool]] = {
+    "compareQuietEqual": compare_quiet_equal,
+    "compareQuietNotEqual": compare_quiet_not_equal,
+    "compareQuietUnordered": compare_quiet_unordered,
+    "compareQuietOrdered": compare_quiet_ordered,
+    "compareQuietLess": compare_quiet_less,
+    "compareQuietLessEqual": compare_quiet_less_equal,
+    "compareQuietGreater": compare_quiet_greater,
+    "compareQuietGreaterEqual": compare_quiet_greater_equal,
+    "compareQuietLessUnordered": compare_quiet_less_unordered,
+    "compareQuietGreaterUnordered": compare_quiet_greater_unordered,
+    "compareQuietNotLess": compare_quiet_not_less,
+    "compareQuietNotGreater": compare_quiet_not_greater,
+    "compareSignalingEqual": compare_signaling_equal,
+    "compareSignalingNotEqual": compare_signaling_not_equal,
+    "compareSignalingLess": compare_signaling_less,
+    "compareSignalingLessEqual": compare_signaling_less_equal,
+    "compareSignalingGreater": compare_signaling_greater,
+    "compareSignalingGreaterEqual": compare_signaling_greater_equal,
+    "compareSignalingNotLess": compare_signaling_not_less,
+    "compareSignalingNotGreater": compare_signaling_not_greater,
+    "compareSignalingLessGreater": compare_signaling_less_greater,
+    "compareSignalingNotLessGreater": compare_signaling_not_less_greater,
+}

@@ -1,0 +1,162 @@
+"""Floating-point format descriptors.
+
+A format is fully described by its exponent and fraction field widths; every
+derived constant (bias, extremal exponents, interesting bit patterns) follows
+from those two numbers, which is what makes the "tailor the format to the
+application" approach of Section II practical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._bits import mask
+
+__all__ = [
+    "FloatFormat",
+    "BINARY16",
+    "BINARY32",
+    "BINARY64",
+    "BFLOAT16",
+    "FP19",
+    "FP8_E4M3",
+    "FP8_E5M2",
+]
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """An IEEE-754-style binary interchange format ``{1, exp_bits, frac_bits}``.
+
+    Attributes:
+        name: Human-readable format name.
+        exp_bits: Width of the biased exponent field.
+        frac_bits: Width of the trailing significand (fraction) field.
+    """
+
+    name: str
+    exp_bits: int
+    frac_bits: int
+
+    def __post_init__(self):
+        if self.exp_bits < 2:
+            raise ValueError("a float format needs at least 2 exponent bits")
+        if self.frac_bits < 1:
+            raise ValueError("a float format needs at least 1 fraction bit")
+
+    # ------------------------------------------------------------------
+    # Derived constants
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Total storage width in bits (sign + exponent + fraction)."""
+        return 1 + self.exp_bits + self.frac_bits
+
+    @property
+    def precision(self) -> int:
+        """Significand precision in bits, including the hidden bit."""
+        return self.frac_bits + 1
+
+    @property
+    def bias(self) -> int:
+        """Exponent bias."""
+        return (1 << (self.exp_bits - 1)) - 1
+
+    @property
+    def emax(self) -> int:
+        """Largest unbiased exponent of a normal number."""
+        return self.bias
+
+    @property
+    def emin(self) -> int:
+        """Smallest unbiased exponent of a normal number."""
+        return 1 - self.bias
+
+    @property
+    def exp_mask(self) -> int:
+        return mask(self.exp_bits)
+
+    @property
+    def frac_mask(self) -> int:
+        return mask(self.frac_bits)
+
+    @property
+    def sign_bit(self) -> int:
+        """Mask selecting the sign bit in a stored pattern."""
+        return 1 << (self.width - 1)
+
+    # ------------------------------------------------------------------
+    # Landmark bit patterns (positive sign)
+    # ------------------------------------------------------------------
+    @property
+    def pattern_inf(self) -> int:
+        """Pattern of +infinity."""
+        return self.exp_mask << self.frac_bits
+
+    @property
+    def pattern_quiet_nan(self) -> int:
+        """Canonical quiet NaN pattern (MSB of the fraction set)."""
+        return self.pattern_inf | (1 << (self.frac_bits - 1))
+
+    @property
+    def pattern_max_finite(self) -> int:
+        """Pattern of the largest finite positive value."""
+        return ((self.exp_mask - 1) << self.frac_bits) | self.frac_mask
+
+    @property
+    def pattern_min_normal(self) -> int:
+        """Pattern of the smallest positive normal value."""
+        return 1 << self.frac_bits
+
+    @property
+    def pattern_min_subnormal(self) -> int:
+        """Pattern of the smallest positive subnormal value."""
+        return 1
+
+    # ------------------------------------------------------------------
+    # Landmark magnitudes, as (significand, exponent) pairs meaning
+    # significand * 2**exponent
+    # ------------------------------------------------------------------
+    @property
+    def max_finite(self) -> float:
+        """Value of the largest finite number, as a Python float."""
+        sig = (1 << self.precision) - 1
+        import math
+
+        return math.ldexp(sig, self.emax - self.frac_bits)
+
+    @property
+    def min_normal(self) -> float:
+        import math
+
+        return math.ldexp(1, self.emin)
+
+    @property
+    def min_subnormal(self) -> float:
+        import math
+
+        return math.ldexp(1, self.emin - self.frac_bits)
+
+    def dynamic_range_decades(self) -> float:
+        """Orders of magnitude between the smallest and largest *normal* value.
+
+        Fig. 10 of the paper quotes 9 decades for binary16 normals and about
+        76 for bfloat16.
+        """
+        import math
+
+        return math.log10(self.max_finite) - math.log10(self.min_normal)
+
+    def __str__(self) -> str:
+        return f"{self.name}{{1,{self.exp_bits},{self.frac_bits}}}"
+
+
+BINARY16 = FloatFormat("binary16", exp_bits=5, frac_bits=10)
+BINARY32 = FloatFormat("binary32", exp_bits=8, frac_bits=23)
+BINARY64 = FloatFormat("binary64", exp_bits=11, frac_bits=52)
+#: Google's bfloat16: binary32 range at 8-bit precision.
+BFLOAT16 = FloatFormat("bfloat16", exp_bits=8, frac_bits=7)
+#: Intel Agilex DSP-block FP19 {1, 8, 10}: binary32 range, binary16 fraction.
+FP19 = FloatFormat("fp19", exp_bits=8, frac_bits=10)
+FP8_E4M3 = FloatFormat("fp8_e4m3", exp_bits=4, frac_bits=3)
+FP8_E5M2 = FloatFormat("fp8_e5m2", exp_bits=5, frac_bits=2)

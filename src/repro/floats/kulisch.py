@@ -1,0 +1,89 @@
+"""Kulisch accumulator: exact dot products for floats.
+
+The float-side counterpart of the posit quire: a fixed-point register wide
+enough to hold any product of two floats exactly, so a dot product rounds
+only once.  Kulisch accumulators predate the quire by decades and are the
+reference point for the paper's "16-bit posit converts to 58-bit fixed
+point" discussion — a binary16 Kulisch register needs
+``2*(emax - emin + precision) + guard`` bits (~80 more than the quire-like
+58 once infinities are excluded).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable
+
+from .format import FloatFormat
+from .softfloat import SoftFloat
+
+__all__ = ["KulischAccumulator"]
+
+
+class KulischAccumulator:
+    """Exact accumulator of float products, rounded once on extraction."""
+
+    def __init__(self, fmt: FloatFormat):
+        self.fmt = fmt
+        # LSB weight: the square of the smallest subnormal.
+        self.frac_scale = 2 * (fmt.frac_bits - fmt.emin)
+        self._acc = 0
+        self._special = None  # None | 'nan' | '+inf' | '-inf'
+
+    @staticmethod
+    def register_width(fmt: FloatFormat, guard_bits: int = 31) -> int:
+        """Bits a hardware register needs (finite operands, +guard)."""
+        span = 2 * (fmt.emax + 1) + 2 * (fmt.frac_bits - fmt.emin)
+        return 1 + guard_bits + span
+
+    def clear(self) -> "KulischAccumulator":
+        self._acc = 0
+        self._special = None
+        return self
+
+    def add_product(self, a: SoftFloat, b: SoftFloat) -> "KulischAccumulator":
+        if a.is_nan() or b.is_nan():
+            self._special = "nan"
+            return self
+        if a.is_inf() or b.is_inf():
+            if a.is_zero() or b.is_zero():
+                self._special = "nan"
+                return self
+            sign = a.sign ^ b.sign
+            inf = "-inf" if sign else "+inf"
+            if self._special not in (None, inf):
+                self._special = "nan"  # opposing infinities
+            else:
+                self._special = inf
+            return self
+        da, db = a.decode(), b.decode()
+        sa, ma, ea = da
+        sb, mb, eb = db
+        if ma == 0 or mb == 0:
+            return self
+        term = (ma * mb) << (ea + eb + self.frac_scale)
+        self._acc += -term if sa ^ sb else term
+        return self
+
+    def dot(self, xs: Iterable[SoftFloat], ys: Iterable[SoftFloat]) -> SoftFloat:
+        for x, y in zip(xs, ys):
+            self.add_product(x, y)
+        return self.to_float()
+
+    def to_fraction(self) -> Fraction:
+        if self._special is not None:
+            raise ValueError(f"accumulator holds {self._special}")
+        return Fraction(self._acc) / (Fraction(2) ** self.frac_scale)
+
+    def to_float(self) -> SoftFloat:
+        if self._special == "nan":
+            return SoftFloat.nan(self.fmt)
+        if self._special == "+inf":
+            return SoftFloat.inf(self.fmt, 0)
+        if self._special == "-inf":
+            return SoftFloat.inf(self.fmt, 1)
+        if self._acc == 0:
+            return SoftFloat.zero(self.fmt)
+        return SoftFloat.from_exact(
+            self.fmt, int(self._acc < 0), abs(self._acc), -self.frac_scale
+        )

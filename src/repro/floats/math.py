@@ -1,0 +1,103 @@
+"""Correctly rounded elementary functions for SoftFloat.
+
+The float counterpart of :mod:`repro.posit.math`, sharing its
+rational-arithmetic kernels: compute the function to far more precision
+than the target format can distinguish, then round once through the
+standard packing path.  Exhaustively verified for 8-bit formats in the
+test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from ..posit.math import (
+    _frac_atan,
+    _frac_cos,
+    _frac_exp,
+    _frac_ln2,
+    _frac_log,
+    _frac_sin,
+    _frac_tanh,
+)
+from .format import FloatFormat
+from .softfloat import SoftFloat
+
+__all__ = ["float_exp", "float_log", "float_log2", "float_sin", "float_cos", "float_atan", "float_tanh"]
+
+
+def _working_bits(fmt: FloatFormat) -> int:
+    return 4 * fmt.precision + 2 * fmt.exp_bits + 32
+
+
+def float_exp(x: SoftFloat) -> SoftFloat:
+    """Correctly rounded exp (overflows to +inf, underflows to 0/subnormal)."""
+    fmt = x.fmt
+    if x.is_nan():
+        return SoftFloat.nan(fmt)
+    if x.is_inf():
+        return SoftFloat.zero(fmt) if x.sign else SoftFloat.inf(fmt)
+    if x.is_zero():
+        return SoftFloat.from_float(fmt, 1.0)
+    v = x.to_fraction()
+    ln2 = math.log(2.0)
+    # Saturation guards keep intermediate powers sane.
+    if float(v) > (fmt.emax + 2) * ln2:
+        return SoftFloat.inf(fmt)
+    if float(v) < (fmt.emin - fmt.frac_bits - 2) * ln2:
+        return SoftFloat.zero(fmt)
+    return SoftFloat.from_fraction(fmt, _frac_exp(v, _working_bits(fmt)))
+
+
+def float_log(x: SoftFloat) -> SoftFloat:
+    """Correctly rounded natural log (log of negatives/NaN -> NaN)."""
+    fmt = x.fmt
+    if x.is_nan() or (x.sign and not x.is_zero()):
+        return SoftFloat.nan(fmt)
+    if x.is_zero():
+        return SoftFloat.inf(fmt, sign=1)
+    if x.is_inf():
+        return SoftFloat.inf(fmt)
+    return SoftFloat.from_fraction(fmt, _frac_log(x.to_fraction(), _working_bits(fmt)))
+
+
+def float_log2(x: SoftFloat) -> SoftFloat:
+    fmt = x.fmt
+    if x.is_nan() or (x.sign and not x.is_zero()):
+        return SoftFloat.nan(fmt)
+    if x.is_zero():
+        return SoftFloat.inf(fmt, sign=1)
+    if x.is_inf():
+        return SoftFloat.inf(fmt)
+    bits = _working_bits(fmt)
+    return SoftFloat.from_fraction(
+        fmt, _frac_log(x.to_fraction(), bits) / _frac_ln2(bits)
+    )
+
+
+def _lift_finite(kernel):
+    def wrapped(x: SoftFloat) -> SoftFloat:
+        fmt = x.fmt
+        if x.is_nan() or x.is_inf():
+            return SoftFloat.nan(fmt)
+        return SoftFloat.from_fraction(fmt, kernel(x.to_fraction(), _working_bits(fmt)))
+
+    return wrapped
+
+
+float_sin = _lift_finite(_frac_sin)
+float_cos = _lift_finite(_frac_cos)
+float_atan = _lift_finite(_frac_atan)
+
+
+def float_tanh(x: SoftFloat) -> SoftFloat:
+    fmt = x.fmt
+    if x.is_nan():
+        return SoftFloat.nan(fmt)
+    if x.is_inf():
+        return SoftFloat.from_float(fmt, -1.0 if x.sign else 1.0)
+    v = x.to_fraction()
+    if abs(float(v)) > _working_bits(fmt):
+        return SoftFloat.from_float(fmt, -1.0 if x.sign else 1.0)
+    return SoftFloat.from_fraction(fmt, _frac_tanh(v, _working_bits(fmt)))

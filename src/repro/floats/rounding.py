@@ -1,0 +1,117 @@
+"""Rounding of exact values into a floating-point format.
+
+All arithmetic in :mod:`repro.floats` computes exact intermediate results as
+``(-1)**sign * sig * 2**exp`` with an unbounded integer significand, then
+calls :func:`round_pack` exactly once.  This is the software analogue of the
+guard/round/sticky datapath of a hardware FPU and guarantees correct rounding
+in all five IEEE 754 directions.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .._bits import mask, shift_right_sticky
+from .format import FloatFormat
+
+__all__ = ["RoundingMode", "round_pack"]
+
+
+class RoundingMode(enum.Enum):
+    """The five IEEE 754-2008 rounding directions."""
+
+    NEAREST_EVEN = "rne"
+    TOWARD_ZERO = "rtz"
+    TOWARD_NEGATIVE = "rdn"
+    TOWARD_POSITIVE = "rup"
+    NEAREST_AWAY = "rna"
+
+
+def _round_increment(mode: RoundingMode, sign: int, lsb: int, guard: int, sticky: int) -> int:
+    """Decide whether a truncated significand must be incremented."""
+    if mode is RoundingMode.NEAREST_EVEN:
+        return int(guard and (sticky or lsb))
+    if mode is RoundingMode.NEAREST_AWAY:
+        return int(guard)
+    if mode is RoundingMode.TOWARD_ZERO:
+        return 0
+    if mode is RoundingMode.TOWARD_NEGATIVE:
+        return int(sign and (guard or sticky))
+    if mode is RoundingMode.TOWARD_POSITIVE:
+        return int((not sign) and (guard or sticky))
+    raise ValueError(f"unknown rounding mode {mode!r}")
+
+
+def round_pack(
+    fmt: FloatFormat,
+    sign: int,
+    sig: int,
+    exp: int,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    sticky_in: int = 0,
+) -> int:
+    """Round the exact value ``(-1)**sign * sig * 2**exp`` into ``fmt``.
+
+    Args:
+        fmt: Target format.
+        sign: 0 or 1.
+        sig: Non-negative exact significand (unbounded integer).
+        exp: Power-of-two scale of ``sig``.
+        mode: Rounding direction.
+        sticky_in: Set when ``sig`` is already a truncation of a longer exact
+            value (e.g. from division); ORed into the sticky bit.
+
+    Returns:
+        The ``fmt.width``-bit pattern of the rounded result, handling
+        normal/subnormal boundaries, overflow to infinity or the largest
+        finite value (direction-dependent), and underflow to zero.
+    """
+    if sig == 0 and not sticky_in:
+        return fmt.sign_bit if sign else 0
+
+    # Position of the value's leading bit: value in [2**msb_exp, 2**(msb_exp+1)).
+    msb_exp = sig.bit_length() - 1 + exp
+
+    if msb_exp < fmt.emin:
+        # Subnormal range (or underflow): fixed scale 2**(emin - frac_bits).
+        target_exp = fmt.emin - fmt.frac_bits
+        biased = 0
+    else:
+        # Normal candidate: keep precision bits.
+        target_exp = msb_exp - fmt.frac_bits
+        biased = msb_exp - fmt.emin + 1
+
+    shift = target_exp - exp
+    # Shift one position less than needed so the LSB of `kept` is the guard
+    # bit, with everything below compressed into sticky.
+    kept, sticky = shift_right_sticky(sig, shift - 1)
+    guard = kept & 1
+    kept >>= 1
+    sticky |= sticky_in
+
+    kept += _round_increment(mode, sign, kept & 1, guard, sticky)
+
+    if biased == 0:
+        if kept >> fmt.frac_bits:
+            # Rounded up into the smallest normal.
+            biased = 1
+            kept = 0
+        frac = kept & fmt.frac_mask
+    else:
+        if kept >> fmt.precision:
+            # Carry out of the significand: 1.11..1 rounded to 10.0..0.
+            kept >>= 1
+            biased += 1
+        frac = kept & fmt.frac_mask
+
+    if biased >= fmt.exp_mask:
+        # Overflow: to infinity or to the largest finite value, depending on
+        # direction (RTZ and the away-from-overflow directed modes saturate).
+        saturate = mode is RoundingMode.TOWARD_ZERO or (
+            mode is RoundingMode.TOWARD_NEGATIVE and not sign
+        ) or (mode is RoundingMode.TOWARD_POSITIVE and sign)
+        pattern = fmt.pattern_max_finite if saturate else fmt.pattern_inf
+        return pattern | (fmt.sign_bit if sign else 0)
+
+    pattern = (biased << fmt.frac_bits) | frac
+    return pattern | (fmt.sign_bit if sign else 0)

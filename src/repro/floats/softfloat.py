@@ -1,0 +1,426 @@
+"""Bit-exact software floating point for arbitrary formats.
+
+:class:`SoftFloat` is an immutable value = (format, bit pattern).  All
+operations decode to exact integers, compute exactly, and round once through
+:func:`repro.floats.rounding.round_pack` — the same structure as a hardware
+FPU datapath, which is what makes this model usable as a reference for the
+hardware-cost comparisons of Section V.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import struct
+from fractions import Fraction
+from typing import Optional, Tuple
+
+from .._bits import isqrt_rem, mask
+from .format import BINARY64, FloatFormat
+from .rounding import RoundingMode, round_pack
+
+__all__ = ["FloatClass", "SoftFloat"]
+
+
+class FloatClass(enum.Enum):
+    """IEEE 754 `class` operation results (the ones relevant to storage)."""
+
+    ZERO = "zero"
+    SUBNORMAL = "subnormal"
+    NORMAL = "normal"
+    INFINITE = "infinite"
+    QUIET_NAN = "quiet_nan"
+    SIGNALING_NAN = "signaling_nan"
+
+
+class SoftFloat:
+    """An immutable floating-point value in a parametric binary format."""
+
+    __slots__ = ("fmt", "pattern")
+
+    def __init__(self, fmt: FloatFormat, pattern: int):
+        if not 0 <= pattern < (1 << fmt.width):
+            raise ValueError(f"pattern {pattern:#x} out of range for {fmt}")
+        object.__setattr__(self, "fmt", fmt)
+        object.__setattr__(self, "pattern", pattern)
+
+    def __setattr__(self, *a):  # pragma: no cover - immutability guard
+        raise AttributeError("SoftFloat is immutable")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, fmt: FloatFormat, sign: int = 0) -> "SoftFloat":
+        return cls(fmt, fmt.sign_bit if sign else 0)
+
+    @classmethod
+    def inf(cls, fmt: FloatFormat, sign: int = 0) -> "SoftFloat":
+        return cls(fmt, fmt.pattern_inf | (fmt.sign_bit if sign else 0))
+
+    @classmethod
+    def nan(cls, fmt: FloatFormat) -> "SoftFloat":
+        return cls(fmt, fmt.pattern_quiet_nan)
+
+    @classmethod
+    def max_finite(cls, fmt: FloatFormat, sign: int = 0) -> "SoftFloat":
+        return cls(fmt, fmt.pattern_max_finite | (fmt.sign_bit if sign else 0))
+
+    @classmethod
+    def min_subnormal(cls, fmt: FloatFormat, sign: int = 0) -> "SoftFloat":
+        return cls(fmt, fmt.pattern_min_subnormal | (fmt.sign_bit if sign else 0))
+
+    @classmethod
+    def from_float(
+        cls,
+        fmt: FloatFormat,
+        value: float,
+        mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    ) -> "SoftFloat":
+        """Convert a Python float (binary64) into ``fmt``, rounding once."""
+        if math.isnan(value):
+            return cls.nan(fmt)
+        sign = int(math.copysign(1.0, value) < 0)
+        if math.isinf(value):
+            return cls.inf(fmt, sign)
+        if value == 0.0:
+            return cls.zero(fmt, sign)
+        mantissa, exp2 = math.frexp(abs(value))  # mantissa in [0.5, 1)
+        sig = int(mantissa * (1 << 53))
+        return cls(fmt, round_pack(fmt, sign, sig, exp2 - 53, mode))
+
+    @classmethod
+    def from_exact(
+        cls,
+        fmt: FloatFormat,
+        sign: int,
+        sig: int,
+        exp: int,
+        mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+        sticky: int = 0,
+    ) -> "SoftFloat":
+        """Round the exact value ``(-1)**sign * sig * 2**exp`` into ``fmt``."""
+        return cls(fmt, round_pack(fmt, sign, sig, exp, mode, sticky))
+
+    @classmethod
+    def from_fraction(
+        cls,
+        fmt: FloatFormat,
+        value: Fraction,
+        mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    ) -> "SoftFloat":
+        """Correctly round an exact rational into ``fmt``."""
+        if value == 0:
+            return cls.zero(fmt)
+        sign = int(value < 0)
+        num, den = abs(value).numerator, abs(value).denominator
+        # Scale the numerator so the integer quotient has ample precision.
+        extra = fmt.precision + 3 + max(0, den.bit_length() - num.bit_length())
+        q, r = divmod(num << extra, den)
+        return cls(fmt, round_pack(fmt, sign, q, -extra, mode, sticky_in=int(r != 0)))
+
+    # ------------------------------------------------------------------
+    # Field access and classification
+    # ------------------------------------------------------------------
+    @property
+    def sign(self) -> int:
+        return self.pattern >> (self.fmt.width - 1)
+
+    @property
+    def biased_exponent(self) -> int:
+        return (self.pattern >> self.fmt.frac_bits) & self.fmt.exp_mask
+
+    @property
+    def fraction(self) -> int:
+        return self.pattern & self.fmt.frac_mask
+
+    def classify(self) -> FloatClass:
+        e, f = self.biased_exponent, self.fraction
+        if e == self.fmt.exp_mask:
+            if f == 0:
+                return FloatClass.INFINITE
+            if f >> (self.fmt.frac_bits - 1):
+                return FloatClass.QUIET_NAN
+            return FloatClass.SIGNALING_NAN
+        if e == 0:
+            return FloatClass.ZERO if f == 0 else FloatClass.SUBNORMAL
+        return FloatClass.NORMAL
+
+    def is_nan(self) -> bool:
+        return self.classify() in (FloatClass.QUIET_NAN, FloatClass.SIGNALING_NAN)
+
+    def is_inf(self) -> bool:
+        return self.classify() is FloatClass.INFINITE
+
+    def is_zero(self) -> bool:
+        return self.classify() is FloatClass.ZERO
+
+    def is_subnormal(self) -> bool:
+        return self.classify() is FloatClass.SUBNORMAL
+
+    def is_finite(self) -> bool:
+        return self.biased_exponent != self.fmt.exp_mask
+
+    def decode(self) -> Optional[Tuple[int, int, int]]:
+        """Decode a finite value to exact ``(sign, sig, exp)``.
+
+        The value equals ``(-1)**sign * sig * 2**exp``; returns ``None`` for
+        NaN and infinity.  A zero decodes to ``sig == 0``.
+        """
+        cls = self.classify()
+        if cls in (FloatClass.INFINITE, FloatClass.QUIET_NAN, FloatClass.SIGNALING_NAN):
+            return None
+        e, f = self.biased_exponent, self.fraction
+        if e == 0:
+            return self.sign, f, self.fmt.emin - self.fmt.frac_bits
+        return self.sign, f | (1 << self.fmt.frac_bits), e - self.fmt.bias - self.fmt.frac_bits
+
+    def to_fraction(self) -> Fraction:
+        """Exact rational value (raises on NaN/inf)."""
+        decoded = self.decode()
+        if decoded is None:
+            raise ValueError(f"{self!r} has no rational value")
+        sign, sig, exp = decoded
+        v = Fraction(sig) * (Fraction(2) ** exp)
+        return -v if sign else v
+
+    def to_float(self) -> float:
+        """Convert to a Python float (exact whenever binary64 can hold it)."""
+        cls = self.classify()
+        if cls in (FloatClass.QUIET_NAN, FloatClass.SIGNALING_NAN):
+            return math.nan
+        if cls is FloatClass.INFINITE:
+            return -math.inf if self.sign else math.inf
+        sign, sig, exp = self.decode()
+        value = math.ldexp(sig, exp)
+        return -value if sign else value
+
+    def convert(self, fmt: FloatFormat, mode: RoundingMode = RoundingMode.NEAREST_EVEN) -> "SoftFloat":
+        """Convert to another format, rounding once (NaN stays NaN)."""
+        cls = self.classify()
+        if cls in (FloatClass.QUIET_NAN, FloatClass.SIGNALING_NAN):
+            return SoftFloat.nan(fmt)
+        if cls is FloatClass.INFINITE:
+            return SoftFloat.inf(fmt, self.sign)
+        sign, sig, exp = self.decode()
+        if sig == 0:
+            return SoftFloat.zero(fmt, sign)
+        return SoftFloat.from_exact(fmt, sign, sig, exp, mode)
+
+    # ------------------------------------------------------------------
+    # Arithmetic (correctly rounded)
+    # ------------------------------------------------------------------
+    def _require_same_format(self, other: "SoftFloat"):
+        if self.fmt != other.fmt:
+            raise ValueError(f"format mismatch: {self.fmt} vs {other.fmt}")
+
+    def add(self, other: "SoftFloat", mode: RoundingMode = RoundingMode.NEAREST_EVEN) -> "SoftFloat":
+        """IEEE addition with a single rounding."""
+        self._require_same_format(other)
+        fmt = self.fmt
+        if self.is_nan() or other.is_nan():
+            return SoftFloat.nan(fmt)
+        if self.is_inf() or other.is_inf():
+            if self.is_inf() and other.is_inf():
+                if self.sign != other.sign:
+                    return SoftFloat.nan(fmt)  # inf - inf
+                return SoftFloat.inf(fmt, self.sign)
+            return SoftFloat.inf(fmt, self.sign if self.is_inf() else other.sign)
+
+        sa, ma, ea = self.decode()
+        sb, mb, eb = other.decode()
+        # Exact signed sum on a common scale.
+        e = min(ea, eb)
+        total = (ma if not sa else -ma) * (1 << (ea - e)) + (mb if not sb else -mb) * (1 << (eb - e))
+        if total == 0:
+            # Exact cancellation (or 0 + 0): sign depends on the direction.
+            if sa == sb:
+                return SoftFloat.zero(fmt, sa)
+            sign = 1 if mode is RoundingMode.TOWARD_NEGATIVE else 0
+            return SoftFloat.zero(fmt, sign)
+        sign = int(total < 0)
+        return SoftFloat.from_exact(fmt, sign, abs(total), e, mode)
+
+    def sub(self, other: "SoftFloat", mode: RoundingMode = RoundingMode.NEAREST_EVEN) -> "SoftFloat":
+        return self.add(other.negate(), mode)
+
+    def mul(self, other: "SoftFloat", mode: RoundingMode = RoundingMode.NEAREST_EVEN) -> "SoftFloat":
+        """IEEE multiplication with a single rounding."""
+        self._require_same_format(other)
+        fmt = self.fmt
+        if self.is_nan() or other.is_nan():
+            return SoftFloat.nan(fmt)
+        sign = self.sign ^ other.sign
+        if self.is_inf() or other.is_inf():
+            if self.is_zero() or other.is_zero():
+                return SoftFloat.nan(fmt)  # inf * 0
+            return SoftFloat.inf(fmt, sign)
+        _, ma, ea = self.decode()
+        _, mb, eb = other.decode()
+        if ma == 0 or mb == 0:
+            return SoftFloat.zero(fmt, sign)
+        return SoftFloat.from_exact(fmt, sign, ma * mb, ea + eb, mode)
+
+    def div(self, other: "SoftFloat", mode: RoundingMode = RoundingMode.NEAREST_EVEN) -> "SoftFloat":
+        """IEEE division with a single rounding (sticky from the remainder)."""
+        self._require_same_format(other)
+        fmt = self.fmt
+        if self.is_nan() or other.is_nan():
+            return SoftFloat.nan(fmt)
+        sign = self.sign ^ other.sign
+        if self.is_inf():
+            return SoftFloat.nan(fmt) if other.is_inf() else SoftFloat.inf(fmt, sign)
+        if other.is_inf():
+            return SoftFloat.zero(fmt, sign)
+        _, ma, ea = self.decode()
+        _, mb, eb = other.decode()
+        if mb == 0:
+            return SoftFloat.nan(fmt) if ma == 0 else SoftFloat.inf(fmt, sign)
+        if ma == 0:
+            return SoftFloat.zero(fmt, sign)
+        # Pre-shift so the quotient carries precision + guard information.
+        extra = fmt.precision + 3 + max(0, mb.bit_length() - ma.bit_length())
+        q, r = divmod(ma << extra, mb)
+        return SoftFloat.from_exact(fmt, sign, q, ea - eb - extra, mode, sticky=int(r != 0))
+
+    def sqrt(self, mode: RoundingMode = RoundingMode.NEAREST_EVEN) -> "SoftFloat":
+        """IEEE square root with a single rounding."""
+        fmt = self.fmt
+        if self.is_nan():
+            return SoftFloat.nan(fmt)
+        if self.is_zero():
+            return self
+        if self.sign:
+            return SoftFloat.nan(fmt)
+        if self.is_inf():
+            return self
+        _, m, e = self.decode()
+        # Normalize to an even exponent with ample significand width.
+        shift = 2 * fmt.precision + 4
+        if (e - shift) % 2:
+            shift += 1  # keep the result exponent integral
+        s, r = isqrt_rem(m << shift)
+        return SoftFloat.from_exact(fmt, 0, s, (e - shift) // 2, mode, sticky=int(r != 0))
+
+    def fma(
+        self,
+        other: "SoftFloat",
+        addend: "SoftFloat",
+        mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    ) -> "SoftFloat":
+        """Fused multiply-add: ``self * other + addend`` with one rounding."""
+        self._require_same_format(other)
+        self._require_same_format(addend)
+        fmt = self.fmt
+        if self.is_nan() or other.is_nan() or addend.is_nan():
+            return SoftFloat.nan(fmt)
+        prod_sign = self.sign ^ other.sign
+        if self.is_inf() or other.is_inf():
+            if self.is_zero() or other.is_zero():
+                return SoftFloat.nan(fmt)
+            if addend.is_inf() and addend.sign != prod_sign:
+                return SoftFloat.nan(fmt)
+            return SoftFloat.inf(fmt, prod_sign)
+        if addend.is_inf():
+            return SoftFloat.inf(fmt, addend.sign)
+        _, ma, ea = self.decode()
+        _, mb, eb = other.decode()
+        sc, mc, ec = addend.decode()
+        prod = ma * mb
+        e = min(ea + eb, ec)
+        total = (prod if not prod_sign else -prod) * (1 << (ea + eb - e)) + (
+            mc if not sc else -mc
+        ) * (1 << (ec - e))
+        if total == 0:
+            if prod == 0 and mc == 0:
+                # 0*0 + 0: IEEE sign rules for the sum of signed zeros.
+                if prod_sign == sc:
+                    return SoftFloat.zero(fmt, sc)
+                return SoftFloat.zero(fmt, int(mode is RoundingMode.TOWARD_NEGATIVE))
+            if prod == 0:
+                return SoftFloat.zero(fmt, sc)
+            if mc == 0 and prod_sign == sc:
+                return SoftFloat.zero(fmt, sc)
+            return SoftFloat.zero(fmt, int(mode is RoundingMode.TOWARD_NEGATIVE))
+        return SoftFloat.from_exact(fmt, int(total < 0), abs(total), e, mode)
+
+    def negate(self) -> "SoftFloat":
+        """Flip the sign bit (valid for every operand, including NaN)."""
+        return SoftFloat(self.fmt, self.pattern ^ self.fmt.sign_bit)
+
+    def abs(self) -> "SoftFloat":
+        return SoftFloat(self.fmt, self.pattern & ~self.fmt.sign_bit & mask(self.fmt.width))
+
+    # Operator sugar (default rounding).
+    def __add__(self, other):
+        return self.add(other)
+
+    def __sub__(self, other):
+        return self.sub(other)
+
+    def __mul__(self, other):
+        return self.mul(other)
+
+    def __truediv__(self, other):
+        return self.div(other)
+
+    def __neg__(self):
+        return self.negate()
+
+    def __abs__(self):
+        return self.abs()
+
+    # ------------------------------------------------------------------
+    # Comparison (IEEE quiet predicates; NaN is unordered)
+    # ------------------------------------------------------------------
+    def _ordered_key(self) -> Optional[Fraction]:
+        if self.is_nan():
+            return None
+        if self.is_inf():
+            big = Fraction(2) ** (self.fmt.emax + self.fmt.width + 1)
+            return -big if self.sign else big
+        return self.to_fraction()
+
+    def __eq__(self, other):
+        if not isinstance(other, SoftFloat):
+            return NotImplemented
+        a, b = self._ordered_key(), other._ordered_key()
+        if a is None or b is None:
+            return False  # NaN != everything, including itself
+        return a == b  # +0 == -0
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __lt__(self, other):
+        a, b = self._ordered_key(), other._ordered_key()
+        if a is None or b is None:
+            return False
+        return a < b
+
+    def __le__(self, other):
+        a, b = self._ordered_key(), other._ordered_key()
+        if a is None or b is None:
+            return False
+        return a <= b
+
+    def __gt__(self, other):
+        a, b = self._ordered_key(), other._ordered_key()
+        if a is None or b is None:
+            return False
+        return a > b
+
+    def __ge__(self, other):
+        a, b = self._ordered_key(), other._ordered_key()
+        if a is None or b is None:
+            return False
+        return a >= b
+
+    def __hash__(self):
+        return hash((self.fmt, self.pattern))
+
+    def __repr__(self):
+        return f"SoftFloat({self.fmt.name}, {self.pattern:#0{2 + (self.fmt.width + 3) // 4}x} = {self.to_float()!r})"

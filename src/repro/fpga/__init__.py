@@ -1,0 +1,62 @@
+"""FPGA-based arithmetic (Section III).
+
+Models the three soft-logic techniques the paper describes for turning an
+FPGA into "the most flexible, and amongst the highest performing AI
+platform":
+
+* **Multiplier regularization** (:mod:`repro.fpga.regularize`): refactoring
+  the unbalanced partial-product array of a small multiplier (Fig. 3) into a
+  two-level form with out-of-band auxiliary functions (Fig. 4) that maps to
+  a single two-input carry chain — balanced logic and routing.
+* **Fractal-synthesis-style packing** (:mod:`repro.fpga.packing`): the
+  combined re-synthesis / clustering / packing step that bin-packs many
+  short logical carry-chain segments into fixed physical chains, with
+  segment decomposition, hard depopulation, and seeded exhaustive iteration
+  that tracks only seeds and metrics.
+* **DSP-block decomposition** (:mod:`repro.fpga.dsp`): the Agilex-style
+  embedded FP32 multiplier-adder pair that splits into two smaller-precision
+  pairs (FP16 / bfloat16 / FP19), and the device-level TFLOPs arithmetic.
+* **Utilization models** (:mod:`repro.fpga.utilization`): why soft
+  arithmetic typically fits at 60-70% while Brainwave-style designs reach
+  92%.
+"""
+
+from .alm import ALM, ALMBudget
+from .regularize import (
+    RegularizedMultiplier,
+    regularize_3x3,
+    naive_mapping_stats,
+    MappingStats,
+)
+from .packing import (
+    CarrySegment,
+    PhysicalChain,
+    PackingResult,
+    pack_segments,
+    fractal_pack,
+)
+from .dsp import DSPBlock, DSPMode, DeviceModel, AGILEX_MODES, agilex_device
+from .utilization import UtilizationModel, BRAINWAVE, TYPICAL_SOFT_ARITHMETIC, RANDOM_LOGIC
+
+__all__ = [
+    "ALM",
+    "ALMBudget",
+    "RegularizedMultiplier",
+    "regularize_3x3",
+    "naive_mapping_stats",
+    "MappingStats",
+    "CarrySegment",
+    "PhysicalChain",
+    "PackingResult",
+    "pack_segments",
+    "fractal_pack",
+    "DSPBlock",
+    "DSPMode",
+    "DeviceModel",
+    "AGILEX_MODES",
+    "agilex_device",
+    "UtilizationModel",
+    "BRAINWAVE",
+    "TYPICAL_SOFT_ARITHMETIC",
+    "RANDOM_LOGIC",
+]

@@ -1,0 +1,92 @@
+"""Adaptive Logic Module (ALM) resource model.
+
+An Intel-style ALM contains a fracturable 6-input LUT (usable as two
+smaller functions with shared inputs), two bits of arithmetic (two
+full-adder positions on the dedicated carry chain), and two flip-flops.
+This is the unit the paper counts when it says the regularized 3x3
+multiplier is "a single 3 ALM carry chain, with a single out of band ALM".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["ALM", "ALMBudget"]
+
+
+@dataclass
+class ALM:
+    """One adaptive logic module instance.
+
+    Attributes:
+        functions: Logic functions implemented, each a (name, support) pair
+            where support is the set of input signal names.  At most two
+            functions with a combined support of <= 8 distinct inputs
+            (<= 6 for a single function) — the fracturability constraint.
+        on_chain: True when the ALM occupies a carry-chain position.
+    """
+
+    functions: List[Tuple[str, frozenset]] = field(default_factory=list)
+    on_chain: bool = False
+
+    MAX_SINGLE_SUPPORT = 6
+    MAX_SHARED_SUPPORT = 8
+
+    def can_add(self, support: frozenset) -> bool:
+        if len(self.functions) >= 2:
+            return False
+        combined = support.union(*(s for _, s in self.functions)) if self.functions else support
+        if not self.functions:
+            return len(support) <= self.MAX_SINGLE_SUPPORT
+        return len(combined) <= self.MAX_SHARED_SUPPORT and all(
+            len(s) <= self.MAX_SINGLE_SUPPORT for _, s in self.functions + [("", support)]
+        )
+
+    def add(self, name: str, support: frozenset) -> None:
+        if not self.can_add(support):
+            raise ValueError(f"function {name} does not fit this ALM")
+        self.functions.append((name, frozenset(support)))
+
+    @property
+    def input_count(self) -> int:
+        if not self.functions:
+            return 0
+        return len(frozenset().union(*(s for _, s in self.functions)))
+
+
+class ALMBudget:
+    """Greedy packer of named logic functions into as few ALMs as possible."""
+
+    def __init__(self):
+        self.alms: List[ALM] = []
+
+    def place(self, name: str, support, on_chain: bool = False) -> ALM:
+        """Place a function, preferring to share an existing compatible ALM."""
+        support = frozenset(support)
+        if not on_chain:
+            for alm in self.alms:
+                if not alm.on_chain and alm.can_add(support):
+                    alm.add(name, support)
+                    return alm
+        alm = ALM(on_chain=on_chain)
+        alm.add(name, support)
+        self.alms.append(alm)
+        return alm
+
+    @property
+    def count(self) -> int:
+        return len(self.alms)
+
+    @property
+    def chain_count(self) -> int:
+        return sum(1 for a in self.alms if a.on_chain)
+
+    @property
+    def total_inputs(self) -> int:
+        """Distinct signals feeding the whole budget."""
+        signals = set()
+        for alm in self.alms:
+            for _, s in alm.functions:
+                signals |= s
+        return len(signals)

@@ -1,0 +1,119 @@
+"""Embedded DSP-block floating-point model (Section III).
+
+"Each Intel Agilex DSP Block contains a FP32 multiplier-adder pair that can
+be decomposed into two smaller precision pairs; FP16, bfloat16, and a third
+FP19 {1,8,10} format ... One member of the new Agilex device family
+contains almost 9000 DSPs; at a clock rate of 750 MHz this provides up to
+25 TFLOPs performance."
+
+The model is structural: a DSP mode declares the format, the number of
+multiplier-adder lanes, and whether the lane's datapath fits the hard
+multiplier array (checked from the format's significand width against the
+FP32 array the block physically contains).  The behavioural part reuses
+:mod:`repro.floats`, so decomposed modes compute real bit-exact arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..floats import BFLOAT16, BINARY16, BINARY32, FP19, FloatFormat, SoftFloat
+
+__all__ = ["DSPMode", "DSPBlock", "DeviceModel", "AGILEX_MODES", "agilex_device"]
+
+
+@dataclass(frozen=True)
+class DSPMode:
+    """One configuration of the embedded DSP block."""
+
+    name: str
+    fmt: FloatFormat
+    lanes: int
+
+    @property
+    def flops_per_cycle(self) -> int:
+        """Each lane performs one multiply and one add per cycle."""
+        return 2 * self.lanes
+
+    def significand_fits_half_array(self) -> bool:
+        """True when two lanes of this format fit the FP32 multiplier array.
+
+        The FP32 array multiplies 24-bit significands; splitting it into two
+        independent halves supports significands of at most 12 bits.
+        """
+        return self.fmt.precision <= (BINARY32.frac_bits + 1) // 2
+
+
+#: The Agilex DSP block's floating-point modes (Section III).
+AGILEX_MODES: Dict[str, DSPMode] = {
+    "fp32": DSPMode("fp32", BINARY32, lanes=1),
+    "fp16": DSPMode("fp16", BINARY16, lanes=2),
+    "bfloat16": DSPMode("bfloat16", BFLOAT16, lanes=2),
+    "fp19": DSPMode("fp19", FP19, lanes=2),
+}
+
+
+class DSPBlock:
+    """A behavioural DSP block: mode-selectable multiplier-adder lanes."""
+
+    def __init__(self, mode: DSPMode):
+        self.mode = mode
+
+    def multiply_add(self, a_patterns, b_patterns, c_patterns) -> List[int]:
+        """One cycle: per lane, compute ``round(a * b) + c`` in the lane format.
+
+        Patterns are integers in the mode's format; the result list has one
+        entry per lane.  (The hard block rounds between the multiplier and
+        adder — it is *not* an FMA, matching the hardware.)
+        """
+        lanes = self.mode.lanes
+        if not (len(a_patterns) == len(b_patterns) == len(c_patterns) == lanes):
+            raise ValueError(f"{self.mode.name} mode has {lanes} lanes")
+        fmt = self.mode.fmt
+        out = []
+        for pa, pb, pc in zip(a_patterns, b_patterns, c_patterns):
+            a, b, c = SoftFloat(fmt, pa), SoftFloat(fmt, pb), SoftFloat(fmt, pc)
+            out.append((a.mul(b).add(c)).pattern)
+        return out
+
+    def dot2(self, a_patterns, b_patterns) -> int:
+        """Two-lane dot product accumulated into one lane-format value."""
+        fmt = self.mode.fmt
+        acc = SoftFloat.zero(fmt)
+        for pa, pb in zip(a_patterns, b_patterns):
+            acc = acc + SoftFloat(fmt, pa) * SoftFloat(fmt, pb)
+        return acc.pattern
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Whole-device peak-throughput arithmetic."""
+
+    name: str
+    dsp_count: int
+    clock_hz: float
+
+    def peak_tflops(self, mode: DSPMode) -> float:
+        """Peak TFLOPs in the given DSP mode."""
+        return self.dsp_count * mode.flops_per_cycle * self.clock_hz / 1e12
+
+    def soft_logic_tflops(self, alms: int, alms_per_op: float, clock_hz: float = None) -> float:
+        """Soft-logic compute: ALM budget / cost-per-operator * 2 flops.
+
+        Section III: "new FPGA EDA flows can implement 100 TFLOPs+ of soft
+        logic-based compute power" for very low precisions.
+        """
+        clock = clock_hz if clock_hz is not None else self.clock_hz
+        operators = alms / alms_per_op
+        return operators * 2 * clock / 1e12
+
+
+def agilex_device() -> DeviceModel:
+    """The Agilex family member the paper quotes: ~9000 DSPs at 750 MHz.
+
+    In fp16/bfloat16/fp19 mode each DSP does 2 lanes x (mul + add) =
+    4 flops/cycle: 8960 * 4 * 0.75e9 = 26.9 TFLOPs raw, marketed as
+    "up to 25 TFLOPs".
+    """
+    return DeviceModel("agilex-large", dsp_count=8960, clock_hz=750e6)

@@ -1,0 +1,179 @@
+"""Fractal-synthesis-style carry-chain packing (Section III).
+
+Soft-logic arithmetic produces *many short logical carry-chain segments*
+that must be packed into the FPGA's fixed physical chains.  Straightforward
+placement leaves arrays 60-70% full; the paper describes a re-synthesis
+step in the clustering/packing stage:
+
+* treat the problem as combined logic + carry-chain bin packing;
+* if a segment does not fit the space available, **decompose** it (split
+  into sub-segments re-joined through out-of-band logic);
+* place split-off sub-segments in remaining gaps;
+* finish with a **hard depopulation** that pins the arrangement;
+* iterate **exhaustively over seeds** rather than simulated annealing,
+  keeping only each seed and its metrics — the best solution is re-created
+  from its seed, which slashes RAM/disk and run time.
+
+:func:`pack_segments` is a single deterministic pass given a seed;
+:func:`fractal_pack` is the seed-iterated driver.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["CarrySegment", "PhysicalChain", "PackingResult", "pack_segments", "fractal_pack"]
+
+#: ALM positions that must separate two unrelated segments on one chain
+#: ("the segments need to be arithmetically separated from each other,
+#: typically by the insertion of non-functions").
+SEPARATION = 1
+
+#: Extra chain position consumed at each split point: the split-off
+#: sub-segment needs its carry re-entered through soft logic.
+SPLIT_OVERHEAD = 1
+
+
+@dataclass(frozen=True)
+class CarrySegment:
+    """A logical run of ``length`` consecutive carry-chain ALM positions."""
+
+    name: str
+    length: int
+
+    def __post_init__(self):
+        if self.length < 1:
+            raise ValueError("segments need at least one position")
+
+
+@dataclass
+class PhysicalChain:
+    """One physical carry chain of fixed capacity (one LAB column run)."""
+
+    index: int
+    capacity: int
+    placements: List[Tuple[str, int]] = field(default_factory=list)  # (name, length)
+    used: int = 0
+
+    def room(self) -> int:
+        gap = SEPARATION if self.placements else 0
+        return self.capacity - self.used - gap
+
+    def place(self, name: str, length: int) -> None:
+        gap = SEPARATION if self.placements else 0
+        if length + gap > self.capacity - self.used:
+            raise ValueError(f"segment {name} does not fit chain {self.index}")
+        self.used += length + gap
+        self.placements.append((name, length))
+
+
+@dataclass
+class PackingResult:
+    """Outcome of one packing run (possibly re-created from its seed)."""
+
+    seed: int
+    chains_used: int
+    positions_used: int
+    positions_total: int
+    splits: int
+    unplaced: int
+    chains: Optional[List[PhysicalChain]] = None
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of provided carry positions holding useful arithmetic."""
+        if self.positions_total == 0:
+            return 0.0
+        return self.positions_used / self.positions_total
+
+    def metric(self) -> Tuple[int, int, float]:
+        """Lexicographic quality: fewer unplaced, fewer chains, fewer splits."""
+        return (self.unplaced, self.chains_used, self.splits)
+
+
+def pack_segments(
+    segments: Sequence[CarrySegment],
+    chain_capacity: int,
+    chain_count: int,
+    seed: int = 0,
+    keep_chains: bool = True,
+) -> PackingResult:
+    """One deterministic packing pass.
+
+    The seed shuffles the segment order (the paper: "a seed function to
+    initialize each iteration"); packing is then first-fit with segment
+    decomposition: a segment that fits nowhere is split to the largest
+    available gap (paying :data:`SPLIT_OVERHEAD`), and its remainder re-queued.
+    """
+    rng = random.Random(seed)
+    order = list(segments)
+    rng.shuffle(order)
+
+    chains = [PhysicalChain(i, chain_capacity) for i in range(chain_count)]
+    splits = 0
+    unplaced = 0
+    queue: List[CarrySegment] = list(order)
+
+    while queue:
+        seg = queue.pop(0)
+        target = next((c for c in chains if c.room() >= seg.length), None)
+        if target is not None:
+            target.place(seg.name, seg.length)
+            continue
+        # Decompose: fill the biggest gap, re-queue the remainder.
+        best = max(chains, key=lambda c: c.room(), default=None)
+        if best is None or best.room() <= SPLIT_OVERHEAD:
+            unplaced += 1
+            continue
+        head_len = best.room() - SPLIT_OVERHEAD
+        if head_len < 1 or seg.length - head_len < 1:
+            unplaced += 1
+            continue
+        best.place(f"{seg.name}.head", head_len + SPLIT_OVERHEAD)
+        queue.append(CarrySegment(f"{seg.name}.tail", seg.length - head_len))
+        splits += 1
+
+    used = sum(
+        sum(length for name, length in c.placements if not name.endswith(".pad"))
+        for c in chains
+    )
+    # Hard depopulation: pad the tail gap of every used chain so the back
+    # end cannot rearrange sub-segments.
+    for c in chains:
+        if c.placements and c.capacity - c.used > 0:
+            pad = c.capacity - c.used
+            c.placements.append((f"chain{c.index}.pad", pad))
+            c.used = c.capacity
+
+    return PackingResult(
+        seed=seed,
+        chains_used=sum(1 for c in chains if any(not n.endswith(".pad") for n, _ in c.placements)),
+        positions_used=used,
+        positions_total=chain_capacity * chain_count,
+        splits=splits,
+        unplaced=unplaced,
+        chains=chains if keep_chains else None,
+    )
+
+
+def fractal_pack(
+    segments: Sequence[CarrySegment],
+    chain_capacity: int,
+    chain_count: int,
+    seeds: int = 32,
+) -> PackingResult:
+    """Seed-iterated packing: try ``seeds`` deterministic passes, track only
+    (seed, metrics), then re-create the winner from its seed.
+
+    This reproduces the paper's run-time observation: no per-solution state
+    is kept, "only a list of seeds and their final metrics are tracked.
+    The best solution can be quickly re-created using the chosen seed."
+    """
+    best_seed, best_metric = None, None
+    for seed in range(seeds):
+        result = pack_segments(segments, chain_capacity, chain_count, seed, keep_chains=False)
+        if best_metric is None or result.metric() < best_metric:
+            best_seed, best_metric = seed, result.metric()
+    return pack_segments(segments, chain_capacity, chain_count, best_seed, keep_chains=True)

@@ -1,0 +1,185 @@
+"""Multiplier regularization: Fig. 3 -> Fig. 4.
+
+The pencil-and-paper 3x3 multiplier produces three partial-product rows
+whose column heights are grossly unbalanced (Fig. 3) — a poor match for the
+two-input ripple-carry structure of FPGA carry chains.  The paper's
+regularization extracts the third bit of the deep columns into *out-of-band*
+auxiliary functions computed in a single extra ALM, leaving a two-row array
+(Fig. 4) that maps onto one short carry chain with balanced logic and
+routing: "6 independent inputs over the 4 ALMs".
+
+Note on Fig. 4's exact cell contents: the published table is ambiguous
+(its ``AUX2 xor p12`` cell is not arithmetically consistent with the prose).
+We implement the mathematically forced assignment —
+
+* ``AUX1 = p02 xor p11``   (redundant sum of column 2),
+* ``AUX2 = (p02 and p11) xor p12``   (redundant sum of column 3, folding in
+  the column-2 redundant carry ``a2 b0 a1 b1`` described in the prose),
+* ``AUX3 = p02 and p11 and p12``   (redundant carry into column 4) —
+
+and verify it bit-exactly against ``a * b`` over all 64 input pairs.  All
+three auxiliary functions share the same four inputs ``{a2, a1, b0, b1}``,
+which is why a single fracturable ALM suffices, exactly as the paper says.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..bitheap import BitHeap, partial_product_array
+from .alm import ALMBudget
+
+__all__ = ["MappingStats", "RegularizedMultiplier", "regularize_3x3", "naive_mapping_stats"]
+
+
+@dataclass
+class MappingStats:
+    """Resource/structure statistics of a soft-multiplier mapping."""
+
+    name: str
+    rows: int
+    max_column_height: int
+    min_column_inputs: int
+    max_column_inputs: int
+    chain_alms: int
+    out_of_band_alms: int
+    independent_inputs: int
+
+    @property
+    def total_alms(self) -> int:
+        return self.chain_alms + self.out_of_band_alms
+
+    @property
+    def balanced(self) -> bool:
+        """A mapping is balanced when no column needs more than 2 rows."""
+        return self.max_column_height <= 2
+
+
+def _pp(a: int, b: int, i: int, j: int) -> int:
+    """Partial product ``p[j,i]`` = bit i of a AND bit j of b (Fig. 3 naming)."""
+    return ((a >> i) & 1) & ((b >> j) & 1)
+
+
+class RegularizedMultiplier:
+    """The Fig. 4 two-level 3x3 multiplier with auxiliary functions."""
+
+    WIDTH = 3
+
+    def rows(self, a: int, b: int) -> Tuple[List[int], List[int]]:
+        """Evaluate the two partial-product rows for concrete operands.
+
+        Returns (PP0, PP1) as bit lists for columns 0..5.  Their sum equals
+        ``a * b`` (checked exhaustively in the tests and benchmarks).
+        """
+        p = lambda j, i: _pp(a, b, i, j)
+        aux1 = p(0, 2) ^ p(1, 1)
+        carry2 = p(0, 2) & p(1, 1)
+        aux2 = carry2 ^ p(1, 2)
+        aux3 = carry2 & p(1, 2)
+        pp0 = [p(0, 0), p(0, 1), p(2, 0), p(2, 1), p(2, 2), 0]
+        pp1 = [0, p(1, 0), aux1, aux2, aux3, 0]
+        return pp0, pp1
+
+    def multiply(self, a: int, b: int) -> int:
+        """Compute the product through the regularized structure."""
+        pp0, pp1 = self.rows(a, b)
+        total = 0
+        carry = 0
+        for col in range(6):
+            s = pp0[col] + pp1[col] + carry
+            total |= (s & 1) << col
+            carry = s >> 1
+        return total
+
+    def heap(self, a: int = None, b: int = None) -> BitHeap:
+        """The regularized structure as a (possibly concrete) bit heap."""
+        heap = BitHeap("fig4_mul3x3")
+        if a is None or b is None:
+            for col, name in enumerate(["p[0,0]", "p[0,1]", "p[2,0]", "p[2,1]", "p[2,2]"]):
+                heap.add_bit(col, source=name)
+            for col, name in [(1, "p[1,0]"), (2, "AUX1"), (3, "AUX2"), (4, "AUX3")]:
+                heap.add_bit(col, source=name)
+            return heap
+        pp0, pp1 = self.rows(a, b)
+        for col in range(5):  # PP0 occupies columns 0..4
+            heap.add_bit(col, source=f"pp0[{col}]", value=pp0[col])
+        for col in (1, 2, 3, 4):  # PP1 occupies columns 1..4
+            heap.add_bit(col, source=f"pp1[{col}]", value=pp1[col])
+        return heap
+
+    def alm_budget(self) -> ALMBudget:
+        """ALM placement of the Fig. 4 mapping.
+
+        One out-of-band ALM computes the auxiliary functions (all three
+        share inputs {a2, a1, b0, b1}); three chain ALMs add columns
+        (1,2), (3,4) and the carry out — two adder positions per ALM.
+        """
+        budget = ALMBudget()
+        aux_support = frozenset({"a2", "a1", "b0", "b1"})
+        budget.place("AUX1", aux_support)
+        budget.place("AUX2", aux_support)  # shares the same fracturable ALM
+        # The carry chain: 6 add positions / 2 per ALM = 3 ALMs.
+        budget.place("chain[0]", frozenset({"a0", "b0", "a1", "b1"}), on_chain=True)
+        budget.place("chain[1]", frozenset({"a2", "b0", "a1", "b1"}), on_chain=True)
+        budget.place("chain[2]", frozenset({"a2", "b1", "b2"}), on_chain=True)
+        return budget
+
+    def stats(self) -> MappingStats:
+        budget = self.alm_budget()
+        heights: Dict[int, int] = {}
+        sym = self.heap()
+        for col in sym.occupied_columns():
+            heights[col] = sym.height(col)
+        return MappingStats(
+            name="fig4-regularized-3x3",
+            rows=2,
+            max_column_height=max(heights.values()),
+            min_column_inputs=min(heights.values()),
+            max_column_inputs=max(heights.values()),
+            chain_alms=budget.chain_count,
+            out_of_band_alms=budget.count - budget.chain_count,
+            independent_inputs=6,  # a0..a2, b0..b2
+        )
+
+
+def regularize_3x3() -> RegularizedMultiplier:
+    """Construct the Fig. 4 regularized 3x3 multiplier."""
+    return RegularizedMultiplier()
+
+
+def naive_mapping_stats() -> MappingStats:
+    """Statistics of the naive Fig. 3 mapping, for comparison.
+
+    Three rows; column 2 holds three partial products, so a two-input
+    carry chain cannot absorb the array directly ("this arrangement leads
+    to three inputs after the second column"), and per-column independent
+    inputs vary from 2 to 6.
+    """
+    heap = partial_product_array(3, 3)
+    heights = {c: heap.height(c) for c in heap.occupied_columns()}
+
+    # Independent inputs per column: the distinct operand bits feeding it.
+    def column_inputs(col: int) -> int:
+        signals = set()
+        for j in range(3):
+            for i in range(3):
+                if i + j == col:
+                    signals.add(f"a{i}")
+                    signals.add(f"b{j}")
+        return len(signals)
+
+    per_col = [column_inputs(c) for c in heap.occupied_columns()]
+    # A naive ripple mapping needs one adder row per extra partial product
+    # row: 2 chain passes of ~4 positions each => ~4 ALMs on chains, plus
+    # the AND-plane LUTs.
+    return MappingStats(
+        name="fig3-naive-3x3",
+        rows=3,
+        max_column_height=max(heights.values()),
+        min_column_inputs=min(per_col),
+        max_column_inputs=max(per_col),
+        chain_alms=4,
+        out_of_band_alms=2,
+        independent_inputs=6,
+    )

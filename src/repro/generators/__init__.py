@@ -1,0 +1,58 @@
+"""FloPoCo-style application-specific operator generators (Section II).
+
+Each generator here follows the paper's "computing just right" discipline:
+the operator's *output format* fully specifies its accuracy contract — the
+result must be **faithfully rounded** (error strictly below one ULP of the
+output format) — and the generator chooses every internal bit width to meet
+that contract at minimal cost.
+
+Generators provided:
+
+* :mod:`repro.generators.constmult` — multiplication by a constant (CSD
+  shift-and-add) and the multiple-constant-multiplication sharing problem.
+* :mod:`repro.generators.squarer` — operator specialization of the square.
+* :mod:`repro.generators.tables` — plain, bipartite and multipartite table
+  function approximators.
+* :mod:`repro.generators.polyapprox` — piecewise polynomial approximation
+  (tables + multipliers).
+* :mod:`repro.generators.sincos` — the Fig. 1 parametric fixed-point
+  sine/cosine operator.
+* :mod:`repro.generators.fused` — the fused ``x / sqrt(x^2 + y^2)``
+  operator used as the paper's operator-fusion example.
+* :mod:`repro.generators.errors` — the error-analysis helpers every
+  generator uses to prove faithfulness.
+"""
+
+from .errors import ErrorBudget, ulp, max_abs_error, is_faithful
+from .constmult import (
+    csd_digits,
+    ConstantMultiplier,
+    MultipleConstantMultiplier,
+    shift_add_cost,
+)
+from .squarer import Squarer
+from .tables import PlainTable, BipartiteTable, MultipartiteTable
+from .polyapprox import PiecewisePolynomial
+from .sincos import SinCosGenerator, SinCosReport
+from .fused import FusedNorm
+from .fir import FIRFilter
+
+__all__ = [
+    "ErrorBudget",
+    "ulp",
+    "max_abs_error",
+    "is_faithful",
+    "csd_digits",
+    "ConstantMultiplier",
+    "MultipleConstantMultiplier",
+    "shift_add_cost",
+    "Squarer",
+    "PlainTable",
+    "BipartiteTable",
+    "MultipartiteTable",
+    "PiecewisePolynomial",
+    "SinCosGenerator",
+    "SinCosReport",
+    "FusedNorm",
+    "FIRFilter",
+]

@@ -1,0 +1,183 @@
+"""Constant multiplication: the classic operator specialization.
+
+Section II-A: "The most classical example is multiplication by a constant,
+which has been extensively studied."  A constant multiplier needs no
+multiplier array at all: the constant is recoded into canonical signed
+digits (CSD) and the product becomes a handful of shifted adds.
+
+The multiple-constant-multiplication (MCM) problem [8] shares intermediate
+results between several constants multiplying the same input; we implement
+a common-subexpression-elimination heuristic over CSD digit patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["csd_digits", "shift_add_cost", "ConstantMultiplier", "MultipleConstantMultiplier"]
+
+
+def csd_digits(constant: int) -> List[Tuple[int, int]]:
+    """Canonical signed-digit recoding: list of ``(shift, +1/-1)`` terms.
+
+    CSD has no two adjacent nonzero digits, which minimizes the number of
+    add/subtract terms among signed-digit representations:
+
+    >>> csd_digits(15)          # 16 - 1, not 8+4+2+1
+    [(0, -1), (4, 1)]
+    """
+    if constant == 0:
+        return []
+    sign = 1
+    if constant < 0:
+        sign, constant = -1, -constant
+    digits: List[Tuple[int, int]] = []
+    shift = 0
+    while constant:
+        if constant & 1:
+            # Look at the next bit to decide between +1 and -1 (carry).
+            if constant & 2:
+                digits.append((shift, -sign))
+                constant += 1
+            else:
+                digits.append((shift, sign))
+                constant -= 1
+        constant >>= 1
+        shift += 1
+    return digits
+
+
+def shift_add_cost(constant: int) -> int:
+    """Adders needed to multiply by ``constant`` via CSD (terms - 1)."""
+    return max(0, len(csd_digits(constant)) - 1)
+
+
+@dataclass
+class ConstantMultiplier:
+    """A generated multiply-by-constant operator.
+
+    The operator computes ``constant * x`` exactly, as a sum of shifted
+    (possibly negated) copies of ``x`` — hardware cost is ``adders`` ripple
+    adders of roughly ``input_bits + log2(constant)`` bits each, versus a
+    full multiplier array for the generic operator.
+    """
+
+    constant: int
+    input_bits: int
+    digits: List[Tuple[int, int]] = field(init=False)
+
+    def __post_init__(self):
+        self.digits = csd_digits(self.constant)
+
+    @property
+    def adders(self) -> int:
+        return max(0, len(self.digits) - 1)
+
+    @property
+    def generic_multiplier_cost(self) -> int:
+        """Adder-equivalents of a generic multiplier for comparison: one
+        row of adders per input bit (the array of Fig. 3)."""
+        return max(0, self.constant.bit_length() - 1)
+
+    def apply(self, x: int) -> int:
+        """Evaluate through the shift-add network (exact)."""
+        return sum(sign * (x << shift) for shift, sign in self.digits)
+
+    def __str__(self):
+        terms = " ".join(
+            f"{'+' if sign > 0 else '-'} (x << {shift})" for shift, sign in self.digits
+        )
+        return f"{self.constant} * x = {terms.lstrip('+ ')}"
+
+
+@dataclass
+class MultipleConstantMultiplier:
+    """Shared shift-add network multiplying one input by several constants.
+
+    Section II-A's *operator sharing*: "look for intermediate computations
+    that can be used by several subsequent computations", here with the
+    classic CSD common-subexpression heuristic (repeatedly extract the most
+    frequent signed digit pair).
+    """
+
+    constants: Sequence[int]
+    input_bits: int = 16
+
+    def __post_init__(self):
+        self.constants = [c for c in self.constants]
+        self._build()
+
+    def _build(self):
+        # Represent each constant as a dict shift -> signed digit.
+        self.digit_maps: List[Dict[int, int]] = []
+        for c in self.constants:
+            self.digit_maps.append({s: d for s, d in csd_digits(c)})
+        self.shared_terms: List[Tuple[int, int, int]] = []  # (dshift, d1, d2)
+        self._extract_subexpressions()
+
+    def _pattern_counts(self) -> Dict[Tuple[int, int, int], int]:
+        counts: Dict[Tuple[int, int, int], int] = {}
+        for dm in self.digit_maps:
+            # Only raw CSD digits (int keys) form patterns; tuple keys are
+            # already-substituted shared terms.
+            shifts = sorted(k for k in dm if isinstance(k, int))
+            for i, s1 in enumerate(shifts):
+                for s2 in shifts[i + 1 :]:
+                    key = (s2 - s1, dm[s1], dm[s2])
+                    counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def _extract_subexpressions(self):
+        while True:
+            counts = self._pattern_counts()
+            best = max(counts.items(), key=lambda kv: kv[1], default=None)
+            if best is None or best[1] < 2:
+                break
+            (dshift, d1, d2), _ = best
+            self.shared_terms.append((dshift, d1, d2))
+            token = -(len(self.shared_terms))  # negative keys mark shared terms
+            for dm in self.digit_maps:
+                shifts = sorted(k for k in dm if isinstance(k, int))
+                replaced = False
+                for i, s1 in enumerate(shifts):
+                    if replaced:
+                        break
+                    for s2 in shifts[i + 1 :]:
+                        if s2 - s1 == dshift and dm.get(s1) == d1 and dm.get(s2) == d2:
+                            del dm[s1], dm[s2]
+                            dm[self._token_key(token, s1)] = 1
+                            replaced = True
+                            break
+
+    @staticmethod
+    def _token_key(token: int, shift: int) -> Tuple[int, int]:
+        return (token, shift)
+
+    def adder_count(self) -> int:
+        """Total adders: one per shared term, plus per-constant reassembly."""
+        total = len(self.shared_terms)
+        for dm in self.digit_maps:
+            total += max(0, len(dm) - 1)
+        return total
+
+    def naive_adder_count(self) -> int:
+        """Adders without sharing: independent CSD multipliers."""
+        return sum(shift_add_cost(c) for c in self.constants)
+
+    def apply(self, x: int) -> List[int]:
+        """Evaluate all products (exact), going through the shared terms."""
+        shared_values = [
+            d1 * x + d2 * (x << dshift) for dshift, d1, d2 in self.shared_terms
+        ]
+        out = []
+        for dm in self.digit_maps:
+            acc = 0
+            for key, digit in dm.items():
+                if isinstance(key, tuple):
+                    token, shift = key
+                    acc += digit * (shared_values[-token - 1] << shift)
+                else:
+                    acc += digit * (x << key)
+            out.append(acc)
+        return out

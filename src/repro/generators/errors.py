@@ -1,0 +1,95 @@
+"""Error-analysis helpers: the "computing just right" contract.
+
+Section II-B: "No component should output bits that do not carry useful
+information ... there is no need to specify the accuracy, as it should be
+deduced from the output format."  Concretely, every generator in this
+package promises *faithful rounding*: for each input, the returned
+fixed-point output differs from the exact mathematical value by strictly
+less than one ULP of the output format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Iterable, Optional, Tuple
+
+__all__ = ["ulp", "ErrorBudget", "max_abs_error", "is_faithful"]
+
+
+def ulp(frac_bits: int) -> Fraction:
+    """One unit in the last place of a format with ``frac_bits`` fraction bits."""
+    return Fraction(1, 1 << frac_bits)
+
+
+@dataclass
+class ErrorBudget:
+    """Tracks how one output ULP is spent across an operator's pipeline.
+
+    A faithful operator may accumulate strictly less than 1 ULP of total
+    error; generators split that between method error (approximation) and
+    rounding error (truncations), exactly like FloPoCo papers do.
+    """
+
+    output_frac_bits: int
+    entries: list = field(default_factory=list)
+
+    @property
+    def total_allowed(self) -> Fraction:
+        return ulp(self.output_frac_bits)
+
+    def spend(self, label: str, amount: Fraction) -> "ErrorBudget":
+        """Record an error contribution (raises if the budget is blown)."""
+        self.entries.append((label, amount))
+        if self.total_spent() >= self.total_allowed:
+            raise ValueError(
+                f"error budget exceeded after {label!r}: "
+                f"{float(self.total_spent())} >= {float(self.total_allowed)}"
+            )
+        return self
+
+    def total_spent(self) -> Fraction:
+        return sum((amount for _, amount in self.entries), Fraction(0))
+
+    def remaining(self) -> Fraction:
+        return self.total_allowed - self.total_spent()
+
+    def __str__(self):
+        lines = [f"budget: 1 ulp = {float(self.total_allowed):.3e}"]
+        for label, amount in self.entries:
+            lines.append(f"  {label}: {float(amount):.3e}")
+        lines.append(f"  remaining: {float(self.remaining()):.3e}")
+        return "\n".join(lines)
+
+
+def max_abs_error(
+    operator: Callable[[int], int],
+    reference: Callable[[int], Fraction],
+    inputs: Iterable[int],
+    output_frac_bits: int,
+) -> Tuple[Fraction, Optional[int]]:
+    """Exhaustive error measurement of an integer-in/integer-out operator.
+
+    ``operator`` maps an input code to an output code (scaled by
+    ``2**-output_frac_bits``); ``reference`` gives the exact value.
+    Returns ``(max_error, argmax_input)`` in real units.
+    """
+    worst = Fraction(0)
+    worst_x = None
+    scale = ulp(output_frac_bits)
+    for x in inputs:
+        err = abs(Fraction(operator(x)) * scale - reference(x))
+        if err > worst:
+            worst, worst_x = err, x
+    return worst, worst_x
+
+
+def is_faithful(
+    operator: Callable[[int], int],
+    reference: Callable[[int], Fraction],
+    inputs: Iterable[int],
+    output_frac_bits: int,
+) -> bool:
+    """True when the operator is faithfully rounded over ``inputs``."""
+    worst, _ = max_abs_error(operator, reference, inputs, output_frac_bits)
+    return worst < ulp(output_frac_bits)

@@ -1,0 +1,110 @@
+"""Operator fusion: the ``x / sqrt(x^2 + y^2)`` example (Section II-A).
+
+"Operator fusion involves considering a compound mathematical expression
+such as x / sqrt(x^2 + y^2) as a single operator to implement."  The fused
+operator computes the exact compound value internally (squares are exact,
+the square root and division carry sticky information) and rounds *once*
+onto the output grid — so it is faithful by construction, whereas the
+composition of individually rounded sub-operators accumulates several ULPs
+of error and duplicates internal hardware (both squares feed one sum).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Tuple
+
+from .errors import ulp
+
+__all__ = ["FusedNorm"]
+
+
+def _round_nearest(value: Fraction, frac_bits: int) -> int:
+    scaled = value * (1 << frac_bits)
+    floor = scaled.numerator // scaled.denominator
+    rem = scaled - floor
+    if rem > Fraction(1, 2) or (rem == Fraction(1, 2) and floor % 2):
+        return floor + 1
+    return floor
+
+
+@dataclass
+class FusedNorm:
+    """Fused ``x / sqrt(x^2 + y^2)`` on signed fixed-point inputs.
+
+    Inputs are codes scaled by ``2**-in_frac_bits``; the output code is
+    scaled by ``2**-out_frac_bits`` and lies in [-1, 1].
+    """
+
+    in_frac_bits: int
+    out_frac_bits: int
+
+    def apply(self, x_code: int, y_code: int) -> int:
+        """Fused evaluation: exact compound value, single rounding."""
+        if x_code == 0 and y_code == 0:
+            raise ZeroDivisionError("x / sqrt(x^2 + y^2) undefined at the origin")
+        # The input scale cancels in the compound expression, so work on
+        # raw integers.  result = x / sqrt(x^2 + y^2), |result| <= 1.
+        n = x_code * x_code + y_code * y_code
+        # Compute x * 2^k / sqrt(n) with enough precision for one rounding.
+        k = self.out_frac_bits + 4
+        num = abs(x_code) << (2 * k)
+        # floor(num / sqrt(n)) via isqrt of num^2 / n: use integer sqrt of
+        # (x^2 << 4k) / n, which keeps all information in the remainder.
+        q = math.isqrt((x_code * x_code << (4 * k)) // n)
+        value = Fraction(q, 1 << (2 * k))
+        if x_code < 0:
+            value = -value
+        return _round_nearest(value, self.out_frac_bits)
+
+    def apply_composed(self, x_code: int, y_code: int) -> int:
+        """Baseline: the same expression from separately rounded operators.
+
+        Each sub-operator (square, square, add, sqrt, divide) rounds to the
+        *same* output grid before passing on — what a designer gets by
+        chaining catalog IP blocks instead of fusing.
+        """
+        if x_code == 0 and y_code == 0:
+            raise ZeroDivisionError("x / sqrt(x^2 + y^2) undefined at the origin")
+        p = self.out_frac_bits
+        scale_in = Fraction(1, 1 << self.in_frac_bits)
+        x = Fraction(x_code) * scale_in
+        y = Fraction(y_code) * scale_in
+        x2 = Fraction(_round_nearest(x * x, p), 1 << p)
+        y2 = Fraction(_round_nearest(y * y, p), 1 << p)
+        s = x2 + y2  # same-grid addition is exact
+        root = Fraction(_round_nearest(_sqrt_frac(s), p), 1 << p)
+        if root == 0:
+            # The composed pipeline underflowed: saturate like hardware would.
+            return (1 << p) if x_code > 0 else -(1 << p)
+        return _round_nearest(x / root, p)
+
+    def reference(self, x_code: int, y_code: int) -> Fraction:
+        """The compound value to ~2**-128 (irrational in general)."""
+        n = x_code * x_code + y_code * y_code
+        q = math.isqrt((x_code * x_code << 256) // n)
+        value = Fraction(q, 1 << 128)
+        return -value if x_code < 0 else value
+
+    def max_error_ulps(self, fused: bool, limit: int = 64) -> float:
+        """Worst error over the [1..limit]^2 grid (plus negative x)."""
+        worst = Fraction(0)
+        u = ulp(self.out_frac_bits)
+        fn = self.apply if fused else self.apply_composed
+        for x in range(-limit, limit + 1):
+            for y in range(1, limit + 1):
+                if x == 0:
+                    continue
+                got = Fraction(fn(x, y), 1 << self.out_frac_bits)
+                worst = max(worst, abs(got - self.reference(x, y)))
+        return float(worst / u)
+
+
+def _sqrt_frac(x: Fraction, bits: int = 80) -> Fraction:
+    """sqrt(x) to ~2**-bits relative error."""
+    if x < 0:
+        raise ValueError("sqrt of a negative value")
+    scaled = (x.numerator << (2 * bits)) // x.denominator
+    return Fraction(math.isqrt(scaled), 1 << bits)

@@ -1,0 +1,133 @@
+"""Piecewise-polynomial function approximation (Section II-A).
+
+"...or by using multipliers additionally, thanks to polynomial
+approximation."  The domain splits into ``2**seg_bits`` segments addressed
+by the top input bits; each segment carries a degree-``degree`` polynomial
+in the centered local variable, fitted at Chebyshev nodes (near-minimax).
+Coefficients are quantized onto a guarded fixed-point grid and evaluation
+is a Horner scheme on integers — exactly the architecture a FloPoCo
+polynomial evaluator generates, including the truncations at each step.
+
+The constructor increases the segment count until exhaustive verification
+shows faithful rounding.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, List, Optional
+
+from .errors import is_faithful, max_abs_error, ulp
+
+__all__ = ["PiecewisePolynomial"]
+
+
+def _chebyshev_nodes(n: int) -> List[float]:
+    """n Chebyshev nodes in (-1, 1)."""
+    return [math.cos((2 * k + 1) * math.pi / (2 * n)) for k in range(n)]
+
+
+def _fit_segment(func, left: float, width: float, degree: int) -> List[float]:
+    """Fit a degree-``degree`` polynomial in t in [-1/2, 1/2] on one segment."""
+    import numpy as np
+
+    ts = [0.5 * t for t in _chebyshev_nodes(max(degree + 1, degree + 1))]
+    xs = [left + (t + 0.5) * width for t in ts]
+    ys = [float(func(Fraction(x).limit_denominator(10**12))) for x in xs]
+    coeffs = np.polynomial.polynomial.polyfit(ts, ys, degree)
+    return [float(c) for c in coeffs]
+
+
+class PiecewisePolynomial:
+    """Faithful piecewise-polynomial operator on [0, 1)."""
+
+    def __init__(
+        self,
+        func: Callable[[Fraction], Fraction],
+        in_bits: int,
+        out_frac_bits: int,
+        degree: int = 2,
+        seg_bits: Optional[int] = None,
+        guard_bits: int = 4,
+        max_seg_bits: int = 12,
+    ):
+        self.func = func
+        self.in_bits = in_bits
+        self.out_frac_bits = out_frac_bits
+        self.degree = degree
+        self.guard_bits = guard_bits
+
+        seg_bits = seg_bits if seg_bits is not None else max(1, in_bits // 3)
+        while True:
+            self._build(seg_bits)
+            if self.verify_faithful():
+                break
+            seg_bits += 1
+            if seg_bits > min(max_seg_bits, self.in_bits):
+                raise ValueError(
+                    f"no faithful degree-{degree} evaluator up to 2^{max_seg_bits} segments"
+                )
+
+    def _build(self, seg_bits: int):
+        self.seg_bits = seg_bits
+        g = self.guard_bits
+        self.work_bits = self.out_frac_bits + g
+        width = 1.0 / (1 << seg_bits)
+        self.coeff_codes: List[List[int]] = []
+        for seg in range(1 << seg_bits):
+            coeffs = _fit_segment(self.func, seg * width, width, self.degree)
+            self.coeff_codes.append(
+                [int(round(c * (1 << self.work_bits))) for c in coeffs]
+            )
+
+    # ------------------------------------------------------------------
+    def lookup(self, x: int) -> int:
+        """Evaluate: segment select, centered local variable, integer Horner."""
+        low_bits = self.in_bits - self.seg_bits
+        seg = x >> low_bits
+        # Local variable t in [-1/2, 1/2), as a signed integer scaled by
+        # 2**low_bits (the T-box truncation grid of Fig. 1).
+        t_code = (x & ((1 << low_bits) - 1)) - (1 << (low_bits - 1) if low_bits else 0)
+        coeffs = self.coeff_codes[seg]
+        acc = coeffs[-1]
+        for c in reversed(coeffs[:-1]):
+            # acc * t is scaled by 2**(work + low); shift back to work grid.
+            prod = acc * t_code
+            acc = c + (prod >> low_bits if low_bits else prod)
+        half = 1 << (self.guard_bits - 1)
+        return (acc + half) >> self.guard_bits
+
+    def reference(self, x: int) -> Fraction:
+        return self.func(Fraction(x, 1 << self.in_bits))
+
+    def verify_faithful(self) -> bool:
+        step = 1  # exhaustive; in_bits is expected to be modest (<= ~14)
+        return is_faithful(
+            self.lookup,
+            self.reference,
+            range(0, 1 << self.in_bits, step),
+            self.out_frac_bits,
+        )
+
+    def max_error_ulps(self) -> float:
+        worst, _ = max_abs_error(
+            self.lookup, self.reference, range(1 << self.in_bits), self.out_frac_bits
+        )
+        return float(worst / ulp(self.out_frac_bits))
+
+    def table_bits(self) -> int:
+        def width(vals):
+            m = max((abs(v) for v in vals), default=1)
+            return max(m.bit_length() + 1, 2)
+
+        total = 0
+        for k in range(self.degree + 1):
+            col = [c[k] for c in self.coeff_codes]
+            total += len(col) * width(col)
+        return total
+
+    def multiplier_count(self) -> int:
+        """Horner evaluation uses one multiplier per degree."""
+        return self.degree

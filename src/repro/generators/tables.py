@@ -1,0 +1,271 @@
+"""Table-based function approximators (Section II-A).
+
+Three generators of increasing sophistication, all faithful to the output
+format by construction-plus-verification:
+
+* :class:`PlainTable` — tabulate everything ("by using plain tabulation").
+  Perfect accuracy (correct rounding), exponential size.
+* :class:`BipartiteTable` — "by using only tables and additions": a table
+  of initial values plus a table of offsets, exploiting the slowly varying
+  slope of the function [11].
+* :class:`MultipartiteTable` — the generalization with several offset
+  tables, trading one more adder for a further size reduction.
+
+All operators map an input code ``x`` (``in_bits`` bits, value
+``x * 2**-in_bits`` in [0, 1)) to an output code scaled by
+``2**-out_frac_bits``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, List, Optional, Tuple
+
+from .errors import is_faithful, max_abs_error, ulp
+
+__all__ = ["PlainTable", "BipartiteTable", "MultipartiteTable"]
+
+Real = Callable[[Fraction], Fraction]
+
+
+def _round_nearest(value: Fraction, frac_bits: int) -> int:
+    """Round a real to an integer code on the 2**-frac_bits grid (RNE)."""
+    scaled = value * (1 << frac_bits)
+    floor = scaled.numerator // scaled.denominator
+    rem = scaled - floor
+    if rem > Fraction(1, 2) or (rem == Fraction(1, 2) and floor % 2):
+        return floor + 1
+    return floor
+
+
+class PlainTable:
+    """Exhaustive tabulation: one correctly rounded entry per input."""
+
+    def __init__(self, func: Real, in_bits: int, out_frac_bits: int):
+        self.in_bits = in_bits
+        self.out_frac_bits = out_frac_bits
+        scale = Fraction(1, 1 << in_bits)
+        self.entries = [
+            _round_nearest(func(Fraction(x) * scale), out_frac_bits)
+            for x in range(1 << in_bits)
+        ]
+
+    def lookup(self, x: int) -> int:
+        return self.entries[x]
+
+    def table_bits(self) -> int:
+        """Total storage: entries x entry width."""
+        width = max(max(self.entries).bit_length(), 1)
+        return (1 << self.in_bits) * width
+
+
+class BipartiteTable:
+    """Bipartite approximation: ``f(x) ~ TIV[A,B] + TO[A,C]``.
+
+    The input splits into three fields ``x = A:B:C`` of ``alpha``, ``beta``,
+    ``gamma`` bits.  The table of initial values samples ``f`` at the center
+    of each ``C`` range; the table of offsets stores the first-order
+    correction ``slope(A) * (C - C_mid)``, shared across all ``B`` — the
+    size drops from ``2**(a+b+g)`` to ``2**(a+b) + 2**(a+g)`` entries.
+
+    The constructor auto-verifies faithfulness and, if the first-order
+    method error is too large for the requested split, shrinks ``gamma``
+    (moving bits into ``beta``) until the contract holds.
+    """
+
+    def __init__(
+        self,
+        func: Real,
+        in_bits: int,
+        out_frac_bits: int,
+        alpha: Optional[int] = None,
+        guard_bits: int = 2,
+    ):
+        self.func = func
+        self.in_bits = in_bits
+        self.out_frac_bits = out_frac_bits
+        self.guard_bits = guard_bits
+
+        alpha = alpha if alpha is not None else max(1, in_bits // 3)
+        gamma = max(1, (in_bits - alpha) // 2)
+        while True:
+            beta = in_bits - alpha - gamma
+            if beta < 0:
+                raise ValueError("in_bits too small for a bipartite split")
+            self._build(alpha, beta, gamma)
+            if gamma == 0 or self.verify_faithful():
+                break
+            gamma -= 1  # move precision from the offset table to the TIV
+        if not self.verify_faithful():
+            raise ValueError("bipartite generator could not reach faithfulness")
+
+    # ------------------------------------------------------------------
+    def _build(self, alpha: int, beta: int, gamma: int):
+        self.alpha, self.beta, self.gamma = alpha, beta, gamma
+        g = self.guard_bits
+        work_bits = self.out_frac_bits + g
+        in_scale = Fraction(1, 1 << self.in_bits)
+
+        c_mid = Fraction((1 << gamma) - 1, 2) if gamma else Fraction(0)
+
+        # TIV[A:B]: f at the C-midpoint of the cell.
+        self.tiv: List[int] = []
+        for ab in range(1 << (alpha + beta)):
+            x_mid = (Fraction(ab << gamma) + c_mid) * in_scale
+            self.tiv.append(_round_nearest(self.func(x_mid), work_bits))
+
+        # TO[A:C]: slope of the A segment times the centered C offset.
+        self.to: List[int] = []
+        seg = Fraction(1, 1 << alpha)
+        for a in range(1 << alpha):
+            left = Fraction(a) * seg
+            right = left + seg
+            slope = (self.func(right if right <= 1 else Fraction(1)) - self.func(left)) / seg
+            for c in range(1 << gamma):
+                offset = (Fraction(c) - c_mid) * in_scale
+                self.to.append(_round_nearest(slope * offset, work_bits))
+
+    def lookup(self, x: int) -> int:
+        a = x >> (self.beta + self.gamma)
+        ab = x >> self.gamma
+        c = x & ((1 << self.gamma) - 1)
+        total = self.tiv[ab] + self.to[(a << self.gamma) | c]
+        # Final rounding from the guarded grid to the output grid.
+        g = self.guard_bits
+        half = 1 << (g - 1) if g else 0
+        return (total + half) >> g
+
+    def table_bits(self) -> int:
+        def width(entries):
+            m = max((abs(e) for e in entries), default=1)
+            return max(m.bit_length() + 1, 2)  # signed entries
+
+        return len(self.tiv) * width(self.tiv) + len(self.to) * width(self.to)
+
+    def reference(self, x: int) -> Fraction:
+        return self.func(Fraction(x, 1 << self.in_bits))
+
+    def verify_faithful(self) -> bool:
+        return is_faithful(
+            self.lookup, self.reference, range(1 << self.in_bits), self.out_frac_bits
+        )
+
+    def max_error_ulps(self) -> float:
+        worst, _ = max_abs_error(
+            self.lookup, self.reference, range(1 << self.in_bits), self.out_frac_bits
+        )
+        return float(worst / ulp(self.out_frac_bits))
+
+
+class MultipartiteTable:
+    """Multipartite approximation: one TIV plus ``m`` offset tables [11].
+
+    The low input field splits into ``m`` sub-fields ``C_1 .. C_m``, each
+    with its own table of offsets indexed by ``(A_i, C_i)`` where ``A_i``
+    is a (possibly shorter) prefix of the input.  With the decomposition
+    degenerating to :class:`BipartiteTable` for ``m = 1``.
+    """
+
+    def __init__(
+        self,
+        func: Real,
+        in_bits: int,
+        out_frac_bits: int,
+        alpha: Optional[int] = None,
+        parts: int = 2,
+        guard_bits: int = 3,
+    ):
+        self.func = func
+        self.in_bits = in_bits
+        self.out_frac_bits = out_frac_bits
+        self.guard_bits = guard_bits
+        self.parts = parts
+
+        alpha = alpha if alpha is not None else max(1, in_bits // 3)
+        rest = in_bits - alpha
+        beta = max(0, rest - parts * max(1, rest // (parts + 1)))
+        gammas = [max(1, rest // (parts + 1))] * parts
+        # Adjust so alpha + beta + sum(gammas) == in_bits.
+        slack = in_bits - alpha - beta - sum(gammas)
+        beta += slack
+        while True:
+            if beta < 0:
+                raise ValueError("in_bits too small for this multipartite split")
+            self._build(alpha, beta, gammas)
+            if self.verify_faithful():
+                break
+            if all(g_ == 0 for g_ in gammas):
+                raise ValueError("multipartite generator could not reach faithfulness")
+            # Shrink the largest offset field, growing the TIV.
+            i = max(range(parts), key=lambda k: gammas[k])
+            gammas[i] -= 1
+            beta += 1
+
+    def _build(self, alpha: int, beta: int, gammas: List[int]):
+        self.alpha, self.beta, self.gammas = alpha, beta, list(gammas)
+        g = self.guard_bits
+        work_bits = self.out_frac_bits + g
+        in_scale = Fraction(1, 1 << self.in_bits)
+        low_bits = sum(gammas)
+
+        mids = [Fraction((1 << g_) - 1, 2) if g_ else Fraction(0) for g_ in gammas]
+        # Combined low-field midpoint, in input LSBs.
+        total_mid = Fraction(0)
+        shift = low_bits
+        for g_, mid in zip(gammas, mids):
+            shift -= g_
+            total_mid += mid * (1 << shift)
+
+        self.tiv: List[int] = []
+        for ab in range(1 << (alpha + beta)):
+            x_mid = (Fraction(ab << low_bits) + total_mid) * in_scale
+            self.tiv.append(_round_nearest(self.func(x_mid), work_bits))
+
+        seg = Fraction(1, 1 << alpha)
+        self.tos: List[List[int]] = []
+        shift = low_bits
+        for g_, mid in zip(gammas, mids):
+            shift -= g_
+            table: List[int] = []
+            for a in range(1 << alpha):
+                left = Fraction(a) * seg
+                right = min(left + seg, Fraction(1))
+                slope = (self.func(right) - self.func(left)) / seg
+                for c in range(1 << g_):
+                    offset = (Fraction(c) - mid) * (1 << shift) * in_scale
+                    table.append(_round_nearest(slope * offset, work_bits))
+            self.tos.append(table)
+
+    def lookup(self, x: int) -> int:
+        low_bits = sum(self.gammas)
+        a = x >> (self.beta + low_bits)
+        ab = x >> low_bits
+        total = self.tiv[ab]
+        shift = low_bits
+        for g_, table in zip(self.gammas, self.tos):
+            shift -= g_
+            c = (x >> shift) & ((1 << g_) - 1)
+            total += table[(a << g_) | c]
+        g = self.guard_bits
+        half = 1 << (g - 1) if g else 0
+        return (total + half) >> g
+
+    def table_bits(self) -> int:
+        def width(entries):
+            m = max((abs(e) for e in entries), default=1)
+            return max(m.bit_length() + 1, 2)
+
+        total = len(self.tiv) * width(self.tiv)
+        for table in self.tos:
+            total += len(table) * width(table)
+        return total
+
+    def reference(self, x: int) -> Fraction:
+        return self.func(Fraction(x, 1 << self.in_bits))
+
+    def verify_faithful(self) -> bool:
+        return is_faithful(
+            self.lookup, self.reference, range(1 << self.in_bits), self.out_frac_bits
+        )

@@ -1,0 +1,39 @@
+"""Fair hardware comparison of posits vs IEEE floats (Section V).
+
+Gate-level datapaths for both number systems, built on
+:mod:`repro.circuits` and verified bit-exactly against the software models:
+
+* :mod:`repro.hwcost.posit_units` — posit decoder and the full posit
+  multiplier in the spirit of Yonemoto's 8-bit circuit (Fig. 8):
+  two's-complement decode (no sign/magnitude split), regime handling via a
+  leading-sign count, and an encode path whose regime construction is a
+  single arithmetic shift.
+* :mod:`repro.hwcost.float_units` — IEEE-style float multipliers in two
+  compliance levels: "normals only" (the fast path processors actually
+  build in hardware) and "full IEEE" (subnormals, infinities, NaN).
+* :mod:`repro.hwcost.compare` — the cost table behind the paper's
+  conclusion: "Posit hardware is slightly more expensive than normals-only
+  float hardware, but substantially simpler and faster than hardware that
+  fully supports all aspects of the IEEE 754 Standard."
+"""
+
+from .posit_units import build_posit_multiplier, build_posit_decoder
+from .posit_adder import build_posit_adder
+from .float_units import build_float_multiplier, build_float_decoder
+from .float_adder import build_float_adder
+from .compare import hardware_comparison, adder_comparison, ComparisonRow
+from .comparators import build_float_comparator, build_integer_comparator
+
+__all__ = [
+    "build_posit_multiplier",
+    "build_posit_decoder",
+    "build_posit_adder",
+    "build_float_multiplier",
+    "build_float_decoder",
+    "build_float_adder",
+    "hardware_comparison",
+    "adder_comparison",
+    "ComparisonRow",
+    "build_float_comparator",
+    "build_integer_comparator",
+]

@@ -1,0 +1,110 @@
+"""Comparison-unit circuits: floats need one, posits don't (Section V).
+
+"The IEEE 754 Standard requires 22 different kinds of comparison operations
+because of the NaN exceptions ... Substantial circuit logic is needed for
+the comparison of two floats.  In contrast ... there is no need for a posit
+comparison unit separate from the one used for integers."
+
+:func:`build_float_comparator` produces the lt/eq/unordered relation of two
+IEEE values (NaN detection, +-0 equality, sign-magnitude ordering);
+:func:`build_integer_comparator` is the plain two's-complement comparator
+that serves both integers *and* posits (NaR, as the most negative pattern,
+orders itself below everything and equal to itself for free).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..circuits import Circuit
+from ..circuits.components import ripple_carry_adder
+from ..circuits.netlist import Net
+from ..floats import FloatFormat
+
+__all__ = ["build_float_comparator", "build_integer_comparator"]
+
+
+def _and_all(c: Circuit, nets) -> Net:
+    nets = list(nets)
+    return nets[0] if len(nets) == 1 else c.and_(*nets)
+
+
+def _magnitude_less(c: Circuit, a: List[Net], b: List[Net]) -> Net:
+    """a < b as unsigned words, via a - b borrow."""
+    # a - b: a + ~b + 1; borrow-out == 0 means a < b.
+    nb = [c.not_(x) for x in b]
+    _, carry = ripple_carry_adder(c, a, nb, cin=c.const(1))
+    return c.not_(carry)
+
+
+def build_integer_comparator(width: int) -> Circuit:
+    """Signed two's-complement comparator: outputs lt and eq.
+
+    This single unit also compares posits correctly (Fig. 7): NaR
+    (10...0) is the most negative integer, so ``NaR < everything`` and
+    ``NaR == NaR`` need no special cases.
+    """
+    c = Circuit(f"int{width}_cmp")
+    a = c.input_bus("a", width)
+    b = c.input_bus("b", width)
+    # Signed compare: flip the sign bits and compare unsigned.
+    a2 = a[:-1] + [c.not_(a[-1])]
+    b2 = b[:-1] + [c.not_(b[-1])]
+    lt = _magnitude_less(c, a2, b2)
+    eq_bits = [c.xnor(x, y) for x, y in zip(a, b)]
+    c.outputs(lt=lt, eq=_and_all(c, eq_bits))
+    return c
+
+
+def build_float_comparator(fmt: FloatFormat) -> Circuit:
+    """IEEE float relation unit: outputs lt, eq, unordered.
+
+    Handles the Section V pain points explicitly: NaN operands make the
+    pair unordered, and the two zero patterns compare equal despite
+    differing in the sign bit.
+    """
+    c = Circuit(f"{fmt.name}_cmp")
+    e, f = fmt.exp_bits, fmt.frac_bits
+    n = fmt.width
+    a = c.input_bus("a", n)
+    b = c.input_bus("b", n)
+
+    def classify(bits):
+        frac = bits[:f]
+        exp = bits[f : f + e]
+        exp_ones = _and_all(c, exp)
+        frac_zero = c.nor(*frac)
+        exp_zero = c.nor(*exp)
+        return {
+            "sign": bits[-1],
+            "is_nan": c.and_(exp_ones, c.not_(frac_zero)),
+            "is_zero": c.and_(exp_zero, frac_zero),
+            "mag": bits[:-1],  # exponent+fraction compare as an integer
+        }
+
+    da, db = classify(a), classify(b)
+    unordered = c.or_(da["is_nan"], db["is_nan"])
+    both_zero = c.and_(da["is_zero"], db["is_zero"])
+
+    mag_lt = _magnitude_less(c, da["mag"], db["mag"])
+    mag_gt = _magnitude_less(c, db["mag"], da["mag"])
+    mag_eq = _and_all(c, [c.xnor(x, y) for x, y in zip(da["mag"], db["mag"])])
+
+    sa, sb = da["sign"], db["sign"]
+    both_neg = c.and_(sa, sb)
+    # lt: (a negative, b not, not both zero) OR (same sign, magnitude order
+    # with direction flipped for negatives).
+    neg_pos = c.and_(sa, c.not_(sb))
+    same_sign = c.xnor(sa, sb)
+    dir_lt = c.mux(both_neg, mag_lt, mag_gt)  # negatives reverse direction
+    lt_same = c.and_(same_sign, dir_lt)
+    lt = c.and_(
+        c.or_(c.and_(neg_pos, c.not_(both_zero)), lt_same),
+        c.not_(unordered),
+    )
+    eq = c.and_(
+        c.or_(c.and_(mag_eq, same_sign), both_zero),
+        c.not_(unordered),
+    )
+    c.outputs(lt=lt, eq=eq, unordered=unordered)
+    return c

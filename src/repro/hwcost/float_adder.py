@@ -1,0 +1,227 @@
+"""Gate-level IEEE-style float adders (normals-only and full IEEE).
+
+The float counterpart of :mod:`repro.hwcost.posit_adder`, completing the
+Section V cost comparison on the addition side.  The paper's point about
+float addition is the *conditional* structure sign-magnitude forces (the
+sign/magnitude/compare pseudo-code of Section V): this datapath carries it
+as the swap/negate/abs sequence, plus — in the full-IEEE variant — gradual
+underflow and the NaN/infinity cases.
+
+Subnormal inputs need no pre-normalization for addition: a subnormal's
+significand (hidden bit 0) at the fixed exponent ``emin`` is already on
+the common grid the aligner uses, so the full-IEEE adder's extra cost over
+normals-only is the output-side gradual underflow and the exception logic.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..circuits import Circuit
+from ..circuits.components import (
+    barrel_shifter,
+    conditional_negate,
+    leading_zero_counter,
+    mux_word,
+    ripple_carry_adder,
+)
+from ..circuits.netlist import Net
+from ..floats import FloatFormat
+
+__all__ = ["build_float_adder"]
+
+
+def _const_word(c: Circuit, value: int, width: int) -> List[Net]:
+    return [c.const((value >> i) & 1) for i in range(width)]
+
+
+def _pad(c: Circuit, word, width: int) -> List[Net]:
+    return list(word) + [c.const(0)] * (width - len(word))
+
+
+def _negate_word(c: Circuit, a: List[Net]) -> List[Net]:
+    inv = [c.not_(x) for x in a]
+    s, _ = ripple_carry_adder(c, inv, _const_word(c, 1, len(a)))
+    return s
+
+
+def _or_all(c: Circuit, nets) -> Net:
+    nets = list(nets)
+    if not nets:
+        return c.const(0)
+    return nets[0] if len(nets) == 1 else c.or_(*nets)
+
+
+def _and_all(c: Circuit, nets) -> Net:
+    nets = list(nets)
+    return nets[0] if len(nets) == 1 else c.and_(*nets)
+
+
+def build_float_adder(fmt: FloatFormat, full_ieee: bool = True) -> Circuit:
+    """Combinational float adder (RNE), normals-only or full IEEE."""
+    c = Circuit(f"{fmt.name}_add_{'full' if full_ieee else 'normal'}")
+    e, f = fmt.exp_bits, fmt.frac_bits
+    n = fmt.width
+    S = e + 3
+
+    a_bits = c.input_bus("a", n)
+    b_bits = c.input_bus("b", n)
+
+    def decode(bits):
+        frac = bits[:f]
+        exp = bits[f : f + e]
+        sign = bits[-1]
+        exp_zero = c.nor(*exp)
+        exp_ones = _and_all(c, exp)
+        frac_zero = c.nor(*frac)
+        hidden = c.not_(exp_zero)
+        sig = frac + [hidden]  # f+1 bits; exact for subnormals too
+        exp_eff = [c.or_(exp[0], exp_zero)] + exp[1:]
+        return {
+            "sign": sign,
+            "exp": _pad(c, exp_eff, S),
+            "sig": sig,
+            "is_zero": c.and_(exp_zero, frac_zero),
+            "zero_or_sub": exp_zero,
+            "is_inf": c.and_(exp_ones, frac_zero),
+            "is_nan": c.and_(exp_ones, c.not_(frac_zero)),
+        }
+
+    da, db = decode(a_bits), decode(b_bits)
+    if not full_ieee:
+        # Normals-only: subnormal inputs read as zero (FTZ on input).
+        for d, bits in ((da, a_bits), (db, b_bits)):
+            d["is_zero"] = d["zero_or_sub"]
+            flush = d["zero_or_sub"]
+            d["sig"] = mux_word(c, flush, d["sig"], _const_word(c, 0, f + 1))
+
+    # ------------------------------------------------------------------
+    # Swap by effective exponent.
+    d_word, _ = ripple_carry_adder(c, da["exp"], _negate_word(c, db["exp"]))
+    a_smaller = d_word[-1]
+    big_sig = mux_word(c, a_smaller, da["sig"], db["sig"])
+    small_sig = mux_word(c, a_smaller, db["sig"], da["sig"])
+    big_sign = c.mux(a_smaller, da["sign"], db["sign"])
+    small_sign = c.mux(a_smaller, db["sign"], da["sign"])
+    big_exp = mux_word(c, a_smaller, da["exp"], db["exp"])
+    abs_d = mux_word(c, a_smaller, d_word, _negate_word(c, d_word))
+
+    # ------------------------------------------------------------------
+    # Wide alignment window.
+    F1 = f + 1
+    G = f + 3
+    W = F1 + G
+    big_wide = [c.const(0)] * G + list(big_sig)
+    small_wide = [c.const(0)] * G + list(small_sig)
+
+    sh_max = W
+    sh_bits = sh_max.bit_length()
+    high = abs_d[sh_bits:]
+    any_high = _or_all(c, high)
+    shift = mux_word(c, any_high, abs_d[:sh_bits], _const_word(c, sh_max, sh_bits))
+
+    ones = [c.const(1)] * W
+    keep_mask = barrel_shifter(c, ones, shift, left=True)
+    dropped = [c.and_(v, c.not_(k)) for v, k in zip(small_wide, keep_mask)]
+    sticky_align = _or_all(c, dropped)
+    small_aligned = barrel_shifter(c, small_wide, shift, left=False)
+
+    # ------------------------------------------------------------------
+    # Signed add + absolute value.
+    WS = W + 2
+    big_s = conditional_negate(c, _pad(c, big_wide, WS), big_sign)
+    small_s = conditional_negate(c, _pad(c, small_aligned, WS), small_sign)
+    total, _ = ripple_carry_adder(c, big_s, small_s)
+    total_neg = total[-1]
+    magnitude = conditional_negate(c, total, total_neg)
+    is_exact_zero = c.and_(c.nor(*magnitude), c.not_(sticky_align))
+    out_sign = total_neg
+
+    # ------------------------------------------------------------------
+    # Normalize.
+    lzc = leading_zero_counter(c, magnitude)
+    norm = barrel_shifter(c, magnitude, lzc, left=True)
+    # Exponent of the leading one: bit i of `magnitude` weighs
+    # 2^(big_exp - bias - f + i - G), hidden reference index = f + G.
+    offset = f + G
+    const_part = _const_word(c, (WS - 1 - offset) & ((1 << S) - 1), S)
+    e_out, _ = ripple_carry_adder(c, big_exp, const_part)
+    e_out, _ = ripple_carry_adder(c, e_out, _negate_word(c, _pad(c, lzc, S)))
+
+    # Fraction window below the hidden one (f bits), then guard, then rest.
+    frac_n = [norm[WS - 1 - f + i] for i in range(f)]  # LSB-first
+    guard_n = norm[WS - 2 - f]
+    sticky_n = c.or_(_or_all(c, norm[: WS - 2 - f]), sticky_align)
+    inc_n = c.and_(guard_n, c.or_(sticky_n, frac_n[0]))
+    frac_n_rounded, carry_n = ripple_carry_adder(c, frac_n, _pad(c, [inc_n], f))
+    e_rounded, _ = ripple_carry_adder(c, e_out, _pad(c, [carry_n], S))
+
+    e_neg_or_zero = c.or_(e_out[-1], c.nor(*e_out))
+    ge_inf = c.and_(
+        c.not_(e_rounded[-1]),
+        c.or_(_or_all(c, e_rounded[e:-1]), _and_all(c, e_rounded[:e])),
+    )
+
+    if full_ieee:
+        # Gradual underflow: shift the normalized significand right by
+        # t = 1 - e_out and take the subnormal fraction window.
+        V = norm  # hidden at WS-1
+        t_full, _ = ripple_carry_adder(
+            c, _const_word(c, 1, S), [c.not_(x) for x in e_out], cin=c.const(1)
+        )
+        t_max = f + 3
+        t_bits = t_max.bit_length()
+        t_high = _or_all(c, t_full[t_bits:-1])
+        t_sel = mux_word(c, t_high, t_full[:t_bits], _const_word(c, t_max, t_bits))
+        ones_v = [c.const(1)] * WS
+        keep_v = barrel_shifter(c, ones_v, t_sel, left=True)
+        dropped_v = [c.and_(v, c.not_(k)) for v, k in zip(V, keep_v)]
+        sticky_dropped = _or_all(c, dropped_v)
+        shifted_v = barrel_shifter(c, V, t_sel, left=False)
+        # Subnormal fraction: f bits directly below the (shifted) hidden.
+        frac_s = [shifted_v[WS - 1 - f + i] for i in range(f)]
+        guard_s = shifted_v[WS - 2 - f]
+        sticky_s = c.or_(
+            c.or_(_or_all(c, shifted_v[: WS - 2 - f]), sticky_dropped), sticky_align
+        )
+        inc_s = c.and_(guard_s, c.or_(sticky_s, frac_s[0]))
+        frac_s_rounded, carry_s = ripple_carry_adder(c, frac_s, _pad(c, [inc_s], f))
+        exp_s = _pad(c, [carry_s], e)
+
+        frac_field = mux_word(c, e_neg_or_zero, frac_n_rounded, frac_s_rounded)
+        exp_field = mux_word(c, e_neg_or_zero, e_rounded[:e], exp_s)
+    else:
+        frac_field = mux_word(c, e_neg_or_zero, frac_n_rounded, _const_word(c, 0, f))
+        exp_field = mux_word(c, e_neg_or_zero, e_rounded[:e], _const_word(c, 0, e))
+
+    use_inf = c.and_(ge_inf, c.not_(e_neg_or_zero))
+    frac_field = mux_word(c, use_inf, frac_field, _const_word(c, 0, f))
+    exp_field = mux_word(c, use_inf, exp_field, _const_word(c, (1 << e) - 1, e))
+
+    result = frac_field + exp_field + [out_sign]
+
+    # Exact zero: IEEE sign rules (RNE: +0 unless both addends negative).
+    zero_sign = c.and_(da["sign"], db["sign"])
+    zero_word = _const_word(c, 0, f + e) + [zero_sign]
+    result = mux_word(c, is_exact_zero, result, zero_word)
+
+    # Zero operands pass the other through.
+    result = mux_word(c, da["is_zero"], result, b_bits)
+    result = mux_word(c, db["is_zero"], result, a_bits)
+    both_zero = c.and_(da["is_zero"], db["is_zero"])
+    result = mux_word(c, both_zero, result, zero_word)
+
+    if full_ieee:
+        inf_a, inf_b = da["is_inf"], db["is_inf"]
+        any_inf = c.or_(inf_a, inf_b)
+        inf_sign = c.mux(inf_a, db["sign"], da["sign"])
+        inf_word = _const_word(c, 0, f) + _const_word(c, (1 << e) - 1, e) + [inf_sign]
+        result = mux_word(c, any_inf, result, inf_word)
+        opposing = c.and_(c.and_(inf_a, inf_b), c.xor(da["sign"], db["sign"]))
+        nan_in = c.or_(c.or_(da["is_nan"], db["is_nan"]), opposing)
+        qnan = fmt.pattern_quiet_nan
+        nan_word = [c.const((qnan >> i) & 1) for i in range(n)]
+        result = mux_word(c, nan_in, result, nan_word)
+
+    c.output_bus("s", result)
+    return c

@@ -1,0 +1,240 @@
+"""Gate-level IEEE-style float multipliers, in two compliance levels.
+
+Section V: "comparisons of posit and float hardware complexity need to be
+careful to note whether the float hardware actually supports IEEE 754 or if
+the compliance is limited to normal floats only."  The two builders here
+make that difference measurable:
+
+* ``build_float_multiplier(fmt, full_ieee=False)`` — the *normals-only*
+  datapath processors actually harden: no subnormal inputs (treated as
+  zero), results below the normal range flush to zero, no NaN/infinity
+  logic.  This is the fast path of the "Trap to Software" picture in
+  Fig. 6.
+* ``build_float_multiplier(fmt, full_ieee=True)`` — full IEEE 754:
+  subnormal operand normalization (a leading-zero counter and left
+  shifter), gradual underflow on the output (right shifter with sticky
+  collection), infinities, NaN propagation, and signed zeros.
+
+Both are verified bit-exactly against :class:`repro.floats.SoftFloat` in
+the test suite (exhaustively for 8-bit formats, on their respective input
+domains).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..circuits import Circuit
+from ..circuits.components import (
+    array_multiplier,
+    barrel_shifter,
+    leading_zero_counter,
+    mux_word,
+    ripple_carry_adder,
+)
+from ..circuits.netlist import Net
+from ..floats import FloatFormat
+
+__all__ = ["build_float_decoder", "build_float_multiplier"]
+
+
+def _const_word(c: Circuit, value: int, width: int) -> List[Net]:
+    return [c.const((value >> i) & 1) for i in range(width)]
+
+
+def _pad(c: Circuit, word, width: int) -> List[Net]:
+    return list(word) + [c.const(0)] * (width - len(word))
+
+
+def _sign_extend(word, width: int) -> List[Net]:
+    return list(word) + [word[-1]] * (width - len(word))
+
+
+def _or_all(c: Circuit, nets) -> Net:
+    nets = list(nets)
+    if not nets:
+        return c.const(0)
+    return nets[0] if len(nets) == 1 else c.or_(*nets)
+
+
+def _and_all(c: Circuit, nets) -> Net:
+    nets = list(nets)
+    return nets[0] if len(nets) == 1 else c.and_(*nets)
+
+
+def build_float_decoder(fmt: FloatFormat, full_ieee: bool = True) -> Circuit:
+    """Stand-alone float decoder (field split + classification +
+    subnormal normalization when ``full_ieee``)."""
+    c = Circuit(f"{fmt.name}_decode{'_full' if full_ieee else '_normal'}")
+    e, f = fmt.exp_bits, fmt.frac_bits
+    bits = c.input_bus("x", fmt.width)
+    frac = bits[:f]
+    exp = bits[f : f + e]
+    sign = bits[-1]
+
+    exp_zero = c.nor(*exp)
+    exp_ones = _and_all(c, exp)
+    frac_zero = c.nor(*frac)
+    c.outputs(
+        sign=sign,
+        is_zero=c.and_(exp_zero, frac_zero),
+        is_inf=c.and_(exp_ones, frac_zero),
+        is_nan=c.and_(exp_ones, c.not_(frac_zero)),
+        is_sub=c.and_(exp_zero, c.not_(frac_zero)),
+    )
+    hidden = c.not_(exp_zero)
+    sig = frac + [hidden]
+    if full_ieee:
+        lzc = leading_zero_counter(c, sig)
+        sig = barrel_shifter(c, sig, lzc, left=True)
+    c.output_bus("sig", sig)
+    c.output_bus("exp", exp)
+    return c
+
+
+def build_float_multiplier(fmt: FloatFormat, full_ieee: bool = True) -> Circuit:
+    """Combinational float multiplier (RNE), normals-only or full IEEE."""
+    c = Circuit(f"{fmt.name}_mul_{'full' if full_ieee else 'normal'}")
+    e, f = fmt.exp_bits, fmt.frac_bits
+    n = fmt.width
+    S = e + 3  # signed exponent datapath width
+
+    a_bits = c.input_bus("a", n)
+    b_bits = c.input_bus("b", n)
+
+    def decode(bits):
+        frac = bits[:f]
+        exp = bits[f : f + e]
+        sign = bits[-1]
+        exp_zero = c.nor(*exp)
+        exp_ones = _and_all(c, exp)
+        frac_zero = c.nor(*frac)
+        hidden = c.not_(exp_zero)
+        sig = frac + [hidden]  # f+1 bits, LSB-first
+        # Effective exponent: max(exp, 1) so subnormals read as emin.
+        exp_eff = [c.or_(exp[0], exp_zero)] + exp[1:]
+        if full_ieee:
+            lzc = leading_zero_counter(c, sig)
+            sig = barrel_shifter(c, sig, lzc, left=True)
+            exp_signed, _ = ripple_carry_adder(
+                c,
+                _pad(c, exp_eff, S),
+                [c.not_(x) for x in _pad(c, lzc, S)],
+                cin=c.const(1),
+            )  # exp_eff - lzc
+        else:
+            exp_signed = _pad(c, exp_eff, S)
+        return {
+            "sign": sign,
+            "exp": exp_signed,
+            "sig": sig,
+            "is_zero": c.and_(exp_zero, frac_zero if full_ieee else c.const(1)),
+            "zero_or_sub": exp_zero,
+            "is_inf": c.and_(exp_ones, frac_zero),
+            "is_nan": c.and_(exp_ones, c.not_(frac_zero)),
+        }
+
+    da, db = decode(a_bits), decode(b_bits)
+
+    # Significand product: (f+1) x (f+1) -> 2f+2 bits.
+    prod = array_multiplier(c, da["sig"], db["sig"])
+    ovf = prod[2 * f + 1]
+
+    # Fraction window below the leading one (2f+1 bits, LSB-first).
+    window = [c.mux(ovf, c.const(0), prod[0])]
+    for j in range(1, 2 * f + 1):
+        window.append(c.mux(ovf, prod[j - 1], prod[j]))
+
+    # Result exponent (biased): Ea + Eb - bias + ovf.
+    esum, _ = ripple_carry_adder(c, da["exp"], db["exp"])
+    neg_bias = _const_word(c, (-fmt.bias) & ((1 << S) - 1), S)
+    esum, _ = ripple_carry_adder(c, esum, neg_bias)
+    esum, _ = ripple_carry_adder(c, esum, _pad(c, [ovf], S))
+    e_neg_or_zero = c.or_(esum[-1], c.nor(*esum))  # Eres <= 0
+
+    # ---------------- normal path ----------------------------------------
+    frac_norm = window[f + 1 :]  # top f bits (LSB-first slice)
+    guard_n = window[f]
+    sticky_n = _or_all(c, window[:f])
+    inc_n = c.and_(guard_n, c.or_(sticky_n, frac_norm[0]))
+    frac_n_rounded, carry_n = ripple_carry_adder(c, frac_norm, _pad(c, [inc_n], f))
+    exp_n, _ = ripple_carry_adder(c, esum, _pad(c, [carry_n], S))
+
+    # Overflow to infinity: exp_n >= 2^e - 1 (and not negative).
+    ge_inf = c.and_(
+        c.not_(exp_n[-1]),
+        c.or_(_or_all(c, exp_n[e:-1]), _and_all(c, exp_n[:e])),
+    )
+
+    if full_ieee:
+        # ------------- subnormal (gradual underflow) path ----------------
+        # V = 1.window as a 2f+2-bit word; shift right by t = 1 - Eres.
+        V = window + [c.const(1)]
+        width_v = 2 * f + 2
+        t_full, _ = ripple_carry_adder(
+            c,
+            _const_word(c, 1, S),
+            [c.not_(x) for x in esum],
+            cin=c.const(1),
+        )  # 1 - esum
+        t_max = f + 3
+        t_bits = t_max.bit_length()
+        t_high = _or_all(c, t_full[t_bits:-1])
+        # When Eres <= 0, t >= 1; clamp t to t_max.
+        t_sel = mux_word(c, t_high, t_full[:t_bits], _const_word(c, t_max, t_bits))
+        shifted = barrel_shifter(c, V, t_sel, left=False)
+        # Sticky from the bits the right shift dropped: mark them with a
+        # left-shifted all-ones mask.
+        ones = [c.const(1)] * width_v
+        keep_mask = barrel_shifter(c, ones, t_sel, left=True)
+        dropped = [c.and_(v, c.not_(k)) for v, k in zip(V, keep_mask)]
+        sticky_dropped = _or_all(c, dropped)
+
+        # Subnormal fraction = (1.window << f) >> t, i.e. bits f+1..2f of the
+        # shifted word; the bit below (index f) is the guard.
+        frac_s = shifted[f + 1 : 2 * f + 1]
+        guard_s = shifted[f]
+        sticky_s = c.or_(_or_all(c, shifted[:f]), sticky_dropped)
+        inc_s = c.and_(guard_s, c.or_(sticky_s, frac_s[0]))
+        frac_s_rounded, carry_s = ripple_carry_adder(c, frac_s, _pad(c, [inc_s], f))
+        exp_s = _pad(c, [carry_s], e)  # rounds up into the smallest normal
+
+        frac_field = mux_word(c, e_neg_or_zero, frac_n_rounded, frac_s_rounded)
+        exp_field = mux_word(c, e_neg_or_zero, exp_n[:e], exp_s)
+    else:
+        # Normals-only: flush results below the normal range to zero.
+        zero_f = _const_word(c, 0, f)
+        frac_field = mux_word(c, e_neg_or_zero, frac_n_rounded, zero_f)
+        exp_field = mux_word(c, e_neg_or_zero, exp_n[:e], _const_word(c, 0, e))
+
+    # Overflow to infinity (normal path only; subnormal path cannot).
+    use_inf = c.and_(ge_inf, c.not_(e_neg_or_zero))
+    frac_field = mux_word(c, use_inf, frac_field, _const_word(c, 0, f))
+    exp_field = mux_word(c, use_inf, exp_field, _const_word(c, (1 << e) - 1, e))
+
+    sign_out = c.xor(da["sign"], db["sign"])
+
+    # Specials.
+    zero_in = (
+        c.or_(da["is_zero"], db["is_zero"])
+        if full_ieee
+        else c.or_(da["zero_or_sub"], db["zero_or_sub"])
+    )
+    result = frac_field + exp_field + [sign_out]
+    zero_word = _const_word(c, 0, f) + _const_word(c, 0, e) + [sign_out]
+    result = mux_word(c, zero_in, result, zero_word)
+
+    if full_ieee:
+        inf_in = c.or_(da["is_inf"], db["is_inf"])
+        nan_in = c.or_(
+            c.or_(da["is_nan"], db["is_nan"]),
+            c.and_(inf_in, zero_in),  # inf * 0
+        )
+        inf_word = _const_word(c, 0, f) + _const_word(c, (1 << e) - 1, e) + [sign_out]
+        result = mux_word(c, inf_in, result, inf_word)
+        qnan = fmt.pattern_quiet_nan
+        nan_word = [c.const((qnan >> i) & 1) for i in range(n)]
+        result = mux_word(c, nan_in, result, nan_word)
+
+    c.output_bus("p", result)
+    return c

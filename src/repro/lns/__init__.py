@@ -1,0 +1,30 @@
+"""Logarithmic number system (LNS) arithmetic.
+
+The paper's introduction counts logarithmic data representations among the
+edge-arithmetic alternatives (its reference [5] is a log-domain CNN
+accelerator, and Mitchell-style log multipliers appear in
+:mod:`repro.approx`).  This package provides a complete LNS:
+
+* values are ``(-1)^s * 2^E`` with ``E`` a two's-complement fixed-point
+  exponent — multiplication and division are exact *additions* of ``E``;
+* addition/subtraction go through the Gaussian logarithms
+  ``phi+(d) = log2(1 + 2^-d)`` and ``phi-(d) = log2(1 - 2^-d)``, either
+  computed directly (:meth:`LNS.add`) or through a faithful table generated
+  by :mod:`repro.generators` (:class:`LNSAdderTable`) — exactly the
+  function-approximation use-case of Section II;
+* the subtraction singularity at ``d -> 0`` is handled the way hardware
+  does: exact cancellation detection plus a widened table segment.
+
+>>> from repro.lns import LNSFormat, LNS
+>>> fmt = LNSFormat(5, 8)
+>>> x = LNS.from_float(fmt, 3.0)
+>>> y = LNS.from_float(fmt, 4.0)
+>>> round((x * y).to_float(), 2)   # multiplication is exact in the log domain
+12.0
+"""
+
+from .format import LNSFormat
+from .value import LNS
+from .tables import LNSAdderTable
+
+__all__ = ["LNSFormat", "LNS", "LNSAdderTable"]

@@ -1,0 +1,75 @@
+"""LNS format descriptors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LNSFormat"]
+
+
+@dataclass(frozen=True)
+class LNSFormat:
+    """A sign-magnitude-exponent logarithmic format.
+
+    A value is ``(-1)^sign * 2^(E)`` where ``E`` is a signed fixed-point
+    number with ``int_bits`` integer and ``frac_bits`` fraction bits.  The
+    total storage is ``2 + int_bits + frac_bits`` (sign + E's sign + E),
+    with the most negative ``E`` code reserved for zero.
+
+    Attributes:
+        int_bits: Integer bits of the exponent (dynamic range control —
+            like the posit regime or float exponent).
+        frac_bits: Fraction bits of the exponent (precision control).
+    """
+
+    int_bits: int
+    frac_bits: int
+
+    def __post_init__(self):
+        if self.int_bits < 1 or self.frac_bits < 0:
+            raise ValueError("need int_bits >= 1, frac_bits >= 0")
+
+    @property
+    def e_bits(self) -> int:
+        """Width of the exponent field (two's complement)."""
+        return 1 + self.int_bits + self.frac_bits
+
+    @property
+    def width(self) -> int:
+        """Total storage width."""
+        return 1 + self.e_bits
+
+    @property
+    def e_max(self) -> int:
+        return (1 << (self.e_bits - 1)) - 1
+
+    @property
+    def e_min(self) -> int:
+        """Most negative usable exponent code (one above the zero code)."""
+        return -(1 << (self.e_bits - 1)) + 1
+
+    @property
+    def zero_code(self) -> int:
+        """The reserved exponent code for value zero."""
+        return -(1 << (self.e_bits - 1))
+
+    @property
+    def scale(self) -> int:
+        """E's LSB weighs ``2**-frac_bits``."""
+        return self.frac_bits
+
+    def max_value(self) -> float:
+        import math
+
+        return math.ldexp(1.0, 0) * 2.0 ** (self.e_max / (1 << self.frac_bits))
+
+    def min_positive(self) -> float:
+        return 2.0 ** (self.e_min / (1 << self.frac_bits))
+
+    def dynamic_range_decades(self) -> float:
+        import math
+
+        return (self.e_max - self.e_min) / (1 << self.frac_bits) * math.log10(2.0)
+
+    def __str__(self):
+        return f"lns<{self.int_bits}.{self.frac_bits}>"

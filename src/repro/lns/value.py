@@ -1,0 +1,159 @@
+"""LNS values and arithmetic."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .format import LNSFormat
+
+__all__ = ["LNS"]
+
+
+class LNS:
+    """An immutable LNS value: sign + fixed-point exponent code.
+
+    ``e_code`` is the integer exponent code (``E = e_code * 2**-frac_bits``)
+    or the reserved zero code.
+    """
+
+    __slots__ = ("fmt", "sign", "e_code")
+
+    def __init__(self, fmt: LNSFormat, sign: int, e_code: int):
+        if not fmt.zero_code <= e_code <= fmt.e_max:
+            raise ValueError(f"exponent code {e_code} out of range for {fmt}")
+        object.__setattr__(self, "fmt", fmt)
+        object.__setattr__(self, "sign", sign & 1)
+        object.__setattr__(self, "e_code", e_code)
+
+    def __setattr__(self, *a):  # pragma: no cover
+        raise AttributeError("LNS is immutable")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, fmt: LNSFormat) -> "LNS":
+        return cls(fmt, 0, fmt.zero_code)
+
+    @classmethod
+    def one(cls, fmt: LNSFormat) -> "LNS":
+        return cls(fmt, 0, 0)
+
+    @classmethod
+    def from_float(cls, fmt: LNSFormat, value: float) -> "LNS":
+        """Round a float onto the LNS grid (nearest exponent code)."""
+        if value == 0.0 or math.isnan(value):
+            return cls.zero(fmt)
+        sign = int(value < 0)
+        e = math.log2(abs(value)) * (1 << fmt.frac_bits)
+        code = int(round(e))
+        code = max(fmt.e_min, min(fmt.e_max, code))  # saturate, never zero
+        return cls(fmt, sign, code)
+
+    def is_zero(self) -> bool:
+        return self.e_code == self.fmt.zero_code
+
+    def to_float(self) -> float:
+        if self.is_zero():
+            return 0.0
+        v = 2.0 ** (self.e_code / (1 << self.fmt.frac_bits))
+        return -v if self.sign else v
+
+    # ------------------------------------------------------------------
+    # Multiplicative operations: exact integer adds in the log domain.
+    # ------------------------------------------------------------------
+    def mul(self, other: "LNS") -> "LNS":
+        self._check(other)
+        if self.is_zero() or other.is_zero():
+            return LNS.zero(self.fmt)
+        code = self.e_code + other.e_code
+        code = max(self.fmt.e_min, min(self.fmt.e_max, code))
+        return LNS(self.fmt, self.sign ^ other.sign, code)
+
+    def div(self, other: "LNS") -> "LNS":
+        self._check(other)
+        if other.is_zero():
+            raise ZeroDivisionError("LNS division by zero")
+        if self.is_zero():
+            return LNS.zero(self.fmt)
+        code = self.e_code - other.e_code
+        code = max(self.fmt.e_min, min(self.fmt.e_max, code))
+        return LNS(self.fmt, self.sign ^ other.sign, code)
+
+    def sqrt(self) -> "LNS":
+        """Square root: halve the exponent (a wire shift in hardware)."""
+        if self.sign:
+            raise ValueError("LNS sqrt of a negative value")
+        if self.is_zero():
+            return self
+        half, rem = divmod(self.e_code, 2)
+        if rem:  # halfway between codes: round to the even one
+            half += half & 1
+        return LNS(self.fmt, 0, half)
+
+    # ------------------------------------------------------------------
+    # Additive operations: Gaussian logarithms.
+    # ------------------------------------------------------------------
+    def add(self, other: "LNS") -> "LNS":
+        """Addition via phi+/phi- computed in double precision."""
+        self._check(other)
+        if self.is_zero():
+            return other
+        if other.is_zero():
+            return self
+        big, small = (self, other) if self.e_code >= other.e_code else (other, self)
+        d = (big.e_code - small.e_code) / (1 << self.fmt.frac_bits)
+        if self.sign == other.sign:
+            # phi+(d) = log2(1 + 2^-d)
+            delta = math.log2(1.0 + 2.0**-d)
+            code = big.e_code + int(round(delta * (1 << self.fmt.frac_bits)))
+            code = min(code, self.fmt.e_max)
+            return LNS(self.fmt, big.sign, code)
+        # Opposite signs: subtraction.
+        if big.e_code == small.e_code:
+            return LNS.zero(self.fmt)  # exact cancellation
+        # phi-(d) = log2(1 - 2^-d) < 0, singular at d -> 0.
+        delta = math.log2(1.0 - 2.0**-d)
+        code = big.e_code + int(round(delta * (1 << self.fmt.frac_bits)))
+        if code < self.fmt.e_min:
+            code = self.fmt.e_min  # saturate toward the smallest magnitude
+        return LNS(self.fmt, big.sign, code)
+
+    def sub(self, other: "LNS") -> "LNS":
+        return self.add(other.negate())
+
+    def negate(self) -> "LNS":
+        if self.is_zero():
+            return self
+        return LNS(self.fmt, self.sign ^ 1, self.e_code)
+
+    def _check(self, other: "LNS"):
+        if self.fmt != other.fmt:
+            raise ValueError("format mismatch")
+
+    def __mul__(self, other):
+        return self.mul(other)
+
+    def __truediv__(self, other):
+        return self.div(other)
+
+    def __add__(self, other):
+        return self.add(other)
+
+    def __sub__(self, other):
+        return self.sub(other)
+
+    def __neg__(self):
+        return self.negate()
+
+    def __eq__(self, other):
+        if not isinstance(other, LNS):
+            return NotImplemented
+        if self.is_zero() and other.is_zero():
+            return True
+        return (self.fmt, self.sign, self.e_code) == (other.fmt, other.sign, other.e_code)
+
+    def __hash__(self):
+        return hash((self.fmt, self.sign, self.e_code))
+
+    def __repr__(self):
+        return f"LNS({self.fmt}, {self.to_float()!r})"

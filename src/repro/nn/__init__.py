@@ -1,0 +1,62 @@
+"""A from-scratch numpy DNN framework (the substrate for Section IV).
+
+The paper's approximate-computing study (Table I, Fig. 5) needs full
+control of every multiplication inside convolutional and fully connected
+layers — something off-the-shelf frameworks hide.  This package provides:
+
+* float layers and training (:mod:`repro.nn.layers`, :mod:`repro.nn.network`,
+  :mod:`repro.nn.optim`, :mod:`repro.nn.losses`);
+* 8-bit linear quantization and behavioural approximate execution with
+  straight-through-estimator retraining (:mod:`repro.nn.quantize`),
+  reproducing the retraining scheme of Section IV-B: the forward pass runs
+  the approximate multiplier, the backward pass differentiates the
+  *accurate* network (eq. (2): "the gradient of the approximate function is
+  undefined and thus we need to estimate it using the accurate
+  counterpart");
+* the data-augmentation transforms whose interaction with approximation
+  Fig. 5 studies (:mod:`repro.nn.augment`).
+"""
+
+from .layers import (
+    Layer,
+    Param,
+    Dense,
+    Conv2D,
+    ReLU,
+    MaxPool2D,
+    GlobalAvgPool,
+    Flatten,
+    BatchNorm2D,
+    ResidualBlock,
+)
+from .network import Sequential
+from .losses import softmax_cross_entropy, softmax
+from .optim import SGD, Adam
+from .quantize import QuantizedNetwork, quantize_tensor, dequantize
+from .augment import random_flip, add_background_noise
+from .train import train, evaluate_accuracy
+
+__all__ = [
+    "Layer",
+    "Param",
+    "Dense",
+    "Conv2D",
+    "ReLU",
+    "MaxPool2D",
+    "GlobalAvgPool",
+    "Flatten",
+    "BatchNorm2D",
+    "ResidualBlock",
+    "Sequential",
+    "softmax_cross_entropy",
+    "softmax",
+    "SGD",
+    "Adam",
+    "QuantizedNetwork",
+    "quantize_tensor",
+    "dequantize",
+    "random_flip",
+    "add_background_noise",
+    "train",
+    "evaluate_accuracy",
+]

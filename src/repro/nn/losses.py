@@ -1,0 +1,30 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["softmax", "softmax_cross_entropy"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stable."""
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Cross-entropy loss of eq. (1) with integer class labels.
+
+    Returns ``(mean_loss, dloss/dlogits)``.
+    """
+    n = logits.shape[0]
+    probs = softmax(logits)
+    eps = 1e-12
+    loss = -np.log(probs[np.arange(n), labels] + eps).mean()
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    return float(loss), grad / n

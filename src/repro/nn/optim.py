@@ -1,0 +1,68 @@
+"""Optimizers (eq. (2)'s weight update)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from .layers import Param
+
+__all__ = ["SGD", "Adam"]
+
+
+class SGD:
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, params: Iterable[Param], lr: float = 0.01, momentum: float = 0.9):
+        self.params: List[Param] = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def zero_grad(self):
+        """Clear every parameter's accumulated gradient."""
+        for p in self.params:
+            p.grad[...] = 0.0
+
+    def step(self):
+        """Apply one update from the accumulated gradients."""
+        for p, v in zip(self.params, self._velocity):
+            v *= self.momentum
+            v -= self.lr * p.grad
+            p.data += v
+
+
+class Adam:
+    """Adam optimizer."""
+
+    def __init__(
+        self,
+        params: Iterable[Param],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        self.params: List[Param] = list(params)
+        self.lr, self.beta1, self.beta2, self.eps = lr, beta1, beta2, eps
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def zero_grad(self):
+        """Clear every parameter's accumulated gradient."""
+        for p in self.params:
+            p.grad[...] = 0.0
+
+    def step(self):
+        """Apply one update from the accumulated gradients."""
+        self._t += 1
+        b1t = 1 - self.beta1**self._t
+        b2t = 1 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            m *= self.beta1
+            m += (1 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1 - self.beta2) * p.grad**2
+            p.data -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)

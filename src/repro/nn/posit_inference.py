@@ -1,0 +1,107 @@
+"""Posit-quantized DNN inference.
+
+The edge-ML pitch of Section V, exercised end to end: weights and
+activations are rounded onto a posit grid (no per-tensor scale calibration
+— the tapered dynamic range absorbs it), products are exact (float64 holds
+any product of two <=16-bit posits exactly), and accumulations model the
+quire (exact until the final rounding per output).
+
+Contrast with :class:`repro.nn.quantize.QuantizedNetwork`: int8 linear
+quantization needs a calibration pass and per-layer scales; the posit
+pipeline is calibration-free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..posit import PositFormat
+from ..posit.tensor import PositCodec
+from .layers import Conv2D, Dense, Layer, ResidualBlock
+from .network import Sequential
+
+__all__ = ["PositQuantizedNetwork"]
+
+
+class _PConv:
+    def __init__(self, conv: Conv2D, codec: PositCodec):
+        self.conv = conv
+        self.codec = codec
+        self.qw = codec.quantize(conv.w.data)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        qx = self.codec.quantize(x)
+        cols_w = self.qw
+        from .layers import im2col
+
+        f, c, kh, kw = cols_w.shape
+        cols, oh, ow = im2col(qx, kh, kw, self.conv.stride, self.conv.pad)
+        out = cols @ cols_w.reshape(f, -1).T + self.conv.b.data
+        return out.reshape(x.shape[0], oh, ow, f).transpose(0, 3, 1, 2)
+
+
+class _PDense:
+    def __init__(self, dense: Dense, codec: PositCodec):
+        self.dense = dense
+        self.codec = codec
+        self.qw = codec.quantize(dense.w.data)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        qx = self.codec.quantize(x)
+        return qx @ self.qw + self.dense.b.data
+
+
+class _PResidual:
+    def __init__(self, block: ResidualBlock, codec: PositCodec):
+        self.block = block
+        self.exec1 = _PConv(block.conv1, codec)
+        self.exec2 = _PConv(block.conv2, codec)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        y = self.exec1.forward(x)
+        y = self.block.relu1.forward(y)
+        y = self.exec2.forward(y)
+        return self.block.relu2.forward(y + x)
+
+
+class PositQuantizedNetwork:
+    """Posit-grid inference over a trained float :class:`Sequential`."""
+
+    def __init__(self, net: Sequential, fmt: PositFormat):
+        self.net = net
+        self.fmt = fmt
+        self.codec = PositCodec(fmt)
+        self.executors: List[Optional[object]] = []
+        for layer in net.layers:
+            if isinstance(layer, Conv2D):
+                self.executors.append(_PConv(layer, self.codec))
+            elif isinstance(layer, Dense):
+                self.executors.append(_PDense(layer, self.codec))
+            elif isinstance(layer, ResidualBlock):
+                self.executors.append(_PResidual(layer, self.codec))
+            else:
+                self.executors.append(None)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer, executor in zip(self.net.layers, self.executors):
+            x = executor.forward(x) if executor is not None else layer.forward(x)
+        return x
+
+    def predict(self, x: np.ndarray, batch: int = 256) -> np.ndarray:
+        outs = []
+        for start in range(0, len(x), batch):
+            outs.append(self.forward(x[start : start + batch]))
+        return np.concatenate(outs, axis=0)
+
+    def weight_quantization_error(self) -> float:
+        """Worst relative weight-rounding error across quantized layers."""
+        worst = 0.0
+        for layer in self.net.layers:
+            for param_owner in (
+                [layer] if isinstance(layer, (Conv2D, Dense)) else
+                [layer.conv1, layer.conv2] if isinstance(layer, ResidualBlock) else []
+            ):
+                worst = max(worst, self.codec.quantization_error(param_owner.w.data))
+        return worst

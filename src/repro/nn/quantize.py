@@ -1,0 +1,203 @@
+"""8-bit linear quantization and approximate execution with STE retraining.
+
+Section IV: "We quantize weights, bias, and activations to 8 bits using
+linear quantization" and introduce the behavioural simulation of a given
+approximate multiplier into the layer computation.  Retraining follows
+eq. (2): the forward pass is approximate, the gradient is taken from the
+accurate (linear) computation — the straight-through estimator.
+
+Symmetric per-tensor quantization: ``q = clip(round(x / scale), -127, 127)``
+with ``scale = max|x| / 127``.  Integer accumulation is exact (int64); the
+approximate multiplier replaces the elementwise int8 x int8 products via
+its exhaustive behaviour table (:func:`repro.approx.simulate.signed_lut`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..approx.simulate import approx_conv2d, approx_matmul
+from .layers import (
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    ResidualBlock,
+    col2im,
+    im2col,
+)
+from .network import Sequential
+
+__all__ = ["quantize_tensor", "dequantize", "QuantizedNetwork"]
+
+
+def quantize_tensor(x: np.ndarray, scale: Optional[float] = None) -> Tuple[np.ndarray, float]:
+    """Symmetric int8 quantization; returns ``(q, scale)``."""
+    if scale is None:
+        scale = float(np.max(np.abs(x))) / 127.0
+        if scale == 0.0:
+            scale = 1.0
+    q = np.clip(np.round(x / scale), -127, 127).astype(np.int64)
+    return q, scale
+
+
+def dequantize(q: np.ndarray, scale: float) -> np.ndarray:
+    return q.astype(np.float64) * scale
+
+
+class _QConvExecutor:
+    """Quantized + approximate execution of one convolution."""
+
+    def __init__(self, conv: Conv2D, act_scale: float):
+        self.conv = conv
+        self.act_scale = act_scale
+
+    def forward(self, x: np.ndarray, lut: Optional[np.ndarray]) -> np.ndarray:
+        qx, sx = quantize_tensor(x, self.act_scale)
+        qw, sw = quantize_tensor(self.conv.w.data)
+        acc = approx_conv2d(qx, qw, lut, self.conv.stride, self.conv.pad)
+        out = acc.astype(np.float64) * (sx * sw)
+        out += self.conv.b.data[None, :, None, None]
+        # Cache the dequantized input for the accurate backward pass.
+        self._x_deq = dequantize(qx, sx)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Accurate-path gradient (STE) through the float conv."""
+        conv = self.conv
+        f, c, kh, kw = conv.w.data.shape
+        cols, oh, ow = im2col(self._x_deq, kh, kw, conv.stride, conv.pad)
+        n = self._x_deq.shape[0]
+        gmat = grad.transpose(0, 2, 3, 1).reshape(n * oh * ow, f)
+        conv.w.grad += (gmat.T @ cols).reshape(conv.w.data.shape)
+        conv.b.grad += gmat.sum(axis=0)
+        gcols = gmat @ conv.w.data.reshape(f, -1)
+        return col2im(gcols, self._x_deq.shape, kh, kw, conv.stride, conv.pad)
+
+
+class _QDenseExecutor:
+    def __init__(self, dense: Dense, act_scale: float):
+        self.dense = dense
+        self.act_scale = act_scale
+
+    def forward(self, x: np.ndarray, lut: Optional[np.ndarray]) -> np.ndarray:
+        qx, sx = quantize_tensor(x, self.act_scale)
+        qw, sw = quantize_tensor(self.dense.w.data)
+        acc = approx_matmul(qx, qw, lut)
+        out = acc.astype(np.float64) * (sx * sw) + self.dense.b.data
+        self._x_deq = dequantize(qx, sx)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        dense = self.dense
+        dense.w.grad += self._x_deq.T @ grad
+        dense.b.grad += grad.sum(axis=0)
+        return grad @ dense.w.data.T
+
+
+class _QResidualExecutor:
+    """Residual block with both convolutions quantized."""
+
+    def __init__(self, block: ResidualBlock, scale1: float, scale2: float):
+        self.block = block
+        self.exec1 = _QConvExecutor(block.conv1, scale1)
+        self.exec2 = _QConvExecutor(block.conv2, scale2)
+
+    def forward(self, x: np.ndarray, lut) -> np.ndarray:
+        y = self.exec1.forward(x, lut)
+        y = self.block.relu1.forward(y)
+        y = self.exec2.forward(y, lut)
+        return self.block.relu2.forward(y + x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        g = self.block.relu2.backward(grad)
+        gy = self.exec2.backward(g)
+        gy = self.block.relu1.backward(gy)
+        gx = self.exec1.backward(gy)
+        return gx + g
+
+
+class QuantizedNetwork:
+    """An 8-bit quantized view of a float :class:`Sequential` network.
+
+    Construction calibrates one activation scale per quantized layer from
+    a calibration batch (max-abs, as in the simplest linear post-training
+    quantization).  ``lut=None`` runs exact int8 arithmetic (the paper's
+    "8-bit" baseline column of Table I); passing an approximate
+    multiplier's signed behaviour table runs the ProxSim-style approximate
+    forward.  :meth:`train_step` implements the STE retraining of eq. (2),
+    updating the underlying float network's master weights.
+    """
+
+    QUANTIZABLE = (Conv2D, Dense, ResidualBlock)
+
+    def __init__(self, net: Sequential, calibration: np.ndarray):
+        if any(isinstance(l, BatchNorm2D) for l in net.layers):
+            raise ValueError("fold BatchNorm before quantization (fold_batchnorm)")
+        self.net = net
+        self.executors: List[object] = []
+        self._calibrate(calibration)
+
+    # ------------------------------------------------------------------
+    def _calibrate(self, calibration: np.ndarray) -> None:
+        x = calibration
+        self.executors = []
+        for layer in self.net.layers:
+            if isinstance(layer, Conv2D):
+                scale = float(np.max(np.abs(x))) / 127.0 or 1.0
+                self.executors.append(_QConvExecutor(layer, scale))
+            elif isinstance(layer, Dense):
+                scale = float(np.max(np.abs(x))) / 127.0 or 1.0
+                self.executors.append(_QDenseExecutor(layer, scale))
+            elif isinstance(layer, ResidualBlock):
+                s1 = float(np.max(np.abs(x))) / 127.0 or 1.0
+                mid = layer.relu1.forward(layer.conv1.forward(x))
+                s2 = float(np.max(np.abs(mid))) / 127.0 or 1.0
+                self.executors.append(_QResidualExecutor(layer, s1, s2))
+            else:
+                self.executors.append(None)
+            x = layer.forward(x, training=False)
+
+    def recalibrate(self, calibration: np.ndarray) -> None:
+        """Refresh activation scales (e.g. after several retraining steps)."""
+        self._calibrate(calibration)
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, lut: Optional[np.ndarray] = None) -> np.ndarray:
+        for layer, executor in zip(self.net.layers, self.executors):
+            if executor is None:
+                x = layer.forward(x, training=False)
+            else:
+                x = executor.forward(x, lut)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer, executor in zip(reversed(self.net.layers), reversed(self.executors)):
+            if executor is None:
+                grad = layer.backward(grad)
+            else:
+                grad = executor.backward(grad)
+        return grad
+
+    def predict(self, x: np.ndarray, lut: Optional[np.ndarray] = None, batch: int = 256) -> np.ndarray:
+        outs = []
+        for start in range(0, len(x), batch):
+            outs.append(self.forward(x[start : start + batch], lut))
+        return np.concatenate(outs, axis=0)
+
+    def train_step(self, x, labels, optimizer, lut: Optional[np.ndarray] = None) -> float:
+        """One STE retraining step: approximate forward, accurate backward."""
+        from .losses import softmax_cross_entropy
+
+        optimizer.zero_grad()
+        logits = self.forward(x, lut)
+        loss, grad = softmax_cross_entropy(logits, labels)
+        self.backward(grad)
+        optimizer.step()
+        return loss

@@ -1,0 +1,54 @@
+"""Training loops for float and quantized/approximate networks."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .losses import softmax_cross_entropy
+from .network import Sequential
+from .optim import Adam
+
+__all__ = ["train", "evaluate_accuracy"]
+
+
+def train(
+    net: Sequential,
+    x: np.ndarray,
+    y: np.ndarray,
+    epochs: int = 5,
+    batch: int = 64,
+    lr: float = 1e-3,
+    augment: Optional[Callable[[np.ndarray, np.random.Generator], np.ndarray]] = None,
+    seed: int = 0,
+    verbose: bool = False,
+) -> list:
+    """Train a float network with Adam; returns the per-epoch mean losses."""
+    rng = np.random.default_rng(seed)
+    opt = Adam(net.params(), lr=lr)
+    history = []
+    for epoch in range(epochs):
+        order = rng.permutation(len(x))
+        losses = []
+        for start in range(0, len(x), batch):
+            idx = order[start : start + batch]
+            xb = x[idx]
+            if augment is not None:
+                xb = augment(xb, rng)
+            opt.zero_grad()
+            logits = net.forward(xb, training=True)
+            loss, grad = softmax_cross_entropy(logits, y[idx])
+            net.backward(grad)
+            opt.step()
+            losses.append(loss)
+        history.append(float(np.mean(losses)))
+        if verbose:
+            print(f"epoch {epoch}: loss {history[-1]:.4f}")
+    return history
+
+
+def evaluate_accuracy(predict_fn, x: np.ndarray, y: np.ndarray) -> float:
+    """Top-1 accuracy of ``predict_fn(x) -> logits``."""
+    logits = predict_fn(x)
+    return float(np.mean(np.argmax(logits, axis=1) == y))

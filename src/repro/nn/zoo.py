@@ -1,0 +1,83 @@
+"""The three DNNs of Table I, scaled to this reproduction's substrate.
+
+The paper evaluates ResNet20 (CIFAR) and two keyword-spotting CNNs
+(Speech Commands).  Training full-size nets in pure numpy is infeasible,
+so these are architecture-faithful miniatures: a residual image classifier
+and two convolutional KWS models of clearly different capacities — enough
+to reproduce Table I's *structure* (params, MACs, float vs 8-bit accuracy)
+and Fig. 5's accuracy-vs-approximation behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .layers import Conv2D, Dense, Flatten, GlobalAvgPool, MaxPool2D, ReLU, ResidualBlock
+from .network import Sequential
+
+__all__ = ["resnet_mini", "kws_cnn1", "kws_cnn2"]
+
+
+def resnet_mini(
+    input_shape: Tuple[int, int, int] = (3, 16, 16),
+    classes: int = 10,
+    width: int = 12,
+    blocks: int = 2,
+    seed: int = 0,
+) -> Sequential:
+    """A miniature ResNet20-style residual classifier (the Table I ResNet20)."""
+    rng = np.random.default_rng(seed)
+    c, h, w = input_shape
+    layers = [Conv2D(c, width, 3, 1, 1, rng, "stem"), ReLU()]
+    for i in range(blocks):
+        layers.append(ResidualBlock(width, rng, f"block{i}"))
+    layers += [GlobalAvgPool(), Dense(width, classes, rng, "head")]
+    return Sequential(layers, input_shape, name="resnet-mini")
+
+
+def kws_cnn1(
+    input_shape: Tuple[int, int, int] = (1, 31, 20),
+    classes: int = 8,
+    seed: int = 0,
+) -> Sequential:
+    """The smaller keyword-spotting CNN (Table I's KWS-CNN1)."""
+    rng = np.random.default_rng(seed)
+    c, h, w = input_shape
+    flat = 12 * (h // 4) * (w // 4)
+    layers = [
+        Conv2D(c, 8, 3, 1, 1, rng, "c1"),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(8, 12, 3, 1, 1, rng, "c2"),
+        ReLU(),
+        MaxPool2D(2),
+        Flatten(),
+        Dense(flat, classes, rng, "head"),
+    ]
+    return Sequential(layers, input_shape, name="kws-cnn1")
+
+
+def kws_cnn2(
+    input_shape: Tuple[int, int, int] = (1, 31, 20),
+    classes: int = 8,
+    seed: int = 0,
+) -> Sequential:
+    """The larger keyword-spotting CNN (Table I's KWS-CNN2)."""
+    rng = np.random.default_rng(seed)
+    c, h, w = input_shape
+    flat = 32 * (h // 4) * (w // 4)
+    layers = [
+        Conv2D(c, 12, 3, 1, 1, rng, "c1"),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(12, 24, 3, 1, 1, rng, "c2"),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(24, 32, 3, 1, 1, rng, "c3"),
+        ReLU(),
+        Flatten(),
+        Dense(flat, classes, rng, "head"),
+    ]
+    return Sequential(layers, input_shape, name="kws-cnn2")

@@ -1,0 +1,70 @@
+"""Posit arithmetic (Type III unum), built on two's-complement principles.
+
+Section V of the paper presents posits as a drop-in replacement for IEEE 754
+floats, with exactly two exception values (zero and NaR), a total order that
+coincides with two's-complement integer comparison (Fig. 7), tapered
+accuracy (Figs. 9-10), and hardware costs between "normals-only" floats and
+full IEEE compliance.
+
+This package implements:
+
+* arbitrary ``(nbits, es)`` posit formats (:class:`PositFormat`), including
+  the standard Posit8/16/32 configurations;
+* bit-exact decode/encode with the posit standard's rounding (round to
+  nearest, ties to even encoding; no underflow to zero, no overflow to NaR);
+* correctly rounded add/sub/mul/div/sqrt/FMA;
+* the quire, an exact fixed-point accumulator for dot products;
+* conversions to/from floats, integers and exact rationals.
+
+>>> from repro.posit import Posit, POSIT16
+>>> x = Posit.from_float(POSIT16, 3.0)
+>>> y = Posit.from_float(POSIT16, 1.5)
+>>> (x * y).to_float()
+4.5
+"""
+
+from .format import (
+    PositFormat,
+    POSIT8,
+    POSIT16,
+    POSIT32,
+    POSIT64,
+    STD_POSIT8,
+    STD_POSIT16,
+    STD_POSIT32,
+    STD_POSIT64,
+)
+from .value import Posit
+from .quire import Quire
+from .math import (
+    posit_exp,
+    posit_log,
+    posit_log2,
+    posit_sin,
+    posit_cos,
+    posit_atan,
+    posit_tanh,
+    posit_sqrt,
+)
+
+__all__ = [
+    "PositFormat",
+    "POSIT8",
+    "POSIT16",
+    "POSIT32",
+    "POSIT64",
+    "STD_POSIT8",
+    "STD_POSIT16",
+    "STD_POSIT32",
+    "STD_POSIT64",
+    "Posit",
+    "Quire",
+    "posit_exp",
+    "posit_log",
+    "posit_log2",
+    "posit_sin",
+    "posit_cos",
+    "posit_atan",
+    "posit_tanh",
+    "posit_sqrt",
+]

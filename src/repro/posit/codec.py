@@ -1,0 +1,150 @@
+"""Posit encode/decode: the two's-complement heart of the format.
+
+Decoding follows Fig. 7's structure: negate (two's complement) when the sign
+bit is set, count the leading run of identical bits (the regime), then read
+the ``es`` exponent bits and the fraction.  Encoding constructs the
+*extended* (unbounded-precision) encoding of the exact input value and cuts
+it at ``nbits`` with round-to-nearest, ties to the even encoding — the
+de-facto rounding of SoftPosit and the posit standard.  Posits never
+underflow to zero or overflow to NaR: results clamp to minpos/maxpos.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .._bits import count_leading_signs, mask
+from .format import PositFormat
+
+__all__ = ["decode", "encode", "PositDecoded"]
+
+#: Exact decoded value: ``(sign, sig, exp)`` meaning ``(-1)**sign * sig * 2**exp``
+#: with ``sig`` a positive integer.  ``None`` encodes NaR and ``(0, 0, 0)`` zero.
+PositDecoded = Optional[Tuple[int, int, int]]
+
+
+def decode(fmt: PositFormat, pattern: int) -> PositDecoded:
+    """Decode a posit bit pattern into its exact value.
+
+    Returns ``None`` for NaR, ``(0, 0, 0)`` for zero, and ``(sign, sig, exp)``
+    with ``sig > 0`` otherwise.
+    """
+    pattern &= mask(fmt.nbits)
+    if pattern == 0:
+        return (0, 0, 0)
+    if pattern == fmt.pattern_nar:
+        return None
+
+    sign = pattern >> (fmt.nbits - 1)
+    if sign:
+        pattern = (-pattern) & mask(fmt.nbits)
+
+    body_width = fmt.nbits - 1
+    body = pattern & mask(body_width)
+    run = count_leading_signs(body, body_width)
+    first = (body >> (body_width - 1)) & 1
+    k = run - 1 if first else -run
+
+    # Bits left after the regime run and its terminating bit (may be
+    # negative when the regime fills the word; missing bits read as 0).
+    rem_width = body_width - run - 1
+    rem = body & mask(max(0, rem_width))
+
+    if rem_width <= 0:
+        e = 0
+        frac = 0
+        f_width = 0
+    elif rem_width <= fmt.es:
+        # Truncated exponent field: missing low bits are zero.
+        e = rem << (fmt.es - rem_width)
+        frac = 0
+        f_width = 0
+    else:
+        f_width = rem_width - fmt.es
+        e = rem >> f_width
+        frac = rem & mask(f_width)
+
+    scale = k * (1 << fmt.es) + e
+    sig = (1 << f_width) | frac
+    return (sign, sig, scale - f_width)
+
+
+def encode(
+    fmt: PositFormat,
+    sign: int,
+    sig: int,
+    exp: int,
+    sticky_in: int = 0,
+) -> int:
+    """Round the exact value ``(-1)**sign * sig * 2**exp`` to a posit pattern.
+
+    Args:
+        fmt: Target posit format.
+        sign: 0 or 1 (ignored when ``sig`` is 0).
+        sig: Non-negative exact significand.
+        exp: Power-of-two scale.
+        sticky_in: Set when ``sig`` truncates a longer exact value (division,
+            square root); ORed into the sticky bit of the rounding.
+
+    Returns:
+        The ``nbits``-wide pattern.  Values above ``maxpos`` (below
+        ``minpos``) clamp to ``maxpos`` (``minpos``) per the posit standard:
+        no overflow to NaR, no underflow to zero.
+    """
+    if sig == 0:
+        if sticky_in:
+            # An underflowed magnitude is still non-zero: clamp to minpos.
+            pattern = fmt.pattern_minpos
+            return (-pattern) & mask(fmt.nbits) if sign else pattern
+        return 0
+
+    scale = sig.bit_length() - 1 + exp
+    if scale >= fmt.max_scale:
+        pattern = fmt.pattern_maxpos
+        return (-pattern) & mask(fmt.nbits) if sign else pattern
+    if scale < fmt.min_scale:
+        pattern = fmt.pattern_minpos
+        return (-pattern) & mask(fmt.nbits) if sign else pattern
+
+    k, e = divmod(scale, 1 << fmt.es)
+
+    # Regime field: k >= 0 -> (k+1) ones and a terminating zero;
+    # k < 0 -> (-k) zeros and a terminating one.
+    if k >= 0:
+        regime = mask(k + 1) << 1
+        r_width = k + 2
+    else:
+        regime = 1
+        r_width = -k + 1
+
+    f_width = sig.bit_length() - 1
+    frac = sig & mask(f_width)
+
+    body = (((regime << fmt.es) | e) << f_width) | frac
+    total = r_width + fmt.es + f_width
+    target = fmt.nbits - 1
+
+    if total <= target:
+        kept = body << (target - total)
+        if sticky_in:
+            # Exactly representable prefix but extra sticky information:
+            # round-to-nearest keeps the truncation (sticky alone is < 1/2 ulp).
+            pass
+    else:
+        cut = total - target
+        kept = body >> cut
+        rem = body & mask(cut)
+        half = 1 << (cut - 1)
+        guard = int(rem >= half)
+        sticky = int((rem & (half - 1)) != 0) | sticky_in
+        if guard and (sticky or (kept & 1)):
+            kept += 1
+
+    # Safety clamps: rounding up past maxpos must not reach NaR, and a
+    # nonzero value must not round to the zero pattern.
+    if kept >= (1 << target):
+        kept = fmt.pattern_maxpos
+    elif kept == 0:
+        kept = fmt.pattern_minpos
+
+    return (-kept) & mask(fmt.nbits) if sign else kept

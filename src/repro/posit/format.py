@@ -1,0 +1,109 @@
+"""Posit format descriptors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "PositFormat",
+    "POSIT8",
+    "POSIT16",
+    "POSIT32",
+    "POSIT64",
+    "STD_POSIT8",
+    "STD_POSIT16",
+    "STD_POSIT32",
+    "STD_POSIT64",
+]
+
+
+@dataclass(frozen=True)
+class PositFormat:
+    """A posit format ``posit<nbits, es>``.
+
+    A posit bit string is ``sign | regime | exponent (es bits) | fraction``,
+    where the regime is a unary run of identical bits.  The *useed* is
+    ``2**2**es``; each extra regime bit scales the value by useed, which is
+    what produces the tapered-accuracy triangle of Fig. 9.
+
+    Attributes:
+        nbits: Total width in bits (>= 3 per the standard's minimum of 2 is
+            degenerate; we require >= 3 so at least a regime fits).
+        es: Number of exponent bits.
+    """
+
+    nbits: int
+    es: int
+
+    def __post_init__(self):
+        if self.nbits < 3:
+            raise ValueError("posit formats need at least 3 bits")
+        if self.es < 0:
+            raise ValueError("es must be non-negative")
+
+    @property
+    def useed(self) -> int:
+        """``2**2**es``, the regime scaling factor."""
+        return 1 << (1 << self.es)
+
+    @property
+    def max_scale(self) -> int:
+        """``log2(maxpos)``: the scale of the largest positive posit."""
+        return (self.nbits - 2) * (1 << self.es)
+
+    @property
+    def min_scale(self) -> int:
+        """``log2(minpos)``: the scale of the smallest positive posit."""
+        return -self.max_scale
+
+    @property
+    def pattern_nar(self) -> int:
+        """Not-a-Real: ``10...0``, the top of the ring in Fig. 7."""
+        return 1 << (self.nbits - 1)
+
+    @property
+    def pattern_maxpos(self) -> int:
+        """Largest positive posit: ``011...1``."""
+        return (1 << (self.nbits - 1)) - 1
+
+    @property
+    def pattern_minpos(self) -> int:
+        """Smallest positive posit: ``00...01``."""
+        return 1
+
+    @property
+    def max_fraction_bits(self) -> int:
+        """Fraction bits available in the best case (two regime bits)."""
+        return max(0, self.nbits - 3 - self.es)
+
+    def quire_width(self) -> int:
+        """Storage width of the quire for this format.
+
+        The quire must hold any sum of products exactly: products span
+        ``2**(2*min_scale) .. 2**(2*max_scale)``, plus carry guard bits to
+        absorb at most ``2**guard`` accumulations.  The 2022 posit standard
+        fixes the width at ``16 * nbits``; we reproduce that for the
+        standard es=2 formats and generalize otherwise.
+        """
+        guard = 31
+        return 1 + guard + 4 * self.max_scale + 1
+
+    def __str__(self) -> str:
+        return f"posit<{self.nbits},{self.es}>"
+
+
+#: The paper (2020) predates the 2022 posit standard and follows the original
+#: Gustafson/Yonemoto conventions (as in SoftPosit): es = 0/1/2/3 for
+#: 8/16/32/64-bit posits.  In particular the paper's posit16 has dynamic
+#: range 2**-28 .. 2**28 — that is es = 1.
+POSIT8 = PositFormat(8, 0)
+POSIT16 = PositFormat(16, 1)
+POSIT32 = PositFormat(32, 2)
+POSIT64 = PositFormat(64, 3)
+
+#: The 2022 posit standard fixes es = 2 at every width; provided for
+#: completeness and cross-checks.
+STD_POSIT8 = PositFormat(8, 2)
+STD_POSIT16 = PositFormat(16, 2)
+STD_POSIT32 = PositFormat(32, 2)
+STD_POSIT64 = PositFormat(64, 2)

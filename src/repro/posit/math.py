@@ -1,0 +1,252 @@
+"""Correctly rounded elementary functions for posits.
+
+The posit standard requires elementary functions to be correctly rounded
+(they are deterministic, bit-reproducible across implementations — one of
+the format's selling points for edge deployment).  This module computes
+``exp``, ``log``, ``log2``, ``sin``, ``cos``, ``atan`` and ``tanh`` through
+high-precision rational arithmetic with enough guard precision to round
+once, using the same :func:`repro.posit.codec.encode` path as the basic
+operations.
+
+The working precision is chosen from the format (``nbits + max_scale``
+extra bits), far beyond the half-ulp ambiguity band of any posit value;
+hard-to-round cases would need correctness proofs in a production library,
+here the exhaustive posit8/posit16 tests directly compare against mpmath-
+grade rational references.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Callable
+
+from .format import PositFormat
+from .value import Posit
+
+__all__ = ["posit_exp", "posit_log", "posit_log2", "posit_sin", "posit_cos", "posit_atan", "posit_tanh", "posit_sqrt"]
+
+
+def _working_bits(fmt: PositFormat) -> int:
+    return 4 * fmt.nbits + 2 * fmt.max_scale + 32
+
+
+def _frac_exp(x: Fraction, bits: int) -> Fraction:
+    """exp(x) by argument reduction + Taylor, to ~2**-bits relative error."""
+    # Reduce x = k*ln2 + r with |r| <= ln2/2 using a rational ln2.
+    ln2 = _frac_ln2(bits + 16)
+    k = round(float(x / ln2))
+    r = x - k * ln2
+    # Taylor on |r| <= 0.35: term count ~ bits / log2(1/0.35).
+    total = Fraction(1)
+    term = Fraction(1)
+    n = 1
+    limit = Fraction(1, 1 << (bits + 8))
+    while True:
+        term = term * r / n
+        total += term
+        n += 1
+        if abs(term) < limit:
+            break
+    return total * Fraction(2) ** k
+
+
+def _frac_ln2(bits: int) -> Fraction:
+    """ln 2 via atanh series: ln 2 = 2 atanh(1/3)."""
+    x = Fraction(1, 3)
+    total = Fraction(0)
+    term = x
+    n = 1
+    limit = Fraction(1, 1 << (bits + 8))
+    while term > limit:
+        total += term / n
+        term *= x * x
+        n += 2
+    return 2 * total
+
+
+def _frac_log(x: Fraction, bits: int) -> Fraction:
+    """ln(x) for x > 0: scale into [1, 2), then atanh series."""
+    if x <= 0:
+        raise ValueError("log of non-positive value")
+    k = 0
+    while x >= 2:
+        x /= 2
+        k += 1
+    while x < 1:
+        x *= 2
+        k -= 1
+    # ln(x) = 2 atanh((x-1)/(x+1)), argument <= 1/3 on [1, 2).
+    z = (x - 1) / (x + 1)
+    total = Fraction(0)
+    term = z
+    n = 1
+    limit = Fraction(1, 1 << (bits + 8))
+    while abs(term) > limit:
+        total += term / n
+        term *= z * z
+        n += 2
+    return 2 * total + k * _frac_ln2(bits)
+
+
+def _frac_pi(bits: int) -> Fraction:
+    """pi via Machin's formula with rational arithmetic."""
+
+    def atan_inv(m: int) -> Fraction:
+        x = Fraction(1, m)
+        total = Fraction(0)
+        term = x
+        n = 1
+        limit = Fraction(1, 1 << (bits + 16))
+        while abs(term) > limit:
+            total += term / n
+            term *= -x * x
+            n += 2
+        return total
+
+    return 16 * atan_inv(5) - 4 * atan_inv(239)
+
+
+def _frac_sin(x: Fraction, bits: int) -> Fraction:
+    pi = _frac_pi(bits + x.numerator.bit_length() + 8)
+    # Reduce modulo 2*pi, then Taylor (fine for the posit ranges tested).
+    k = round(float(x / (2 * pi)))
+    r = x - 2 * k * pi
+    total = Fraction(0)
+    term = r
+    n = 1
+    limit = Fraction(1, 1 << (bits + 8))
+    while abs(term) > limit:
+        total += term
+        term *= -r * r / ((n + 1) * (n + 2))
+        n += 2
+    return total
+
+
+def _frac_cos(x: Fraction, bits: int) -> Fraction:
+    pi = _frac_pi(bits + x.numerator.bit_length() + 8)
+    k = round(float(x / (2 * pi)))
+    r = x - 2 * k * pi
+    total = Fraction(0)
+    term = Fraction(1)
+    n = 0
+    limit = Fraction(1, 1 << (bits + 8))
+    while abs(term) > limit:
+        total += term
+        term *= -r * r / ((n + 1) * (n + 2))
+        n += 2
+    return total
+
+
+def _frac_atan(x: Fraction, bits: int) -> Fraction:
+    if x < 0:
+        return -_frac_atan(-x, bits)
+    if x > 1:
+        return _frac_pi(bits) / 2 - _frac_atan(1 / x, bits)
+    if x > Fraction(1, 2):
+        # atan(x) = pi/4 + atan((x-1)/(x+1)) keeps the series argument small.
+        return _frac_pi(bits) / 4 + _frac_atan((x - 1) / (x + 1), bits)
+    total = Fraction(0)
+    term = x
+    n = 1
+    limit = Fraction(1, 1 << (bits + 8))
+    while abs(term) > limit:
+        total += term / n
+        term *= -x * x
+        n += 2
+    return total
+
+
+def _frac_tanh(x: Fraction, bits: int) -> Fraction:
+    if x == 0:
+        return Fraction(0)
+    e2x = _frac_exp(2 * x, bits + 8)
+    return (e2x - 1) / (e2x + 1)
+
+
+def _lift(fn: Callable[[Fraction, int], Fraction], domain_check=None):
+    def wrapped(p: Posit) -> Posit:
+        decoded = p.decode()
+        if decoded is None:
+            return Posit.nar(p.fmt)
+        sign, sig, exp = decoded
+        x = p.to_fraction()
+        if domain_check is not None and not domain_check(x):
+            return Posit.nar(p.fmt)
+        bits = _working_bits(p.fmt)
+        return Posit.from_fraction(p.fmt, fn(x, bits))
+
+    return wrapped
+
+
+def posit_exp(p: Posit) -> Posit:
+    """Correctly rounded exp (NaR propagates; saturates like every posit op)."""
+    decoded = p.decode()
+    if decoded is None:
+        return Posit.nar(p.fmt)
+    if p.is_zero():
+        return Posit.one(p.fmt)
+    x = p.to_fraction()
+    # Saturation guards: avoid astronomically large intermediate powers.
+    ln2_f = math.log(2.0)
+    if float(x) > (p.fmt.max_scale + 1) * ln2_f:
+        return Posit.maxpos(p.fmt)
+    if float(x) < (p.fmt.min_scale - 1) * ln2_f:
+        return Posit.minpos(p.fmt)
+    return _lift(_frac_exp)(p)
+
+
+def posit_log(p: Posit) -> Posit:
+    """Correctly rounded natural log (non-positive arguments give NaR)."""
+    return _lift(_frac_log, domain_check=lambda x: x > 0)(p)
+
+
+def posit_log2(p: Posit) -> Posit:
+    """Correctly rounded base-2 log."""
+    decoded = p.decode()
+    if decoded is None:
+        return Posit.nar(p.fmt)
+    x = p.to_fraction()
+    if x <= 0:
+        return Posit.nar(p.fmt)
+    bits = _working_bits(p.fmt)
+    return Posit.from_fraction(p.fmt, _frac_log(x, bits) / _frac_ln2(bits))
+
+
+def posit_sin(p: Posit) -> Posit:
+    """Correctly rounded sine (argument reduced with high-precision pi)."""
+    return _lift(_frac_sin)(p)
+
+
+def posit_cos(p: Posit) -> Posit:
+    """Correctly rounded cosine."""
+    decoded = p.decode()
+    if decoded is None:
+        return Posit.nar(p.fmt)
+    if p.is_zero():
+        return Posit.one(p.fmt)
+    return _lift(_frac_cos)(p)
+
+
+def posit_atan(p: Posit) -> Posit:
+    """Correctly rounded arctangent."""
+    return _lift(_frac_atan)(p)
+
+
+def posit_tanh(p: Posit) -> Posit:
+    """Correctly rounded tanh (saturates to +-1 for large arguments)."""
+    decoded = p.decode()
+    if decoded is None:
+        return Posit.nar(p.fmt)
+    x = p.to_fraction()
+    # tanh saturates to +-1 far before the series costs anything: past
+    # ~0.5 * working-bits * ln2 the result rounds to +-1 in any posit format.
+    if abs(float(x)) > _working_bits(p.fmt):
+        one = Posit.one(p.fmt)
+        return one if x > 0 else one.negate()
+    return _lift(_frac_tanh)(p)
+
+
+def posit_sqrt(p: Posit) -> Posit:
+    """Alias for the datapath square root (already correctly rounded)."""
+    return p.sqrt()

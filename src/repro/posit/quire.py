@@ -1,0 +1,118 @@
+"""The quire: an exact fixed-point accumulator for posit dot products.
+
+The paper notes a 16-bit posit spans ``2**-28 .. 2**28`` and "can thus be
+converted to a signed fixed-point representation with 58 bits"; the quire
+extends that observation to sums of *products*, making dot products and
+matrix multiplications exact until the single final rounding.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable
+
+from .format import PositFormat
+from .value import Posit
+
+__all__ = ["Quire"]
+
+
+class Quire:
+    """Exact accumulator of posit products.
+
+    Internally the value is an unbounded integer scaled by
+    ``2**(2 * min_scale)`` — wide enough to hold any product of two posits
+    exactly.  A hardware quire has finite carry guard bits
+    (:meth:`PositFormat.quire_width`); :attr:`overflowed` reports whether a
+    hardware quire of that width would have wrapped.
+    """
+
+    __slots__ = ("fmt", "_acc", "_nar", "_ops")
+
+    def __init__(self, fmt: PositFormat):
+        self.fmt = fmt
+        self._acc = 0  # integer, scaled by 2**frac_scale
+        self._nar = False
+        self._ops = 0
+
+    @property
+    def frac_scale(self) -> int:
+        """The accumulator's LSB weight is ``2**-frac_scale``."""
+        return 2 * self.fmt.max_scale
+
+    def clear(self) -> "Quire":
+        """Reset to zero (also clears the NaR state)."""
+        self._acc = 0
+        self._nar = False
+        self._ops = 0
+        return self
+
+    def is_nar(self) -> bool:
+        """True once any NaR operand has poisoned the accumulator."""
+        return self._nar
+
+    @property
+    def overflowed(self) -> bool:
+        """Would a hardware quire of ``quire_width()`` bits have overflowed?"""
+        limit = 1 << (self.fmt.quire_width() - 1)
+        return not -limit <= self._acc < limit
+
+    # ------------------------------------------------------------------
+    # Accumulation
+    # ------------------------------------------------------------------
+    def add_product(self, a: Posit, b: Posit) -> "Quire":
+        """Accumulate ``a * b`` exactly (no rounding)."""
+        da, db = a.decode(), b.decode()
+        if da is None or db is None:
+            self._nar = True
+            return self
+        sa, ma, ea = da
+        sb, mb, eb = db
+        if ma == 0 or mb == 0:
+            return self
+        prod = ma * mb
+        shift = ea + eb + self.frac_scale
+        if shift < 0:
+            raise AssertionError("quire scale underflow: product below minpos**2")
+        term = prod << shift
+        self._acc += -term if sa ^ sb else term
+        self._ops += 1
+        return self
+
+    def add_posit(self, a: Posit) -> "Quire":
+        """Accumulate a single posit exactly."""
+        return self.add_product(a, Posit.one(self.fmt))
+
+    def sub_product(self, a: Posit, b: Posit) -> "Quire":
+        """Accumulate ``-(a * b)`` exactly."""
+        return self.add_product(a.negate(), b)
+
+    def dot(self, xs: Iterable[Posit], ys: Iterable[Posit]) -> Posit:
+        """Exact dot product of two posit vectors, rounded once at the end."""
+        for x, y in zip(xs, ys):
+            self.add_product(x, y)
+        return self.to_posit()
+
+    # ------------------------------------------------------------------
+    # Extraction
+    # ------------------------------------------------------------------
+    def to_fraction(self) -> Fraction:
+        """Exact rational value of the accumulator (raises when NaR)."""
+        if self._nar:
+            raise ValueError("NaR quire has no rational value")
+        return Fraction(self._acc) / (Fraction(2) ** self.frac_scale)
+
+    def to_posit(self) -> Posit:
+        """Round the exact accumulator to a posit (the only rounding)."""
+        if self._nar:
+            return Posit.nar(self.fmt)
+        if self._acc == 0:
+            return Posit.zero(self.fmt)
+        return Posit.from_exact(
+            self.fmt, int(self._acc < 0), abs(self._acc), -self.frac_scale
+        )
+
+    def __repr__(self):
+        if self._nar:
+            return f"Quire({self.fmt}, NaR)"
+        return f"Quire({self.fmt}, {float(self.to_fraction())!r} after {self._ops} products)"

@@ -1,0 +1,153 @@
+"""Vectorized posit quantization and LUT arithmetic for tensors.
+
+For formats up to 16 bits the full code-to-value table fits in memory, so
+encoding an array is a binary search over the sorted real values plus the
+posit rounding rules (ties to even pattern, never round a nonzero value to
+zero, clamp to minpos/maxpos).  This is the building block for
+posit-quantized neural-network inference (:mod:`repro.nn.posit_inference`).
+
+For 8-bit formats, :class:`PositTable8` additionally tabulates the full
+add/mul behaviour (two 256x256 tables — what a software emulation library
+like SoftPosit effectively plays with at this width), giving bulk posit8
+arithmetic at numpy speed, plus quire-backed exact dot products.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .format import PositFormat
+from .quire import Quire
+from .value import Posit
+
+__all__ = ["PositCodec", "PositTable8"]
+
+
+class PositCodec:
+    """Bulk encode/decode between float arrays and posit codes."""
+
+    def __init__(self, fmt: PositFormat):
+        if fmt.nbits > 16:
+            raise ValueError("tabulated codec supports at most 16-bit posits")
+        self.fmt = fmt
+        n = 1 << fmt.nbits
+
+        #: value of every code; NaR gets NaN.
+        values = np.empty(n, dtype=np.float64)
+        for pattern in range(n):
+            p = Posit(fmt, pattern)
+            values[pattern] = np.nan if p.is_nar() else p.to_float()
+        self.values = values
+
+        real = ~np.isnan(values)
+        order = np.argsort(values[real], kind="stable")
+        self._sorted_values = values[real][order]
+        self._sorted_codes = np.arange(n)[real][order]
+        # Index of the zero code in the sorted arrays.
+        self._zero_pos = int(np.searchsorted(self._sorted_values, 0.0))
+
+    # ------------------------------------------------------------------
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Exact float64 values of the given codes (NaR -> NaN)."""
+        return self.values[np.asarray(codes, dtype=np.int64)]
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        """Round a float array to posit codes, following posit semantics."""
+        x = np.asarray(x, dtype=np.float64)
+        flat = x.ravel()
+        out = np.empty(flat.shape, dtype=np.int64)
+
+        sv, sc = self._sorted_values, self._sorted_codes
+        hi_idx = np.searchsorted(sv, flat)  # first value >= x
+        hi_idx = np.clip(hi_idx, 1, len(sv) - 1)
+        lo_idx = hi_idx - 1
+
+        lo_val, hi_val = sv[lo_idx], sv[hi_idx]
+        lo_code, hi_code = sc[lo_idx], sc[hi_idx]
+
+        d_lo = np.abs(flat - lo_val)
+        d_hi = np.abs(hi_val - flat)
+        pick_hi = d_hi < d_lo
+        tie = d_hi == d_lo
+        # Ties to the even pattern.
+        pick_hi = np.where(tie, (lo_code & 1) == 1, pick_hi)
+        out = np.where(pick_hi, hi_code, lo_code)
+
+        # Never round a nonzero value to zero: bump to the adjacent code.
+        nz = flat != 0
+        zero_sel = (out == 0) & nz
+        if np.any(zero_sel):
+            bumped = np.where(flat > 0, sc[self._zero_pos + 1], sc[self._zero_pos - 1])
+            out = np.where(zero_sel, bumped, out)
+
+        # Saturate outside the representable range.
+        out = np.where(flat >= sv[-1], sc[-1], out)
+        out = np.where(flat <= sv[0], sc[0], out)
+        out = np.where(flat == 0.0, 0, out)
+        out = np.where(np.isnan(flat), self.fmt.pattern_nar, out)
+        return out.reshape(x.shape)
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Round-trip: the posit-grid value nearest to each element."""
+        return self.decode(self.encode(x))
+
+    def quantization_error(self, x: np.ndarray) -> float:
+        """Max relative error of representing ``x`` on this posit grid."""
+        q = self.quantize(x)
+        nz = x != 0
+        if not np.any(nz):
+            return 0.0
+        return float(np.max(np.abs((q[nz] - x[nz]) / x[nz])))
+
+
+class PositTable8:
+    """Exhaustive-table arithmetic for an 8-bit posit format.
+
+    ``add`` and ``mul`` operate elementwise on uint8 code arrays through
+    256x256 behaviour tables (built once from the bit-exact model);
+    ``dot`` runs an exact quire per output element.
+    """
+
+    def __init__(self, fmt: PositFormat):
+        if fmt.nbits != 8:
+            raise ValueError("PositTable8 requires an 8-bit posit format")
+        self.fmt = fmt
+        self.codec = PositCodec(fmt)
+        posits = [Posit(fmt, p) for p in range(256)]
+        self.add_table = np.empty((256, 256), dtype=np.uint8)
+        self.mul_table = np.empty((256, 256), dtype=np.uint8)
+        for i, a in enumerate(posits):
+            for j in range(i, 256):
+                s = (a + posits[j]).pattern
+                m = (a * posits[j]).pattern
+                self.add_table[i, j] = s
+                self.add_table[j, i] = s  # both ops commute
+                self.mul_table[i, j] = m
+                self.mul_table[j, i] = m
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise correctly rounded posit addition on code arrays."""
+        return self.add_table[np.asarray(a), np.asarray(b)]
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise correctly rounded posit multiplication on codes."""
+        return self.mul_table[np.asarray(a), np.asarray(b)]
+
+    def dot(self, a_codes: np.ndarray, b_codes: np.ndarray) -> int:
+        """Exact (quire) dot product of two code vectors, rounded once."""
+        q = Quire(self.fmt)
+        for pa, pb in zip(np.asarray(a_codes).ravel(), np.asarray(b_codes).ravel()):
+            q.add_product(Posit(self.fmt, int(pa)), Posit(self.fmt, int(pb)))
+        return q.to_posit().pattern
+
+    def dot_sequential(self, a_codes: np.ndarray, b_codes: np.ndarray) -> int:
+        """Baseline dot product with per-step rounding (no quire)."""
+        acc = 0  # posit code for zero
+        a_flat = np.asarray(a_codes).ravel()
+        b_flat = np.asarray(b_codes).ravel()
+        prods = self.mul_table[a_flat, b_flat]
+        for p in prods:
+            acc = int(self.add_table[acc, int(p)])
+        return acc

@@ -1,0 +1,377 @@
+"""The :class:`Posit` value type and its correctly rounded arithmetic.
+
+Every operation decodes operands into exact integers, computes exactly, and
+encodes once through :func:`repro.posit.codec.encode` — one rounding per
+operation, like the hardware datapaths of Section V.
+
+NaR ("Not a Real") is the single exception value: it propagates through all
+arithmetic, compares equal to itself and less than every real posit (the
+paper: "NaR is treated as equal to itself and less than all other numbers"),
+which lets posits reuse the integer comparison unit unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Optional, Tuple
+
+from .._bits import from_twos_complement, isqrt_rem, mask
+from .codec import decode, encode
+from .format import PositFormat
+
+__all__ = ["Posit"]
+
+
+class Posit:
+    """An immutable posit value = (format, bit pattern)."""
+
+    __slots__ = ("fmt", "pattern")
+
+    def __init__(self, fmt: PositFormat, pattern: int):
+        if not 0 <= pattern < (1 << fmt.nbits):
+            raise ValueError(f"pattern {pattern:#x} out of range for {fmt}")
+        object.__setattr__(self, "fmt", fmt)
+        object.__setattr__(self, "pattern", pattern)
+
+    def __setattr__(self, *a):  # pragma: no cover - immutability guard
+        raise AttributeError("Posit is immutable")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, fmt: PositFormat) -> "Posit":
+        """The zero posit (pattern 0)."""
+        return cls(fmt, 0)
+
+    @classmethod
+    def nar(cls, fmt: PositFormat) -> "Posit":
+        """Not-a-Real: the single exception value (pattern 10...0)."""
+        return cls(fmt, fmt.pattern_nar)
+
+    @classmethod
+    def maxpos(cls, fmt: PositFormat) -> "Posit":
+        """The largest positive posit, 2**max_scale."""
+        return cls(fmt, fmt.pattern_maxpos)
+
+    @classmethod
+    def minpos(cls, fmt: PositFormat) -> "Posit":
+        """The smallest positive posit, 2**min_scale."""
+        return cls(fmt, fmt.pattern_minpos)
+
+    @classmethod
+    def one(cls, fmt: PositFormat) -> "Posit":
+        """The posit 1.0 (pattern 010...0)."""
+        return cls(fmt, 1 << (fmt.nbits - 2))
+
+    @classmethod
+    def from_float(cls, fmt: PositFormat, value: float) -> "Posit":
+        """Round a Python float to the nearest posit (NaN/inf become NaR)."""
+        if math.isnan(value) or math.isinf(value):
+            return cls.nar(fmt)
+        if value == 0.0:
+            return cls.zero(fmt)
+        sign = int(value < 0)
+        mantissa, exp2 = math.frexp(abs(value))
+        sig = int(mantissa * (1 << 53))
+        return cls(fmt, encode(fmt, sign, sig, exp2 - 53))
+
+    @classmethod
+    def from_exact(
+        cls, fmt: PositFormat, sign: int, sig: int, exp: int, sticky: int = 0
+    ) -> "Posit":
+        """Round the exact value ``(-1)**sign * sig * 2**exp`` to a posit."""
+        return cls(fmt, encode(fmt, sign, sig, exp, sticky))
+
+    @classmethod
+    def from_fraction(cls, fmt: PositFormat, value: Fraction) -> "Posit":
+        """Correctly round an exact rational to a posit."""
+        if value == 0:
+            return cls.zero(fmt)
+        sign = int(value < 0)
+        num, den = abs(value).numerator, abs(value).denominator
+        extra = fmt.nbits + 2 * fmt.max_scale + 8 + max(0, den.bit_length() - num.bit_length())
+        q, r = divmod(num << extra, den)
+        return cls(fmt, encode(fmt, sign, q, -extra, sticky_in=int(r != 0)))
+
+    @classmethod
+    def from_int(cls, fmt: PositFormat, value: int) -> "Posit":
+        """Round an integer to the nearest posit."""
+        if value == 0:
+            return cls.zero(fmt)
+        return cls(fmt, encode(fmt, int(value < 0), abs(value), 0))
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def is_nar(self) -> bool:
+        """True for the NaR exception pattern."""
+        return self.pattern == self.fmt.pattern_nar
+
+    def is_zero(self) -> bool:
+        """True for the zero pattern."""
+        return self.pattern == 0
+
+    def decode(self) -> Optional[Tuple[int, int, int]]:
+        """Exact ``(sign, sig, exp)``; ``None`` for NaR, ``(0,0,0)`` for zero."""
+        return decode(self.fmt, self.pattern)
+
+    def to_fraction(self) -> Fraction:
+        """Exact rational value (raises on NaR)."""
+        decoded = self.decode()
+        if decoded is None:
+            raise ValueError("NaR has no rational value")
+        sign, sig, exp = decoded
+        v = Fraction(sig) * (Fraction(2) ** exp)
+        return -v if sign else v
+
+    def to_float(self) -> float:
+        """Value as a Python float (NaR becomes NaN); exact when in range."""
+        decoded = self.decode()
+        if decoded is None:
+            return math.nan
+        sign, sig, exp = decoded
+        try:
+            value = math.ldexp(sig, exp)
+        except OverflowError:
+            value = math.inf
+        return -value if sign else value
+
+    @property
+    def sign(self) -> int:
+        """Sign bit of the pattern (NaR reads as 1)."""
+        return self.pattern >> (self.fmt.nbits - 1)
+
+    def regime(self) -> Optional[int]:
+        """The regime value ``k`` (None for zero/NaR)."""
+        decoded = self.decode()
+        if decoded is None or decoded[1] == 0:
+            return None
+        _, sig, exp = decoded
+        scale = sig.bit_length() - 1 + exp
+        return scale >> self.fmt.es
+
+    def explain(self) -> str:
+        """Human-readable field breakdown of the pattern (Fig. 7's anatomy).
+
+        >>> from repro.posit import Posit, POSIT8
+        >>> print(Posit(POSIT8, 0x50).explain())
+        posit<8,0> 0x50 = 0b01010000
+          sign    0  (+)
+          regime  10 -> k = 0
+          frac    10000  (1.5)
+          value   1.5 = 1.5 * 2^0
+        """
+        fmt = self.fmt
+        bits = f"{self.pattern:0{fmt.nbits}b}"
+        header = f"{fmt} {self.pattern:#0{2 + (fmt.nbits + 3) // 4}x} = 0b{bits}"
+        if self.is_nar():
+            return f"{header}\n  NaR (the single exception value)"
+        if self.is_zero():
+            return f"{header}\n  zero"
+        sign = self.sign
+        mag = (-self.pattern) & mask(fmt.nbits) if sign else self.pattern
+        body = f"{mag & mask(fmt.nbits - 1):0{fmt.nbits - 1}b}"
+        first = body[0]
+        run = len(body) - len(body.lstrip(first))
+        k = run - 1 if first == "1" else -run
+        after = body[min(run + 1, len(body)):]
+        e_field = after[: fmt.es]
+        frac = after[fmt.es :]
+        _, sig, exp = self.decode()
+        scale = sig.bit_length() - 1 + exp
+        significand = sig / (1 << (sig.bit_length() - 1))
+        lines = [header]
+        lines.append(f"  sign    {sign}  ({'-' if sign else '+'})")
+        lines.append(f"  regime  {body[:run + 1]} -> k = {k}")
+        if fmt.es:
+            lines.append(f"  exp     {e_field or '(truncated: 0)'}")
+        lines.append(f"  frac    {frac or '(empty)'}  ({significand})")
+        lines.append(f"  value   {self.to_float()} = {'-' if sign else ''}{significand} * 2^{scale}")
+        return "\n".join(lines)
+
+    def convert(self, fmt: PositFormat) -> "Posit":
+        """Convert to another posit format, rounding once."""
+        decoded = self.decode()
+        if decoded is None:
+            return Posit.nar(fmt)
+        sign, sig, exp = decoded
+        if sig == 0:
+            return Posit.zero(fmt)
+        return Posit.from_exact(fmt, sign, sig, exp)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _require_same_format(self, other: "Posit"):
+        if self.fmt != other.fmt:
+            raise ValueError(f"format mismatch: {self.fmt} vs {other.fmt}")
+
+    def add(self, other: "Posit") -> "Posit":
+        """Correctly rounded addition (exact sum, one rounding)."""
+        self._require_same_format(other)
+        fmt = self.fmt
+        da, db = self.decode(), other.decode()
+        if da is None or db is None:
+            return Posit.nar(fmt)
+        sa, ma, ea = da
+        sb, mb, eb = db
+        if ma == 0:
+            return Posit(fmt, other.pattern)
+        if mb == 0:
+            return Posit(fmt, self.pattern)
+        e = min(ea, eb)
+        total = (ma if not sa else -ma) * (1 << (ea - e)) + (mb if not sb else -mb) * (
+            1 << (eb - e)
+        )
+        if total == 0:
+            return Posit.zero(fmt)
+        return Posit.from_exact(fmt, int(total < 0), abs(total), e)
+
+    def sub(self, other: "Posit") -> "Posit":
+        """Correctly rounded subtraction via two's-complement negation."""
+        return self.add(other.negate())
+
+    def mul(self, other: "Posit") -> "Posit":
+        """Correctly rounded multiplication (exact product, one rounding)."""
+        self._require_same_format(other)
+        fmt = self.fmt
+        da, db = self.decode(), other.decode()
+        if da is None or db is None:
+            return Posit.nar(fmt)
+        sa, ma, ea = da
+        sb, mb, eb = db
+        if ma == 0 or mb == 0:
+            return Posit.zero(fmt)
+        return Posit.from_exact(fmt, sa ^ sb, ma * mb, ea + eb)
+
+    def div(self, other: "Posit") -> "Posit":
+        """Correctly rounded division (sticky from the remainder); x/0 is NaR."""
+        self._require_same_format(other)
+        fmt = self.fmt
+        da, db = self.decode(), other.decode()
+        if da is None or db is None:
+            return Posit.nar(fmt)
+        sa, ma, ea = da
+        sb, mb, eb = db
+        if mb == 0:
+            return Posit.nar(fmt)  # x / 0 is NaR (posits have no infinity)
+        if ma == 0:
+            return Posit.zero(fmt)
+        extra = fmt.nbits + 2 * fmt.max_scale + 8 + max(0, mb.bit_length() - ma.bit_length())
+        q, r = divmod(ma << extra, mb)
+        return Posit.from_exact(fmt, sa ^ sb, q, ea - eb - extra, sticky=int(r != 0))
+
+    def sqrt(self) -> "Posit":
+        """Correctly rounded square root (negative arguments give NaR)."""
+        fmt = self.fmt
+        decoded = self.decode()
+        if decoded is None:
+            return Posit.nar(fmt)
+        sign, m, e = decoded
+        if m == 0:
+            return Posit.zero(fmt)
+        if sign:
+            return Posit.nar(fmt)
+        shift = 2 * fmt.nbits + 2 * fmt.max_scale + 8
+        if (e - shift) % 2:
+            shift += 1
+        s, r = isqrt_rem(m << shift)
+        return Posit.from_exact(fmt, 0, s, (e - shift) // 2, sticky=int(r != 0))
+
+    def fma(self, other: "Posit", addend: "Posit") -> "Posit":
+        """Fused multiply-add ``self * other + addend`` with one rounding."""
+        self._require_same_format(other)
+        self._require_same_format(addend)
+        fmt = self.fmt
+        da, db, dc = self.decode(), other.decode(), addend.decode()
+        if da is None or db is None or dc is None:
+            return Posit.nar(fmt)
+        sa, ma, ea = da
+        sb, mb, eb = db
+        sc, mc, ec = dc
+        prod = ma * mb
+        pexp = ea + eb
+        if prod == 0:
+            return Posit(fmt, addend.pattern)
+        if mc == 0:
+            return Posit.from_exact(fmt, sa ^ sb, prod, pexp)
+        e = min(pexp, ec)
+        total = (prod if not (sa ^ sb) else -prod) * (1 << (pexp - e)) + (
+            mc if not sc else -mc
+        ) * (1 << (ec - e))
+        if total == 0:
+            return Posit.zero(fmt)
+        return Posit.from_exact(fmt, int(total < 0), abs(total), e)
+
+    def negate(self) -> "Posit":
+        """Two's-complement negation of the pattern: exact for every posit.
+
+        The paper: "negation with 2's complement also works without
+        exception" — NaR and zero are their own negations.
+        """
+        return Posit(self.fmt, (-self.pattern) & mask(self.fmt.nbits))
+
+    def abs(self) -> "Posit":
+        """Magnitude (NaR stays NaR)."""
+        return self.negate() if self.sign and not self.is_nar() else self
+
+    def reciprocal(self) -> "Posit":
+        """Correctly rounded 1/x (exact for powers of two by ring symmetry)."""
+        return Posit.one(self.fmt).div(self)
+
+    def __add__(self, other):
+        return self.add(other)
+
+    def __sub__(self, other):
+        return self.sub(other)
+
+    def __mul__(self, other):
+        return self.mul(other)
+
+    def __truediv__(self, other):
+        return self.div(other)
+
+    def __neg__(self):
+        return self.negate()
+
+    def __abs__(self):
+        return self.abs()
+
+    # ------------------------------------------------------------------
+    # Comparison: exactly signed-integer comparison on the patterns.
+    # ------------------------------------------------------------------
+    def _int_key(self) -> int:
+        """The two's-complement integer whose order is the posit order."""
+        return from_twos_complement(self.pattern, self.fmt.nbits)
+
+    def __eq__(self, other):
+        if not isinstance(other, Posit):
+            return NotImplemented
+        self._require_same_format(other)
+        return self.pattern == other.pattern
+
+    def __lt__(self, other):
+        self._require_same_format(other)
+        return self._int_key() < other._int_key()
+
+    def __le__(self, other):
+        self._require_same_format(other)
+        return self._int_key() <= other._int_key()
+
+    def __gt__(self, other):
+        self._require_same_format(other)
+        return self._int_key() > other._int_key()
+
+    def __ge__(self, other):
+        self._require_same_format(other)
+        return self._int_key() >= other._int_key()
+
+    def __hash__(self):
+        return hash((self.fmt, self.pattern))
+
+    def __repr__(self):
+        if self.is_nar():
+            return f"Posit({self.fmt}, NaR)"
+        return f"Posit({self.fmt}, {self.pattern:#0{2 + (self.fmt.nbits + 3) // 4}x} = {self.to_float()!r})"

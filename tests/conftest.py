@@ -1,0 +1,13 @@
+"""Shared test configuration."""
+
+from hypothesis import HealthCheck, settings
+
+# A single moderate profile: the suite is large, so keep per-test example
+# counts bounded while still exercising real search depth.
+settings.register_profile(
+    "repro",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,224 @@
+"""Analysis-package tests: the quantitative claims of Figs. 6, 7, 9, 10."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import (
+    accuracy_vs_bitstring,
+    accuracy_vs_magnitude,
+    decimal_accuracy_fixed,
+    decimal_accuracy_float,
+    decimal_accuracy_posit,
+    dynamic_range_decades,
+    float_ring,
+    format_summary,
+    monotone_runs,
+    posit_ring,
+    trap_fraction,
+    two_regime_fraction,
+)
+from repro.fixedpoint import QFormat
+from repro.floats import BFLOAT16, BINARY16, SoftFloat
+from repro.posit import POSIT16, POSIT8, Posit
+
+
+class TestFloatRing:
+    """Fig. 6."""
+
+    @pytest.fixture(scope="class")
+    def ring(self):
+        return float_ring(BINARY16)
+
+    def test_trap_fraction_about_6_percent(self, ring):
+        # "calculations run orders of magnitude slower for about 6 percent
+        # of the possible values"
+        assert 0.055 <= trap_fraction(ring) <= 0.07
+
+    def test_two_monotone_runs(self, ring):
+        # "floats increase monotonically on the right half of the ring but
+        # reverse direction for the negative values"
+        assert monotone_runs(ring) == 2
+
+    def test_kind_census(self, ring):
+        kinds = {}
+        for e in ring:
+            kinds[e.kind] = kinds.get(e.kind, 0) + 1
+        assert kinds["zero"] == 2  # +0 and -0
+        assert kinds["inf"] == 2
+        assert kinds["nan"] == 2 * (1 << BINARY16.frac_bits) - 2
+        assert kinds["subnormal"] == 2 * ((1 << BINARY16.frac_bits) - 1)
+
+
+class TestPositRing:
+    """Fig. 7."""
+
+    @pytest.fixture(scope="class")
+    def ring(self):
+        return posit_ring(POSIT16)
+
+    def test_exactly_two_exceptions(self, ring):
+        specials = [e for e in ring if e.kind in ("zero", "nar")]
+        assert len(specials) == 2
+        # "both exceptions have all 0 bits after the first bit"
+        for e in specials:
+            assert e.pattern & (POSIT16.pattern_nar - 1) == 0
+
+    def test_single_monotone_run(self, ring):
+        assert monotone_runs(ring) == 1
+
+    def test_trap_fraction_negligible(self, ring):
+        assert trap_fraction(ring) == 1 / (1 << 16)
+
+    def test_two_regime_arcs_cover_half(self):
+        # The shaded fast-decode arcs of Fig. 7 (regimes '01' and '10')
+        # cover half of all patterns.
+        assert abs(two_regime_fraction(POSIT8) - 0.5) < 0.02
+        assert abs(two_regime_fraction(POSIT16) - 0.5) < 0.001
+
+    def test_order_is_integer_order(self, ring):
+        real = sorted((e for e in ring if e.value is not None), key=lambda e: e.ring_position)
+        values = [e.value for e in real]
+        assert values == sorted(values)
+
+
+class TestDecimalAccuracy:
+    """Fig. 9."""
+
+    def test_posit_peak_at_unit_magnitude(self):
+        near_one = decimal_accuracy_posit(POSIT16, Fraction(10007, 9973))
+        far = decimal_accuracy_posit(POSIT16, Fraction(10007 * 10**6, 9973))
+        assert near_one > far
+
+    def test_posit_beats_float16_near_one(self):
+        # "For the most common values in the range of about 0.01 to 100,
+        # posits have higher accuracy than IEEE floats and bfloats"
+        for mag in (Fraction(1), Fraction(10), Fraction(1, 10)):
+            x = mag * Fraction(10007, 9973)
+            assert decimal_accuracy_posit(POSIT16, x) > decimal_accuracy_float(BFLOAT16, x)
+            assert decimal_accuracy_posit(POSIT16, x) >= decimal_accuracy_float(BINARY16, x) - 0.05
+
+    def test_float_beats_posit_far_out(self):
+        # "but less accuracy outside this dynamic range"
+        x = Fraction(10007, 9973) * Fraction(10) ** 4
+        assert decimal_accuracy_float(BINARY16, x) > decimal_accuracy_posit(POSIT16, x)
+
+    def test_float_zero_outside_range(self):
+        assert decimal_accuracy_float(BINARY16, Fraction(10) ** 6) == 0.0
+        assert decimal_accuracy_float(BINARY16, Fraction(1, 10**9)) == 0.0
+
+    def test_fixed_point_ramp(self):
+        q = QFormat(7, 8)
+        accs = [
+            decimal_accuracy_fixed(q, Fraction(10007, 9973) * Fraction(10) ** k)
+            for k in (-3, -1, 0, 1)
+        ]
+        assert accs == sorted(accs)  # triangular ramp upward
+        assert decimal_accuracy_fixed(q, Fraction(1000)) == 0.0  # out of range
+
+    def test_curve_shapes(self):
+        f16 = accuracy_vs_magnitude(
+            lambda x: decimal_accuracy_float(BINARY16, x), -8, 8, 17
+        )
+        p16 = accuracy_vs_magnitude(
+            lambda x: decimal_accuracy_posit(POSIT16, x), -8, 8, 17
+        )
+        mid = 8  # index of magnitude 1
+        # Posit triangle peaks at the center and dominates there.
+        assert p16[mid][1] == max(v for _, v in p16)
+        assert p16[mid][1] > f16[mid][1]
+        # Roughly symmetric posit accuracy (isosceles).
+        for k in range(1, 6):
+            assert abs(p16[mid - k][1] - p16[mid + k][1]) < 0.8
+
+
+class TestBitstringAccuracy:
+    """Fig. 10."""
+
+    def test_posit_vs_float_bitstring_curves(self):
+        def posit_value(pat):
+            p = Posit(POSIT16, pat)
+            return None if p.is_nar() else p.to_fraction()
+
+        def float_value(pat):
+            sf = SoftFloat(BINARY16, pat)
+            return sf.to_fraction() if sf.is_finite() else None
+
+        pc = dict(accuracy_vs_bitstring(posit_value, range(1, 0x8000)))
+        fc = dict(accuracy_vs_bitstring(float_value, range(1, 0x7C00)))
+        # Mid-scale posits (patterns near 0x4000 = 1.0) reach the format's
+        # best accuracy, higher than the float's flat level.
+        assert pc[0x4000] > fc[0x3C00]
+
+    def test_dynamic_ranges_match_paper(self):
+        # Fig. 10's quoted ranges: posit16 ~17 decades, binary16 normals 9,
+        # bfloat16 ~76, fixed < 5.
+        assert 16.5 <= dynamic_range_decades(POSIT16) <= 17.0
+        assert round(dynamic_range_decades(BINARY16)) == 9
+        assert 75 <= dynamic_range_decades(BFLOAT16) <= 78
+        assert dynamic_range_decades(QFormat(7, 8)) < 5
+
+
+class TestFormatSummary:
+    def test_posit_summary(self):
+        s = format_summary(POSIT16)
+        assert s.exception_patterns == 2
+        assert s.width == 16
+
+    def test_float_summary(self):
+        s = format_summary(BINARY16)
+        assert s.exception_patterns == 2 * (1 << 11)
+        assert 3.0 < s.max_decimal_accuracy < 3.6
+
+    def test_fixed_summary(self):
+        s = format_summary(QFormat(7, 8))
+        assert s.exception_patterns == 0
+
+
+class TestInformationPerBit:
+    """Section V: 'posits often maximize information-per-bit in the Shannon sense'."""
+
+    @pytest.fixture(scope="class")
+    def samples(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        return rng.normal(0, 1, size=2500)
+
+    def test_posit_wins_on_unit_normal(self, samples):
+        from repro.analysis import format_information_comparison
+
+        res = format_information_comparison(
+            samples,
+            {
+                "posit16": POSIT16,
+                "binary16": BINARY16,
+                "bfloat16": BFLOAT16,
+                "fixed": QFormat(7, 8),
+            },
+        )
+        assert res["posit16"] == max(res.values())
+        assert res["posit16"] > res["bfloat16"]
+
+    def test_entropy_positive_and_bounded(self, samples):
+        from repro.analysis import code_entropy
+
+        h = code_entropy(POSIT16, samples)
+        assert 0 < h <= 16
+
+    def test_constant_samples_zero_entropy(self):
+        import numpy as np
+
+        from repro.analysis import code_entropy
+
+        assert code_entropy(POSIT16, np.full(100, 1.5)) == 0.0
+
+    def test_wide_distribution_favors_wide_formats(self):
+        import numpy as np
+
+        from repro.analysis import information_per_bit
+
+        rng = np.random.default_rng(1)
+        # Log-uniform over 40 decades: far beyond posit16/binary16 range.
+        wide = 10.0 ** rng.uniform(-20, 20, size=2000)
+        assert information_per_bit(BFLOAT16, wide) > information_per_bit(BINARY16, wide)

@@ -1,0 +1,132 @@
+"""Cross-cutting API-surface tests: batching, shapes, reprs, secondary paths."""
+
+import numpy as np
+import pytest
+
+from repro.approx import ExactMultiplier, signed_lut
+from repro.datasets import spectrogram_features, synthetic_keywords
+from repro.floats import BINARY16, SoftFloat
+from repro.fpga import AGILEX_MODES, ALMBudget, DSPBlock
+from repro.nn import Dense, ReLU, Sequential, train
+from repro.nn.layers import Conv2D, Flatten
+from repro.posit import POSIT8, POSIT16, Posit
+from repro.posit.tensor import PositCodec
+
+
+class TestSequentialBatching:
+    def test_predict_batching_invariant(self):
+        rng = np.random.default_rng(0)
+        net = Sequential(
+            [Conv2D(1, 2, 3, 1, 1, rng), ReLU(), Flatten(), Dense(2 * 16, 3, rng)],
+            input_shape=(1, 4, 4),
+        )
+        x = rng.normal(size=(25, 1, 4, 4))
+        full = net.predict(x, batch=256)
+        chunked = net.predict(x, batch=7)
+        assert np.allclose(full, chunked)
+
+    def test_repr_mentions_counts(self):
+        net = Sequential([Dense(4, 2)], input_shape=(4,))
+        assert "params" in repr(net) and "MACs" in repr(net)
+
+
+class TestDSPBlockDot:
+    def test_dot2_matches_softfloat(self):
+        block = DSPBlock(AGILEX_MODES["fp16"])
+        vals = [(1.5, 2.0), (-0.75, 4.0)]
+        a = [SoftFloat.from_float(BINARY16, x).pattern for x, _ in vals]
+        b = [SoftFloat.from_float(BINARY16, y).pattern for _, y in vals]
+        got = SoftFloat(BINARY16, block.dot2(a, b)).to_float()
+        assert got == 1.5 * 2.0 + (-0.75) * 4.0
+
+
+class TestALMBudget:
+    def test_total_inputs_deduplicates(self):
+        budget = ALMBudget()
+        budget.place("f", {"a", "b"})
+        budget.place("g", {"b", "c"})
+        assert budget.total_inputs == 3
+
+    def test_chain_placement_never_shared(self):
+        budget = ALMBudget()
+        a1 = budget.place("c0", {"a"}, on_chain=True)
+        a2 = budget.place("c1", {"a"}, on_chain=True)
+        assert a1 is not a2
+        assert budget.chain_count == 2
+
+
+class TestPositCodecShapes:
+    def test_shape_preserved(self):
+        codec = PositCodec(POSIT8)
+        x = np.random.default_rng(1).normal(size=(3, 4, 5))
+        codes = codec.encode(x)
+        assert codes.shape == x.shape
+        assert codec.decode(codes).shape == x.shape
+
+    def test_empty_array(self):
+        codec = PositCodec(POSIT8)
+        out = codec.encode(np.array([]))
+        assert out.shape == (0,)
+
+    def test_quantization_error_of_zeros(self):
+        codec = PositCodec(POSIT16)
+        assert codec.quantization_error(np.zeros(4)) == 0.0
+
+
+class TestDatasetDeterminism:
+    def test_audio_deterministic(self):
+        a1 = synthetic_keywords(3, classes=2, seed=9)
+        a2 = synthetic_keywords(3, classes=2, seed=9)
+        assert np.array_equal(a1[0], a2[0])
+        assert np.array_equal(a1[1], a2[1])
+
+    def test_different_seeds_differ(self):
+        a1, _ = synthetic_keywords(3, classes=2, seed=1)
+        a2, _ = synthetic_keywords(3, classes=2, seed=2)
+        assert not np.array_equal(a1, a2)
+
+    def test_spectrogram_feature_count_scales(self):
+        wav, _ = synthetic_keywords(2, classes=2, samples=1024, seed=0)
+        f1 = spectrogram_features(wav, frame=128, hop=64, bins=10)
+        f2 = spectrogram_features(wav, frame=128, hop=64, bins=20)
+        assert f1.shape[3] == 10 and f2.shape[3] == 20
+
+
+class TestSignedLutProperties:
+    def test_exact_lut_antisymmetry(self):
+        lut = signed_lut(ExactMultiplier())
+        # lut[a, b] == -lut[-a, b] wherever -a is representable.
+        a = np.arange(-127, 128)
+        av, bv = np.meshgrid(a, a, indexing="ij")
+        assert np.array_equal(lut[av + 128, bv + 128], -lut[-av + 128, bv + 128])
+
+
+class TestPositMiscellany:
+    def test_regime_values(self):
+        assert Posit.from_float(POSIT16, 1.0).regime() == 0
+        assert Posit.from_float(POSIT16, 16.0).regime() == 2
+        assert Posit.from_float(POSIT16, 0.1).regime() == -2
+        assert Posit.zero(POSIT16).regime() is None
+
+    def test_abs(self):
+        p = Posit.from_float(POSIT16, -2.5)
+        assert abs(p).to_float() == 2.5
+        assert abs(Posit.nar(POSIT16)).is_nar()
+
+    def test_repr_forms(self):
+        assert "NaR" in repr(Posit.nar(POSIT8))
+        assert "0x" in repr(Posit.one(POSIT8))
+
+
+class TestTrainReturnsHistory:
+    def test_history_length_and_decrease(self):
+        from repro.datasets import synthetic_images
+
+        x, y = synthetic_images(30, classes=3, size=8, seed=5)
+        net = Sequential(
+            [Conv2D(3, 4, 3, 1, 1), ReLU(), Flatten(), Dense(4 * 64, 3)],
+            input_shape=(3, 8, 8),
+        )
+        hist = train(net, x, y, epochs=3, batch=32, lr=2e-3, seed=0)
+        assert len(hist) == 3
+        assert hist[-1] < hist[0]

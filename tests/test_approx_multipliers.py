@@ -1,0 +1,195 @@
+"""Approximate multiplier and characterization tests (Table II machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.approx import (
+    TABLE2_SET,
+    BrokenArrayMultiplier,
+    DRUMMultiplier,
+    ExactMultiplier,
+    MitchellLogMultiplier,
+    ORCompressorMultiplier,
+    TruncatedMultiplier,
+    approx_conv2d,
+    approx_matmul,
+    characterize,
+    energy_saving,
+    signed_lut,
+    table2,
+)
+
+operands = st.integers(min_value=0, max_value=255)
+
+
+class TestExact:
+    @given(operands, operands)
+    def test_is_exact(self, a, b):
+        assert int(ExactMultiplier()(a, b)) == a * b
+
+    def test_zero_metrics(self):
+        m = characterize(ExactMultiplier())
+        assert m.mre_percent == 0.0
+        assert m.mae == 0.0
+        assert m.error_rate == 0.0
+
+
+class TestDesignProperties:
+    @given(operands, operands)
+    def test_truncation_underestimates(self, a, b):
+        assert int(TruncatedMultiplier(cut=5)(a, b)) <= a * b
+
+    @given(operands, operands)
+    def test_truncation_error_bounded(self, a, b):
+        cut = 6
+        got = int(TruncatedMultiplier(cut=cut)(a, b))
+        # Worst case: all partial-product bits below the cut were ones.
+        assert 0 <= a * b - got < (1 << cut) * 8
+
+    @given(operands, operands)
+    def test_broken_array_bounded(self, a, b):
+        got = int(BrokenArrayMultiplier(break_col=7)(a, b))
+        assert abs(got - a * b) < 1 << 10
+
+    @given(operands, operands)
+    def test_mitchell_exact_on_powers_of_two(self, a, b):
+        m = MitchellLogMultiplier()
+        pa, pb = 1 << (a % 8), 1 << (b % 8)
+        assert int(m(pa, pb)) == pa * pb
+
+    @given(operands, operands)
+    def test_mitchell_never_overestimates_uncompensated(self, a, b):
+        # Mitchell's error is one-sided (log interpolation is concave).
+        got = int(MitchellLogMultiplier(compensate=False)(a, b))
+        assert got <= a * b
+
+    @given(operands, operands)
+    def test_drum_small_operands_exact(self, a, b):
+        m = DRUMMultiplier(k=4)
+        sa, sb = a % 16, b % 16  # both fit in k bits: no truncation
+        assert int(m(sa, sb)) == sa * sb
+
+    @given(operands, operands)
+    def test_orcomp_lower_bits_only(self, a, b):
+        got = int(ORCompressorMultiplier(cut=8)(a, b))
+        exact = a * b
+        # High columns exact, so the error is bounded by the OR'd low part.
+        assert abs(got - exact) < (1 << 8) * 8
+
+    def test_zero_operand_gives_zero(self):
+        for m in TABLE2_SET + [MitchellLogMultiplier(), ExactMultiplier()]:
+            assert int(m(0, 137)) == 0
+            assert int(m(137, 0)) == 0
+
+
+class TestTable2Set:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table2()
+
+    def test_ten_multipliers(self, rows):
+        assert len(rows) == 10
+
+    def test_sorted_by_mre(self, rows):
+        mres = [r.mre_percent for r in rows]
+        assert mres == sorted(mres)
+
+    def test_mre_range_covers_paper(self, rows):
+        # Paper: 0.03% .. 19.45%.  Ours: ~0.08% .. ~25%.
+        assert rows[0].mre_percent < 0.5
+        assert rows[-1].mre_percent > 15.0
+
+    def test_energy_savings_ladder(self, rows):
+        # Energy saving grows (near-)monotonically with error, as in Table II.
+        savings = [r.energy_saving_percent for r in rows]
+        assert savings[0] < 10.0
+        assert savings[-1] > 60.0
+        # Allow the small documented dips of the diverse designs.
+        violations = sum(1 for a, b in zip(savings, savings[1:]) if b < a)
+        assert violations <= 2
+
+    def test_mae_grows_with_mre_roughly(self, rows):
+        assert rows[-1].mae > rows[0].mae * 50
+
+    def test_all_names_unique(self, rows):
+        names = [r.name for r in rows]
+        assert len(set(names)) == len(names)
+
+
+class TestEnergyModel:
+    def test_exact_saves_nothing(self):
+        assert energy_saving(ExactMultiplier()) == 0.0
+
+    def test_deeper_truncation_saves_more(self):
+        s = [energy_saving(TruncatedMultiplier(cut=c)) for c in range(2, 11)]
+        assert s == sorted(s)
+
+    def test_savings_in_unit_interval(self):
+        for m in TABLE2_SET:
+            assert 0.0 <= energy_saving(m) < 1.0
+
+
+class TestSimulation:
+    def test_signed_lut_symmetry(self):
+        lut = signed_lut(TruncatedMultiplier(cut=6))
+        a = np.arange(-128, 128)
+        # The sign-magnitude envelope: lut = sign(a)*sign(b) * core(|a|,|b|).
+        av, bv = np.meshgrid(a, a, indexing="ij")
+        mag = TruncatedMultiplier(cut=6).multiply(np.abs(av), np.abs(bv))
+        want = np.where((av < 0) ^ (bv < 0), -mag, mag)
+        assert np.array_equal(lut, want)
+
+    def test_exact_lut_matmul(self):
+        rng = np.random.default_rng(1)
+        lut = signed_lut(ExactMultiplier())
+        a = rng.integers(-128, 128, size=(7, 33))
+        b = rng.integers(-128, 128, size=(33, 5))
+        assert np.array_equal(approx_matmul(a, b, lut), a @ b)
+
+    def test_matmul_none_is_exact(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(-128, 128, size=(4, 9))
+        b = rng.integers(-128, 128, size=(9, 3))
+        assert np.array_equal(approx_matmul(a, b, None), a @ b)
+
+    def test_chunking_invariant(self):
+        rng = np.random.default_rng(3)
+        lut = signed_lut(TruncatedMultiplier(cut=7))
+        a = rng.integers(-128, 128, size=(5, 40))
+        b = rng.integers(-128, 128, size=(40, 6))
+        assert np.array_equal(
+            approx_matmul(a, b, lut, chunk=7), approx_matmul(a, b, lut, chunk=64)
+        )
+
+    def test_exact_conv_matches_tensordot(self):
+        rng = np.random.default_rng(4)
+        lut = signed_lut(ExactMultiplier())
+        x = rng.integers(-128, 128, size=(2, 3, 6, 6))
+        w = rng.integers(-128, 128, size=(4, 3, 3, 3))
+        got = approx_conv2d(x, w, lut, stride=1, pad=1)
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        want = np.zeros_like(got)
+        for i in range(6):
+            for j in range(6):
+                patch = xp[:, :, i : i + 3, j : j + 3]
+                want[:, :, i, j] = np.tensordot(patch, w, axes=([1, 2, 3], [1, 2, 3]))
+        assert np.array_equal(got, want)
+
+    def test_approx_matmul_uses_lut_values(self):
+        # A constant-output "multiplier" should make matmul sum constants.
+        class Weird(ExactMultiplier):
+            def multiply(self, a, b):
+                return np.full(np.broadcast(a, b).shape, 3, dtype=np.int64)
+
+        lut = signed_lut(Weird())
+        a = np.ones((2, 5), dtype=np.int64)
+        b = np.ones((5, 2), dtype=np.int64)
+        out = approx_matmul(a, b, lut)
+        assert np.all(out == 15)
+
+    def test_shape_mismatch_raises(self):
+        lut = signed_lut(ExactMultiplier())
+        with pytest.raises(ValueError):
+            approx_matmul(np.ones((2, 3)), np.ones((4, 2)), lut)

@@ -1,0 +1,146 @@
+"""Unit and property tests for the shared bit utilities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._bits import (
+    bit,
+    bit_length,
+    bits_of,
+    count_leading_signs,
+    count_leading_zeros,
+    from_bits,
+    from_twos_complement,
+    isqrt_rem,
+    mask,
+    round_to_nearest_even,
+    shift_right_sticky,
+    to_twos_complement,
+)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small(self):
+        assert mask(1) == 1
+        assert mask(8) == 0xFF
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestBitsOf:
+    def test_msb_first(self):
+        assert bits_of(0b1010, 4) == [1, 0, 1, 0]
+
+    def test_round_trip(self):
+        assert from_bits(bits_of(0xAB, 8)) == 0xAB
+
+    @given(st.integers(min_value=0, max_value=2**20 - 1))
+    def test_round_trip_property(self, v):
+        assert from_bits(bits_of(v, 20)) == v
+
+
+class TestTwosComplement:
+    @given(st.integers(min_value=-(2**15), max_value=2**15 - 1))
+    def test_round_trip(self, v):
+        assert from_twos_complement(to_twos_complement(v, 16), 16) == v
+
+    def test_negative_pattern(self):
+        assert to_twos_complement(-5, 8) == 0b11111011  # the paper's -5 example
+
+    def test_overflow_raises(self):
+        with pytest.raises(OverflowError):
+            to_twos_complement(128, 8)
+        with pytest.raises(OverflowError):
+            to_twos_complement(-129, 8)
+
+    def test_negation_is_complement_plus_one(self):
+        for v in range(-128, 128):
+            if v == -128:
+                continue
+            p = to_twos_complement(v, 8)
+            n = to_twos_complement(-v, 8)
+            assert n == ((~p + 1) & 0xFF)
+
+
+class TestLeadingCounts:
+    def test_clz(self):
+        assert count_leading_zeros(0, 8) == 8
+        assert count_leading_zeros(1, 8) == 7
+        assert count_leading_zeros(0x80, 8) == 0
+
+    def test_cls_ones(self):
+        assert count_leading_signs(0b11100000, 8) == 3
+
+    def test_cls_zeros(self):
+        assert count_leading_signs(0b00010000, 8) == 3
+
+    def test_cls_all(self):
+        assert count_leading_signs(0, 8) == 8
+        assert count_leading_signs(0xFF, 8) == 8
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_cls_matches_definition(self, v):
+        bits = bits_of(v, 8)
+        run = 0
+        for b in bits:
+            if b == bits[0]:
+                run += 1
+            else:
+                break
+        assert count_leading_signs(v, 8) == run
+
+
+class TestIsqrt:
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_invariant(self, v):
+        s, r = isqrt_rem(v)
+        assert s * s + r == v
+        assert 0 <= r <= 2 * s
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            isqrt_rem(-1)
+
+
+class TestShiftSticky:
+    def test_exact_shift(self):
+        assert shift_right_sticky(0b1000, 3) == (1, 0)
+
+    def test_sticky_set(self):
+        assert shift_right_sticky(0b1001, 3) == (1, 1)
+
+    def test_left_shift(self):
+        assert shift_right_sticky(3, -2) == (12, 0)
+
+    def test_all_shifted_out(self):
+        assert shift_right_sticky(7, 10) == (0, 1)
+        assert shift_right_sticky(0, 10) == (0, 0)
+
+    @given(st.integers(min_value=0, max_value=2**40), st.integers(min_value=0, max_value=48))
+    def test_value_preserved(self, v, k):
+        shifted, sticky = shift_right_sticky(v, k)
+        assert shifted == v >> k
+        assert sticky == int(v & ((1 << k) - 1) != 0)
+
+
+class TestRNE:
+    def test_ties_to_even(self):
+        assert round_to_nearest_even(0b101, 1) == 0b10  # 2.5 -> 2
+        assert round_to_nearest_even(0b111, 1) == 0b100  # 3.5 -> 4
+
+    def test_above_half_rounds_up(self):
+        assert round_to_nearest_even(0b1011, 2) == 0b11
+
+    def test_below_half_rounds_down(self):
+        assert round_to_nearest_even(0b1001, 2) == 0b10
+
+    @given(st.integers(min_value=0, max_value=2**30), st.integers(min_value=1, max_value=20))
+    def test_error_at_most_half_ulp(self, v, cut):
+        r = round_to_nearest_even(v, cut)
+        assert abs(r * (1 << cut) - v) <= (1 << cut) // 2

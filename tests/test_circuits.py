@@ -1,0 +1,283 @@
+"""Gate-level netlist framework tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._bits import count_leading_signs, count_leading_zeros
+from repro.circuits import (
+    Circuit,
+    alm_estimate,
+    array_multiplier,
+    barrel_shifter,
+    carry_positions,
+    conditional_negate,
+    cost_report,
+    equality_comparator,
+    gate_cost,
+    leading_sign_counter,
+    leading_zero_counter,
+    lut_cost,
+    mux_word,
+    ripple_carry_adder,
+    twos_complement,
+)
+
+
+class TestNetlistBasics:
+    def test_gates_and_eval(self):
+        c = Circuit("t")
+        a, b = c.inputs("a", "b")
+        c.outputs(x=c.xor(a, b), n=c.nand(a, b))
+        out = c.evaluate(a=1, b=1)
+        assert out == {"x": 0, "n": 0}
+
+    def test_mux(self):
+        c = Circuit("m")
+        s, a, b = c.inputs("s", "a", "b")
+        c.outputs(o=c.mux(s, a, b))
+        assert c.evaluate(s=0, a=1, b=0)["o"] == 1
+        assert c.evaluate(s=1, a=1, b=0)["o"] == 0
+
+    def test_maj_is_carry(self):
+        c = Circuit("maj")
+        a, b, d = c.inputs("a", "b", "d")
+        c.outputs(m=c.maj(a, b, d))
+        for x in range(8):
+            bits = [(x >> i) & 1 for i in range(3)]
+            got = c.evaluate(a=bits[0], b=bits[1], d=bits[2])["m"]
+            assert got == int(sum(bits) >= 2)
+
+    def test_missing_input_raises(self):
+        c = Circuit("t")
+        a, b = c.inputs("a", "b")
+        c.outputs(o=c.and_(a, b))
+        with pytest.raises(KeyError):
+            c.evaluate(a=1)
+
+    def test_foreign_net_rejected(self):
+        c1, c2 = Circuit("one"), Circuit("two")
+        (a,) = c1.inputs("a")
+        with pytest.raises(ValueError):
+            c2.not_(a)
+
+    def test_const_cached(self):
+        c = Circuit("k")
+        assert c.const(0) is c.const(0)
+        assert c.const(1) is c.const(1)
+
+    def test_depth(self):
+        c = Circuit("d")
+        a, b = c.inputs("a", "b")
+        x = c.xor(a, b)
+        y = c.and_(x, a)
+        c.outputs(o=y)
+        assert c.depth() == 2
+
+
+class TestAdders:
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    def test_ripple_adder(self, x, y):
+        c = Circuit("add8")
+        a = c.input_bus("a", 8)
+        b = c.input_bus("b", 8)
+        s, cout = ripple_carry_adder(c, a, b)
+        c.output_bus("s", s)
+        c.outputs(cout=cout)
+        out = c.evaluate_buses(a=x, b=y)
+        assert out["s"] | (out["cout"] << 8) == x + y
+
+    def test_adder_with_carry_in(self):
+        c = Circuit("addc")
+        a = c.input_bus("a", 4)
+        b = c.input_bus("b", 4)
+        (ci,) = c.inputs("ci")
+        s, cout = ripple_carry_adder(c, a, b, ci)
+        c.output_bus("s", s)
+        c.outputs(cout=cout)
+        out = c.evaluate_buses(a=7, b=8, ci=1)
+        assert out["s"] | (out["cout"] << 4) == 16
+
+    def test_adder_carry_chain_length(self):
+        c = Circuit("add8")
+        a = c.input_bus("a", 8)
+        b = c.input_bus("b", 8)
+        s, cout = ripple_carry_adder(c, a, b)
+        c.output_bus("s", s)
+        assert carry_positions(c) == 8  # one MAJ per bit position
+
+
+class TestMultiplier:
+    def test_exhaustive_4x4(self):
+        c = Circuit("mul4")
+        a = c.input_bus("a", 4)
+        b = c.input_bus("b", 4)
+        c.output_bus("p", array_multiplier(c, a, b))
+        for x in range(16):
+            for y in range(16):
+                assert c.evaluate_buses(a=x, b=y)["p"] == x * y
+
+    @given(st.integers(min_value=0, max_value=127), st.integers(min_value=0, max_value=31))
+    def test_rectangular(self, x, y):
+        c = Circuit("mul75")
+        a = c.input_bus("a", 7)
+        b = c.input_bus("b", 5)
+        c.output_bus("p", array_multiplier(c, a, b))
+        assert c.evaluate_buses(a=x, b=y)["p"] == x * y
+
+
+class TestTwosComplementUnits:
+    @given(st.integers(min_value=0, max_value=255))
+    def test_negate(self, x):
+        c = Circuit("neg")
+        a = c.input_bus("a", 8)
+        c.output_bus("n", twos_complement(c, a))
+        assert c.evaluate_buses(a=x)["n"] == (-x) & 0xFF
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=1))
+    def test_conditional_negate(self, x, neg):
+        c = Circuit("cneg")
+        a = c.input_bus("a", 8)
+        (s,) = c.inputs("s")
+        c.output_bus("o", conditional_negate(c, a, s))
+        want = ((-x) & 0xFF) if neg else x
+        assert c.evaluate_buses(a=x, s=neg)["o"] == want
+
+
+class TestCounters:
+    def test_lzc_exhaustive(self):
+        c = Circuit("lzc")
+        w = c.input_bus("w", 8)
+        c.output_bus("n", leading_zero_counter(c, w))
+        for x in range(256):
+            assert c.evaluate_buses(w=x)["n"] == count_leading_zeros(x, 8)
+
+    def test_lsc_exhaustive(self):
+        c = Circuit("lsc")
+        w = c.input_bus("w", 8)
+        c.output_bus("n", leading_sign_counter(c, w))
+        for x in range(256):
+            assert c.evaluate_buses(w=x)["n"] == count_leading_signs(x, 8)
+
+
+class TestShifter:
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=7))
+    def test_logical_right(self, x, k):
+        c = Circuit("shr")
+        w = c.input_bus("w", 8)
+        amt = c.input_bus("s", 3)
+        c.output_bus("o", barrel_shifter(c, w, amt))
+        assert c.evaluate_buses(w=x, s=k)["o"] == x >> k
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=7))
+    def test_arithmetic_right(self, x, k):
+        c = Circuit("sar")
+        w = c.input_bus("w", 8)
+        amt = c.input_bus("s", 3)
+        c.output_bus("o", barrel_shifter(c, w, amt, arithmetic=True))
+        signed = x - 256 if x & 0x80 else x
+        assert c.evaluate_buses(w=x, s=k)["o"] == (signed >> k) & 0xFF
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=7))
+    def test_left(self, x, k):
+        c = Circuit("shl")
+        w = c.input_bus("w", 8)
+        amt = c.input_bus("s", 3)
+        c.output_bus("o", barrel_shifter(c, w, amt, left=True))
+        assert c.evaluate_buses(w=x, s=k)["o"] == (x << k) & 0xFF
+
+
+class TestComparators:
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    def test_equality(self, x, y):
+        c = Circuit("eq")
+        a = c.input_bus("a", 8)
+        b = c.input_bus("b", 8)
+        c.outputs(e=equality_comparator(c, a, b))
+        assert c.evaluate_buses(a=x, b=y)["e"] == int(x == y)
+
+
+class TestCostModels:
+    def test_gate_cost_positive(self):
+        c = Circuit("cost")
+        a = c.input_bus("a", 4)
+        b = c.input_bus("b", 4)
+        c.output_bus("p", array_multiplier(c, a, b))
+        assert gate_cost(c) > 0
+        assert lut_cost(c) > 0
+        assert alm_estimate(c) > 0
+
+    def test_bigger_circuit_costs_more(self):
+        costs = []
+        for w in (4, 8):
+            c = Circuit(f"mul{w}")
+            a = c.input_bus("a", w)
+            b = c.input_bus("b", w)
+            c.output_bus("p", array_multiplier(c, a, b))
+            costs.append((gate_cost(c), lut_cost(c)))
+        assert costs[1][0] > costs[0][0]
+        assert costs[1][1] > costs[0][1]
+
+    def test_lut_cost_at_most_gate_count(self):
+        c = Circuit("pack")
+        a = c.input_bus("a", 6)
+        b = c.input_bus("b", 6)
+        s, _ = ripple_carry_adder(c, a, b)
+        c.output_bus("s", s)
+        # Clustering can only merge gates, never split them.
+        assert lut_cost(c) <= sum(
+            1 for g in c.gates if g.kind.value not in ("const0", "const1")
+        )
+
+    def test_cost_report_fields(self):
+        c = Circuit("rpt")
+        a = c.input_bus("a", 4)
+        b = c.input_bus("b", 4)
+        s, _ = ripple_carry_adder(c, a, b)
+        c.output_bus("s", s)
+        rpt = cost_report(c)
+        assert rpt.name == "rpt"
+        assert rpt.carry_positions == 4
+        assert "xor" in rpt.by_kind
+
+
+class TestVectorizedEvaluation:
+    """Scalar and vectorized evaluation must agree on arbitrary circuits."""
+
+    @staticmethod
+    def _random_circuit(seed):
+        import random
+
+        rng = random.Random(seed)
+        c = Circuit(f"fuzz{seed}")
+        nets = list(c.inputs(*(f"i{k}" for k in range(rng.randint(2, 6)))))
+        n_inputs = len(nets)
+        for _ in range(rng.randint(3, 40)):
+            kind = rng.choice(["and", "or", "xor", "nand", "nor", "xnor", "not", "maj", "mux"])
+            if kind == "not":
+                nets.append(c.not_(rng.choice(nets)))
+            elif kind == "maj":
+                nets.append(c.maj(*(rng.choice(nets) for _ in range(3))))
+            elif kind == "mux":
+                nets.append(c.mux(*(rng.choice(nets) for _ in range(3))))
+            else:
+                ins = [rng.choice(nets) for _ in range(rng.randint(2, 4))]
+                method = {"and": "and_", "or": "or_"}.get(kind, kind)
+                nets.append(getattr(c, method)(*ins))
+        c.outputs(o=nets[-1], p=nets[len(nets) // 2])
+        return c, n_inputs
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_scalar_matches_vector(self, seed):
+        import numpy as np
+
+        c, n_inputs = self._random_circuit(seed)
+        cases = 1 << n_inputs
+        arrays = {
+            f"i{k}": np.array([(v >> k) & 1 for v in range(cases)]) for k in range(n_inputs)
+        }
+        vec = c.evaluate_vector(**arrays)
+        for v in range(cases):
+            scalar = c.evaluate(**{f"i{k}": (v >> k) & 1 for k in range(n_inputs)})
+            assert vec["o"][v] == scalar["o"], (seed, v)
+            assert vec["p"][v] == scalar["p"], (seed, v)

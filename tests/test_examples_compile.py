@@ -1,0 +1,40 @@
+"""Guard: every example script parses and its imports resolve.
+
+Full example runs take minutes (they train models); this test catches the
+cheap failure modes — syntax errors and renamed APIs — on every CI run.
+"""
+
+import ast
+import importlib
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_parses(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    # Must be runnable as a script.
+    assert any(
+        isinstance(node, ast.If) and getattr(node.test.left, "id", "") == "__name__"
+        for node in tree.body
+        if isinstance(node, ast.If)
+    ), f"{path.name} lacks a __main__ guard"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_resolve(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and node.module.startswith("repro"):
+            module = importlib.import_module(node.module)
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{path.name}: {node.module}.{alias.name} does not exist"
+                )
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro"):
+                    importlib.import_module(alias.name)

@@ -1,0 +1,149 @@
+"""Fixed-point format and arithmetic tests."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fixedpoint import FixedPoint, Overflow, QFormat, Rounding
+
+
+class TestQFormat:
+    def test_width(self):
+        assert QFormat(4, 4).width == 9  # sign + 4 + 4
+        assert QFormat(4, 4, signed=False).width == 8
+
+    def test_ranges(self):
+        q = QFormat(3, 4)
+        assert q.max_value == 7.9375
+        assert q.min_value == -8.0
+        assert q.ulp == 0.0625
+
+    def test_negative_int_bits(self):
+        # Purely fractional format: MSB weight 2^-2.
+        q = QFormat(-1, 6, signed=False)
+        assert q.width == 5
+        assert q.max_value < 0.5
+
+    def test_negative_frac_bits(self):
+        # Coarse grid: LSB weight 4.
+        q = QFormat(6, -2, signed=False)
+        assert q.ulp == 4.0
+
+    def test_empty_format_rejected(self):
+        with pytest.raises(ValueError):
+            QFormat(0, 0, signed=False)
+
+    def test_str(self):
+        assert str(QFormat(4, 4)) == "Q4.4"
+        assert str(QFormat(4, 4, signed=False)) == "UQ4.4"
+
+
+class TestQuantization:
+    def test_exact_value(self):
+        q = QFormat(4, 4)
+        assert FixedPoint.from_float(q, 1.25).to_float() == 1.25
+
+    def test_rne(self):
+        q = QFormat(4, 1)
+        assert FixedPoint.from_float(q, 1.25).to_float() == 1.0  # tie to even
+        assert FixedPoint.from_float(q, 1.75).to_float() == 2.0
+
+    def test_truncate_is_floor(self):
+        q = QFormat(4, 0)
+        assert FixedPoint.from_float(q, -1.5, Rounding.TRUNCATE).to_float() == -2.0
+        assert FixedPoint.from_float(q, 1.5, Rounding.TRUNCATE).to_float() == 1.0
+
+    def test_toward_zero(self):
+        q = QFormat(4, 0)
+        assert FixedPoint.from_float(q, -1.7, Rounding.TOWARD_ZERO).to_float() == -1.0
+        assert FixedPoint.from_float(q, 1.7, Rounding.TOWARD_ZERO).to_float() == 1.0
+
+    def test_saturation(self):
+        q = QFormat(3, 4)
+        assert FixedPoint.from_float(q, 100.0).to_float() == q.max_value
+        assert FixedPoint.from_float(q, -100.0).to_float() == q.min_value
+
+    def test_wrap(self):
+        q = QFormat(3, 0)  # range -8..7
+        fp = FixedPoint.from_float(q, 9.0, overflow=Overflow.WRAP)
+        assert fp.to_float() == -7.0
+
+    def test_error_policy_raises(self):
+        q = QFormat(3, 0)
+        with pytest.raises(OverflowError):
+            FixedPoint(q, 100)
+
+    def test_nonbinary_fraction(self):
+        q = QFormat(2, 8)
+        fp = FixedPoint.from_fraction(q, Fraction(1, 3))
+        assert abs(fp.to_float() - 1 / 3) <= q.ulp / 2
+
+    @given(st.floats(min_value=-7.9, max_value=7.9))
+    def test_quantization_error_bound(self, x):
+        q = QFormat(3, 6)
+        fp = FixedPoint.from_float(q, x)
+        assert abs(fp.to_float() - x) <= q.ulp / 2
+
+
+class TestArithmetic:
+    def test_add_widens(self):
+        q = QFormat(3, 4)
+        a = FixedPoint.from_float(q, 7.9375)
+        s = a + a
+        assert s.to_float() == 15.875  # no overflow: result format is wider
+        assert s.fmt.int_bits == 4
+
+    def test_mul_exact(self):
+        q = QFormat(3, 4)
+        a = FixedPoint.from_float(q, 1.0625)
+        b = FixedPoint.from_float(q, 2.125)
+        assert (a * b).to_fraction() == a.to_fraction() * b.to_fraction()
+
+    @given(
+        st.integers(min_value=-128, max_value=127),
+        st.integers(min_value=-128, max_value=127),
+    )
+    def test_addition_is_exact(self, ra, rb):
+        q = QFormat(4, 3)
+        a, b = FixedPoint(q, ra), FixedPoint(q, rb)
+        assert (a + b).to_fraction() == a.to_fraction() + b.to_fraction()
+
+    @given(
+        st.integers(min_value=-128, max_value=127),
+        st.integers(min_value=-128, max_value=127),
+    )
+    def test_multiplication_is_exact(self, ra, rb):
+        q = QFormat(4, 3)
+        a, b = FixedPoint(q, ra), FixedPoint(q, rb)
+        assert (a * b).to_fraction() == a.to_fraction() * b.to_fraction()
+
+    def test_negate(self):
+        q = QFormat(3, 4)
+        a = FixedPoint.from_float(q, 1.5)
+        assert (-a).to_float() == -1.5
+
+    def test_resize_rounds(self):
+        wide = QFormat(4, 8)
+        narrow = QFormat(4, 2)
+        a = FixedPoint.from_float(wide, 1.3125)
+        assert a.resize(narrow).to_float() == 1.25
+
+    def test_resize_saturates(self):
+        wide = QFormat(8, 2)
+        narrow = QFormat(2, 2)
+        a = FixedPoint.from_float(wide, 100.0)
+        assert a.resize(narrow).to_float() == narrow.max_value
+
+    def test_comparison_across_formats(self):
+        a = FixedPoint.from_float(QFormat(4, 2), 1.25)
+        b = FixedPoint.from_float(QFormat(4, 6), 1.25)
+        assert a == b
+        assert FixedPoint.from_float(QFormat(4, 2), 1.5) > b
+
+    def test_pattern_is_twos_complement(self):
+        q = QFormat(3, 4)
+        a = FixedPoint.from_float(q, -0.0625)  # raw -1
+        assert a.pattern == (1 << q.width) - 1

@@ -1,0 +1,264 @@
+"""Correctness of SoftFloat arithmetic.
+
+numpy's float16/float32 implementations serve as the hardware oracle: every
+operation must be bit-exact against them, including subnormals, signed
+zeros, infinities and overflow behaviour.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.floats import (
+    BFLOAT16,
+    BINARY16,
+    BINARY32,
+    FP8_E4M3,
+    RoundingMode,
+    SoftFloat,
+)
+
+patterns16 = st.integers(min_value=0, max_value=0xFFFF)
+
+
+def _np16(pattern: int) -> np.float16:
+    return np.uint16(pattern).view(np.float16)
+
+
+def _assert_matches(got: SoftFloat, ref) -> None:
+    if math.isnan(float(ref)):
+        assert got.is_nan()
+    else:
+        assert got.pattern == int(np.asarray(ref).view(np.uint16)), (
+            got.to_float(),
+            float(ref),
+        )
+
+
+class TestVsNumpyFloat16:
+    @given(patterns16, patterns16)
+    def test_add(self, pa, pb):
+        with np.errstate(all="ignore"):
+            ref = _np16(pa) + _np16(pb)
+        _assert_matches(SoftFloat(BINARY16, pa) + SoftFloat(BINARY16, pb), ref)
+
+    @given(patterns16, patterns16)
+    def test_sub(self, pa, pb):
+        with np.errstate(all="ignore"):
+            ref = _np16(pa) - _np16(pb)
+        _assert_matches(SoftFloat(BINARY16, pa) - SoftFloat(BINARY16, pb), ref)
+
+    @given(patterns16, patterns16)
+    def test_mul(self, pa, pb):
+        with np.errstate(all="ignore"):
+            ref = _np16(pa) * _np16(pb)
+        _assert_matches(SoftFloat(BINARY16, pa) * SoftFloat(BINARY16, pb), ref)
+
+    @given(patterns16, patterns16)
+    def test_div(self, pa, pb):
+        with np.errstate(all="ignore"):
+            ref = _np16(pa) / _np16(pb)
+        _assert_matches(SoftFloat(BINARY16, pa) / SoftFloat(BINARY16, pb), ref)
+
+    @given(patterns16)
+    def test_sqrt(self, pa):
+        with np.errstate(all="ignore"):
+            ref = np.sqrt(_np16(pa))
+        _assert_matches(SoftFloat(BINARY16, pa).sqrt(), ref)
+
+    @given(patterns16)
+    def test_float_round_trip(self, pa):
+        sf = SoftFloat(BINARY16, pa)
+        back = SoftFloat.from_float(BINARY16, sf.to_float())
+        if sf.is_nan():
+            assert back.is_nan()
+        else:
+            assert back.pattern == pa
+
+
+class TestSpecialCases:
+    def test_inf_minus_inf_is_nan(self):
+        inf = SoftFloat.inf(BINARY16)
+        assert (inf - inf).is_nan()
+
+    def test_inf_plus_inf(self):
+        inf = SoftFloat.inf(BINARY16)
+        assert (inf + inf).is_inf()
+        assert (inf + inf).sign == 0
+
+    def test_zero_times_inf_is_nan(self):
+        z = SoftFloat.zero(BINARY16)
+        assert (z * SoftFloat.inf(BINARY16)).is_nan()
+
+    def test_divide_by_zero_is_inf(self):
+        one = SoftFloat.from_float(BINARY16, 1.0)
+        r = one / SoftFloat.zero(BINARY16)
+        assert r.is_inf() and r.sign == 0
+
+    def test_negative_divide_by_zero(self):
+        one = SoftFloat.from_float(BINARY16, -1.0)
+        r = one / SoftFloat.zero(BINARY16)
+        assert r.is_inf() and r.sign == 1
+
+    def test_zero_div_zero_is_nan(self):
+        z = SoftFloat.zero(BINARY16)
+        assert (z / z).is_nan()
+
+    def test_sqrt_of_negative_is_nan(self):
+        assert SoftFloat.from_float(BINARY16, -4.0).sqrt().is_nan()
+
+    def test_sqrt_of_negative_zero_is_negative_zero(self):
+        nz = SoftFloat.zero(BINARY16, sign=1)
+        r = nz.sqrt()
+        assert r.is_zero() and r.sign == 1
+
+    def test_nan_propagates(self):
+        nan = SoftFloat.nan(BINARY16)
+        one = SoftFloat.from_float(BINARY16, 1.0)
+        for op in ("add", "sub", "mul", "div"):
+            assert getattr(nan, op)(one).is_nan()
+            assert getattr(one, op)(nan).is_nan()
+
+    def test_signed_zero_sum(self):
+        pz = SoftFloat.zero(BINARY16, 0)
+        nz = SoftFloat.zero(BINARY16, 1)
+        assert (pz + nz).sign == 0  # RNE: +0
+        assert (nz + nz).sign == 1  # -0 + -0 = -0
+        assert pz.add(nz, RoundingMode.TOWARD_NEGATIVE).sign == 1
+
+    def test_exact_cancellation_sign(self):
+        one = SoftFloat.from_float(BINARY16, 1.0)
+        r = one - one
+        assert r.is_zero() and r.sign == 0
+        r = one.sub(one, RoundingMode.TOWARD_NEGATIVE)
+        assert r.is_zero() and r.sign == 1
+
+    def test_overflow_to_inf(self):
+        big = SoftFloat.max_finite(BINARY16)
+        assert (big + big).is_inf()
+
+    def test_overflow_saturates_toward_zero(self):
+        big = SoftFloat.max_finite(BINARY16)
+        r = big.add(big, RoundingMode.TOWARD_ZERO)
+        assert r.pattern == BINARY16.pattern_max_finite
+
+    def test_underflow_to_zero(self):
+        tiny = SoftFloat.min_subnormal(BINARY16)
+        half = SoftFloat.from_float(BINARY16, 0.5)
+        r = tiny * half  # 2^-25 rounds to zero under RNE (tie to even)
+        assert r.is_zero()
+
+    def test_subnormal_arithmetic_exact(self):
+        tiny = SoftFloat.min_subnormal(BINARY16)
+        two = SoftFloat.from_float(BINARY16, 2.0)
+        assert (tiny * two).pattern == 2
+
+
+class TestRoundingModes:
+    def test_directed_rounding_brackets_rne(self):
+        a = SoftFloat.from_float(BINARY16, 1.0)
+        b = SoftFloat.from_float(BINARY16, 3.0)
+        down = a.div(b, RoundingMode.TOWARD_NEGATIVE)
+        up = a.div(b, RoundingMode.TOWARD_POSITIVE)
+        near = a.div(b, RoundingMode.NEAREST_EVEN)
+        assert down.to_float() < up.to_float()
+        assert up.pattern - down.pattern == 1
+        assert near.pattern in (down.pattern, up.pattern)
+
+    def test_rtz_truncates_both_signs(self):
+        a = SoftFloat.from_float(BINARY16, 1.0)
+        b = SoftFloat.from_float(BINARY16, 3.0)
+        pos = a.div(b, RoundingMode.TOWARD_ZERO)
+        neg = a.negate().div(b, RoundingMode.TOWARD_ZERO)
+        assert abs(pos.to_float()) == abs(neg.to_float())
+        assert abs(pos.to_float()) < 1 / 3
+
+    @given(patterns16, patterns16)
+    def test_rna_vs_rne_differ_at_most_one_ulp(self, pa, pb):
+        a, b = SoftFloat(BINARY16, pa), SoftFloat(BINARY16, pb)
+        rne = a.add(b, RoundingMode.NEAREST_EVEN)
+        rna = a.add(b, RoundingMode.NEAREST_AWAY)
+        if rne.is_nan() or rna.is_nan():
+            assert rne.is_nan() and rna.is_nan()
+        elif rne.is_finite() and rna.is_finite():
+            assert abs(rne.pattern - rna.pattern) <= 1
+
+
+class TestFMA:
+    def test_fma_single_rounding(self):
+        # a = 1 + 2^-10, b = 1 - 2^-11: a*b = 1 + 2^-11 - 2^-21, which RNE
+        # rounds to exactly 1.0 at binary16 precision.  The fused form keeps
+        # the full product and returns 2^-11 - 2^-21 (representable exactly).
+        a = SoftFloat(BINARY16, 0x3C01)
+        b = SoftFloat(BINARY16, 0x3BFF)
+        c = SoftFloat.from_float(BINARY16, -1.0)
+        fused = a.fma(b, c)
+        unfused = (a * b) + c
+        assert fused.to_float() == 2.0**-11 - 2.0**-21
+        assert unfused.to_float() == 0.0  # a*b rounded to exactly 1.0 first
+
+    def test_fma_matches_exact_rational_binary32(self):
+        from fractions import Fraction
+
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            af, bf, cf = (float(np.float32(x)) for x in rng.normal(size=3))
+            a = SoftFloat.from_float(BINARY32, af)
+            b = SoftFloat.from_float(BINARY32, bf)
+            c = SoftFloat.from_float(BINARY32, cf)
+            got = a.fma(b, c).pattern
+            exact = Fraction(af) * Fraction(bf) + Fraction(cf)
+            want = SoftFloat.from_fraction(BINARY32, exact).pattern
+            assert got == want
+
+    def test_fma_infinity_cases(self):
+        inf = SoftFloat.inf(BINARY16)
+        one = SoftFloat.from_float(BINARY16, 1.0)
+        zero = SoftFloat.zero(BINARY16)
+        assert inf.fma(zero, one).is_nan()
+        assert inf.fma(one, inf.negate()).is_nan()
+        assert one.fma(one, inf).is_inf()
+
+
+class TestConversions:
+    @given(patterns16)
+    def test_widen_then_narrow_is_identity(self, pa):
+        sf = SoftFloat(BINARY16, pa)
+        wide = sf.convert(BINARY32)
+        back = wide.convert(BINARY16)
+        if sf.is_nan():
+            assert back.is_nan()
+        else:
+            assert back.pattern == pa
+
+    def test_bfloat16_conversion_truncates_binary32(self):
+        # Rounding binary32 -> bfloat16 is dropping 16 fraction bits with RNE.
+        v = SoftFloat.from_float(BINARY32, math.pi)
+        b = v.convert(BFLOAT16)
+        # numpy has no bfloat16; verify against manual RNE on the pattern.
+        pat32 = v.pattern
+        rounded = (pat32 + 0x7FFF + ((pat32 >> 16) & 1)) >> 16
+        assert b.pattern == rounded
+
+    def test_fp8_small_format_roundtrip(self):
+        for pat in range(1 << FP8_E4M3.width):
+            sf = SoftFloat(FP8_E4M3, pat)
+            if sf.is_nan():
+                continue
+            back = SoftFloat.from_float(FP8_E4M3, sf.to_float())
+            assert back.pattern == pat
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_from_fraction_agrees_with_from_float(self, x):
+        from fractions import Fraction
+
+        a = SoftFloat.from_float(BINARY16, x)
+        b = SoftFloat.from_fraction(BINARY16, Fraction(x))
+        if x == 0.0:
+            # Fraction cannot carry the sign of -0.0; values agree, signs may not.
+            assert b.is_zero() and a.is_zero()
+        else:
+            assert a.pattern == b.pattern

@@ -1,0 +1,103 @@
+"""IEEE comparison predicate semantics (the 22 operations of Section V)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.floats import (
+    ALL_PREDICATES,
+    BINARY16,
+    SoftFloat,
+    compare_quiet_equal,
+    compare_quiet_unordered,
+    compare_signaling_less,
+    total_order,
+)
+from repro.floats.compare import relation
+
+patterns16 = st.integers(min_value=0, max_value=0xFFFF)
+
+
+class TestPredicateTable:
+    def test_there_are_22_predicates(self):
+        # The paper: "The IEEE 754 Standard requires 22 different kinds of
+        # comparison operations because of the NaN exceptions".
+        assert len(ALL_PREDICATES) == 22
+
+    def test_nan_not_equal_to_itself(self):
+        nan = SoftFloat.nan(BINARY16)
+        assert not compare_quiet_equal(nan, nan)
+        assert ALL_PREDICATES["compareQuietNotEqual"](nan, nan)
+
+    def test_nan_unordered_to_everything(self):
+        nan = SoftFloat.nan(BINARY16)
+        one = SoftFloat.from_float(BINARY16, 1.0)
+        assert compare_quiet_unordered(nan, one)
+        assert compare_quiet_unordered(one, nan)
+        assert compare_quiet_unordered(nan, nan)
+
+    def test_signed_zeros_compare_equal(self):
+        pz = SoftFloat.zero(BINARY16, 0)
+        nz = SoftFloat.zero(BINARY16, 1)
+        assert compare_quiet_equal(pz, nz)
+        assert relation(pz, nz) == "eq"
+
+    def test_signaling_raises_on_nan(self):
+        nan = SoftFloat.nan(BINARY16)
+        one = SoftFloat.from_float(BINARY16, 1.0)
+        with pytest.raises(FloatingPointError):
+            compare_signaling_less(nan, one)
+
+    def test_quiet_less_false_on_nan(self):
+        nan = SoftFloat.nan(BINARY16)
+        one = SoftFloat.from_float(BINARY16, 1.0)
+        assert not ALL_PREDICATES["compareQuietLess"](nan, one)
+        assert ALL_PREDICATES["compareQuietLessUnordered"](nan, one)
+
+    @given(patterns16, patterns16)
+    def test_exactly_one_relation_holds(self, pa, pb):
+        a, b = SoftFloat(BINARY16, pa), SoftFloat(BINARY16, pb)
+        rel = relation(a, b)
+        assert rel in ("lt", "eq", "gt", "un")
+        # Quiet predicates partition accordingly.
+        holds = [
+            ALL_PREDICATES["compareQuietLess"](a, b),
+            ALL_PREDICATES["compareQuietEqual"](a, b),
+            ALL_PREDICATES["compareQuietGreater"](a, b),
+            ALL_PREDICATES["compareQuietUnordered"](a, b),
+        ]
+        assert sum(holds) == 1
+
+    @given(patterns16, patterns16)
+    def test_antisymmetry(self, pa, pb):
+        a, b = SoftFloat(BINARY16, pa), SoftFloat(BINARY16, pb)
+        if relation(a, b) == "lt":
+            assert relation(b, a) == "gt"
+
+
+class TestFloatOrderIsNotPatternOrder:
+    def test_negative_floats_reverse_direction(self):
+        # Fig. 6: "floats increase monotonically on the right half of the
+        # ring but reverse direction for the negative values".
+        a = SoftFloat(BINARY16, 0x8400)  # small negative magnitude pattern
+        b = SoftFloat(BINARY16, 0xC400)  # larger negative magnitude pattern
+        assert b.pattern > a.pattern
+        assert b.to_float() < a.to_float()  # pattern order != value order
+
+    @given(patterns16, patterns16)
+    def test_total_order_is_total_and_antisymmetric(self, pa, pb):
+        a, b = SoftFloat(BINARY16, pa), SoftFloat(BINARY16, pb)
+        assert total_order(a, b) or total_order(b, a)
+
+    def test_total_order_places_nans_at_ends(self):
+        nan = SoftFloat.nan(BINARY16)
+        neg_nan = nan.negate()
+        inf = SoftFloat.inf(BINARY16)
+        assert total_order(inf, nan)
+        assert total_order(neg_nan, inf.negate())
+
+    def test_total_order_negative_zero_before_positive(self):
+        pz = SoftFloat.zero(BINARY16, 0)
+        nz = SoftFloat.zero(BINARY16, 1)
+        assert total_order(nz, pz)
+        assert not total_order(pz, nz)

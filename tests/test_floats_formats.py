@@ -1,0 +1,99 @@
+"""Tests for float format descriptors and landmark values."""
+
+import math
+
+import pytest
+
+from repro.floats import (
+    BFLOAT16,
+    BINARY16,
+    BINARY32,
+    BINARY64,
+    FP19,
+    FloatFormat,
+    SoftFloat,
+)
+
+
+class TestFormatConstants:
+    def test_binary16_layout(self):
+        assert BINARY16.width == 16
+        assert BINARY16.bias == 15
+        assert BINARY16.emin == -14
+        assert BINARY16.emax == 15
+        assert BINARY16.precision == 11
+
+    def test_binary32_layout(self):
+        assert BINARY32.width == 32
+        assert BINARY32.bias == 127
+
+    def test_binary64_layout(self):
+        assert BINARY64.width == 64
+        assert BINARY64.bias == 1023
+
+    def test_bfloat16_is_truncated_binary32(self):
+        # bfloat16 = binary32 with 16 fraction bits dropped (paper, Sec. V).
+        assert BFLOAT16.width == 16
+        assert BFLOAT16.exp_bits == BINARY32.exp_bits
+        assert BINARY32.frac_bits - BFLOAT16.frac_bits == 16
+
+    def test_fp19_agilex_format(self):
+        # FP19 {1,8,10}: binary32 range with binary16 precision (Sec. III).
+        assert FP19.width == 19
+        assert FP19.exp_bits == 8
+        assert FP19.frac_bits == 10
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(ValueError):
+            FloatFormat("bad", exp_bits=1, frac_bits=4)
+        with pytest.raises(ValueError):
+            FloatFormat("bad", exp_bits=5, frac_bits=0)
+
+
+class TestLandmarkValues:
+    def test_binary16_max(self):
+        assert BINARY16.max_finite == 65504.0
+
+    def test_binary16_min_normal(self):
+        assert BINARY16.min_normal == 2.0**-14
+
+    def test_binary16_min_subnormal(self):
+        assert BINARY16.min_subnormal == 2.0**-24
+
+    def test_binary16_range_matches_paper(self):
+        # "about 6e-5 to 7e4" for 16-bit floats.
+        assert 5e-5 < BINARY16.min_normal < 7e-5
+        assert 6e4 < BINARY16.max_finite < 7e4
+
+    def test_binary16_dynamic_range_9_decades(self):
+        # Fig. 10: "only 9 orders of magnitude for IEEE 16-bit floats in the
+        # normal range".
+        assert round(BINARY16.dynamic_range_decades()) == 9
+
+    def test_bfloat16_dynamic_range_76_decades(self):
+        # Fig. 10: "about 76 orders of magnitude" for bfloat16.
+        assert 75 <= BFLOAT16.dynamic_range_decades() <= 78
+
+    def test_patterns(self):
+        assert BINARY16.pattern_inf == 0x7C00
+        assert BINARY16.pattern_quiet_nan == 0x7E00
+        assert BINARY16.pattern_max_finite == 0x7BFF
+        assert BINARY16.pattern_min_normal == 0x0400
+        assert BINARY16.pattern_min_subnormal == 0x0001
+
+
+class TestLandmarkPatternsDecode:
+    @pytest.mark.parametrize("fmt", [BINARY16, BFLOAT16, FP19, BINARY32])
+    def test_max_finite_value(self, fmt):
+        sf = SoftFloat(fmt, fmt.pattern_max_finite)
+        assert sf.to_float() == fmt.max_finite
+
+    @pytest.mark.parametrize("fmt", [BINARY16, BFLOAT16, FP19, BINARY32])
+    def test_min_subnormal_value(self, fmt):
+        sf = SoftFloat(fmt, fmt.pattern_min_subnormal)
+        assert sf.to_float() == fmt.min_subnormal
+
+    @pytest.mark.parametrize("fmt", [BINARY16, BFLOAT16, FP19])
+    def test_inf_and_nan_classify(self, fmt):
+        assert SoftFloat(fmt, fmt.pattern_inf).is_inf()
+        assert SoftFloat(fmt, fmt.pattern_quiet_nan).is_nan()

@@ -1,0 +1,144 @@
+"""Correctly rounded float elementary functions and FMA-based division."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.floats import (
+    BINARY16,
+    BINARY32,
+    FP8_E4M3,
+    SoftFloat,
+    float_atan,
+    float_cos,
+    float_exp,
+    float_log,
+    float_log2,
+    float_sin,
+    float_tanh,
+    iterations_needed,
+    newton_raphson_divide,
+    reciprocal_seed,
+)
+
+patterns8 = st.integers(min_value=0, max_value=255)
+patterns16 = st.integers(min_value=0, max_value=0xFFFF)
+
+
+class TestExhaustiveFP8:
+    """Every fp8 input vs an exact-rational reference rounding."""
+
+    def test_exp(self):
+        for pat in range(256):
+            x = SoftFloat(FP8_E4M3, pat)
+            if x.is_nan() or x.is_inf():
+                continue
+            got = float_exp(x)
+            want = SoftFloat.from_fraction(FP8_E4M3, Fraction(math.exp(x.to_float())))
+            assert got.pattern == want.pattern, hex(pat)
+
+    def test_log(self):
+        for pat in range(256):
+            x = SoftFloat(FP8_E4M3, pat)
+            if x.is_nan() or x.is_inf():
+                continue
+            v = x.to_float()
+            if v < 0:
+                assert float_log(x).is_nan()
+                continue
+            if v == 0:
+                r = float_log(x)
+                assert r.is_inf() and r.sign == 1
+                continue
+            want = SoftFloat.from_fraction(FP8_E4M3, Fraction(math.log(v)))
+            assert float_log(x).pattern == want.pattern, hex(pat)
+
+    @pytest.mark.parametrize(
+        "fn,ref",
+        [(float_sin, math.sin), (float_cos, math.cos), (float_atan, math.atan), (float_tanh, math.tanh)],
+        ids=["sin", "cos", "atan", "tanh"],
+    )
+    def test_trig_tanh(self, fn, ref):
+        for pat in range(256):
+            x = SoftFloat(FP8_E4M3, pat)
+            if x.is_nan() or x.is_inf():
+                continue
+            want = SoftFloat.from_fraction(FP8_E4M3, Fraction(ref(x.to_float())))
+            assert fn(x).pattern == want.pattern, hex(pat)
+
+
+class TestSpecials:
+    def test_exp_specials(self):
+        inf = SoftFloat.inf(BINARY16)
+        assert float_exp(inf).is_inf()
+        assert float_exp(inf.negate()).is_zero()
+        assert float_exp(SoftFloat.nan(BINARY16)).is_nan()
+        assert float_exp(SoftFloat.zero(BINARY16)).to_float() == 1.0
+
+    def test_exp_overflow_underflow(self):
+        big = SoftFloat.from_float(BINARY16, 100.0)
+        assert float_exp(big).is_inf()
+        assert float_exp(big.negate()).is_zero()
+
+    def test_log_specials(self):
+        assert float_log(SoftFloat.from_float(BINARY16, -1.0)).is_nan()
+        r = float_log(SoftFloat.zero(BINARY16))
+        assert r.is_inf() and r.sign == 1
+        assert float_log(SoftFloat.inf(BINARY16)).is_inf()
+
+    def test_log2_powers_exact(self):
+        for k in range(-10, 11):
+            x = SoftFloat.from_float(BINARY16, 2.0**k)
+            assert float_log2(x).to_float() == float(k)
+
+    def test_tanh_saturates(self):
+        assert float_tanh(SoftFloat.inf(BINARY16)).to_float() == 1.0
+        assert float_tanh(SoftFloat.from_float(BINARY16, 1e4)).to_float() == 1.0
+
+
+class TestNewtonRaphsonDivision:
+    """Section II: the FMA enables division — correctly rounded via
+    Markstein's final-correction step."""
+
+    @given(patterns16, patterns16)
+    def test_matches_datapath_divide(self, pa, pb):
+        a, b = SoftFloat(BINARY16, pa), SoftFloat(BINARY16, pb)
+        if a.is_nan() or b.is_nan() or a.is_inf() or b.is_inf() or a.is_zero() or b.is_zero():
+            return
+        if a.is_subnormal() or b.is_subnormal():
+            return  # seed table covers normal operands (hardware does too)
+        q, _ = newton_raphson_divide(a, b)
+        want = a.div(b)
+        if want.is_nan():
+            assert q.is_nan()
+        else:
+            assert q.pattern == want.pattern, (a.to_float(), b.to_float())
+
+    def test_quadratic_convergence(self):
+        a = SoftFloat.from_float(BINARY32, 1.0)
+        b = SoftFloat.from_float(BINARY32, 3.0)
+        _, trace = newton_raphson_divide(a, b, trace=True)
+        # Each refinement roughly squares the error until precision-bound.
+        assert trace[0] < 2.0**-5
+        assert trace[1] < trace[0] ** 2 * 8
+
+    def test_iteration_count_scales_with_precision(self):
+        assert iterations_needed(BINARY32) > iterations_needed(FP8_E4M3)
+
+    def test_seed_accuracy(self):
+        for v in (1.0, 1.37, 7.5, 100.0, 0.02, -3.3):
+            b = SoftFloat.from_float(BINARY32, v)
+            seed = reciprocal_seed(BINARY32, b)
+            rel = abs(seed.to_float() - 1.0 / v) / abs(1.0 / v)
+            assert rel < 2.0**-4, v
+
+    def test_specials_fall_back(self):
+        a = SoftFloat.from_float(BINARY16, 1.0)
+        z = SoftFloat.zero(BINARY16)
+        q, _ = newton_raphson_divide(a, z)
+        assert q.is_inf()
+        q, _ = newton_raphson_divide(z, z)
+        assert q.is_nan()

@@ -1,0 +1,266 @@
+"""Operator-generator tests (Section II): specialization, fusion, tables, Fig. 1."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import (
+    BipartiteTable,
+    ConstantMultiplier,
+    FusedNorm,
+    MultipartiteTable,
+    MultipleConstantMultiplier,
+    PiecewisePolynomial,
+    PlainTable,
+    SinCosGenerator,
+    Squarer,
+    csd_digits,
+    shift_add_cost,
+)
+from repro.generators.errors import ErrorBudget, is_faithful, ulp
+
+
+def _recip(x: Fraction) -> Fraction:
+    return 1 / (1 + x)
+
+
+def _sqrt1p(x: Fraction) -> Fraction:
+    scaled = ((1 + x).numerator << 160) // (1 + x).denominator
+    return Fraction(math.isqrt(scaled), 1 << 80)
+
+
+class TestCSD:
+    @given(st.integers(min_value=-(2**24), max_value=2**24))
+    def test_value_preserved(self, c):
+        assert sum(s * (1 << sh) for sh, s in csd_digits(c)) == c
+
+    @given(st.integers(min_value=1, max_value=2**24))
+    def test_no_adjacent_nonzeros(self, c):
+        shifts = sorted(sh for sh, _ in csd_digits(c))
+        assert all(b - a >= 2 for a, b in zip(shifts, shifts[1:]))
+
+    def test_classic_examples(self):
+        assert csd_digits(15) == [(0, -1), (4, 1)]  # 16 - 1
+        assert shift_add_cost(255) == 1  # 256 - 1
+        assert shift_add_cost(0) == 0
+        assert shift_add_cost(1) == 0
+
+    @given(st.integers(min_value=1, max_value=2**20))
+    def test_csd_never_worse_than_binary(self, c):
+        assert len(csd_digits(c)) <= bin(c).count("1") + 1
+
+
+class TestConstantMultiplier:
+    @given(st.integers(min_value=1, max_value=2**16), st.integers(min_value=0, max_value=2**16))
+    def test_exact(self, c, x):
+        assert ConstantMultiplier(c, 16).apply(x) == c * x
+
+    def test_specialization_beats_generic(self):
+        # Section II: a constant multiplier is (much) cheaper than a
+        # generic one for sparse constants.
+        m = ConstantMultiplier(1025, 16)  # 1024 + 1
+        assert m.adders == 1
+        assert m.adders < m.generic_multiplier_cost
+
+    @given(st.integers(min_value=-(2**12), max_value=-1), st.integers(min_value=0, max_value=255))
+    def test_negative_constants(self, c, x):
+        assert ConstantMultiplier(c, 8).apply(x) == c * x
+
+
+class TestMCM:
+    @given(
+        st.lists(st.integers(min_value=1, max_value=4095), min_size=2, max_size=6),
+        st.integers(min_value=0, max_value=4095),
+    )
+    def test_all_products_exact(self, consts, x):
+        m = MultipleConstantMultiplier(consts)
+        assert m.apply(x) == [c * x for c in consts]
+
+    def test_sharing_reduces_adders(self):
+        # 45 = 101101_csd-ish, 90 = 45*2, 105: heavy digit overlap.
+        m = MultipleConstantMultiplier([45, 90, 105, 75])
+        assert m.adder_count() < m.naive_adder_count()
+
+    def test_shared_terms_found(self):
+        m = MultipleConstantMultiplier([45, 90])  # same digits, shifted
+        assert len(m.shared_terms) >= 1
+
+
+class TestSquarer:
+    @given(st.integers(min_value=0, max_value=1023))
+    def test_exact(self, x):
+        assert Squarer(10).apply(x) == x * x
+
+    def test_half_the_partial_products(self):
+        sq = Squarer(8)
+        assert sq.partial_products() == 36  # n(n+1)/2
+        assert sq.generic_partial_products() == 64
+        assert 0.40 <= sq.savings() <= 0.5
+
+    def test_compressed_area_smaller(self):
+        sq = Squarer(8)
+        assert sq.compressed_area() < sq.generic_compressed_area()
+
+
+class TestErrorBudget:
+    def test_spend_within_budget(self):
+        b = ErrorBudget(output_frac_bits=8)
+        b.spend("table", Fraction(1, 1024)).spend("round", Fraction(1, 1024))
+        assert b.remaining() > 0
+
+    def test_blown_budget_raises(self):
+        b = ErrorBudget(output_frac_bits=8)
+        with pytest.raises(ValueError):
+            b.spend("too much", Fraction(1, 256))
+
+    def test_ulp(self):
+        assert ulp(8) == Fraction(1, 256)
+
+
+class TestTables:
+    def test_plain_table_correctly_rounded(self):
+        t = PlainTable(_recip, in_bits=8, out_frac_bits=8)
+        for x in range(256):
+            exact = _recip(Fraction(x, 256))
+            assert abs(Fraction(t.lookup(x), 256) - exact) <= Fraction(1, 512)
+
+    def test_bipartite_faithful(self):
+        t = BipartiteTable(_recip, in_bits=10, out_frac_bits=8)
+        assert t.verify_faithful()
+
+    def test_bipartite_smaller_than_plain(self):
+        # [11]: table size reduction is the whole point.
+        plain = PlainTable(_recip, in_bits=12, out_frac_bits=10)
+        bi = BipartiteTable(_recip, in_bits=12, out_frac_bits=10)
+        assert bi.table_bits() < plain.table_bits() / 2
+
+    def test_bipartite_on_sqrt(self):
+        t = BipartiteTable(_sqrt1p, in_bits=10, out_frac_bits=8)
+        assert t.verify_faithful()
+
+    def test_multipartite_faithful(self):
+        t = MultipartiteTable(_recip, in_bits=12, out_frac_bits=10)
+        assert t.verify_faithful()
+
+    def test_multipartite_smaller_than_bipartite_at_scale(self):
+        bi = BipartiteTable(_recip, in_bits=14, out_frac_bits=11)
+        mu = MultipartiteTable(_recip, in_bits=14, out_frac_bits=11)
+        assert mu.verify_faithful()
+        assert mu.table_bits() <= bi.table_bits()
+
+    def test_split_covers_input(self):
+        t = BipartiteTable(_recip, in_bits=10, out_frac_bits=8)
+        assert t.alpha + t.beta + t.gamma == 10
+
+
+class TestPiecewisePolynomial:
+    def test_faithful_reciprocal(self):
+        p = PiecewisePolynomial(_recip, in_bits=12, out_frac_bits=10, degree=2)
+        assert p.verify_faithful()
+
+    def test_faithful_exp(self):
+        import math as m
+
+        def f(x: Fraction) -> Fraction:
+            return Fraction(m.exp(float(x))).limit_denominator(10**15) / 3
+
+        p = PiecewisePolynomial(f, in_bits=11, out_frac_bits=9, degree=2)
+        assert p.verify_faithful()
+
+    def test_higher_degree_needs_fewer_segments(self):
+        p1 = PiecewisePolynomial(_sqrt1p, in_bits=12, out_frac_bits=10, degree=1)
+        p2 = PiecewisePolynomial(_sqrt1p, in_bits=12, out_frac_bits=10, degree=2)
+        assert p2.seg_bits <= p1.seg_bits
+
+    def test_multiplier_count_is_degree(self):
+        p = PiecewisePolynomial(_recip, in_bits=10, out_frac_bits=8, degree=2)
+        assert p.multiplier_count() == 2
+
+
+class TestSinCos:
+    @pytest.mark.parametrize("p", [8, 10, 12])
+    def test_faithful(self, p):
+        g = SinCosGenerator(out_frac_bits=p)
+        assert g.max_error_ulps(step=5) < 1.0
+
+    def test_exact_axes(self):
+        g = SinCosGenerator(out_frac_bits=10)
+        one = 1 << 10
+        w = g.w
+        assert g.evaluate(0) == (0, one)  # angle 0
+        s, c = g.evaluate(1 << (w - 1))  # x = 1/2: angle pi/2
+        assert (s, c) == (one, 0)
+        s, c = g.evaluate(1 << w)  # x = 1: angle pi
+        assert (s, c) == (0, -one)
+        s, c = g.evaluate(3 << (w - 1))  # x = 3/2: angle 3pi/2
+        assert (s, c) == (-one, 0)
+
+    def test_pythagorean_identity_close(self):
+        g = SinCosGenerator(out_frac_bits=10)
+        one = 1 << 10
+        for x in range(0, 1 << (g.w + 1), 97):
+            s, c = g.evaluate(x)
+            assert abs(s * s + c * c - one * one) <= 4 * one  # within ~2 ulp each
+
+    def test_report_widths_derived(self):
+        g = SinCosGenerator(out_frac_bits=12)
+        widths = g.report.widths()
+        # "very few signals have the same bit width"
+        assert widths["working"] == 12 + g.g
+        assert widths["table_address(A)"] < widths["working"]
+        assert g.report.taylor_terms_sin >= 1
+
+    def test_bigger_output_needs_bigger_tables(self):
+        g8 = SinCosGenerator(out_frac_bits=8)
+        g14 = SinCosGenerator(out_frac_bits=14)
+        assert g14.report.table_address_bits >= g8.report.table_address_bits
+
+    def test_symmetry_sin_negation(self):
+        g = SinCosGenerator(out_frac_bits=10)
+        w1 = 1 << g.w  # x = 1 (half turn)
+        for x in range(1, 1 << (g.w - 2), 131):
+            s1, _ = g.evaluate(x)
+            s2, _ = g.evaluate(w1 + x)  # sin(pi + t) = -sin(t)
+            assert s1 == -s2
+
+
+class TestFusedNorm:
+    def test_fused_is_faithful(self):
+        fn = FusedNorm(in_frac_bits=6, out_frac_bits=10)
+        assert fn.max_error_ulps(fused=True, limit=20) < 1.0
+
+    def test_composed_is_much_worse(self):
+        # Operator fusion motivation: composing rounded sub-operators
+        # destroys accuracy.
+        fn = FusedNorm(in_frac_bits=6, out_frac_bits=10)
+        assert fn.max_error_ulps(fused=False, limit=20) > 2.0
+
+    def test_result_in_unit_range(self):
+        fn = FusedNorm(in_frac_bits=4, out_frac_bits=8)
+        one = 1 << 8
+        for x in range(-16, 17):
+            for y in range(1, 17):
+                assert -one <= fn.apply(x, y) <= one
+
+    def test_diagonal_value(self):
+        fn = FusedNorm(in_frac_bits=4, out_frac_bits=12)
+        got = Fraction(fn.apply(5, 5), 1 << 12)
+        assert abs(got - Fraction(math.isqrt(2 << 48), 2 << 24)) < Fraction(1, 1 << 11)
+
+    def test_origin_rejected(self):
+        fn = FusedNorm(in_frac_bits=4, out_frac_bits=8)
+        with pytest.raises(ZeroDivisionError):
+            fn.apply(0, 0)
+
+
+class TestFaithfulPredicate:
+    def test_is_faithful_boundary(self):
+        # An operator off by exactly one ULP is NOT faithful.
+        ref = lambda x: Fraction(x, 256)
+        good = lambda x: x
+        off = lambda x: x + 1
+        assert is_faithful(good, ref, range(16), 8)
+        assert not is_faithful(off, ref, range(16), 8)

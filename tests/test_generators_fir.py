@@ -1,0 +1,86 @@
+"""FIR filter generator tests (the [1]-style 'computing just right' filter)."""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.generators import FIRFilter
+from repro.generators.errors import ulp
+
+LOWPASS = [0.0625, 0.25, 0.375, 0.25, 0.0625]  # binomial smoother
+EDGE = [0.5, 0.0, -0.5]
+
+samples_strategy = st.lists(
+    st.integers(min_value=-255, max_value=255), min_size=1, max_size=60
+)
+
+
+class TestConstruction:
+    def test_coefficient_grid_from_budget(self):
+        f = FIRFilter(LOWPASS, in_frac_bits=8, out_frac_bits=8)
+        assert f.coeff_frac_bits >= 8
+        # Budget must not be blown.
+        b = f.error_budget()
+        assert b.remaining() > 0
+
+    def test_sharing_not_worse_than_naive(self):
+        f = FIRFilter([0.1, 0.3, 0.5, 0.3, 0.1], in_frac_bits=8, out_frac_bits=8)
+        assert f.adder_cost() <= f.naive_adder_cost() + 2
+
+    def test_zero_coefficients_skipped(self):
+        f = FIRFilter(EDGE, in_frac_bits=6, out_frac_bits=8)
+        assert f.apply([64]) and f.taps == 3
+
+
+class TestBehaviour:
+    def test_impulse_response_is_coefficients(self):
+        f = FIRFilter(LOWPASS, in_frac_bits=8, out_frac_bits=10)
+        impulse = [1 << 8] + [0] * (f.taps - 1)
+        got = f.apply(impulse)
+        for g, c in zip(got, f.coeff_codes):
+            want = Fraction(c, 1 << f.coeff_frac_bits)
+            assert abs(Fraction(g, 1 << 10) - want) <= ulp(10)
+
+    def test_dc_gain(self):
+        f = FIRFilter(LOWPASS, in_frac_bits=8, out_frac_bits=10)
+        dc = [1 << 8] * 20
+        out = f.apply(dc)
+        # Steady-state output ~ sum(coeffs) = 1.0.
+        assert abs(out[-1] / (1 << 10) - 1.0) < 0.01
+
+    def test_linearity(self):
+        f = FIRFilter(EDGE, in_frac_bits=6, out_frac_bits=12)
+        xs = [10, -20, 30, 5, 0, -7]
+        double = [2 * x for x in xs]
+        y1 = f.reference(xs)
+        y2 = f.reference(double)
+        assert all(b == 2 * a for a, b in zip(y1, y2))
+
+    @given(samples_strategy)
+    def test_faithful_vs_quantized_reference(self, xs):
+        f = FIRFilter(LOWPASS, in_frac_bits=8, out_frac_bits=8)
+        assert f.max_error_ulps(xs) < 1.0
+
+    @given(samples_strategy)
+    def test_faithful_high_precision(self, xs):
+        f = FIRFilter(EDGE, in_frac_bits=8, out_frac_bits=12)
+        assert f.max_error_ulps(xs) < 1.0
+
+    def test_lowpass_smooths_noise(self):
+        rng = np.random.default_rng(0)
+        noise = rng.integers(-128, 128, size=300).tolist()
+        f = FIRFilter(LOWPASS, in_frac_bits=8, out_frac_bits=8)
+        out = f.apply(noise)
+        assert np.std(out[10:]) < np.std(noise[10:])
+
+    def test_edge_detector_on_step(self):
+        f = FIRFilter(EDGE, in_frac_bits=6, out_frac_bits=10)
+        step = [0] * 10 + [64] * 10
+        out = f.apply(step)
+        peak = max(out, key=abs)
+        assert abs(peak / (1 << 10) - 0.5) < 0.02  # responds at the step
+        assert abs(out[-1]) <= 1  # flat regions -> ~0

@@ -1,0 +1,152 @@
+"""Gate-level posit/float datapath verification (Fig. 8 and the Section V cost table).
+
+The 8-bit multipliers are verified exhaustively (all 65536 operand pairs)
+through the vectorized circuit evaluator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.floats import FP8_E4M3, SoftFloat
+from repro.hwcost import (
+    build_float_decoder,
+    build_float_multiplier,
+    build_posit_decoder,
+    build_posit_multiplier,
+    hardware_comparison,
+)
+from repro.posit import POSIT8, Posit, PositFormat
+from repro.posit.format import STD_POSIT8
+
+
+def _all_pairs(n=8):
+    pa, pb = np.meshgrid(np.arange(1 << n), np.arange(1 << n))
+    return pa.ravel(), pb.ravel()
+
+
+class TestPositMultiplierCircuit:
+    @pytest.mark.parametrize("fmt", [POSIT8, STD_POSIT8], ids=["es0", "es2"])
+    def test_exhaustive_vs_software(self, fmt):
+        circ = build_posit_multiplier(fmt)
+        pa, pb = _all_pairs()
+        out = circ.evaluate_vector(a=pa, b=pb)["p"]
+        want = np.empty(len(pa), dtype=np.int64)
+        # Software reference via 256x256 table built from the oracle-checked model.
+        table = np.empty((256, 256), dtype=np.int64)
+        for i in range(256):
+            A = Posit(fmt, i)
+            for j in range(256):
+                table[i, j] = (A * Posit(fmt, j)).pattern
+        want = table[pa, pb]
+        assert np.array_equal(out, want)
+
+    def test_small_format_exhaustive(self):
+        fmt = PositFormat(6, 1)
+        circ = build_posit_multiplier(fmt)
+        pa, pb = _all_pairs(6)
+        out = circ.evaluate_vector(a=pa, b=pb)["p"]
+        for i in range(len(pa)):
+            want = (Posit(fmt, int(pa[i])) * Posit(fmt, int(pb[i]))).pattern
+            assert out[i] == want, (hex(int(pa[i])), hex(int(pb[i])))
+
+    def test_decoder_outputs(self):
+        circ = build_posit_decoder(POSIT8)
+        for pattern in range(256):
+            got = circ.evaluate_buses(x=pattern)
+            p = Posit(POSIT8, pattern)
+            assert got["is_nar"] == int(p.is_nar())
+            assert got["is_zero"] == int(p.is_zero())
+            if not p.is_nar():
+                assert got["sign"] == p.sign
+
+
+class TestFloatMultiplierCircuit:
+    def test_full_ieee_exhaustive(self):
+        circ = build_float_multiplier(FP8_E4M3, full_ieee=True)
+        pa, pb = _all_pairs()
+        out = circ.evaluate_vector(a=pa, b=pb)["p"]
+        for i in range(0, len(pa), 1):
+            A = SoftFloat(FP8_E4M3, int(pa[i]))
+            B = SoftFloat(FP8_E4M3, int(pb[i]))
+            want = A.mul(B)
+            if want.is_nan():
+                assert SoftFloat(FP8_E4M3, int(out[i])).is_nan()
+            else:
+                assert out[i] == want.pattern, (hex(int(pa[i])), hex(int(pb[i])))
+
+    def test_normals_only_on_normal_domain(self):
+        from fractions import Fraction
+
+        circ = build_float_multiplier(FP8_E4M3, full_ieee=False)
+        pa, pb = _all_pairs()
+        out = circ.evaluate_vector(a=pa, b=pb)["p"]
+        mn = Fraction(FP8_E4M3.min_normal)
+        checked = 0
+        for i in range(len(pa)):
+            A = SoftFloat(FP8_E4M3, int(pa[i]))
+            B = SoftFloat(FP8_E4M3, int(pb[i]))
+            if not (A.is_finite() and B.is_finite()):
+                continue
+            if A.is_subnormal() or B.is_subnormal():
+                continue
+            exact = A.to_fraction() * B.to_fraction()
+            if exact != 0 and abs(exact) < mn:
+                continue  # flush-to-zero territory
+            want = A.mul(B)
+            assert out[i] == want.pattern
+            checked += 1
+        assert checked > 40_000
+
+    def test_normals_only_flushes_subnormal_results(self):
+        circ = build_float_multiplier(FP8_E4M3, full_ieee=False)
+        # min_normal * 0.5 underflows: normals-only must flush to zero.
+        a = SoftFloat(FP8_E4M3, FP8_E4M3.pattern_min_normal).pattern
+        b = SoftFloat.from_float(FP8_E4M3, 0.25).pattern
+        out = circ.evaluate_buses(a=a, b=b)["p"]
+        assert out == 0
+
+    def test_decoder_classification(self):
+        circ = build_float_decoder(FP8_E4M3)
+        for pattern in range(256):
+            got = circ.evaluate_buses(x=pattern)
+            sf = SoftFloat(FP8_E4M3, pattern)
+            assert got["is_zero"] == int(sf.is_zero())
+            assert got["is_inf"] == int(sf.is_inf())
+            assert got["is_nan"] == int(sf.is_nan())
+            assert got["is_sub"] == int(sf.is_subnormal())
+
+
+class TestCostComparison:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return hardware_comparison(POSIT8, FP8_E4M3)
+
+    def test_three_design_points(self, rows):
+        assert [r.design for r in rows] == [
+            "fp8_e4m3_mul_normal",
+            "posit8e0_mul",
+            "fp8_e4m3_mul_full",
+        ]
+
+    def test_posit_more_than_normals_only(self, rows):
+        # Section V: "Posit hardware is slightly more expensive than
+        # normals-only float hardware".
+        normal, posit, full = rows
+        assert posit.gates > normal.gates
+        assert posit.overhead_gates > normal.overhead_gates
+
+    def test_full_ieee_more_than_normals_only(self, rows):
+        # Full compliance pays for subnormals/NaN/inf: Fig. 6's trap regions.
+        normal, _, full = rows
+        assert full.gates > 1.5 * normal.gates
+
+    def test_posit_significand_is_wider(self, rows):
+        # Tapered precision: the posit's max significand beats the float's.
+        normal, posit, _ = rows
+        assert posit.sig_bits > normal.sig_bits
+
+    def test_posit_decode_uses_no_multiplier(self):
+        from repro.circuits import carry_positions
+
+        dec = build_posit_decoder(POSIT8)
+        assert len(dec.gates) < 400

@@ -1,0 +1,118 @@
+"""Gate-level posit and float adders: exhaustive verification + cost table."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.floats import FP8_E4M3, SoftFloat
+from repro.hwcost import adder_comparison, build_float_adder, build_posit_adder
+from repro.posit import POSIT8, Posit, PositFormat
+from repro.posit.format import STD_POSIT8
+
+
+def _all_pairs(n=8):
+    pa, pb = np.meshgrid(np.arange(1 << n), np.arange(1 << n))
+    return pa.ravel(), pb.ravel()
+
+
+class TestPositAdderCircuit:
+    @pytest.mark.parametrize("fmt", [POSIT8, STD_POSIT8], ids=["es0", "es2"])
+    def test_exhaustive_vs_software(self, fmt):
+        circ = build_posit_adder(fmt)
+        pa, pb = _all_pairs()
+        out = circ.evaluate_vector(a=pa, b=pb)["s"]
+        table = np.empty((256, 256), dtype=np.int64)
+        for i in range(256):
+            a = Posit(fmt, i)
+            for j in range(256):
+                table[i, j] = (a + Posit(fmt, j)).pattern
+        assert np.array_equal(out, table[pa, pb])
+
+    def test_small_format_exhaustive(self):
+        fmt = PositFormat(6, 1)
+        circ = build_posit_adder(fmt)
+        pa, pb = _all_pairs(6)
+        out = circ.evaluate_vector(a=pa, b=pb)["s"]
+        for i in range(len(pa)):
+            want = (Posit(fmt, int(pa[i])) + Posit(fmt, int(pb[i]))).pattern
+            assert out[i] == want, (hex(int(pa[i])), hex(int(pb[i])))
+
+    def test_subtraction_is_negate_then_add(self):
+        # The paper: "negation with 2's complement also works without
+        # exception" — a subtractor is the adder plus an input negation.
+        circ = build_posit_adder(POSIT8)
+        for pa, pb in [(0x55, 0x13), (0x20, 0x60), (0x81, 0x7F), (0x40, 0x40)]:
+            nb = (-pb) & 0xFF
+            got = circ.evaluate_buses(a=pa, b=nb)["s"]
+            want = (Posit(POSIT8, pa) - Posit(POSIT8, pb)).pattern
+            assert got == want
+
+    def test_exact_cancellation_gives_zero(self):
+        circ = build_posit_adder(POSIT8)
+        for pa in (0x01, 0x40, 0x7F, 0x23):
+            got = circ.evaluate_buses(a=pa, b=(-pa) & 0xFF)["s"]
+            assert got == 0
+
+
+class TestFloatAdderCircuit:
+    def test_full_ieee_exhaustive(self):
+        circ = build_float_adder(FP8_E4M3, full_ieee=True)
+        pa, pb = _all_pairs()
+        out = circ.evaluate_vector(a=pa, b=pb)["s"]
+        for i in range(len(pa)):
+            A = SoftFloat(FP8_E4M3, int(pa[i]))
+            B = SoftFloat(FP8_E4M3, int(pb[i]))
+            want = A.add(B)
+            if want.is_nan():
+                assert SoftFloat(FP8_E4M3, int(out[i])).is_nan()
+            else:
+                assert out[i] == want.pattern, (hex(int(pa[i])), hex(int(pb[i])))
+
+    def test_normals_only_on_normal_domain(self):
+        circ = build_float_adder(FP8_E4M3, full_ieee=False)
+        pa, pb = _all_pairs()
+        out = circ.evaluate_vector(a=pa, b=pb)["s"]
+        mn = Fraction(FP8_E4M3.min_normal)
+        checked = 0
+        for i in range(len(pa)):
+            A = SoftFloat(FP8_E4M3, int(pa[i]))
+            B = SoftFloat(FP8_E4M3, int(pb[i]))
+            if not (A.is_finite() and B.is_finite()):
+                continue
+            if A.is_subnormal() or B.is_subnormal():
+                continue
+            exact = A.to_fraction() + B.to_fraction()
+            if exact != 0 and abs(exact) < mn:
+                continue
+            want = A.add(B)
+            assert out[i] == want.pattern
+            checked += 1
+        assert checked > 45_000
+
+    def test_signed_zero_rules(self):
+        circ = build_float_adder(FP8_E4M3, full_ieee=True)
+        pz, nz = 0, FP8_E4M3.sign_bit
+        assert circ.evaluate_buses(a=pz, b=nz)["s"] == pz  # +0 + -0 = +0
+        assert circ.evaluate_buses(a=nz, b=nz)["s"] == nz  # -0 + -0 = -0
+
+    def test_inf_cases(self):
+        circ = build_float_adder(FP8_E4M3, full_ieee=True)
+        inf = FP8_E4M3.pattern_inf
+        ninf = inf | FP8_E4M3.sign_bit
+        one = SoftFloat.from_float(FP8_E4M3, 1.0).pattern
+        assert circ.evaluate_buses(a=inf, b=one)["s"] == inf
+        nan_out = circ.evaluate_buses(a=inf, b=ninf)["s"]
+        assert SoftFloat(FP8_E4M3, nan_out).is_nan()
+
+
+class TestAdderCostComparison:
+    def test_table(self):
+        rows = adder_comparison(POSIT8, FP8_E4M3)
+        normal, posit, full = rows
+        assert normal.design.endswith("_normal")
+        assert posit.design.startswith("posit")
+        # Direction checks (see EXPERIMENTS.md for the discussion).
+        assert posit.gates > normal.gates
+        assert full.gates > normal.gates
+        assert all(r.sig_mult_gates == 0 for r in rows)

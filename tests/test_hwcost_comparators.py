@@ -1,0 +1,131 @@
+"""Comparison-unit circuits and the Kulisch accumulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits import gate_cost
+from repro.floats import BINARY16, FP8_E4M3, KulischAccumulator, SoftFloat
+from repro.floats.compare import relation
+from repro.hwcost import build_float_comparator, build_integer_comparator
+from repro.posit import POSIT8, Posit
+
+
+_INT_CMP = build_integer_comparator(8)
+
+
+@pytest.fixture(scope="module")
+def int_cmp():
+    return _INT_CMP
+
+
+@pytest.fixture(scope="module")
+def float_cmp():
+    return build_float_comparator(FP8_E4M3)
+
+
+class TestIntegerComparator:
+    def test_exhaustive_signed(self, int_cmp):
+        pa, pb = np.meshgrid(np.arange(256), np.arange(256))
+        pa, pb = pa.ravel(), pb.ravel()
+        out = int_cmp.evaluate_vector(a=pa, b=pb)
+        sa = np.where(pa > 127, pa - 256, pa)
+        sb = np.where(pb > 127, pb - 256, pb)
+        assert np.array_equal(out["lt"], (sa < sb).astype(np.int64))
+        assert np.array_equal(out["eq"], (sa == sb).astype(np.int64))
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    def test_orders_posits_for_free(self, pa, pb):
+        a, b = Posit(POSIT8, pa), Posit(POSIT8, pb)
+        got = _INT_CMP.evaluate_buses(a=pa, b=pb)
+        assert got["lt"] == int(a < b)
+        assert got["eq"] == int(a == b)
+
+    def test_nar_needs_no_special_case(self, int_cmp):
+        nar = POSIT8.pattern_nar
+        assert int_cmp.evaluate_buses(a=nar, b=nar)["eq"] == 1
+        for other in (0, 1, 0x40, 0x7F, 0xFF):
+            assert int_cmp.evaluate_buses(a=nar, b=other)["lt"] == 1
+
+
+class TestFloatComparator:
+    def test_exhaustive_relations(self, float_cmp):
+        pa, pb = np.meshgrid(np.arange(256), np.arange(256))
+        pa, pb = pa.ravel(), pb.ravel()
+        out = float_cmp.evaluate_vector(a=pa, b=pb)
+        for i in range(0, len(pa), 7):
+            a = SoftFloat(FP8_E4M3, int(pa[i]))
+            b = SoftFloat(FP8_E4M3, int(pb[i]))
+            rel = relation(a, b)
+            assert out["lt"][i] == int(rel == "lt")
+            assert out["eq"][i] == int(rel == "eq")
+            assert out["unordered"][i] == int(rel == "un")
+
+    def test_signed_zeros_equal(self, float_cmp):
+        pz, nz = 0, FP8_E4M3.sign_bit
+        got = float_cmp.evaluate_buses(a=pz, b=nz)
+        assert got["eq"] == 1 and got["lt"] == 0
+
+    def test_nan_unordered(self, float_cmp):
+        nan = FP8_E4M3.pattern_quiet_nan
+        got = float_cmp.evaluate_buses(a=nan, b=nan)
+        assert got["unordered"] == 1 and got["eq"] == 0
+
+    def test_float_costs_more_than_integer(self, int_cmp, float_cmp):
+        # Section V: "Substantial circuit logic is needed for the comparison
+        # of two floats" vs reusing the integer unit for posits.
+        assert gate_cost(float_cmp) > 1.5 * gate_cost(int_cmp)
+        assert len(float_cmp.gates) > 1.5 * len(int_cmp.gates)
+
+
+class TestKulisch:
+    def test_exact_dot(self):
+        k = KulischAccumulator(BINARY16)
+        xs = [SoftFloat.from_float(BINARY16, v) for v in (1e-3, 1e3, -1e3, 1.0)]
+        ones = [SoftFloat.from_float(BINARY16, 1.0)] * 4
+        result = k.dot(xs, ones)
+        exact = sum(x.to_fraction() for x in xs)
+        assert result.to_fraction() == SoftFloat.from_fraction(BINARY16, exact).to_fraction()
+
+    @given(st.lists(st.integers(min_value=0, max_value=0xFFFF), min_size=1, max_size=12))
+    def test_accumulation_exact(self, patterns):
+        from fractions import Fraction
+
+        k = KulischAccumulator(BINARY16)
+        one = SoftFloat.from_float(BINARY16, 1.0)
+        exact = Fraction(0)
+        for p in patterns:
+            sf = SoftFloat(BINARY16, p)
+            if not sf.is_finite():
+                continue
+            k.add_product(sf, one)
+            exact += sf.to_fraction()
+        assert k.to_fraction() == exact
+
+    def test_special_values(self):
+        k = KulischAccumulator(BINARY16)
+        inf = SoftFloat.inf(BINARY16)
+        one = SoftFloat.from_float(BINARY16, 1.0)
+        k.add_product(inf, one)
+        assert k.to_float().is_inf()
+        k.add_product(inf.negate(), one)  # opposing infinities -> NaN
+        assert k.to_float().is_nan()
+
+    def test_inf_times_zero_is_nan(self):
+        k = KulischAccumulator(BINARY16)
+        k.add_product(SoftFloat.inf(BINARY16), SoftFloat.zero(BINARY16))
+        assert k.to_float().is_nan()
+
+    def test_register_width_vs_quire(self):
+        from repro.posit import POSIT16
+
+        # binary16's Kulisch register is narrower than the posit16 quire:
+        # posits buy their extra dynamic range with a wider accumulator.
+        assert KulischAccumulator.register_width(BINARY16) < POSIT16.quire_width()
+
+    def test_clear(self):
+        k = KulischAccumulator(BINARY16)
+        k.add_product(SoftFloat.from_float(BINARY16, 2.0), SoftFloat.from_float(BINARY16, 3.0))
+        k.clear()
+        assert k.to_float().is_zero()

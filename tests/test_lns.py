@@ -1,0 +1,159 @@
+"""Logarithmic number system tests."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lns import LNS, LNSAdderTable, LNSFormat
+
+FMT = LNSFormat(5, 8)
+
+floats_pos = st.floats(min_value=0.01, max_value=50.0)
+
+
+class TestFormat:
+    def test_widths(self):
+        assert FMT.e_bits == 14
+        assert FMT.width == 15
+
+    def test_zero_code_reserved(self):
+        assert FMT.zero_code < FMT.e_min
+
+    def test_dynamic_range(self):
+        # +-2^(~32/..): 2 * e_max octaves of range.
+        assert FMT.dynamic_range_decades() > 15
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            LNSFormat(0, 4)
+
+
+class TestCodec:
+    @given(floats_pos)
+    def test_round_trip_error_bounded(self, x):
+        v = LNS.from_float(FMT, x).to_float()
+        # Half an exponent ULP of relative error.
+        assert abs(v - x) / x <= 2.0 ** (1 / (1 << FMT.frac_bits)) - 1
+
+    def test_zero(self):
+        z = LNS.from_float(FMT, 0.0)
+        assert z.is_zero() and z.to_float() == 0.0
+
+    def test_negative(self):
+        v = LNS.from_float(FMT, -3.5)
+        assert v.sign == 1 and v.to_float() < 0
+
+    def test_saturation(self):
+        big = LNS.from_float(FMT, 1e30)
+        assert big.e_code == FMT.e_max
+        tiny = LNS.from_float(FMT, 1e-30)
+        assert tiny.e_code == FMT.e_min
+        assert not tiny.is_zero()  # like posits: no underflow to zero
+
+
+class TestMultiplicative:
+    @given(floats_pos, floats_pos)
+    def test_mul_exact_in_log_domain(self, x, y):
+        a, b = LNS.from_float(FMT, x), LNS.from_float(FMT, y)
+        got = (a * b).to_float()
+        want = a.to_float() * b.to_float()
+        assert abs(got - want) / want < 1e-9
+
+    @given(floats_pos, floats_pos)
+    def test_div_exact(self, x, y):
+        a, b = LNS.from_float(FMT, x), LNS.from_float(FMT, y)
+        got = (a / b).to_float()
+        want = a.to_float() / b.to_float()
+        assert abs(got - want) / abs(want) < 1e-9
+
+    def test_mul_sign_rules(self):
+        a = LNS.from_float(FMT, -2.0)
+        b = LNS.from_float(FMT, 3.0)
+        assert (a * b).sign == 1
+        assert (a * a).sign == 0
+
+    def test_zero_propagation(self):
+        z = LNS.zero(FMT)
+        a = LNS.from_float(FMT, 5.0)
+        assert (a * z).is_zero()
+        with pytest.raises(ZeroDivisionError):
+            a / z
+
+    def test_sqrt_halves_exponent(self):
+        assert LNS.from_float(FMT, 16.0).sqrt().to_float() == pytest.approx(4.0, rel=1e-6)
+        with pytest.raises(ValueError):
+            LNS.from_float(FMT, -4.0).sqrt()
+
+    @given(floats_pos)
+    def test_sqrt_squares_back(self, x):
+        a = LNS.from_float(FMT, x)
+        s = a.sqrt()
+        assert (s * s).to_float() == pytest.approx(a.to_float(), rel=0.01)
+
+
+class TestAdditive:
+    @given(floats_pos, floats_pos)
+    def test_add_within_one_ulp(self, x, y):
+        a, b = LNS.from_float(FMT, x), LNS.from_float(FMT, y)
+        got = (a + b).to_float()
+        want = a.to_float() + b.to_float()
+        ulp_rel = 2.0 ** (1 / (1 << FMT.frac_bits)) - 1
+        assert abs(got - want) / want <= ulp_rel
+
+    @given(floats_pos)
+    def test_x_minus_x_is_zero(self, x):
+        a = LNS.from_float(FMT, x)
+        assert (a - a).is_zero()
+
+    @given(floats_pos)
+    def test_add_zero_identity(self, x):
+        a = LNS.from_float(FMT, x)
+        assert (a + LNS.zero(FMT)) == a
+
+    def test_subtraction(self):
+        a, b = LNS.from_float(FMT, 5.0), LNS.from_float(FMT, 3.0)
+        assert (a - b).to_float() == pytest.approx(2.0, rel=0.01)
+
+    def test_opposite_sign_addition(self):
+        a, b = LNS.from_float(FMT, -5.0), LNS.from_float(FMT, 3.0)
+        assert (a + b).to_float() == pytest.approx(-2.0, rel=0.01)
+
+    def test_commutative(self):
+        a, b = LNS.from_float(FMT, 1.7), LNS.from_float(FMT, 42.0)
+        assert (a + b) == (b + a)
+
+
+class TestAdderTable:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return LNSAdderTable(FMT)
+
+    def test_faithful_vs_direct(self, table):
+        # Table-driven addition stays within one exponent ULP of real.
+        ulp_rel = 2.0 ** (1 / (1 << FMT.frac_bits)) - 1
+        assert table.max_error_vs_direct(samples=800) <= ulp_rel
+
+    def test_far_operands_passthrough(self, table):
+        a = LNS.from_float(FMT, 1e6)
+        b = LNS.from_float(FMT, 1e-6)
+        assert table.add(a, b) == a
+
+    def test_equal_operands_add_one_octave(self, table):
+        a = LNS.from_float(FMT, 3.0)
+        got = table.add(a, a).to_float()
+        assert got == pytest.approx(6.0, rel=0.01)
+
+    def test_rejects_mixed_signs(self, table):
+        a = LNS.from_float(FMT, 1.0)
+        with pytest.raises(ValueError):
+            table.add(a, a.negate())
+
+    def test_table_smaller_than_plain_equivalent(self):
+        from repro.generators import PlainTable
+
+        bi = LNSAdderTable(FMT, bipartite=True)
+        plain = LNSAdderTable(FMT, bipartite=False)
+        assert bi.table_bits() < plain.table_bits()

@@ -1,0 +1,222 @@
+"""Layer-level tests: every backward pass is checked against numerical
+gradients, the bedrock of the Section IV training stack."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool,
+    MaxPool2D,
+    ReLU,
+    ResidualBlock,
+    Sequential,
+)
+from repro.nn.layers import col2im, im2col
+
+
+def numeric_grad(f, x, eps=1e-6):
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        up = f()
+        x[idx] = orig - eps
+        down = f()
+        x[idx] = orig
+        g[idx] = (up - down) / (2 * eps)
+        it.iternext()
+    return g
+
+
+def check_input_grad(layer, x, training=True, tol=1e-5):
+    rng = np.random.default_rng(0)
+    out = layer.forward(x, training)
+    w = rng.normal(size=out.shape)  # random projection to a scalar loss
+    grad_in = layer.backward(w)
+
+    def loss():
+        return float((layer.forward(x, training) * w).sum())
+
+    num = numeric_grad(loss, x)
+    assert np.allclose(grad_in, num, atol=tol), np.abs(grad_in - num).max()
+
+
+def check_param_grads(layer, x, training=True, tol=1e-5):
+    rng = np.random.default_rng(1)
+    out = layer.forward(x, training)
+    w = rng.normal(size=out.shape)
+    for p in layer.params():
+        p.grad[...] = 0.0
+    layer.backward(w)
+
+    for p in layer.params():
+        def loss():
+            return float((layer.forward(x, training) * w).sum())
+
+        num = numeric_grad(loss, p.data)
+        assert np.allclose(p.grad, num, atol=tol), (p.name, np.abs(p.grad - num).max())
+
+
+class TestIm2Col:
+    def test_adjoint_property(self):
+        # <im2col(x), y> == <x, col2im(y)> defines a correct adjoint pair.
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols, oh, ow = im2col(x, 3, 3, 1, 1)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, 3, 3, 1, 1)).sum())
+        assert abs(lhs - rhs) < 1e-9
+
+    def test_patch_contents(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        cols, oh, ow = im2col(x, 2, 2, 2, 0)
+        assert (oh, ow) == (2, 2)
+        assert cols[0].tolist() == [0, 1, 4, 5]
+        assert cols[3].tolist() == [10, 11, 14, 15]
+
+
+class TestDense:
+    def test_gradients(self):
+        rng = np.random.default_rng(2)
+        layer = Dense(5, 4, rng)
+        x = rng.normal(size=(3, 5))
+        check_input_grad(layer, x)
+        check_param_grads(layer, x)
+
+    def test_macs(self):
+        assert Dense(10, 7).macs((10,)) == 70
+
+
+class TestConv2D:
+    @pytest.mark.parametrize("stride,pad", [(1, 1), (2, 0), (2, 1)])
+    def test_gradients(self, stride, pad):
+        rng = np.random.default_rng(3)
+        layer = Conv2D(2, 3, 3, stride, pad, rng)
+        x = rng.normal(size=(2, 2, 6, 6))
+        check_input_grad(layer, x)
+        check_param_grads(layer, x)
+
+    def test_known_convolution(self):
+        layer = Conv2D(1, 1, 3, 1, 1)
+        layer.w.data = np.zeros((1, 1, 3, 3))
+        layer.w.data[0, 0, 1, 1] = 1.0  # identity kernel
+        layer.b.data[:] = 0.0
+        x = np.random.default_rng(4).normal(size=(1, 1, 5, 5))
+        assert np.allclose(layer.forward(x), x)
+
+    def test_macs_formula(self):
+        layer = Conv2D(3, 8, 3, 1, 1)
+        assert layer.macs((3, 16, 16)) == 16 * 16 * 8 * 3 * 9
+
+    def test_output_shape(self):
+        layer = Conv2D(3, 8, 3, 2, 1)
+        assert layer.output_shape((3, 16, 16)) == (8, 8, 8)
+
+
+class TestActivationsAndPooling:
+    def test_relu_gradients(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(4, 7)) + 0.1  # keep away from the kink
+        check_input_grad(ReLU(), x)
+
+    def test_maxpool_gradients(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(2, 2, 4, 4))
+        check_input_grad(MaxPool2D(2), x, tol=1e-4)
+
+    def test_maxpool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = MaxPool2D(2).forward(x)
+        assert out[0, 0].tolist() == [[5, 7], [13, 15]]
+
+    def test_gap_gradients(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(2, 3, 4, 4))
+        check_input_grad(GlobalAvgPool(), x)
+
+    def test_flatten_roundtrip(self):
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=(2, 3, 4, 4))
+        f = Flatten()
+        y = f.forward(x)
+        assert y.shape == (2, 48)
+        assert np.array_equal(f.backward(y), x)
+
+
+class TestBatchNorm:
+    def test_normalizes(self):
+        rng = np.random.default_rng(9)
+        bn = BatchNorm2D(3)
+        x = rng.normal(2.0, 3.0, size=(8, 3, 5, 5))
+        y = bn.forward(x, training=True)
+        assert np.allclose(y.mean(axis=(0, 2, 3)), 0, atol=1e-7)
+        assert np.allclose(y.std(axis=(0, 2, 3)), 1, atol=1e-2)
+
+    def test_gradients(self):
+        rng = np.random.default_rng(10)
+        bn = BatchNorm2D(2)
+        x = rng.normal(size=(4, 2, 3, 3))
+        check_input_grad(bn, x, training=True, tol=1e-4)
+        check_param_grads(bn, x, training=True, tol=1e-4)
+
+    def test_fold_into_conv(self):
+        rng = np.random.default_rng(11)
+        conv = Conv2D(2, 3, 3, 1, 1, rng)
+        bn = BatchNorm2D(3)
+        bn.running_mean = rng.normal(size=3)
+        bn.running_var = rng.uniform(0.5, 2.0, size=3)
+        bn.gamma.data = rng.uniform(0.5, 1.5, size=3)
+        bn.beta.data = rng.normal(size=3)
+        x = rng.normal(size=(2, 2, 5, 5))
+        want = bn.forward(conv.forward(x), training=False)
+        bn.fold_into(conv)
+        got = bn.forward(conv.forward(x), training=False)
+        assert np.allclose(got, want, atol=1e-9)
+
+
+class TestResidualBlock:
+    def test_gradients(self):
+        rng = np.random.default_rng(12)
+        block = ResidualBlock(2, rng)
+        x = rng.normal(size=(2, 2, 4, 4))
+        check_input_grad(block, x, tol=1e-4)
+        check_param_grads(block, x, tol=1e-4)
+
+    def test_macs_sum_of_convs(self):
+        block = ResidualBlock(4)
+        shape = (4, 8, 8)
+        assert block.macs(shape) == 2 * block.conv1.macs(shape)
+
+
+class TestSequential:
+    def test_param_and_mac_counting(self):
+        net = Sequential(
+            [Conv2D(1, 2, 3, 1, 1), ReLU(), Flatten(), Dense(2 * 4 * 4, 3)],
+            input_shape=(1, 4, 4),
+        )
+        assert net.param_count() == (2 * 9 + 2) + (32 * 3 + 3)
+        assert net.macs() == 4 * 4 * 2 * 9 + 32 * 3
+
+    def test_end_to_end_gradients(self):
+        rng = np.random.default_rng(13)
+        net = Sequential(
+            [Conv2D(1, 2, 3, 1, 1, rng), ReLU(), Flatten(), Dense(2 * 16, 3, rng)],
+            input_shape=(1, 4, 4),
+        )
+        x = rng.normal(size=(2, 1, 4, 4))
+        w = rng.normal(size=(2, 3))
+        out = net.forward(x, training=True)
+        gin = net.backward(w)
+
+        def loss():
+            return float((net.forward(x, training=True) * w).sum())
+
+        num = numeric_grad(loss, x)
+        assert np.allclose(gin, num, atol=1e-5)

@@ -1,0 +1,253 @@
+"""Training, quantization and STE-retraining tests (the Fig. 5 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.approx import ExactMultiplier, TruncatedMultiplier, signed_lut
+from repro.datasets import synthetic_images, synthetic_keywords, spectrogram_features
+from repro.nn import (
+    Adam,
+    Dense,
+    QuantizedNetwork,
+    ReLU,
+    SGD,
+    Sequential,
+    add_background_noise,
+    evaluate_accuracy,
+    quantize_tensor,
+    dequantize,
+    random_flip,
+    softmax,
+    softmax_cross_entropy,
+    train,
+)
+from repro.nn.zoo import kws_cnn1, kws_cnn2, resnet_mini
+
+
+class TestLosses:
+    def test_softmax_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        p = softmax(rng.normal(size=(5, 7)))
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_cross_entropy_gradient_numerically(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(4, 3))
+        labels = np.array([0, 2, 1, 1])
+        _, grad = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        for i in range(4):
+            for j in range(3):
+                up = logits.copy()
+                up[i, j] += eps
+                down = logits.copy()
+                down[i, j] -= eps
+                num = (
+                    softmax_cross_entropy(up, labels)[0]
+                    - softmax_cross_entropy(down, labels)[0]
+                ) / (2 * eps)
+                assert abs(grad[i, j] - num) < 1e-6
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+
+class TestOptimizers:
+    def _quadratic_param(self):
+        from repro.nn.layers import Param
+
+        return Param(np.array([5.0, -3.0]))
+
+    def test_sgd_converges_on_quadratic(self):
+        p = self._quadratic_param()
+        opt = SGD([p], lr=0.1, momentum=0.5)
+        for _ in range(100):
+            opt.zero_grad()
+            p.grad[...] = 2 * p.data
+            opt.step()
+        assert np.all(np.abs(p.data) < 1e-3)
+
+    def test_adam_converges_on_quadratic(self):
+        p = self._quadratic_param()
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            p.grad[...] = 2 * p.data
+            opt.step()
+        assert np.all(np.abs(p.data) < 1e-3)
+
+
+class TestQuantization:
+    def test_round_trip_error_bounded(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(100,))
+        q, scale = quantize_tensor(x)
+        err = np.abs(dequantize(q, scale) - x)
+        assert err.max() <= scale / 2 + 1e-12
+
+    def test_extremes_hit_127(self):
+        x = np.array([-2.0, 0.0, 2.0])
+        q, scale = quantize_tensor(x)
+        assert q.tolist() == [-127, 0, 127]
+
+    def test_zero_tensor(self):
+        q, scale = quantize_tensor(np.zeros(5))
+        assert np.all(q == 0) and scale == 1.0
+
+    def test_fixed_scale(self):
+        x = np.array([0.5, 1.0])
+        q, scale = quantize_tensor(x, scale=1 / 127)
+        assert q.tolist() == [64, 127]
+
+
+class TestQuantizedNetwork:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        x, y = synthetic_images(60, classes=4, size=8, seed=1)
+        net = Sequential(
+            [
+                __import__("repro.nn.layers", fromlist=["Conv2D"]).Conv2D(3, 6, 3, 1, 1),
+                ReLU(),
+                __import__("repro.nn.layers", fromlist=["Flatten"]).Flatten(),
+                Dense(6 * 64, 4),
+            ],
+            input_shape=(3, 8, 8),
+        )
+        train(net, x[:200], y[:200], epochs=6, batch=32, lr=2e-3, seed=0)
+        return net, x, y
+
+    def test_8bit_close_to_float(self, trained):
+        net, x, y = trained
+        qn = QuantizedNetwork(net, x[:64])
+        f_acc = evaluate_accuracy(net.predict, x[200:], y[200:])
+        q_acc = evaluate_accuracy(lambda v: qn.predict(v, None), x[200:], y[200:])
+        assert f_acc > 0.7
+        assert q_acc >= f_acc - 0.1  # Table I: 8-bit within ~1% of float
+
+    def test_mild_approximation_harmless(self, trained):
+        net, x, y = trained
+        qn = QuantizedNetwork(net, x[:64])
+        lut = signed_lut(TruncatedMultiplier(cut=2))
+        q_acc = evaluate_accuracy(lambda v: qn.predict(v, None), x[200:], y[200:])
+        a_acc = evaluate_accuracy(lambda v: qn.predict(v, lut), x[200:], y[200:])
+        assert a_acc >= q_acc - 0.05
+
+    def test_aggressive_approximation_degrades(self, trained):
+        net, x, y = trained
+        qn = QuantizedNetwork(net, x[:64])
+        lut = signed_lut(TruncatedMultiplier(cut=11))
+        q_acc = evaluate_accuracy(lambda v: qn.predict(v, None), x[200:], y[200:])
+        a_acc = evaluate_accuracy(lambda v: qn.predict(v, lut), x[200:], y[200:])
+        assert a_acc < q_acc  # heavy truncation must hurt before retraining
+
+    def test_ste_retraining_recovers(self, trained):
+        net, x, y = trained
+        import copy
+
+        net2 = copy.deepcopy(net)
+        qn = QuantizedNetwork(net2, x[:64])
+        # cut=11 degrades accuracy but leaves enough signal to recover;
+        # cut=12 zeroes nearly every int8 product and is unrecoverable,
+        # like the paper's worst multipliers that miss the tolerance.
+        lut = signed_lut(TruncatedMultiplier(cut=11))
+        before = evaluate_accuracy(lambda v: qn.predict(v, lut), x[200:], y[200:])
+        opt = Adam(net2.params(), lr=1e-3)
+        rng = np.random.default_rng(0)
+        for _ in range(60):
+            idx = rng.integers(0, 200, size=32)
+            qn.train_step(x[idx], y[idx], opt, lut)
+        after = evaluate_accuracy(lambda v: qn.predict(v, lut), x[200:], y[200:])
+        assert after > before
+
+    def test_exact_lut_equals_none(self, trained):
+        net, x, y = trained
+        qn = QuantizedNetwork(net, x[:64])
+        lut = signed_lut(ExactMultiplier())
+        a = qn.predict(x[200:232], lut)
+        b = qn.predict(x[200:232], None)
+        assert np.allclose(a, b)
+
+
+class TestAugmentation:
+    def test_flip_is_involution_on_mirror(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(10, 3, 8, 8))
+        flipped = random_flip(x, np.random.default_rng(0))
+        # Every output row is either the original or its mirror.
+        for i in range(10):
+            assert np.array_equal(flipped[i], x[i]) or np.array_equal(
+                flipped[i], x[i, :, :, ::-1]
+            )
+
+    def test_noise_level(self):
+        rng = np.random.default_rng(4)
+        w = np.sin(np.linspace(0, 40, 2048))[None, :].repeat(8, axis=0)
+        noisy = add_background_noise(w, volume=0.1, rng=np.random.default_rng(0))
+        added = noisy - w
+        rms_sig = np.sqrt((w**2).mean())
+        rms_noise = np.sqrt((added**2).mean())
+        assert 0.05 * rms_sig < rms_noise < 0.2 * rms_sig
+
+    def test_noise_bank_used(self):
+        rng = np.random.default_rng(5)
+        w = np.sin(np.linspace(0, 20, 256))[None, :].repeat(4, axis=0)
+        bank = np.ones((2, 1024))
+        noisy = add_background_noise(w, volume=0.5, rng=rng, noise_bank=bank)
+        added = noisy - w
+        # Bank noise is constant-valued once RMS-normalized: all-equal rows.
+        assert np.allclose(added, added[:, :1])
+        assert not np.allclose(added, 0)
+
+
+class TestZoo:
+    def test_model_capacity_ordering(self):
+        # Table I: KWS-CNN2 is bigger than KWS-CNN1 in params and MACs.
+        k1, k2 = kws_cnn1(), kws_cnn2()
+        assert k2.param_count() > k1.param_count()
+        assert k2.macs() > k1.macs()
+
+    def test_resnet_shapes(self):
+        net = resnet_mini()
+        rng = np.random.default_rng(6)
+        out = net.forward(rng.normal(size=(2, 3, 16, 16)))
+        assert out.shape == (2, 10)
+
+    def test_kws_shapes(self):
+        wav, y = synthetic_keywords(2, classes=8, seed=0)
+        feats = spectrogram_features(wav)
+        net = kws_cnn1(input_shape=feats.shape[1:])
+        out = net.forward(feats[:4])
+        assert out.shape == (4, 8)
+
+
+class TestDatasets:
+    def test_images_deterministic(self):
+        a = synthetic_images(5, classes=3, size=8, seed=7)
+        b = synthetic_images(5, classes=3, size=8, seed=7)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_images_balanced_and_bounded(self):
+        x, y = synthetic_images(10, classes=4, size=8, seed=0)
+        assert sorted(np.bincount(y).tolist()) == [10] * 4
+        assert np.abs(x).max() <= 1.0
+
+    def test_keywords_learnable(self):
+        # A tiny model must beat chance comfortably: the classes are real.
+        wav, y = synthetic_keywords(40, classes=4, seed=2)
+        feats = spectrogram_features(wav)
+        net = kws_cnn1(input_shape=feats.shape[1:], classes=4)
+        train(net, feats[:128], y[:128], epochs=4, batch=32, lr=3e-3, seed=0)
+        acc = evaluate_accuracy(net.predict, feats[128:], y[128:])
+        assert acc > 0.5
+
+    def test_spectrogram_shape(self):
+        wav, _ = synthetic_keywords(2, classes=2, samples=2048, seed=0)
+        feats = spectrogram_features(wav, frame=128, hop=64, bins=20)
+        assert feats.shape == (4, 1, 31, 20)
+
+    def test_spectrogram_normalized(self):
+        wav, _ = synthetic_keywords(3, classes=2, seed=1)
+        feats = spectrogram_features(wav)
+        assert np.allclose(feats.mean(axis=(2, 3)), 0, atol=1e-6)

@@ -1,0 +1,262 @@
+"""Posit arithmetic: exhaustive oracle checks on posit8, properties on larger formats."""
+
+import bisect
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.posit import POSIT8, POSIT16, POSIT32, Posit
+
+
+def _build_oracle(fmt):
+    """All representable values of a format, sorted, plus a nearest() closure."""
+    entries = []
+    for pattern in range(1 << fmt.nbits):
+        p = Posit(fmt, pattern)
+        if p.is_nar():
+            continue
+        entries.append((p.to_fraction(), pattern))
+    entries.sort()
+    keys = [v for v, _ in entries]
+
+    def nearest(x: Fraction) -> int:
+        if x == 0:
+            return 0
+        if x >= entries[-1][0]:
+            return entries[-1][1]
+        if x <= entries[0][0]:
+            return entries[0][1]
+        i = bisect.bisect_left(keys, x)
+        if keys[i] == x:
+            return entries[i][1]
+        lo, hi = entries[i - 1], entries[i]
+        # Posits never round a nonzero value to zero.
+        candidates = [c for c in (lo, hi) if c[1] != 0]
+        if len(candidates) == 1:
+            return candidates[0][1]
+        dlo, dhi = x - lo[0], hi[0] - x
+        if dlo < dhi:
+            return lo[1]
+        if dhi < dlo:
+            return hi[1]
+        return lo[1] if lo[1] % 2 == 0 else hi[1]
+
+    return entries, nearest
+
+
+_ORACLE8, _NEAREST8 = _build_oracle(POSIT8)
+
+
+def _high_precision_sqrt(x: Fraction, bits: int = 128) -> Fraction:
+    """sqrt(x) to ~2**-bits relative error, via integer isqrt.
+
+    Far more than enough to separate any posit8 value from a rounding
+    midpoint (sqrt of a non-square rational is irrational, so exact ties
+    cannot occur).
+    """
+    scaled = (x.numerator << (2 * bits)) // x.denominator
+    return Fraction(math.isqrt(scaled), 1 << bits)
+
+patterns8 = st.integers(min_value=0, max_value=255)
+patterns16 = st.integers(min_value=0, max_value=0xFFFF)
+
+
+class TestPosit8VsOracle:
+    """Randomized-pair coverage here; the benchmark suite re-runs these
+    exhaustively (65k pairs) as a correctness gate."""
+
+    @given(patterns8, patterns8)
+    def test_add(self, pa, pb):
+        a, b = Posit(POSIT8, pa), Posit(POSIT8, pb)
+        if a.is_nar() or b.is_nar():
+            assert (a + b).is_nar()
+            return
+        assert (a + b).pattern == _NEAREST8(a.to_fraction() + b.to_fraction())
+
+    @given(patterns8, patterns8)
+    def test_mul(self, pa, pb):
+        a, b = Posit(POSIT8, pa), Posit(POSIT8, pb)
+        if a.is_nar() or b.is_nar():
+            assert (a * b).is_nar()
+            return
+        assert (a * b).pattern == _NEAREST8(a.to_fraction() * b.to_fraction())
+
+    @given(patterns8, patterns8)
+    def test_div(self, pa, pb):
+        a, b = Posit(POSIT8, pa), Posit(POSIT8, pb)
+        if a.is_nar() or b.is_nar() or b.is_zero():
+            assert (a / b).is_nar()
+            return
+        assert (a / b).pattern == _NEAREST8(a.to_fraction() / b.to_fraction())
+
+    @given(patterns8)
+    def test_sqrt(self, pa):
+        a = Posit(POSIT8, pa)
+        if a.is_nar() or (a.sign and not a.is_zero()):
+            assert a.sqrt().is_nar()
+            return
+        if a.is_zero():
+            assert a.sqrt().is_zero()
+            return
+        fa = a.to_fraction()
+        assert a.sqrt().pattern == _NEAREST8(_high_precision_sqrt(fa))
+
+
+class TestExceptionSemantics:
+    def test_nar_propagates(self):
+        nar = Posit.nar(POSIT16)
+        one = Posit.one(POSIT16)
+        for op in ("add", "sub", "mul", "div"):
+            assert getattr(nar, op)(one).is_nar()
+            assert getattr(one, op)(nar).is_nar()
+        assert nar.sqrt().is_nar()
+        assert nar.fma(one, one).is_nar()
+
+    def test_divide_by_zero_is_nar(self):
+        # No infinity in posits: x/0 -> NaR.
+        assert (Posit.one(POSIT16) / Posit.zero(POSIT16)).is_nar()
+
+    def test_sqrt_of_negative_is_nar(self):
+        assert Posit.from_float(POSIT16, -1.0).sqrt().is_nar()
+
+    def test_exactly_two_exception_values(self):
+        # The paper: "With only two exception values ... both exceptions
+        # have all 0 bits after the first bit."
+        specials = [0, POSIT16.pattern_nar]
+        for pattern in specials:
+            assert pattern & (POSIT16.pattern_nar - 1) == 0
+
+    def test_no_overflow(self):
+        m = Posit.maxpos(POSIT16)
+        assert (m * m).pattern == POSIT16.pattern_maxpos
+
+    def test_no_underflow(self):
+        tiny = Posit.minpos(POSIT16)
+        assert (tiny * tiny).pattern == POSIT16.pattern_minpos
+
+
+class TestAlgebraicProperties:
+    @given(patterns16)
+    def test_negation_involution(self, pa):
+        a = Posit(POSIT16, pa)
+        assert a.negate().negate().pattern == pa
+
+    @given(patterns16)
+    def test_negation_exact(self, pa):
+        a = Posit(POSIT16, pa)
+        if a.is_nar():
+            assert a.negate().is_nar()
+            return
+        assert a.negate().to_fraction() == -a.to_fraction()
+
+    @given(patterns16, patterns16)
+    def test_addition_commutes(self, pa, pb):
+        a, b = Posit(POSIT16, pa), Posit(POSIT16, pb)
+        assert (a + b).pattern == (b + a).pattern
+
+    @given(patterns16, patterns16)
+    def test_multiplication_commutes(self, pa, pb):
+        a, b = Posit(POSIT16, pa), Posit(POSIT16, pb)
+        assert (a * b).pattern == (b * a).pattern
+
+    @given(patterns16)
+    def test_multiply_by_one_is_identity(self, pa):
+        a = Posit(POSIT16, pa)
+        assert (a * Posit.one(POSIT16)).pattern == pa
+
+    @given(patterns16)
+    def test_add_zero_is_identity(self, pa):
+        a = Posit(POSIT16, pa)
+        assert (a + Posit.zero(POSIT16)).pattern == pa
+
+    @given(patterns16)
+    def test_x_minus_x_is_zero(self, pa):
+        a = Posit(POSIT16, pa)
+        if a.is_nar():
+            return
+        assert (a - a).is_zero()
+
+    def test_reciprocal_of_powers_of_two_exact(self):
+        # The paper: "Reciprocation is symmetric for posits" — for powers of
+        # the useed/2 structure the reciprocal is exactly representable.
+        for k in range(-10, 11):
+            p = Posit.from_float(POSIT16, 2.0**k)
+            r = p.reciprocal()
+            assert r.to_fraction() == Fraction(2) ** -k
+
+    @given(patterns8)
+    def test_sqrt_square_within_one_step(self, pa):
+        a = Posit(POSIT8, pa)
+        if a.is_nar() or a.sign:
+            return
+        s = a.sqrt()
+        back = s * s
+        # sqrt then square may move by a rounding step but not more.
+        idx_a = a._int_key()
+        idx_b = back._int_key()
+        assert abs(idx_a - idx_b) <= 1
+
+
+class TestOrdering:
+    @given(patterns16, patterns16)
+    def test_order_is_integer_order(self, pa, pb):
+        # Fig. 7 / the paper: "There is no need for a posit comparison unit
+        # separate from the one used for integers."
+        a, b = Posit(POSIT16, pa), Posit(POSIT16, pb)
+        if a.is_nar() or b.is_nar():
+            return
+        assert (a < b) == (a.to_fraction() < b.to_fraction())
+
+    def test_nar_less_than_everything(self):
+        nar = Posit.nar(POSIT16)
+        assert nar == nar
+        for v in (-1e6, -1.0, 0.0, 1.0, 1e6):
+            assert nar < Posit.from_float(POSIT16, v)
+
+    def test_no_signed_zero(self):
+        z = Posit.zero(POSIT16)
+        assert z.negate().pattern == 0
+
+
+class TestFMA:
+    @given(patterns8, patterns8, patterns8)
+    def test_fma_single_rounding(self, pa, pb, pc):
+        a, b, c = (Posit(POSIT8, p) for p in (pa, pb, pc))
+        if a.is_nar() or b.is_nar() or c.is_nar():
+            assert a.fma(b, c).is_nar()
+            return
+        exact = a.to_fraction() * b.to_fraction() + c.to_fraction()
+        assert a.fma(b, c).pattern == _NEAREST8(exact)
+
+
+class TestConversions:
+    @given(patterns16)
+    def test_float_round_trip(self, pa):
+        p = Posit(POSIT16, pa)
+        if p.is_nar():
+            assert math.isnan(p.to_float())
+            return
+        assert Posit.from_float(POSIT16, p.to_float()).pattern == pa
+
+    @given(patterns8)
+    def test_widening_is_exact(self, pa):
+        p = Posit(POSIT8, pa)
+        wide = p.convert(POSIT32)
+        if p.is_nar():
+            assert wide.is_nar()
+            return
+        assert wide.to_fraction() == p.to_fraction()
+
+    @given(patterns8)
+    def test_widen_narrow_round_trip(self, pa):
+        p = Posit(POSIT8, pa)
+        back = p.convert(POSIT32).convert(POSIT8)
+        assert back.pattern == pa
+
+    @given(st.integers(min_value=-1000, max_value=1000))
+    def test_from_int(self, n):
+        p = Posit.from_int(POSIT32, n)
+        assert p.to_fraction() == n  # posit32 holds small ints exactly

@@ -1,0 +1,147 @@
+"""Posit decode/encode correctness, exhaustively where feasible."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.posit import POSIT8, POSIT16, POSIT32, Posit, PositFormat
+from repro.posit.codec import decode, encode
+from repro.posit.format import STD_POSIT8
+
+
+class TestFormat:
+    def test_paper_conventions(self):
+        assert POSIT8.es == 0
+        assert POSIT16.es == 1
+        assert POSIT32.es == 2
+
+    def test_posit16_dynamic_range(self):
+        # The paper: "A 16-bit posit has a dynamic range from 2^-28 to 2^28".
+        assert POSIT16.max_scale == 28
+        assert POSIT16.min_scale == -28
+
+    def test_useed(self):
+        assert POSIT8.useed == 2
+        assert POSIT16.useed == 4
+        assert POSIT32.useed == 16
+
+    def test_landmark_patterns(self):
+        assert POSIT16.pattern_nar == 0x8000
+        assert POSIT16.pattern_maxpos == 0x7FFF
+        assert POSIT16.pattern_minpos == 0x0001
+
+    def test_invalid_formats(self):
+        with pytest.raises(ValueError):
+            PositFormat(2, 0)
+        with pytest.raises(ValueError):
+            PositFormat(8, -1)
+
+
+class TestDecode:
+    def test_zero_and_nar(self):
+        assert decode(POSIT16, 0) == (0, 0, 0)
+        assert decode(POSIT16, 0x8000) is None
+
+    def test_one(self):
+        sign, sig, exp = decode(POSIT16, 0x4000)
+        assert (sign, Fraction(sig) * Fraction(2) ** exp) == (0, 1)
+
+    def test_minpos_maxpos(self):
+        _, sig, exp = decode(POSIT16, POSIT16.pattern_minpos)
+        assert Fraction(sig) * Fraction(2) ** exp == Fraction(2) ** -28
+        _, sig, exp = decode(POSIT16, POSIT16.pattern_maxpos)
+        assert Fraction(sig) * Fraction(2) ** exp == Fraction(2) ** 28
+
+    def test_known_posit8_values(self):
+        # posit8 es=0: 0x40 = 1, 0x60 = 2, 0x50 = 1.5, 0x20 = 0.5
+        for pattern, value in [(0x40, 1), (0x60, 2), (0x50, Fraction(3, 2)), (0x20, Fraction(1, 2))]:
+            sign, sig, exp = decode(POSIT8, pattern)
+            assert sign == 0
+            assert Fraction(sig) * Fraction(2) ** exp == value
+
+    def test_negation_symmetry(self):
+        # Two's complement of the pattern is exact negation of the value.
+        for pattern in range(1, 256):
+            if pattern == 0x80:
+                continue
+            d1 = decode(POSIT8, pattern)
+            d2 = decode(POSIT8, (-pattern) & 0xFF)
+            s1, m1, e1 = d1
+            s2, m2, e2 = d2
+            assert (m1, e1) == (m2, e2)
+            assert s1 != s2 or m1 == 0
+
+
+class TestEncodeRoundTrip:
+    @pytest.mark.parametrize("fmt", [POSIT8, POSIT16, STD_POSIT8, PositFormat(9, 1), PositFormat(5, 2)])
+    def test_exhaustive_round_trip(self, fmt):
+        for pattern in range(1 << fmt.nbits):
+            d = decode(fmt, pattern)
+            if d is None:
+                continue
+            s, sig, exp = d
+            assert encode(fmt, s, sig, exp) == pattern
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_posit32_round_trip(self, pattern):
+        d = decode(POSIT32, pattern)
+        if d is None:
+            return
+        s, sig, exp = d
+        assert encode(POSIT32, s, sig, exp) == pattern
+
+
+class TestRounding:
+    def test_no_overflow_to_nar(self):
+        # 2^100 is far above maxpos: must clamp, never wrap to NaR.
+        assert encode(POSIT16, 0, 1, 100) == POSIT16.pattern_maxpos
+
+    def test_no_underflow_to_zero(self):
+        assert encode(POSIT16, 0, 1, -100) == POSIT16.pattern_minpos
+
+    def test_negative_clamps(self):
+        assert encode(POSIT16, 1, 1, 100) == ((-POSIT16.pattern_maxpos) & 0xFFFF)
+
+    def test_round_to_nearest_even_pattern(self):
+        # posit8 es=0 represents 4.0 (0x70) and 4.5 (0x71) adjacently; the
+        # midpoint 4.25 is a tie and must go to the even pattern 0x70.
+        p40 = Posit.from_float(POSIT8, 4.0).pattern
+        p45 = Posit.from_float(POSIT8, 4.5).pattern
+        assert (p40, p45) == (0x70, 0x71)
+        tie = encode(POSIT8, 0, 17, -2)  # 4.25 exactly
+        assert tie == p40
+
+    def test_sticky_breaks_tie_upward(self):
+        above_tie = encode(POSIT8, 0, 17, -2, sticky_in=1)  # 4.25 + epsilon
+        assert above_tie == 0x71
+
+    def test_nearest_on_small_format(self):
+        # Exhaustive nearest-value check on posit<5,1> against brute force.
+        fmt = PositFormat(5, 1)
+        reals = []
+        for pattern in range(1 << 5):
+            d = decode(fmt, pattern)
+            if d is None:
+                continue
+            s, sig, exp = d
+            v = Fraction(sig) * Fraction(2) ** exp
+            reals.append(((-v if s else v), pattern))
+        reals.sort()
+        # Probe midpoints and quarter points between consecutive posits.
+        for (va, pa), (vb, pb) in zip(reals, reals[1:]):
+            for num, den in [(1, 4), (1, 2), (3, 4)]:
+                x = va + (vb - va) * Fraction(num, den)
+                if x == 0:
+                    continue
+                got = encode(fmt, int(x < 0), abs(x).numerator, 0) if abs(x).denominator == 1 else None
+                p = Posit.from_fraction(fmt, x)
+                d = abs(p.to_fraction() - x)
+                assert d <= min(abs(va - x), abs(vb - x)) or p.pattern in (pa, pb)
+
+
+class TestQuireWidth:
+    def test_wide_enough_for_products(self):
+        for fmt in (POSIT8, POSIT16):
+            assert fmt.quire_width() > 4 * fmt.max_scale

@@ -1,0 +1,157 @@
+"""Correctly rounded posit elementary functions."""
+
+import bisect
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.posit import (
+    POSIT8,
+    POSIT16,
+    Posit,
+    posit_atan,
+    posit_cos,
+    posit_exp,
+    posit_log,
+    posit_log2,
+    posit_sin,
+    posit_sqrt,
+    posit_tanh,
+)
+
+
+def _nearest_factory(fmt):
+    entries = sorted(
+        (Posit(fmt, p).to_fraction(), p)
+        for p in range(1 << fmt.nbits)
+        if not Posit(fmt, p).is_nar()
+    )
+    keys = [v for v, _ in entries]
+
+    def nearest(x: Fraction) -> int:
+        if x == 0:
+            return 0
+        if x >= entries[-1][0]:
+            return entries[-1][1]
+        if x <= entries[0][0]:
+            return entries[0][1]
+        i = bisect.bisect_left(keys, x)
+        if keys[i] == x:
+            return entries[i][1]
+        lo, hi = entries[i - 1], entries[i]
+        candidates = [c for c in (lo, hi) if c[1] != 0]
+        if len(candidates) == 1:
+            return candidates[0][1]
+        dlo, dhi = x - lo[0], hi[0] - x
+        if dlo < dhi:
+            return lo[1]
+        if dhi < dlo:
+            return hi[1]
+        return lo[1] if lo[1] % 2 == 0 else hi[1]
+
+    return nearest
+
+
+_NEAREST8 = _nearest_factory(POSIT8)
+
+patterns8 = st.integers(min_value=0, max_value=255)
+
+
+class TestExhaustivePosit8:
+    """Every posit8 input, each function vs an independent float reference.
+
+    posit8 spacing is coarse enough that binary64 references decide the
+    rounding unambiguously away from exact ties.
+    """
+
+    def test_exp(self):
+        for pattern in range(256):
+            p = Posit(POSIT8, pattern)
+            if p.is_nar():
+                assert posit_exp(p).is_nar()
+                continue
+            x = float(p.to_fraction())
+            got = posit_exp(p).pattern
+            assert got == _NEAREST8(Fraction(math.exp(x))), hex(pattern)
+
+    def test_log(self):
+        for pattern in range(256):
+            p = Posit(POSIT8, pattern)
+            if p.is_nar():
+                continue
+            x = float(p.to_fraction())
+            if x <= 0:
+                assert posit_log(p).is_nar()
+                continue
+            assert posit_log(p).pattern == _NEAREST8(Fraction(math.log(x))), hex(pattern)
+
+    @pytest.mark.parametrize(
+        "fn,ref",
+        [(posit_sin, math.sin), (posit_cos, math.cos), (posit_atan, math.atan), (posit_tanh, math.tanh)],
+        ids=["sin", "cos", "atan", "tanh"],
+    )
+    def test_trig_and_tanh(self, fn, ref):
+        for pattern in range(256):
+            p = Posit(POSIT8, pattern)
+            if p.is_nar():
+                assert fn(p).is_nar()
+                continue
+            x = float(p.to_fraction())
+            assert fn(p).pattern == _NEAREST8(Fraction(ref(x))), hex(pattern)
+
+
+class TestIdentities:
+    def test_exp_zero_is_one(self):
+        assert posit_exp(Posit.zero(POSIT16)).to_float() == 1.0
+
+    def test_cos_zero_is_one(self):
+        assert posit_cos(Posit.zero(POSIT16)).to_float() == 1.0
+
+    def test_sin_zero_is_zero(self):
+        assert posit_sin(Posit.zero(POSIT16)).is_zero()
+
+    def test_log2_powers_of_two_exact(self):
+        for k in range(-20, 21):
+            p = Posit.from_float(POSIT16, 2.0**k)
+            assert posit_log2(p).to_fraction() == k
+
+    def test_log_of_one_is_zero(self):
+        assert posit_log(Posit.one(POSIT16)).is_zero()
+
+    def test_exp_saturates_not_nar(self):
+        assert posit_exp(Posit.maxpos(POSIT16)).pattern == POSIT16.pattern_maxpos
+        assert posit_exp(Posit.maxpos(POSIT16).negate()).pattern == POSIT16.pattern_minpos
+
+    def test_tanh_saturation(self):
+        big = Posit.from_float(POSIT16, 1e6)
+        assert posit_tanh(big).to_float() == 1.0
+        assert posit_tanh(big.negate()).to_float() == -1.0
+
+    @given(patterns8)
+    def test_exp_log_round_trip_within_step(self, pattern):
+        p = Posit(POSIT8, pattern)
+        if p.is_nar() or p.sign or p.is_zero():
+            return
+        back = posit_exp(posit_log(p))
+        assert abs(back._int_key() - p._int_key()) <= 1
+
+    @given(patterns8)
+    def test_sin_cos_pythagorean(self, pattern):
+        p = Posit(POSIT8, pattern)
+        if p.is_nar():
+            return
+        s = posit_sin(p).to_float()
+        c = posit_cos(p).to_float()
+        assert abs(s * s + c * c - 1.0) < 0.1  # posit8 is coarse
+
+    def test_sqrt_alias(self):
+        p = Posit.from_float(POSIT16, 9.0)
+        assert posit_sqrt(p).to_float() == 3.0
+
+    def test_log_negative_is_nar(self):
+        assert posit_log(Posit.from_float(POSIT16, -1.0)).is_nar()
+        assert posit_log2(Posit.from_float(POSIT16, -2.0)).is_nar()
+        assert posit_log(Posit.zero(POSIT16)).is_nar()

@@ -1,0 +1,120 @@
+"""Quire (exact accumulator) tests."""
+
+import math
+from fractions import Fraction
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.posit import POSIT8, POSIT16, Posit, Quire
+
+patterns16 = st.integers(min_value=0, max_value=0xFFFF)
+
+
+class TestQuireExactness:
+    def test_dot_product_exact_until_final_rounding(self):
+        # Classic cancellation: naive sequential sums lose the small term.
+        xs = [Posit.from_float(POSIT16, v) for v in (1e-3, 1e3, -1e3, 1.0)]
+        ones = [Posit.one(POSIT16)] * 4
+        q = Quire(POSIT16)
+        result = q.dot(xs, ones)
+        expected = sum(x.to_fraction() for x in xs)
+        assert result.to_fraction() == Posit.from_fraction(POSIT16, expected).to_fraction()
+
+    def test_sequential_sum_loses_precision(self):
+        values = (1e-3, 1e3, -1e3, 1.0)
+        s = Posit.zero(POSIT16)
+        for v in values:
+            s = s + Posit.from_float(POSIT16, v)
+        q = Quire(POSIT16).dot(
+            [Posit.from_float(POSIT16, v) for v in values], [Posit.one(POSIT16)] * 4
+        )
+        # The quire result is strictly more accurate here.
+        exact = sum(Posit.from_float(POSIT16, v).to_fraction() for v in values)
+        assert abs(q.to_fraction() - exact) < abs(s.to_fraction() - exact)
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=24))
+    def test_accumulation_matches_fraction_sum(self, pats):
+        q = Quire(POSIT8)
+        exact = Fraction(0)
+        for p in pats:
+            x = Posit(POSIT8, p)
+            if x.is_nar():
+                continue
+            q.add_posit(x)
+            exact += x.to_fraction()
+        assert q.to_fraction() == exact
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=255),
+                st.integers(min_value=0, max_value=255),
+            ),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    def test_products_accumulate_exactly(self, pairs):
+        q = Quire(POSIT8)
+        exact = Fraction(0)
+        for pa, pb in pairs:
+            a, b = Posit(POSIT8, pa), Posit(POSIT8, pb)
+            if a.is_nar() or b.is_nar():
+                continue
+            q.add_product(a, b)
+            exact += a.to_fraction() * b.to_fraction()
+        assert q.to_fraction() == exact
+
+    def test_minpos_squared_representable(self):
+        q = Quire(POSIT16)
+        tiny = Posit.minpos(POSIT16)
+        q.add_product(tiny, tiny)
+        assert q.to_fraction() == Fraction(2) ** (-56)
+
+    def test_sub_product(self):
+        q = Quire(POSIT16)
+        a = Posit.from_float(POSIT16, 3.0)
+        q.add_product(a, a).sub_product(a, a)
+        assert q.to_posit().is_zero()
+
+
+class TestQuireSpecials:
+    def test_nar_poisons_quire(self):
+        q = Quire(POSIT16)
+        q.add_posit(Posit.one(POSIT16))
+        q.add_product(Posit.nar(POSIT16), Posit.one(POSIT16))
+        assert q.is_nar()
+        assert q.to_posit().is_nar()
+
+    def test_clear(self):
+        q = Quire(POSIT16)
+        q.add_posit(Posit.one(POSIT16))
+        q.clear()
+        assert q.to_posit().is_zero()
+        assert not q.is_nar()
+
+    def test_zero_products_ignored(self):
+        q = Quire(POSIT16)
+        q.add_product(Posit.zero(POSIT16), Posit.maxpos(POSIT16))
+        assert q.to_posit().is_zero()
+
+    def test_overflow_detection(self):
+        q = Quire(POSIT16)
+        # Force the accumulator past the hardware guard-bit capacity.
+        q._acc = 1 << (POSIT16.quire_width() - 1)
+        assert q.overflowed
+        q._acc = (1 << (POSIT16.quire_width() - 1)) - 1
+        assert not q.overflowed
+
+    def test_paper_58_bit_fixed_point_claim(self):
+        # Sec. V: a 16-bit posit (range 2^-28 .. 2^28) "can thus be converted
+        # to a signed fixed-point representation with 58 bits": scale by
+        # 2^28 and every posit16 is an integer of magnitude < 2^57.
+        for pattern in range(0, 1 << 16, 37):
+            p = Posit(POSIT16, pattern)
+            if p.is_nar():
+                continue
+            scaled = p.to_fraction() * Fraction(2) ** 28
+            assert scaled.denominator == 1
+            assert abs(scaled.numerator) < 1 << 57

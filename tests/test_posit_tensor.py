@@ -1,0 +1,174 @@
+"""Vectorized posit codec and posit-quantized inference."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.posit import POSIT8, POSIT16, Posit, PositFormat
+from repro.posit.tensor import PositCodec
+
+
+_CODEC8 = PositCodec(POSIT8)
+
+
+@pytest.fixture(scope="module")
+def codec8():
+    return _CODEC8
+
+
+@pytest.fixture(scope="module")
+def codec16():
+    return PositCodec(POSIT16)
+
+
+class TestCodec:
+    def test_decode_matches_posit(self, codec8):
+        for pattern in range(256):
+            p = Posit(POSIT8, pattern)
+            v = codec8.decode(np.array([pattern]))[0]
+            if p.is_nar():
+                assert np.isnan(v)
+            else:
+                assert v == p.to_float()
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_encode_matches_from_float(self, x):
+        got = int(_CODEC8.encode(np.array([x]))[0])
+        want = Posit.from_float(POSIT8, float(x)).pattern
+        assert got == want, (x, hex(got), hex(want))
+
+    def test_encode_special_values(self, codec16):
+        codes = codec16.encode(np.array([0.0, np.nan, 1e300, -1e300, 1e-300]))
+        assert codes[0] == 0
+        assert codes[1] == POSIT16.pattern_nar
+        assert codes[2] == POSIT16.pattern_maxpos
+        assert codes[3] == (-POSIT16.pattern_maxpos) & 0xFFFF
+        assert codes[4] == POSIT16.pattern_minpos  # no underflow to zero
+
+    def test_round_trip_exact_on_grid(self, codec16):
+        patterns = np.arange(0, 1 << 16, 97)
+        patterns = patterns[patterns != POSIT16.pattern_nar]
+        values = codec16.decode(patterns)
+        assert np.array_equal(codec16.encode(values), patterns)
+
+    def test_quantize_idempotent(self, codec8):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64,))
+        q = codec8.quantize(x)
+        assert np.array_equal(codec8.quantize(q), q)
+
+    def test_quantization_error_bounded_mid_range(self, codec16):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0.5, 2.0, size=500)
+        # posit16 carries ~12 fraction bits near 1: relative error < 2^-12.
+        assert codec16.quantization_error(x) < 2.0**-12
+
+    def test_wide_formats_rejected(self):
+        with pytest.raises(ValueError):
+            PositCodec(PositFormat(24, 2))
+
+
+class TestPositInference:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        from repro.datasets import synthetic_images
+        from repro.nn import Sequential, ReLU, Dense, train
+        from repro.nn.layers import Conv2D, Flatten
+
+        x, y = synthetic_images(60, classes=4, size=8, seed=1)
+        net = Sequential(
+            [Conv2D(3, 6, 3, 1, 1), ReLU(), Flatten(), Dense(6 * 64, 4)],
+            input_shape=(3, 8, 8),
+        )
+        train(net, x[:200], y[:200], epochs=6, batch=32, lr=2e-3, seed=0)
+        return net, x, y
+
+    def test_posit16_matches_float(self, trained):
+        from repro.nn import evaluate_accuracy
+        from repro.nn.posit_inference import PositQuantizedNetwork
+
+        net, x, y = trained
+        f_acc = evaluate_accuracy(net.predict, x[200:], y[200:])
+        p_acc = evaluate_accuracy(
+            PositQuantizedNetwork(net, POSIT16).predict, x[200:], y[200:]
+        )
+        assert p_acc >= f_acc - 0.02
+
+    def test_posit8_close_to_float(self, trained):
+        from repro.nn import evaluate_accuracy
+        from repro.nn.posit_inference import PositQuantizedNetwork
+
+        net, x, y = trained
+        f_acc = evaluate_accuracy(net.predict, x[200:], y[200:])
+        p_acc = evaluate_accuracy(
+            PositQuantizedNetwork(net, POSIT8).predict, x[200:], y[200:]
+        )
+        assert p_acc >= f_acc - 0.15
+
+    def test_weight_error_shrinks_with_width(self, trained):
+        from repro.nn.posit_inference import PositQuantizedNetwork
+
+        net, _, _ = trained
+        e8 = PositQuantizedNetwork(net, POSIT8).weight_quantization_error()
+        e16 = PositQuantizedNetwork(net, POSIT16).weight_quantization_error()
+        assert e16 < e8 / 10
+
+
+class TestPositTable8:
+    @pytest.fixture(scope="class")
+    def table(self):
+        from repro.posit.tensor import PositTable8
+
+        return PositTable8(POSIT8)
+
+    def test_tables_match_model(self, table):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 256, 200)
+        b = rng.integers(0, 256, 200)
+        adds = table.add(a, b)
+        muls = table.mul(a, b)
+        for i in range(200):
+            A, B = Posit(POSIT8, int(a[i])), Posit(POSIT8, int(b[i]))
+            assert int(adds[i]) == (A + B).pattern
+            assert int(muls[i]) == (A * B).pattern
+
+    def test_commutative_tables(self, table):
+        assert np.array_equal(table.add_table, table.add_table.T)
+        assert np.array_equal(table.mul_table, table.mul_table.T)
+
+    def test_quire_dot_at_least_as_accurate(self, table):
+        rng = np.random.default_rng(4)
+        xs = rng.normal(0, 1, 48)
+        ys = rng.normal(0, 1, 48)
+        a = table.codec.encode(xs).astype(np.uint8)
+        b = table.codec.encode(ys).astype(np.uint8)
+        exact = float(np.dot(table.codec.decode(a), table.codec.decode(b)))
+        q = Posit(POSIT8, table.dot(a, b)).to_float()
+        s = Posit(POSIT8, table.dot_sequential(a, b)).to_float()
+        assert abs(q - exact) <= abs(s - exact) + 1e-12
+
+    def test_wrong_width_rejected(self):
+        from repro.posit.tensor import PositTable8
+
+        with pytest.raises(ValueError):
+            PositTable8(POSIT16)
+
+
+class TestExplain:
+    def test_positive(self):
+        text = Posit(POSIT8, 0x50).explain()
+        assert "regime  10" in text and "1.5" in text
+
+    def test_nar_and_zero(self):
+        assert "NaR" in Posit.nar(POSIT8).explain()
+        assert "zero" in Posit.zero(POSIT8).explain()
+
+    def test_negative_decodes_magnitude(self):
+        text = Posit(POSIT8, (-0x50) & 0xFF).explain()
+        assert "-1.5" in text
+
+    def test_every_posit8_explains(self):
+        for pattern in range(256):
+            text = Posit(POSIT8, pattern).explain()
+            assert text  # no crashes, always some description
