@@ -10,6 +10,8 @@ Subpackages (see README.md for the map to the paper's sections):
 * :mod:`repro.fpga` — soft-multiplier mapping, packing, DSP models
 * :mod:`repro.generators` — FloPoCo-style faithful operator generators
 * :mod:`repro.approx` — approximate multipliers and DNN simulation
+* :mod:`repro.engine` — vectorized format-agnostic execution engine with
+  cached LUT kernels and a batched inference runner
 * :mod:`repro.nn` — numpy DNN framework with quantization and retraining
 * :mod:`repro.datasets` — synthetic image and keyword-spotting data
 * :mod:`repro.analysis` — ring plots, accuracy curves, information-per-bit
@@ -27,6 +29,7 @@ __all__ = [
     "fpga",
     "generators",
     "approx",
+    "engine",
     "nn",
     "datasets",
     "analysis",

@@ -9,6 +9,11 @@ DNN quantization produces *signed* int8 operands while the multiplier
 designs are unsigned cores; :func:`signed_lut` wraps a core in the
 standard sign-magnitude envelope (the approach ProxSim-style flows use for
 unsigned EvoApprox cores).
+
+Execution goes through :mod:`repro.engine`: tables are memoized per core in
+the process-wide kernel registry, and the tiled contraction is the engine's
+:func:`repro.engine.kernels.lut_matmul` — the same kernel the other
+backends use.
 """
 
 from __future__ import annotations
@@ -17,6 +22,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..engine.approx_backend import get_signed_lut
+from ..engine.kernels import lut_matmul
 from .multipliers import ApproxMultiplier
 
 __all__ = ["signed_lut", "approx_matmul", "approx_conv2d"]
@@ -28,12 +35,11 @@ def signed_lut(mult: ApproxMultiplier) -> np.ndarray:
     The unsigned core multiplies magnitudes; the product sign is the XOR of
     the operand signs (the sign-magnitude envelope of Section V's
     discussion — floats and most approximate cores work this way).
+
+    Memoized per core in the engine's kernel registry: repeated simulations
+    of the same multiplier share one table.
     """
-    a = np.arange(-128, 128, dtype=np.int64)
-    b = np.arange(-128, 128, dtype=np.int64)
-    av, bv = np.meshgrid(a, b, indexing="ij")
-    mag = mult.multiply(np.abs(av), np.abs(bv))
-    return np.where((av < 0) ^ (bv < 0), -mag, mag).astype(np.int32)
+    return get_signed_lut(mult)
 
 
 def approx_matmul(
@@ -49,19 +55,7 @@ def approx_matmul(
     b = np.asarray(b, dtype=np.int64)
     if lut is None:
         return a @ b
-    m, k = a.shape
-    k2, n = b.shape
-    if k != k2:
-        raise ValueError(f"shape mismatch {a.shape} @ {b.shape}")
-    out = np.zeros((m, n), dtype=np.int64)
-    ai = a + 128
-    bi = b + 128
-    for start in range(0, k, chunk):
-        stop = min(start + chunk, k)
-        # products[m, n, kk] via fancy indexing on the behaviour table
-        prods = lut[ai[:, None, start:stop], bi.T[None, :, start:stop]]
-        out += prods.sum(axis=2, dtype=np.int64)
-    return out
+    return lut_matmul(lut, a + 128, b + 128, chunk=chunk)
 
 
 def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int):

@@ -1,0 +1,92 @@
+"""repro.engine — vectorized, format-agnostic arithmetic execution engine.
+
+The edge-inference pitch of Sections IV-V, made fast: every <= 16-bit
+format's behaviour is precomputed into lookup tables exactly once
+(process-wide :mod:`registry <repro.engine.registry>`, optionally persisted
+to disk), and all tensor arithmetic then runs as bulk integer indexing and
+float64 re-encoding — the ApproxTrain/ProxSim architecture, generalized
+over posits, IEEE-style softfloats, LNS and approximate multipliers behind
+one :class:`Backend <repro.engine.backend.Backend>` protocol.
+
+Quickstart::
+
+    import numpy as np
+    from repro.engine import backend_for
+    from repro.posit import POSIT8
+
+    be = backend_for(POSIT8)           # tables built once, then cached
+    a = be.encode(np.linspace(-4, 4, 8))
+    b = be.encode(np.full(8, 0.5))
+    print(be.decode(be.mul(a, b)))     # correctly rounded posit products
+    print(be.counters)                 # per-op observability
+
+Batched inference with observability::
+
+    from repro.engine import BatchedRunner
+    from repro.nn.posit_inference import PositQuantizedNetwork
+
+    qnet = PositQuantizedNetwork(net, POSIT8)   # executes through the engine
+    runner = BatchedRunner(qnet, batch_size=32)
+    y = runner.run(x)
+    print(runner.stats())              # items/s, per-op counters, table hits
+"""
+
+from .backend import Backend, OpCounters
+from .kernels import lut_matmul, pairwise_lut, rounded_matmul
+from .registry import (
+    REGISTRY,
+    KernelRegistry,
+    enable_disk_cache,
+    get_codec,
+    get_posit_tables,
+)
+from .posit_backend import PositBackend
+from .softfloat_backend import SoftFloatBackend, SoftFloatCodec, get_softfloat_codec
+from .lns_backend import LNSBackend
+from .approx_backend import ApproxMultiplierBackend, get_signed_lut
+from .runner import BatchedRunner
+
+__all__ = [
+    "Backend",
+    "OpCounters",
+    "KernelRegistry",
+    "REGISTRY",
+    "enable_disk_cache",
+    "get_codec",
+    "get_posit_tables",
+    "get_softfloat_codec",
+    "get_signed_lut",
+    "pairwise_lut",
+    "lut_matmul",
+    "rounded_matmul",
+    "PositBackend",
+    "SoftFloatBackend",
+    "SoftFloatCodec",
+    "LNSBackend",
+    "ApproxMultiplierBackend",
+    "BatchedRunner",
+    "backend_for",
+]
+
+
+def backend_for(fmt, **kwargs):
+    """Construct the right backend for a format descriptor.
+
+    Dispatches on the descriptor type: :class:`repro.posit.PositFormat`,
+    :class:`repro.floats.FloatFormat`, :class:`repro.lns.LNSFormat`, or an
+    :class:`repro.approx.ApproxMultiplier` instance.  Keyword arguments are
+    forwarded to the backend constructor (``counters``, ``registry``, ...).
+    """
+    from ..floats.format import FloatFormat
+    from ..lns.format import LNSFormat
+    from ..posit.format import PositFormat
+
+    if isinstance(fmt, PositFormat):
+        return PositBackend(fmt, **kwargs)
+    if isinstance(fmt, FloatFormat):
+        return SoftFloatBackend(fmt, **kwargs)
+    if isinstance(fmt, LNSFormat):
+        return LNSBackend(fmt, **kwargs)
+    if hasattr(fmt, "multiply") and hasattr(fmt, "bits"):
+        return ApproxMultiplierBackend(fmt, **kwargs)
+    raise TypeError(f"no engine backend for format {fmt!r}")

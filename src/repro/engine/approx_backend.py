@@ -1,0 +1,111 @@
+"""Approximate-multiplier backend: Section IV's 8-bit cores as engine ops.
+
+Unlike the closed number-format backends, an approximate-multiplier MAC is
+an *open* datapath: int8 operands in, full-width integer products out,
+exact int64 accumulation (the int32 accumulators of real accelerators never
+saturate at these layer sizes).  ``encode``/``decode`` are the symmetric
+linear quantization of :mod:`repro.nn.quantize`; ``mul``/``matmul`` go
+through the multiplier's signed 256x256 behaviour table, registry-memoized
+so every simulation of the same core shares one LUT.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .backend import OpCounters, timed_op
+from .kernels import lut_matmul, pairwise_lut
+from .registry import REGISTRY, KernelRegistry
+
+__all__ = ["ApproxMultiplierBackend", "get_signed_lut"]
+
+
+def _build_signed_lut(mult) -> dict:
+    """Signed behaviour table ``lut[a + 128, b + 128] ~ a * b`` for int8.
+
+    The unsigned core multiplies magnitudes; the product sign is the XOR of
+    the operand signs (the sign-magnitude envelope ProxSim-style flows use
+    for unsigned EvoApprox cores).
+    """
+    a = np.arange(-128, 128, dtype=np.int64)
+    b = np.arange(-128, 128, dtype=np.int64)
+    av, bv = np.meshgrid(a, b, indexing="ij")
+    mag = mult.multiply(np.abs(av), np.abs(bv))
+    return {"lut": np.where((av < 0) ^ (bv < 0), -mag, mag).astype(np.int32)}
+
+
+def get_signed_lut(mult, registry: Optional[KernelRegistry] = None) -> np.ndarray:
+    """The signed int8 behaviour table for ``mult``, built once per core.
+
+    Keyed by ``(class, name, bits)`` — multiplier names encode their
+    parameters (``trunc4``, ``drum3``, ...), so equal-config cores share
+    one table while ad-hoc subclasses that inherit a name do not collide.
+    """
+    reg = registry if registry is not None else REGISTRY
+    key = ("approx", type(mult).__name__, mult.bits, mult.name, "signed_lut")
+    return reg.get(key, lambda: _build_signed_lut(mult))["lut"]
+
+
+class ApproxMultiplierBackend:
+    """Engine backend over one approximate 8-bit multiplier core."""
+
+    def __init__(
+        self,
+        mult,
+        counters: Optional[OpCounters] = None,
+        registry: Optional[KernelRegistry] = None,
+    ):
+        self.mult = mult
+        self.name = f"approx[{mult.name}]"
+        self.key = ("approx", type(mult).__name__, mult.bits, mult.name)
+        self.counters = counters if counters is not None else OpCounters()
+        self.lut = get_signed_lut(mult, registry)
+
+    # ------------------------------------------------------------------
+    def encode(self, x: np.ndarray, scale: Optional[float] = None) -> np.ndarray:
+        """Symmetric int8 linear quantization: ``clip(round(x / s), ±127)``."""
+        x = np.asarray(x, dtype=np.float64)
+        with timed_op(self.counters, "encode", x.size):
+            if scale is None:
+                scale = float(np.max(np.abs(x))) / 127.0 if x.size else 1.0
+                if scale == 0.0:
+                    scale = 1.0
+            q = np.clip(np.round(x / scale), -127, 127).astype(np.int64)
+            self.last_scale = scale
+            return q
+
+    def decode(self, q: np.ndarray, scale: float = 1.0) -> np.ndarray:
+        with timed_op(self.counters, "decode", np.asarray(q).size):
+            return np.asarray(q, dtype=np.float64) * scale
+
+    # ------------------------------------------------------------------
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Exact integer addition (adders are exact in Section IV's flow)."""
+        a, b = np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64)
+        with timed_op(self.counters, "add", max(a.size, b.size)):
+            return a + b
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise approximate products through the behaviour table."""
+        a, b = np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64)
+        with timed_op(self.counters, "mul", max(a.size, b.size)):
+            return pairwise_lut(self.lut, a + 128, b + 128)
+
+    def matmul(self, a: np.ndarray, b: np.ndarray, chunk: int = 64) -> np.ndarray:
+        """``(M, K) @ (K, N)`` int8 matmul with approximate products."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        with timed_op(self.counters, "matmul", a.shape[0] * a.shape[1] * b.shape[1]):
+            return lut_matmul(self.lut, a + 128, b + 128, chunk=chunk)
+
+    def dot_exact(self, a: np.ndarray, b: np.ndarray) -> int:
+        """Exact int64 sum of approximate products."""
+        a_flat = np.asarray(a, dtype=np.int64).ravel()
+        b_flat = np.asarray(b, dtype=np.int64).ravel()
+        with timed_op(self.counters, "dot_exact", a_flat.size):
+            return int(self.lut[a_flat + 128, b_flat + 128].sum(dtype=np.int64))
+
+    def __repr__(self):
+        return f"ApproxMultiplierBackend({self.mult.name})"

@@ -1,0 +1,122 @@
+"""The engine's backend contract and per-op observability counters.
+
+A *backend* packages one number format's behaviour as bulk operations on
+integer **code arrays**: ``encode`` rounds real values onto the format's
+grid, ``decode`` recovers exact float64 values, and ``add``/``mul``/
+``matmul``/``dot_exact`` apply the format's (correctly rounded or
+behaviourally exact) arithmetic elementwise at numpy speed.  This is the
+ApproxTrain/ProxSim architecture: precompute each narrow format's behaviour
+once, then run all tensor arithmetic as bulk integer indexing.
+
+Backends are duck-typed against :class:`Backend` (a ``typing.Protocol``);
+concrete implementations live in the sibling ``*_backend`` modules and are
+constructed through :func:`repro.engine.backend_for`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["Backend", "OpCounters", "timed_op"]
+
+
+class OpCounters:
+    """Mutable per-operation counters: calls, elements processed, wall time.
+
+    The seed of the engine's observability layer: every backend op records
+    into one of these, and :class:`repro.engine.runner.BatchedRunner`
+    snapshots them per inference batch.  Table (memo) hits and misses are
+    tracked globally by :class:`repro.engine.registry.KernelRegistry`.
+    """
+
+    __slots__ = ("ops",)
+
+    def __init__(self):
+        self.ops: Dict[str, Dict[str, float]] = {}
+
+    def record(self, op: str, elements: int, seconds: float) -> None:
+        entry = self.ops.setdefault(op, {"calls": 0, "elements": 0, "seconds": 0.0})
+        entry["calls"] += 1
+        entry["elements"] += int(elements)
+        entry["seconds"] += float(seconds)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """A deep copy of the current counters (safe to keep)."""
+        return {op: dict(entry) for op, entry in self.ops.items()}
+
+    def total(self, field: str = "elements") -> float:
+        """Sum of one field over all ops (e.g. total elements executed)."""
+        return sum(entry[field] for entry in self.ops.values())
+
+    def clear(self) -> None:
+        self.ops.clear()
+
+    def __repr__(self):
+        parts = ", ".join(
+            f"{op}: {int(e['calls'])} calls / {int(e['elements'])} elems"
+            for op, e in sorted(self.ops.items())
+        )
+        return f"OpCounters({parts})"
+
+
+class timed_op:
+    """Context manager recording one op into an (optional) OpCounters."""
+
+    __slots__ = ("counters", "op", "elements", "_t0")
+
+    def __init__(self, counters: Optional[OpCounters], op: str, elements: int):
+        self.counters = counters
+        self.op = op
+        self.elements = elements
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        if self.counters is not None:
+            self.counters.record(self.op, self.elements, time.perf_counter() - self._t0)
+        return False
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Format-agnostic bulk arithmetic on integer code arrays.
+
+    Implementations must be *closed* over their code space for ``add`` and
+    ``mul`` (codes in, codes out) except where the format itself is open —
+    the approximate-multiplier backend returns full-width integer products,
+    mirroring the hardware MAC it models.
+    """
+
+    #: Human-readable backend name, e.g. ``"posit<8,0>"``.
+    name: str
+    #: Hashable format key, used by the kernel registry.
+    key: tuple
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        """Round real values onto the format grid; returns code array."""
+        ...
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Exact float64 value of each code (NaR/NaN patterns -> NaN)."""
+        ...
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise format addition on code arrays."""
+        ...
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise format multiplication on code arrays."""
+        ...
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Matrix product of code arrays ``(M, K) @ (K, N)``."""
+        ...
+
+    def dot_exact(self, a: np.ndarray, b: np.ndarray):
+        """Exactly accumulated dot product of two code vectors."""
+        ...

@@ -1,0 +1,171 @@
+"""Posit backend: bulk posit arithmetic on code arrays.
+
+Two op strategies, chosen per format width:
+
+* ``pairwise`` (default for <= 8 bits): exhaustive 2-D behaviour tables
+  built from the bit-exact scalar :class:`repro.posit.value.Posit` model —
+  ground truth by construction, one fancy index per elementwise op.
+* ``via-float`` (9..16 bits, where a pairwise table would be >= 4 GiB):
+  decode codes to their exact float64 values, compute in float64, and
+  re-encode through the codec's correctly rounded grid search.  This is
+  bit-exact for these widths: any product of two <= 16-bit posits is exact
+  in float64, and whenever a sum is *inexact* in float64 the discarded tail
+  lies far below half a posit ulp, so the posit rounding is unaffected (a
+  <= 16-bit posit sum needs more than 53 bits only when the operand scales
+  differ by > 40, while the rounding decision happens within ~14 bits of
+  the larger operand).
+
+``matmul`` offers three accumulation modes: ``"float64"`` (products exact,
+accumulation at 53-bit precision — the Kulisch-style model that
+:mod:`repro.nn.posit_inference` uses), ``"quire"`` (a true exact quire per
+output element, rounded once), and ``"rounded"`` (posit rounding after
+every add — the no-quire datapath baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..posit.format import PositFormat
+from ..posit.quire import Quire
+from ..posit.tensor import PositCodec, PositTable
+from ..posit.value import Posit
+from .backend import OpCounters, timed_op
+from .kernels import pairwise_lut, rounded_matmul
+from .registry import KernelRegistry, get_codec, get_posit_tables
+
+__all__ = ["PositBackend"]
+
+
+class PositBackend:
+    """Vectorized posit arithmetic for formats up to 16 bits."""
+
+    def __init__(
+        self,
+        fmt: PositFormat,
+        counters: Optional[OpCounters] = None,
+        registry: Optional[KernelRegistry] = None,
+        table_bits: int = 8,
+        strategy: Optional[str] = None,
+    ):
+        if fmt.nbits > 16:
+            raise ValueError("PositBackend supports at most 16-bit posits")
+        if strategy is None:
+            strategy = "pairwise" if fmt.nbits <= table_bits else "via-float"
+        if strategy not in ("pairwise", "via-float"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.fmt = fmt
+        self.name = f"posit<{fmt.nbits},{fmt.es}>"
+        self.key = ("posit", fmt.nbits, fmt.es)
+        self.strategy = strategy
+        self.counters = counters if counters is not None else OpCounters()
+        self.codec: PositCodec = get_codec(fmt, registry)
+        self.tables: Optional[PositTable] = (
+            get_posit_tables(fmt, registry) if strategy == "pairwise" else None
+        )
+        self._code_dtype = np.uint8 if fmt.nbits <= 8 else np.uint16
+
+    # ------------------------------------------------------------------
+    # Codec
+    # ------------------------------------------------------------------
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        with timed_op(self.counters, "encode", x.size):
+            return self.codec.encode(x).astype(self._code_dtype)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        codes = np.asarray(codes)
+        with timed_op(self.counters, "decode", codes.size):
+            return self.codec.decode(codes)
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Round-trip: nearest posit-grid value of each element."""
+        x = np.asarray(x, dtype=np.float64)
+        with timed_op(self.counters, "quantize", x.size):
+            return self.codec.quantize(x)
+
+    # ------------------------------------------------------------------
+    # Elementwise
+    # ------------------------------------------------------------------
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a, b = np.asarray(a), np.asarray(b)
+        with timed_op(self.counters, "add", max(a.size, b.size)):
+            if self.tables is not None:
+                return pairwise_lut(self.tables.add_table, a, b)
+            return self.codec.encode(self.codec.decode(a) + self.codec.decode(b)).astype(
+                self._code_dtype
+            )
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a, b = np.asarray(a), np.asarray(b)
+        with timed_op(self.counters, "mul", max(a.size, b.size)):
+            if self.tables is not None:
+                return pairwise_lut(self.tables.mul_table, a, b)
+            return self.codec.encode(self.codec.decode(a) * self.codec.decode(b)).astype(
+                self._code_dtype
+            )
+
+    # ------------------------------------------------------------------
+    # Contractions
+    # ------------------------------------------------------------------
+    def matmul(
+        self, a: np.ndarray, b: np.ndarray, accumulate: str = "float64"
+    ) -> np.ndarray:
+        """``(M, K) @ (K, N)`` on code arrays; returns codes.
+
+        ``accumulate``: ``"float64"`` (exact products, 53-bit accumulation,
+        one posit rounding at the end), ``"quire"`` (exact accumulation per
+        output, scalar — slow, for verification), or ``"rounded"`` (posit
+        rounding after every add; needs the pairwise tables).
+        """
+        a, b = np.asarray(a), np.asarray(b)
+        with timed_op(self.counters, f"matmul[{accumulate}]", a.shape[0] * a.shape[1] * b.shape[1]):
+            if accumulate == "float64":
+                out = self.codec.decode(a) @ self.codec.decode(b)
+                return self.codec.encode(out).astype(self._code_dtype)
+            if accumulate == "quire":
+                m, k = a.shape
+                k2, n = b.shape
+                out = np.empty((m, n), dtype=self._code_dtype)
+                for i in range(m):
+                    for j in range(n):
+                        out[i, j] = self.dot_exact(a[i], b[:, j])
+                return out
+            if accumulate == "rounded":
+                if self.tables is None:
+                    raise ValueError(
+                        "rounded accumulation needs pairwise tables "
+                        f"(format {self.fmt} uses the via-float strategy)"
+                    )
+                return rounded_matmul(self.tables.add_table, self.tables.mul_table, a, b)
+            raise ValueError(f"unknown accumulation mode {accumulate!r}")
+
+    def matmul_values(self, qa: np.ndarray, qb: np.ndarray) -> np.ndarray:
+        """``QA @ QB`` on posit-grid *values* (float64 in, float64 out).
+
+        The DNN inference path: operands are already on the posit grid
+        (from :meth:`quantize`), products are exact in float64 for <= 16-bit
+        formats, and the 53-bit accumulation models the quire.  The result
+        stays in float64 so bias adds and activations run unquantized, and
+        the next layer re-quantizes its input — exactly the semantics of
+        :mod:`repro.nn.posit_inference`.
+        """
+        qa, qb = np.asarray(qa), np.asarray(qb)
+        macs = qa.shape[0] * qa.shape[-1] * (qb.shape[-1] if qb.ndim > 1 else 1)
+        with timed_op(self.counters, "matmul[values]", macs):
+            return qa @ qb
+
+    def dot_exact(self, a: np.ndarray, b: np.ndarray) -> int:
+        """Quire dot product of two code vectors, rounded once (exact)."""
+        a_flat = np.asarray(a).ravel()
+        b_flat = np.asarray(b).ravel()
+        with timed_op(self.counters, "dot_exact", a_flat.size):
+            q = Quire(self.fmt)
+            for pa, pb in zip(a_flat, b_flat):
+                q.add_product(Posit(self.fmt, int(pa)), Posit(self.fmt, int(pb)))
+            return q.to_posit().pattern
+
+    def __repr__(self):
+        return f"PositBackend({self.name}, strategy={self.strategy!r})"

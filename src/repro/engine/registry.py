@@ -1,0 +1,200 @@
+"""Process-wide kernel registry: build each format's tables exactly once.
+
+Behaviour tables are expensive to build (O(4**nbits) scalar operations for
+a pairwise table) but tiny to store (a 256x256 uint8 pair is 128 KiB), so
+the registry memoizes construction per format key and can optionally
+persist the arrays as ``.npz`` files so tables build once per *machine*,
+not once per process.
+
+Disk persistence is opt-in: set the ``REPRO_ENGINE_CACHE`` environment
+variable to a directory, call :func:`enable_disk_cache`, or construct a
+private :class:`KernelRegistry` with ``cache_dir`` (as the tests do with a
+tmp dir).  Nothing is written to disk by default.
+
+The registry also hosts the shared codec/table accessors that the rest of
+the repo uses (:func:`get_codec`, :func:`get_posit_tables`), so repeated
+quantized-network construction stops rebuilding identical 256x256 tables.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..posit.format import PositFormat
+from ..posit.tensor import PositCodec, PositTable
+
+__all__ = [
+    "KernelRegistry",
+    "REGISTRY",
+    "enable_disk_cache",
+    "get_codec",
+    "get_posit_tables",
+]
+
+#: Builders return a dict of named numpy arrays — the only thing the
+#: registry stores or persists.  Wrapper objects (codecs, tables) are
+#: reconstructed from the arrays by the accessor functions below.
+TableBuilder = Callable[[], Dict[str, np.ndarray]]
+
+
+def _slug(key: tuple) -> str:
+    """A filesystem-safe filename stem for a format key."""
+    text = "_".join(str(part) for part in key)
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", text)
+
+
+class KernelRegistry:
+    """Memoizing (and optionally persisting) store of kernel tables.
+
+    ``get(key, builder)`` returns the table dict for ``key``, building it at
+    most once per process and round-tripping it through ``cache_dir`` when
+    one is configured.  ``hits``/``misses`` count memo lookups —
+    the "table hits/misses" of the engine's observability counters.
+    """
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None):
+        self._memo: Dict[tuple, Dict[str, np.ndarray]] = {}
+        self._objects: Dict[tuple, object] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.disk_loads = 0
+        env = os.environ.get("REPRO_ENGINE_CACHE")
+        self.cache_dir: Optional[Path] = Path(cache_dir or env) if (cache_dir or env) else None
+
+    # ------------------------------------------------------------------
+    def get(self, key: tuple, builder: TableBuilder) -> Dict[str, np.ndarray]:
+        """The table dict for ``key``; built (or loaded from disk) once."""
+        with self._lock:
+            if key in self._memo:
+                self.hits += 1
+                return self._memo[key]
+            self.misses += 1
+            tables = self._load(key)
+            if tables is None:
+                tables = builder()
+                self._store(key, tables)
+            else:
+                self.disk_loads += 1
+            self._memo[key] = tables
+            return tables
+
+    def get_object(self, key: tuple, factory: Callable[[], object]) -> object:
+        """Memoize an arbitrary object (codec wrappers, backends) per key."""
+        with self._lock:
+            if key in self._objects:
+                self.hits += 1
+                return self._objects[key]
+            self.misses += 1
+        obj = factory()  # build outside the lock: factories may call get()
+        with self._lock:
+            return self._objects.setdefault(key, obj)
+
+    # ------------------------------------------------------------------
+    def _path(self, key: tuple) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return Path(self.cache_dir) / f"{_slug(key)}.npz"
+
+    def _load(self, key: tuple) -> Optional[Dict[str, np.ndarray]]:
+        path = self._path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with np.load(path) as data:
+                return {name: data[name] for name in data.files}
+        except (OSError, ValueError):
+            return None  # corrupt cache entry: rebuild
+
+    def _store(self, key: tuple, tables: Dict[str, np.ndarray]) -> None:
+        path = self._path(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".npz.tmp")
+        with open(tmp, "wb") as fh:  # file object: savez won't append .npz
+            np.savez_compressed(fh, **tables)
+        os.replace(tmp, path)  # atomic against concurrent builders
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_loads": self.disk_loads,
+            "resident_tables": len(self._memo),
+        }
+
+    def clear(self) -> None:
+        """Drop all in-process memoized tables (disk cache untouched)."""
+        with self._lock:
+            self._memo.clear()
+            self._objects.clear()
+            self.hits = self.misses = self.disk_loads = 0
+
+
+#: The process-wide registry every backend uses unless given a private one.
+REGISTRY = KernelRegistry()
+
+
+def enable_disk_cache(path: os.PathLike) -> None:
+    """Point the process-wide registry at an on-disk ``.npz`` cache dir."""
+    REGISTRY.cache_dir = Path(path)
+
+
+# ----------------------------------------------------------------------
+# Shared accessors (the module-level codec/table cache)
+# ----------------------------------------------------------------------
+def get_codec(fmt: PositFormat, registry: Optional[KernelRegistry] = None) -> PositCodec:
+    """The shared :class:`PositCodec` for ``fmt``, built once per process.
+
+    Keyed by ``(nbits, es)``: every ``PositQuantizedNetwork`` and posit
+    backend constructed for the same format reuses one codec (and its
+    sorted value tables) instead of re-running the scalar decode loop.
+    """
+    reg = registry if registry is not None else REGISTRY
+    key = ("posit", fmt.nbits, fmt.es, "codec")
+
+    def factory() -> PositCodec:
+        def build() -> Dict[str, np.ndarray]:
+            codec = PositCodec(fmt)
+            return {"values": codec.values, "boundaries": codec.boundaries}
+
+        tables = reg.get(("posit", fmt.nbits, fmt.es, "values"), build)
+        return PositCodec(fmt, values=tables["values"], boundaries=tables["boundaries"])
+
+    return reg.get_object(key, factory)
+
+
+def get_posit_tables(
+    fmt: PositFormat,
+    registry: Optional[KernelRegistry] = None,
+    max_bits: int = 10,
+) -> PositTable:
+    """The shared pairwise add/mul :class:`PositTable` for ``fmt``."""
+    reg = registry if registry is not None else REGISTRY
+    key = ("posit", fmt.nbits, fmt.es, "pairwise")
+
+    def factory() -> PositTable:
+        tables = reg.get(
+            ("posit", fmt.nbits, fmt.es, "addmul"),
+            lambda: _build_posit_pair_tables(fmt, max_bits),
+        )
+        return PositTable(
+            fmt,
+            tables=(tables["add"], tables["mul"]),
+            codec=get_codec(fmt, reg),
+        )
+
+    return reg.get_object(key, factory)
+
+
+def _build_posit_pair_tables(fmt: PositFormat, max_bits: int) -> Dict[str, np.ndarray]:
+    table = PositTable(fmt, max_bits=max_bits)
+    return {"add": table.add_table, "mul": table.mul_table}

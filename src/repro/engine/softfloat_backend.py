@@ -1,0 +1,248 @@
+"""Softfloat backend: bulk IEEE-style arithmetic for <= 16-bit formats.
+
+New in the engine: :class:`SoftFloatCodec` tabulates a small float format's
+code-to-value map (every <= 16-bit IEEE value is exact in float64,
+subnormals included) and implements vectorized correctly rounded encode
+(round to nearest, ties to even significand, overflow to infinity,
+gradual underflow, signed zero).
+
+Elementwise ops use exhaustive pairwise tables built from the bit-exact
+scalar :class:`repro.floats.softfloat.SoftFloat` model for <= 8-bit
+formats, and the via-float strategy above that: float64 compute + one
+correctly rounded re-encode, which is bit-exact for these widths (products
+of <= 12-bit significands are exact in float64; sums are exact whenever the
+rounding decision is in play, since a tie/midpoint case needs the operand
+exponents within ``frac_bits + 2`` of each other, where the float64 sum is
+exact — the innocuous-double-rounding regime ``53 >= 2p + 2``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..floats.format import FloatFormat
+from ..floats.softfloat import SoftFloat
+from .backend import OpCounters, timed_op
+from .kernels import pairwise_lut
+from .registry import REGISTRY, KernelRegistry
+
+__all__ = ["SoftFloatCodec", "SoftFloatBackend"]
+
+
+class SoftFloatCodec:
+    """Bulk encode/decode between float64 arrays and small-float codes."""
+
+    def __init__(self, fmt: FloatFormat, values: Optional[np.ndarray] = None):
+        if fmt.width > 16:
+            raise ValueError("tabulated codec supports at most 16-bit formats")
+        self.fmt = fmt
+        n = 1 << fmt.width
+        if values is None:
+            values = np.empty(n, dtype=np.float64)
+            for pattern in range(n):
+                values[pattern] = SoftFloat(fmt, pattern).to_float()
+        else:
+            values = np.asarray(values, dtype=np.float64)
+            if values.shape != (n,):
+                raise ValueError(f"prebuilt value table must have shape ({n},)")
+        self.values = values
+
+        # Sorted finite grid; drop the -0 code so 0.0 appears exactly once.
+        finite = np.isfinite(values)
+        finite[fmt.sign_bit] = False
+        codes = np.arange(n)[finite]
+        order = np.argsort(values[finite], kind="stable")
+        self._sorted_values = values[finite][order]
+        self._sorted_codes = codes[order]
+        # Round-to-nearest overflow threshold: max_finite + half an ulp.
+        self._overflow = fmt.max_finite + math.ldexp(1.0, fmt.emax - fmt.frac_bits - 1)
+
+    # ------------------------------------------------------------------
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Exact float64 value of each code (NaN patterns -> NaN)."""
+        return self.values[np.asarray(codes, dtype=np.int64)]
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        """Round a float64 array to codes: IEEE nearest, ties to even."""
+        fmt = self.fmt
+        x = np.asarray(x, dtype=np.float64)
+        flat = x.ravel()
+
+        sv, sc = self._sorted_values, self._sorted_codes
+        hi_idx = np.searchsorted(sv, flat)
+        hi_idx = np.clip(hi_idx, 1, len(sv) - 1)
+        lo_idx = hi_idx - 1
+
+        lo_val, hi_val = sv[lo_idx], sv[hi_idx]
+        lo_code, hi_code = sc[lo_idx], sc[hi_idx]
+
+        # Adjacent grid values are within a factor of 2, so both distances
+        # are exact (Sterbenz) and the tie test is reliable.
+        d_lo = np.abs(flat - lo_val)
+        d_hi = np.abs(hi_val - flat)
+        pick_hi = d_hi < d_lo
+        tie = d_hi == d_lo
+        pick_hi = np.where(tie, (lo_code & 1) == 1, pick_hi)
+        out = np.where(pick_hi, hi_code, lo_code)
+
+        # Range ends, then IEEE overflow to infinity at max_finite + ulp/2.
+        out = np.where(flat >= sv[-1], sc[-1], out)
+        out = np.where(flat <= sv[0], sc[0], out)
+        out = np.where(flat >= self._overflow, fmt.pattern_inf, out)
+        out = np.where(flat <= -self._overflow, fmt.sign_bit | fmt.pattern_inf, out)
+        # Signed zero: a zero result keeps the sign of the input value.
+        out = np.where((out == 0) & np.signbit(flat), fmt.sign_bit, out)
+        out = np.where(np.isnan(flat), fmt.pattern_quiet_nan, out)
+        return out.reshape(x.shape)
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Round-trip: the nearest grid value of each element."""
+        return self.decode(self.encode(x))
+
+
+def get_softfloat_codec(
+    fmt: FloatFormat, registry: Optional[KernelRegistry] = None
+) -> SoftFloatCodec:
+    """The shared :class:`SoftFloatCodec` for ``fmt`` (registry-memoized)."""
+    reg = registry if registry is not None else REGISTRY
+    key = ("float", fmt.exp_bits, fmt.frac_bits, "codec")
+
+    def factory() -> SoftFloatCodec:
+        values = reg.get(
+            ("float", fmt.exp_bits, fmt.frac_bits, "values"),
+            lambda: {"values": SoftFloatCodec(fmt).values},
+        )["values"]
+        return SoftFloatCodec(fmt, values=values)
+
+    return reg.get_object(key, factory)
+
+
+def _build_float_pair_tables(fmt: FloatFormat) -> dict:
+    n = 1 << fmt.width
+    floats = [SoftFloat(fmt, p) for p in range(n)]
+    dtype = np.uint8 if fmt.width <= 8 else np.uint16
+    add = np.empty((n, n), dtype=dtype)
+    mul = np.empty((n, n), dtype=dtype)
+    for i, a in enumerate(floats):
+        for j in range(i, n):
+            s = a.add(floats[j]).pattern
+            m = a.mul(floats[j]).pattern
+            add[i, j] = add[j, i] = s  # both ops commute (canonical NaN)
+            mul[i, j] = mul[j, i] = m
+    return {"add": add, "mul": mul}
+
+
+class SoftFloatBackend:
+    """Vectorized IEEE-style arithmetic for formats up to 16 bits."""
+
+    def __init__(
+        self,
+        fmt: FloatFormat,
+        counters: Optional[OpCounters] = None,
+        registry: Optional[KernelRegistry] = None,
+        table_bits: int = 8,
+        strategy: Optional[str] = None,
+    ):
+        if fmt.width > 16:
+            raise ValueError("SoftFloatBackend supports at most 16-bit formats")
+        if strategy is None:
+            strategy = "pairwise" if fmt.width <= table_bits else "via-float"
+        if strategy not in ("pairwise", "via-float"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.fmt = fmt
+        self.name = f"{fmt.name}{{1,{fmt.exp_bits},{fmt.frac_bits}}}"
+        self.key = ("float", fmt.exp_bits, fmt.frac_bits)
+        self.strategy = strategy
+        self.counters = counters if counters is not None else OpCounters()
+        self._registry = registry if registry is not None else REGISTRY
+        self.codec = get_softfloat_codec(fmt, self._registry)
+        self._code_dtype = np.uint8 if fmt.width <= 8 else np.uint16
+        if strategy == "pairwise":
+            tables = self._registry.get(
+                ("float", fmt.exp_bits, fmt.frac_bits, "addmul"),
+                lambda: _build_float_pair_tables(fmt),
+            )
+            self.add_table, self.mul_table = tables["add"], tables["mul"]
+        else:
+            self.add_table = self.mul_table = None
+
+    # ------------------------------------------------------------------
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        with timed_op(self.counters, "encode", x.size):
+            return self.codec.encode(x).astype(self._code_dtype)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        codes = np.asarray(codes)
+        with timed_op(self.counters, "decode", codes.size):
+            return self.codec.decode(codes)
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        with timed_op(self.counters, "quantize", x.size):
+            return self.codec.quantize(x)
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a, b = np.asarray(a), np.asarray(b)
+        with timed_op(self.counters, "add", max(a.size, b.size)):
+            if self.add_table is not None:
+                return pairwise_lut(self.add_table, a, b)
+            with np.errstate(invalid="ignore"):  # inf - inf -> NaN -> qNaN code
+                out = self.codec.decode(a) + self.codec.decode(b)
+            return self.codec.encode(out).astype(self._code_dtype)
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a, b = np.asarray(a), np.asarray(b)
+        with timed_op(self.counters, "mul", max(a.size, b.size)):
+            if self.mul_table is not None:
+                return pairwise_lut(self.mul_table, a, b)
+            with np.errstate(invalid="ignore"):  # inf * 0 -> NaN -> qNaN code
+                out = self.codec.decode(a) * self.codec.decode(b)
+            return self.codec.encode(out).astype(self._code_dtype)
+
+    def matmul(self, a: np.ndarray, b: np.ndarray, accumulate: str = "float64") -> np.ndarray:
+        """``(M, K) @ (K, N)``: Kulisch-style float64 accumulation.
+
+        Products of <= 16-bit formats are exact in float64; the 53-bit
+        accumulator plays the role of a (finite) Kulisch accumulator, and
+        the result is rounded into the format once.
+        """
+        a, b = np.asarray(a), np.asarray(b)
+        if accumulate != "float64":
+            raise ValueError("SoftFloatBackend supports accumulate='float64' only")
+        with timed_op(self.counters, "matmul[float64]", a.shape[0] * a.shape[1] * b.shape[1]):
+            out = self.codec.decode(a) @ self.codec.decode(b)
+            return self.codec.encode(out).astype(self._code_dtype)
+
+    def dot_exact(self, a: np.ndarray, b: np.ndarray) -> int:
+        """Exactly accumulated dot product (Kulisch), rounded once."""
+        from fractions import Fraction
+
+        a_flat = np.asarray(a).ravel()
+        b_flat = np.asarray(b).ravel()
+        with timed_op(self.counters, "dot_exact", a_flat.size):
+            acc = Fraction(0)
+            inf_sign = None  # sign of an infinite partial product, if any
+            for pa, pb in zip(a_flat, b_flat):
+                fa = SoftFloat(self.fmt, int(pa))
+                fb = SoftFloat(self.fmt, int(pb))
+                if fa.is_nan() or fb.is_nan():
+                    return self.fmt.pattern_quiet_nan
+                if fa.is_inf() or fb.is_inf():
+                    if fa.is_zero() or fb.is_zero():
+                        return self.fmt.pattern_quiet_nan  # inf * 0
+                    sign = fa.sign ^ fb.sign
+                    if inf_sign is not None and inf_sign != sign:
+                        return self.fmt.pattern_quiet_nan  # inf - inf
+                    inf_sign = sign
+                    continue
+                acc += fa.to_fraction() * fb.to_fraction()
+            if inf_sign is not None:
+                return SoftFloat.inf(self.fmt, inf_sign).pattern
+            return SoftFloat.from_fraction(self.fmt, acc).pattern
+
+    def __repr__(self):
+        return f"SoftFloatBackend({self.name}, strategy={self.strategy!r})"

@@ -1,10 +1,16 @@
-"""Posit-quantized DNN inference.
+"""Posit-quantized DNN inference, executed through :mod:`repro.engine`.
 
 The edge-ML pitch of Section V, exercised end to end: weights and
 activations are rounded onto a posit grid (no per-tensor scale calibration
 — the tapered dynamic range absorbs it), products are exact (float64 holds
 any product of two <=16-bit posits exactly), and accumulations model the
 quire (exact until the final rounding per output).
+
+All bulk arithmetic goes through a shared
+:class:`repro.engine.posit_backend.PositBackend`: codecs and behaviour
+tables are built once per format (process-wide registry) instead of per
+network, and every op is recorded in the backend's counters so a
+:class:`repro.engine.runner.BatchedRunner` can report per-op statistics.
 
 Contrast with :class:`repro.nn.quantize.QuantizedNetwork`: int8 linear
 quantization needs a calibration pass and per-layer scales; the posit
@@ -17,47 +23,45 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..engine.backend import OpCounters
+from ..engine.posit_backend import PositBackend
 from ..posit import PositFormat
-from ..posit.tensor import PositCodec
-from .layers import Conv2D, Dense, Layer, ResidualBlock
+from .layers import Conv2D, Dense, Layer, ResidualBlock, im2col
 from .network import Sequential
 
 __all__ = ["PositQuantizedNetwork"]
 
 
 class _PConv:
-    def __init__(self, conv: Conv2D, codec: PositCodec):
+    def __init__(self, conv: Conv2D, engine: PositBackend):
         self.conv = conv
-        self.codec = codec
-        self.qw = codec.quantize(conv.w.data)
+        self.engine = engine
+        self.qw = engine.quantize(conv.w.data)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        qx = self.codec.quantize(x)
-        cols_w = self.qw
-        from .layers import im2col
-
-        f, c, kh, kw = cols_w.shape
+        qx = self.engine.quantize(x)
+        f, c, kh, kw = self.qw.shape
         cols, oh, ow = im2col(qx, kh, kw, self.conv.stride, self.conv.pad)
-        out = cols @ cols_w.reshape(f, -1).T + self.conv.b.data
+        out = self.engine.matmul_values(cols, self.qw.reshape(f, -1).T) + self.conv.b.data
         return out.reshape(x.shape[0], oh, ow, f).transpose(0, 3, 1, 2)
 
 
 class _PDense:
-    def __init__(self, dense: Dense, codec: PositCodec):
+    def __init__(self, dense: Dense, engine: PositBackend):
         self.dense = dense
-        self.codec = codec
-        self.qw = codec.quantize(dense.w.data)
+        self.engine = engine
+        self.qw = engine.quantize(dense.w.data)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        qx = self.codec.quantize(x)
-        return qx @ self.qw + self.dense.b.data
+        qx = self.engine.quantize(x)
+        return self.engine.matmul_values(qx, self.qw) + self.dense.b.data
 
 
 class _PResidual:
-    def __init__(self, block: ResidualBlock, codec: PositCodec):
+    def __init__(self, block: ResidualBlock, engine: PositBackend):
         self.block = block
-        self.exec1 = _PConv(block.conv1, codec)
-        self.exec2 = _PConv(block.conv2, codec)
+        self.exec1 = _PConv(block.conv1, engine)
+        self.exec2 = _PConv(block.conv2, engine)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         y = self.exec1.forward(x)
@@ -67,20 +71,33 @@ class _PResidual:
 
 
 class PositQuantizedNetwork:
-    """Posit-grid inference over a trained float :class:`Sequential`."""
+    """Posit-grid inference over a trained float :class:`Sequential`.
 
-    def __init__(self, net: Sequential, fmt: PositFormat):
+    ``engine`` may be a preconstructed :class:`PositBackend` (e.g. sharing
+    counters across several networks); by default one is built over the
+    process-wide kernel registry, so constructing many networks for the
+    same format reuses one codec instead of rebuilding its tables.
+    """
+
+    def __init__(
+        self,
+        net: Sequential,
+        fmt: PositFormat,
+        engine: Optional[PositBackend] = None,
+        counters: Optional[OpCounters] = None,
+    ):
         self.net = net
         self.fmt = fmt
-        self.codec = PositCodec(fmt)
+        self.engine = engine if engine is not None else PositBackend(fmt, counters=counters)
+        self.codec = self.engine.codec  # back-compat alias
         self.executors: List[Optional[object]] = []
         for layer in net.layers:
             if isinstance(layer, Conv2D):
-                self.executors.append(_PConv(layer, self.codec))
+                self.executors.append(_PConv(layer, self.engine))
             elif isinstance(layer, Dense):
-                self.executors.append(_PDense(layer, self.codec))
+                self.executors.append(_PDense(layer, self.engine))
             elif isinstance(layer, ResidualBlock):
-                self.executors.append(_PResidual(layer, self.codec))
+                self.executors.append(_PResidual(layer, self.engine))
             else:
                 self.executors.append(None)
 

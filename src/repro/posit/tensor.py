@@ -6,15 +6,21 @@ posit rounding rules (ties to even pattern, never round a nonzero value to
 zero, clamp to minpos/maxpos).  This is the building block for
 posit-quantized neural-network inference (:mod:`repro.nn.posit_inference`).
 
-For 8-bit formats, :class:`PositTable8` additionally tabulates the full
-add/mul behaviour (two 256x256 tables — what a software emulation library
-like SoftPosit effectively plays with at this width), giving bulk posit8
-arithmetic at numpy speed, plus quire-backed exact dot products.
+For narrow formats, :class:`PositTable` additionally tabulates the full
+add/mul behaviour (two ``2**nbits x 2**nbits`` tables — what a software
+emulation library like SoftPosit effectively plays with at these widths),
+giving bulk posit arithmetic at numpy speed, plus quire-backed exact dot
+products.  :class:`PositTable8` is the 8-bit specialization kept for
+backward compatibility.
+
+Table construction is O(4**nbits) scalar posit operations; build once and
+reuse.  :mod:`repro.engine.registry` memoizes construction per format and
+can persist the tables to disk.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -22,23 +28,37 @@ from .format import PositFormat
 from .quire import Quire
 from .value import Posit
 
-__all__ = ["PositCodec", "PositTable8"]
+__all__ = ["PositCodec", "PositTable", "PositTable8"]
 
 
 class PositCodec:
-    """Bulk encode/decode between float arrays and posit codes."""
+    """Bulk encode/decode between float arrays and posit codes.
 
-    def __init__(self, fmt: PositFormat):
+    ``values`` and ``boundaries`` may be prebuilt tables (e.g. loaded from
+    the engine's kernel cache) to skip the scalar construction loops.
+    """
+
+    def __init__(
+        self,
+        fmt: PositFormat,
+        values: Optional[np.ndarray] = None,
+        boundaries: Optional[np.ndarray] = None,
+    ):
         if fmt.nbits > 16:
             raise ValueError("tabulated codec supports at most 16-bit posits")
         self.fmt = fmt
         n = 1 << fmt.nbits
 
-        #: value of every code; NaR gets NaN.
-        values = np.empty(n, dtype=np.float64)
-        for pattern in range(n):
-            p = Posit(fmt, pattern)
-            values[pattern] = np.nan if p.is_nar() else p.to_float()
+        if values is None:
+            #: value of every code; NaR gets NaN.
+            values = np.empty(n, dtype=np.float64)
+            for pattern in range(n):
+                p = Posit(fmt, pattern)
+                values[pattern] = np.nan if p.is_nar() else p.to_float()
+        else:
+            values = np.asarray(values, dtype=np.float64)
+            if values.shape != (n,):
+                raise ValueError(f"prebuilt value table must have shape ({n},)")
         self.values = values
 
         real = ~np.isnan(values)
@@ -48,32 +68,58 @@ class PositCodec:
         # Index of the zero code in the sorted arrays.
         self._zero_pos = int(np.searchsorted(self._sorted_values, 0.0))
 
+        if boundaries is None:
+            boundaries = self._build_boundaries()
+        else:
+            boundaries = np.asarray(boundaries, dtype=np.float64)
+            if boundaries.shape != (len(self._sorted_values) - 1,):
+                raise ValueError("prebuilt boundary table has wrong shape")
+        #: Rounding boundary between each pair of value-adjacent codes.
+        self.boundaries = boundaries
+
+    def _build_boundaries(self) -> np.ndarray:
+        """The exact rounding boundary between every adjacent code pair.
+
+        Posit rounding is round-to-nearest-even on the *bit string* (guard
+        and sticky bits beyond the truncated pattern), not on the real
+        value: in regime ranges where fraction bits are squeezed out the
+        grid is geometric and the halfway point is NOT the arithmetic
+        midpoint.  The boundary between adjacent ``nbits``-bit patterns is
+        exactly the value of the odd pattern between them in the
+        ``nbits + 1``-bit format (same es), which float64 holds exactly for
+        every format this codec supports.
+        """
+        fmt = self.fmt
+        ext = PositFormat(fmt.nbits + 1, fmt.es)
+        n = 1 << fmt.nbits
+        half = n >> 1
+        ext_mask = (1 << (fmt.nbits + 1)) - 1
+        bounds = np.empty(len(self._sorted_codes) - 1, dtype=np.float64)
+        for i, code in enumerate(self._sorted_codes[:-1]):
+            key = int(code) - (n if code >= half else 0)  # two's-complement order
+            bounds[i] = Posit(ext, (2 * key + 1) & ext_mask).to_float()
+        return bounds
+
     # ------------------------------------------------------------------
     def decode(self, codes: np.ndarray) -> np.ndarray:
         """Exact float64 values of the given codes (NaR -> NaN)."""
         return self.values[np.asarray(codes, dtype=np.int64)]
 
     def encode(self, x: np.ndarray) -> np.ndarray:
-        """Round a float array to posit codes, following posit semantics."""
+        """Round a float array to posit codes, bit-exact with the scalar model."""
         x = np.asarray(x, dtype=np.float64)
         flat = x.ravel()
-        out = np.empty(flat.shape, dtype=np.int64)
 
-        sv, sc = self._sorted_values, self._sorted_codes
-        hi_idx = np.searchsorted(sv, flat)  # first value >= x
-        hi_idx = np.clip(hi_idx, 1, len(sv) - 1)
-        lo_idx = hi_idx - 1
+        sc, b = self._sorted_codes, self.boundaries
+        # Values strictly between boundaries round to the enclosed code;
+        # values beyond the extreme boundaries clamp to -maxpos/maxpos.
+        idx = np.searchsorted(b, flat, side="right")
+        out = sc[idx]
 
-        lo_val, hi_val = sv[lo_idx], sv[hi_idx]
-        lo_code, hi_code = sc[lo_idx], sc[hi_idx]
-
-        d_lo = np.abs(flat - lo_val)
-        d_hi = np.abs(hi_val - flat)
-        pick_hi = d_hi < d_lo
-        tie = d_hi == d_lo
-        # Ties to the even pattern.
-        pick_hi = np.where(tie, (lo_code & 1) == 1, pick_hi)
-        out = np.where(pick_hi, hi_code, lo_code)
+        # Exactly on a boundary: tie to the even pattern of the two codes.
+        lo = sc[np.maximum(idx - 1, 0)]
+        tie = (idx > 0) & (flat == b[np.maximum(idx - 1, 0)])
+        out = np.where(tie & ((out & 1) == 1), lo, out)
 
         # Never round a nonzero value to zero: bump to the adjacent code.
         nz = flat != 0
@@ -82,11 +128,10 @@ class PositCodec:
             bumped = np.where(flat > 0, sc[self._zero_pos + 1], sc[self._zero_pos - 1])
             out = np.where(zero_sel, bumped, out)
 
-        # Saturate outside the representable range.
-        out = np.where(flat >= sv[-1], sc[-1], out)
-        out = np.where(flat <= sv[0], sc[0], out)
+        # NaN and +-inf map to NaR like the scalar ``Posit.from_float``
+        # (posits have no infinities — only *reals* round to maxpos).
         out = np.where(flat == 0.0, 0, out)
-        out = np.where(np.isnan(flat), self.fmt.pattern_nar, out)
+        out = np.where(~np.isfinite(flat), self.fmt.pattern_nar, out)
         return out.reshape(x.shape)
 
     def quantize(self, x: np.ndarray) -> np.ndarray:
@@ -102,24 +147,47 @@ class PositCodec:
         return float(np.max(np.abs((q[nz] - x[nz]) / x[nz])))
 
 
-class PositTable8:
-    """Exhaustive-table arithmetic for an 8-bit posit format.
+class PositTable:
+    """Exhaustive-table arithmetic for a narrow posit format.
 
-    ``add`` and ``mul`` operate elementwise on uint8 code arrays through
-    256x256 behaviour tables (built once from the bit-exact model);
-    ``dot`` runs an exact quire per output element.
+    ``add`` and ``mul`` operate elementwise on code arrays through
+    ``2**nbits x 2**nbits`` behaviour tables (built once from the bit-exact
+    scalar model); ``dot`` runs an exact quire per output element.
+
+    ``tables`` may be a prebuilt ``(add_table, mul_table)`` pair (e.g. from
+    the engine's kernel cache) to skip the O(4**nbits) construction loop.
+    ``max_bits`` guards against accidentally requesting a table build that
+    would take hours (12 bits is already 16.7M scalar operation pairs).
     """
 
-    def __init__(self, fmt: PositFormat):
-        if fmt.nbits != 8:
-            raise ValueError("PositTable8 requires an 8-bit posit format")
+    def __init__(
+        self,
+        fmt: PositFormat,
+        tables: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        codec: Optional[PositCodec] = None,
+        max_bits: int = 10,
+    ):
+        if fmt.nbits > max_bits and tables is None:
+            raise ValueError(
+                f"refusing to build {1 << fmt.nbits}x{1 << fmt.nbits} behaviour "
+                f"tables for {fmt}; pass prebuilt tables or raise max_bits"
+            )
         self.fmt = fmt
-        self.codec = PositCodec(fmt)
-        posits = [Posit(fmt, p) for p in range(256)]
-        self.add_table = np.empty((256, 256), dtype=np.uint8)
-        self.mul_table = np.empty((256, 256), dtype=np.uint8)
+        self.codec = codec if codec is not None else PositCodec(fmt)
+        n = 1 << fmt.nbits
+        dtype = np.uint8 if fmt.nbits <= 8 else np.uint16
+        if tables is not None:
+            add_table, mul_table = tables
+            self.add_table = np.asarray(add_table, dtype=dtype)
+            self.mul_table = np.asarray(mul_table, dtype=dtype)
+            if self.add_table.shape != (n, n) or self.mul_table.shape != (n, n):
+                raise ValueError(f"prebuilt tables must have shape ({n}, {n})")
+            return
+        posits = [Posit(fmt, p) for p in range(n)]
+        self.add_table = np.empty((n, n), dtype=dtype)
+        self.mul_table = np.empty((n, n), dtype=dtype)
         for i, a in enumerate(posits):
-            for j in range(i, 256):
+            for j in range(i, n):
                 s = (a + posits[j]).pattern
                 m = (a * posits[j]).pattern
                 self.add_table[i, j] = s
@@ -151,3 +219,12 @@ class PositTable8:
         for p in prods:
             acc = int(self.add_table[acc, int(p)])
         return acc
+
+
+class PositTable8(PositTable):
+    """Backward-compatible 8-bit specialization of :class:`PositTable`."""
+
+    def __init__(self, fmt: PositFormat, **kwargs):
+        if fmt.nbits != 8:
+            raise ValueError("PositTable8 requires an 8-bit posit format")
+        super().__init__(fmt, **kwargs)
