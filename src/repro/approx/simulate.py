@@ -43,18 +43,32 @@ def signed_lut(mult: ApproxMultiplier) -> np.ndarray:
 
 
 def approx_matmul(
-    a: np.ndarray, b: np.ndarray, lut: Optional[np.ndarray], chunk: int = 64
+    a: np.ndarray,
+    b: np.ndarray,
+    lut: Optional[np.ndarray],
+    chunk: int = 64,
+    workers: Optional[int] = None,
 ) -> np.ndarray:
     """``a @ b`` for int8-valued arrays through a signed behaviour table.
 
     ``a`` is (M, K), ``b`` is (K, N); accumulation is exact int64 (the
     int32 accumulators of real accelerators never saturate at these sizes).
     ``lut=None`` gives the exact product (the quantized baseline).
+
+    ``workers`` > 1 shards the rows of ``a`` across a process pool
+    (:func:`repro.engine.parallel.shard_lut_matmul`); per-row integer
+    accumulation is exact, so the sharded product is bit-identical to the
+    in-process kernel.  Worth it only for large M — each call pays the
+    pool spawn cost.
     """
     a = np.asarray(a, dtype=np.int64)
     b = np.asarray(b, dtype=np.int64)
     if lut is None:
         return a @ b
+    if workers is not None and workers > 1:
+        from ..engine.parallel import shard_lut_matmul
+
+        return shard_lut_matmul(lut, a + 128, b + 128, workers=workers, chunk=chunk)
     return lut_matmul(lut, a + 128, b + 128, chunk=chunk)
 
 
@@ -85,15 +99,18 @@ def approx_conv2d(
     lut: Optional[np.ndarray],
     stride: int = 1,
     pad: int = 0,
+    workers: Optional[int] = None,
 ) -> np.ndarray:
     """2-D convolution of int8-valued tensors through the behaviour table.
 
     ``x``: (N, C, H, W) activations; ``w``: (F, C, KH, KW) filters.
-    Returns (N, F, OH, OW) int64 accumulations.
+    Returns (N, F, OH, OW) int64 accumulations.  ``workers`` shards the
+    im2col patch matrix's rows across processes (see
+    :func:`approx_matmul`) — bit-identical to the single-process result.
     """
     n = x.shape[0]
     f, c, kh, kw = w.shape
     cols, oh, ow = _im2col(x, kh, kw, stride, pad)
     wmat = w.reshape(f, c * kh * kw).T  # (CKK, F)
-    out = approx_matmul(cols, wmat, lut)
+    out = approx_matmul(cols, wmat, lut, workers=workers)
     return out.reshape(n, oh, ow, f).transpose(0, 3, 1, 2)

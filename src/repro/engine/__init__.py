@@ -32,7 +32,7 @@ Batched inference with observability::
 """
 
 from .backend import Backend, OpCounters
-from .kernels import lut_matmul, pairwise_lut, rounded_matmul
+from .kernels import lut_matmul, pairwise_lut, rounded_matmul, shard_rows
 from .registry import (
     REGISTRY,
     KernelRegistry,
@@ -45,6 +45,7 @@ from .softfloat_backend import SoftFloatBackend, SoftFloatCodec, get_softfloat_c
 from .lns_backend import LNSBackend
 from .approx_backend import ApproxMultiplierBackend, get_signed_lut
 from .runner import BatchedRunner
+from .parallel import ModelHandle, ParallelRunner, PositNetworkSpec, shard_lut_matmul
 
 __all__ = [
     "Backend",
@@ -65,6 +66,11 @@ __all__ = [
     "LNSBackend",
     "ApproxMultiplierBackend",
     "BatchedRunner",
+    "ParallelRunner",
+    "PositNetworkSpec",
+    "ModelHandle",
+    "shard_rows",
+    "shard_lut_matmul",
     "backend_for",
 ]
 

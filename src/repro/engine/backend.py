@@ -51,6 +51,19 @@ class OpCounters:
         """Sum of one field over all ops (e.g. total elements executed)."""
         return sum(entry[field] for entry in self.ops.values())
 
+    def merge(self, snapshot: Dict[str, Dict[str, float]]) -> None:
+        """Fold another counters snapshot into this one.
+
+        The parallel runner ships each worker's per-chunk counter deltas
+        back to the parent and merges them here, so sharded execution
+        reports through the same ``stats()`` shape as single-process runs.
+        """
+        for op, entry in snapshot.items():
+            mine = self.ops.setdefault(op, {"calls": 0, "elements": 0, "seconds": 0.0})
+            mine["calls"] += entry.get("calls", 0)
+            mine["elements"] += int(entry.get("elements", 0))
+            mine["seconds"] += float(entry.get("seconds", 0.0))
+
     def clear(self) -> None:
         self.ops.clear()
 

@@ -1,0 +1,492 @@
+"""Parallel sharded execution: process-pool fan-out for the engine.
+
+:class:`ParallelRunner` shards a request array into contiguous,
+batch-aligned chunks and executes them on a persistent pool of worker
+processes (``spawn`` context by default), merging per-chunk outputs back
+in index order.  Because every chunk boundary falls on a multiple of
+``batch_size``, each worker runs *exactly* the micro-batches the
+single-process :class:`repro.engine.runner.BatchedRunner` would have run,
+so the merged output is bit-identical to the in-process path — parallelism
+never changes the numerics, only the wall clock.
+
+Kernel tables are shared through the registry's ``.npz`` disk cache
+instead of being rebuilt per worker: the parent flushes its resident
+tables (:meth:`KernelRegistry.flush_to_disk`), and each worker's
+process-wide registry is pointed at the same directory during pool
+initialization, so worker-side backend construction *loads* prebuilt
+tables (``disk_loads`` ticks up) rather than re-running the
+O(4**nbits) scalar builders.
+
+Robustness: a worker crash (``BrokenProcessPool``) or per-task timeout
+degrades gracefully — the affected chunks are recomputed in-process with
+identical math (``fallback=True``, the default), and the incident is
+counted in ``stats()["fallbacks"]``.
+
+Models cross the process boundary as a picklable zero-argument *factory*.
+A :class:`repro.nn.posit_inference.PositQuantizedNetwork` is automatically
+converted to a :class:`PositNetworkSpec` (ship the float weights + format,
+rebuild the quantized network worker-side against the shared table cache);
+any other model is shipped by value via :class:`ModelHandle`.
+
+:func:`shard_lut_matmul` applies the same recipe to one tiled LUT matmul:
+row spans of ``A`` fan out over a short-lived pool (the LUT and ``B`` ride
+the pool initializer once, not per task) and the row blocks concatenate
+back in order — exact integer accumulation per row makes the sharded
+product bit-identical to :func:`repro.engine.kernels.lut_matmul`.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .backend import OpCounters
+from .kernels import lut_matmul, shard_rows
+from .registry import REGISTRY, KernelRegistry
+
+__all__ = [
+    "ParallelRunner",
+    "PositNetworkSpec",
+    "ModelHandle",
+    "shard_lut_matmul",
+]
+
+
+# ----------------------------------------------------------------------
+# Model factories (what actually crosses the process boundary)
+# ----------------------------------------------------------------------
+class PositNetworkSpec:
+    """Picklable recipe for rebuilding a posit-quantized network worker-side.
+
+    Ships only the float :class:`~repro.nn.network.Sequential` and the
+    :class:`~repro.posit.format.PositFormat`; the worker reconstructs the
+    quantized network through its own engine backend, whose codec/tables
+    come from the shared registry disk cache instead of a rebuild.
+    """
+
+    def __init__(self, net, fmt):
+        self.net = net
+        self.fmt = fmt
+
+    def __call__(self):
+        from ..nn.posit_inference import PositQuantizedNetwork
+
+        return PositQuantizedNetwork(self.net, self.fmt)
+
+
+class ModelHandle:
+    """Fallback factory: ship an arbitrary picklable model by value."""
+
+    def __init__(self, model):
+        self.model = model
+
+    def __call__(self):
+        return self.model
+
+
+def _factory_for(model):
+    """The cheapest picklable factory that reproduces ``model`` worker-side."""
+    from ..nn.posit_inference import PositQuantizedNetwork
+
+    if isinstance(model, PositQuantizedNetwork):
+        return PositNetworkSpec(model.net, model.fmt)
+    return ModelHandle(model)
+
+
+# ----------------------------------------------------------------------
+# Worker-process side
+# ----------------------------------------------------------------------
+#: Per-worker-process state, populated once by the pool initializer.
+_WORKER: Dict[str, object] = {}
+
+
+def _worker_init(factory, cache_dir: Optional[str]) -> None:
+    if cache_dir is not None:
+        REGISTRY.cache_dir = Path(cache_dir)
+    _WORKER["model"] = factory()
+
+
+def _worker_run(idx: int, chunk: np.ndarray, batch_size: int):
+    model = _WORKER["model"]
+    t0 = time.perf_counter()
+    outs = []
+    for start in range(0, len(chunk), batch_size):
+        outs.append(model.forward(chunk[start : start + batch_size]))
+    out = np.concatenate(outs, axis=0)
+    wall = time.perf_counter() - t0
+
+    # Ship per-chunk counter *deltas* (snapshot then clear) so the parent
+    # can merge them without double counting across chunks.
+    counters = getattr(getattr(model, "engine", None), "counters", None)
+    ops = counters.snapshot() if counters is not None else {}
+    if counters is not None:
+        counters.clear()
+    stats = {
+        "pid": os.getpid(),
+        "items": int(len(chunk)),
+        "batches": math.ceil(len(chunk) / batch_size),
+        "wall_s": wall,
+        "ops": ops,
+        "table": REGISTRY.stats(),  # cumulative for this worker process
+    }
+    return idx, out, stats
+
+
+def _matmul_init(lut: np.ndarray, b_idx: np.ndarray, chunk: int, dtype) -> None:
+    _WORKER["lut"] = lut
+    _WORKER["b_idx"] = b_idx
+    _WORKER["chunk"] = chunk
+    _WORKER["dtype"] = dtype
+
+
+def _matmul_run(idx: int, a_block: np.ndarray):
+    return idx, lut_matmul(
+        _WORKER["lut"],
+        a_block,
+        _WORKER["b_idx"],
+        chunk=_WORKER["chunk"],
+        dtype=_WORKER["dtype"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Parallel runner
+# ----------------------------------------------------------------------
+class ParallelRunner:
+    """Shard inference batches across a process pool, bit-identically.
+
+    Parameters:
+        model: The model to run (used for the in-process fallback path and,
+            unless ``model_factory`` is given, converted to a picklable
+            factory for the workers).
+        model_factory: Explicit picklable zero-arg callable building the
+            worker-side model; overrides the automatic conversion.
+        workers: Pool size; ``None`` means ``os.cpu_count()``.  ``<= 1``
+            runs everything in-process (still through the same chunking).
+        batch_size: Micro-batch size inside each chunk — the unit that
+            guarantees bit-identity with :class:`BatchedRunner`.
+        chunk_size: Items per worker task, rounded up to a multiple of
+            ``batch_size``.  Default: one balanced span per worker.
+        mp_context: ``"spawn"`` (default, portable and deterministic) or
+            ``"fork"``/``"forkserver"``.
+        cache_dir: Directory for the shared ``.npz`` table cache.  Defaults
+            to the registry's configured cache dir; if neither exists a
+            private temporary directory is created (and removed on
+            :meth:`close`).
+        task_timeout: Seconds to wait for one chunk before falling back.
+        fallback: When true (default), worker crashes and timeouts are
+            recovered by recomputing the affected chunks in-process; when
+            false they raise.
+    """
+
+    def __init__(
+        self,
+        model=None,
+        *,
+        model_factory=None,
+        workers: Optional[int] = None,
+        batch_size: int = 64,
+        chunk_size: Optional[int] = None,
+        mp_context: str = "spawn",
+        cache_dir: Optional[os.PathLike] = None,
+        task_timeout: Optional[float] = 120.0,
+        fallback: bool = True,
+        counters: Optional[OpCounters] = None,
+        registry: Optional[KernelRegistry] = None,
+    ):
+        if model is None and model_factory is None:
+            raise ValueError("ParallelRunner needs a model or a model_factory")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 (or None for auto)")
+        self.workers = int(workers) if workers is not None else (os.cpu_count() or 1)
+        self.batch_size = batch_size
+        self.chunk_size = chunk_size
+        self.mp_context = mp_context
+        self.task_timeout = task_timeout
+        self.fallback = fallback
+        self.counters = counters if counters is not None else OpCounters()
+        self._registry = registry if registry is not None else REGISTRY
+
+        self._factory = model_factory if model_factory is not None else _factory_for(model)
+        # Fail in the constructor, not inside a broken pool, if the factory
+        # cannot cross the process boundary.
+        if self.workers > 1:
+            pickle.dumps(self._factory)
+        self._local_model = model  # lazily built from the factory if None
+
+        self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
+        if cache_dir is not None:
+            self._cache_dir: Optional[Path] = Path(cache_dir)
+        elif self._registry.cache_dir is not None:
+            self._cache_dir = Path(self._registry.cache_dir)
+        elif self.workers > 1:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-engine-cache-")
+            self._cache_dir = Path(self._tmpdir.name)
+        else:
+            self._cache_dir = None
+
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._broken = False
+        self._fallbacks = 0
+        self._items = 0
+        self._batches = 0
+        self._wall = 0.0
+        self._worker_items: Dict[int, Dict[str, float]] = {}
+        self._worker_tables: Dict[int, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        if self._broken or self.workers <= 1:
+            return None
+        if self._pool is None:
+            if self._cache_dir is not None:
+                # Share whatever the parent has already built.
+                self._registry.flush_to_disk(self._cache_dir)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=get_context(self.mp_context),
+                initializer=_worker_init,
+                initargs=(
+                    self._factory,
+                    str(self._cache_dir) if self._cache_dir is not None else None,
+                ),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down and remove any private temporary cache dir."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        if self._tmpdir is not None:
+            try:
+                self._tmpdir.cleanup()
+            except OSError:
+                pass
+            self._tmpdir = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _model(self):
+        if self._local_model is None:
+            self._local_model = self._factory()
+        return self._local_model
+
+    def _spans(self, total: int) -> List[Tuple[int, int]]:
+        """Batch-aligned chunk spans; merging in order is bit-identical."""
+        if total == 0:
+            return []
+        if self.chunk_size is None:
+            n_batches = math.ceil(total / self.batch_size)
+            per = math.ceil(n_batches / max(1, self.workers)) * self.batch_size
+        else:
+            per = math.ceil(self.chunk_size / self.batch_size) * self.batch_size
+        return [(s, min(s + per, total)) for s in range(0, total, per)]
+
+    def _run_span(self, x: np.ndarray, span: Tuple[int, int]) -> np.ndarray:
+        """In-process execution of one chunk, micro-batched identically."""
+        model = self._model()
+        outs = []
+        for start in range(span[0], span[1], self.batch_size):
+            outs.append(model.forward(x[start : min(start + self.batch_size, span[1])]))
+        return np.concatenate(outs, axis=0)
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Shard ``x`` over the pool; returns outputs concatenated in order."""
+        x = np.asarray(x)
+        spans = self._spans(len(x))
+        if not spans:
+            return self._model().forward(x)
+        t0 = time.perf_counter()
+        results: List[Optional[np.ndarray]] = [None] * len(spans)
+
+        pool = None
+        try:
+            pool = self._ensure_pool()
+        except Exception:
+            if not self.fallback:
+                raise
+            self._broken = True
+
+        if pool is not None:
+            futures = {}
+            try:
+                for i, (s, e) in enumerate(spans):
+                    futures[pool.submit(_worker_run, i, x[s:e], self.batch_size)] = i
+            except (BrokenProcessPool, RuntimeError):
+                self._broken = True
+                if not self.fallback:
+                    raise
+            for fut, i in futures.items():
+                try:
+                    idx, out, wstats = fut.result(timeout=self.task_timeout)
+                    results[idx] = out
+                    self._absorb_worker_stats(wstats)
+                except (BrokenProcessPool, TimeoutError, OSError) as err:
+                    if isinstance(err, BrokenProcessPool):
+                        self._broken = True
+                    if not self.fallback:
+                        raise
+                    self._fallbacks += 1
+
+        for i, span in enumerate(spans):
+            if results[i] is None:  # never submitted, timed out, or crashed
+                results[i] = self._run_span(x, span)
+
+        out = np.concatenate(results, axis=0)
+        self._wall += time.perf_counter() - t0
+        self._items += len(x)
+        self._batches += sum(math.ceil((e - s) / self.batch_size) for s, e in spans)
+        return out
+
+    __call__ = run
+
+    def _absorb_worker_stats(self, wstats: Dict[str, object]) -> None:
+        pid = int(wstats["pid"])
+        acc = self._worker_items.setdefault(
+            pid, {"items": 0, "batches": 0, "wall_s": 0.0}
+        )
+        acc["items"] += wstats["items"]
+        acc["batches"] += wstats["batches"]
+        acc["wall_s"] += wstats["wall_s"]
+        self._worker_tables[pid] = dict(wstats["table"])
+        self.counters.merge(wstats["ops"])
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """BatchedRunner-shaped stats plus per-worker and fallback detail."""
+        per_worker = [
+            {
+                "pid": pid,
+                "items": int(acc["items"]),
+                "batches": int(acc["batches"]),
+                "wall_s": acc["wall_s"],
+                "items_per_s": (acc["items"] / acc["wall_s"]) if acc["wall_s"] > 0 else 0.0,
+            }
+            for pid, acc in sorted(self._worker_items.items())
+        ]
+        parent = self._registry.stats()
+        table_hits = parent["hits"] + sum(t["hits"] for t in self._worker_tables.values())
+        table_misses = parent["misses"] + sum(
+            t["misses"] for t in self._worker_tables.values()
+        )
+        disk_loads = parent["disk_loads"] + sum(
+            t["disk_loads"] for t in self._worker_tables.values()
+        )
+        return {
+            "items": self._items,
+            "batches": self._batches,
+            "batch_size": self.batch_size,
+            "workers": self.workers,
+            "wall_s": self._wall,
+            "items_per_s": (self._items / self._wall) if self._wall > 0 else 0.0,
+            "mean_batch_ms": (1e3 * self._wall / self._batches) if self._batches else 0.0,
+            "ops": self.counters.snapshot(),
+            "table_hits": table_hits,
+            "table_misses": table_misses,
+            "table_disk_loads": disk_loads,
+            "fallbacks": self._fallbacks,
+            "per_worker": per_worker,
+        }
+
+    def reset(self) -> None:
+        """Clear throughput numbers and op counters (pool/registry kept)."""
+        self._items = self._batches = 0
+        self._wall = 0.0
+        self._fallbacks = 0
+        self._worker_items.clear()
+        self._worker_tables.clear()
+        self.counters.clear()
+
+    def __repr__(self):
+        return (
+            f"ParallelRunner(workers={self.workers}, batch_size={self.batch_size}, "
+            f"{self._items} items, {self._fallbacks} fallbacks)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Sharded LUT matmul
+# ----------------------------------------------------------------------
+def shard_lut_matmul(
+    lut: np.ndarray,
+    a_idx: np.ndarray,
+    b_idx: np.ndarray,
+    workers: int,
+    chunk: int = 64,
+    mp_context: str = "spawn",
+    task_timeout: Optional[float] = 300.0,
+    fallback: bool = True,
+    dtype=np.int64,
+) -> np.ndarray:
+    """Row-sharded :func:`repro.engine.kernels.lut_matmul` across processes.
+
+    ``A``'s rows are split into one contiguous block per worker; the LUT
+    and ``B`` are shipped once via the pool initializer.  Exact integer
+    accumulation is per-row, so concatenating the blocks in index order is
+    bit-identical to the unsharded kernel.  Any pool failure (or
+    ``workers <= 1``) falls back to the in-process kernel.
+    """
+    a_idx = np.asarray(a_idx)
+    b_idx = np.asarray(b_idx)
+    m = a_idx.shape[0]
+    if workers <= 1 or m < 2:
+        return lut_matmul(lut, a_idx, b_idx, chunk=chunk, dtype=dtype)
+    spans = shard_rows(m, workers)
+    blocks: List[Optional[np.ndarray]] = [None] * len(spans)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(spans)),
+            mp_context=get_context(mp_context),
+            initializer=_matmul_init,
+            initargs=(lut, b_idx, chunk, dtype),
+        ) as pool:
+            futures = {
+                pool.submit(_matmul_run, i, a_idx[s:e]): i
+                for i, (s, e) in enumerate(spans)
+            }
+            for fut, i in futures.items():
+                try:
+                    idx, block = fut.result(timeout=task_timeout)
+                    blocks[idx] = block
+                except (BrokenProcessPool, TimeoutError, OSError):
+                    if not fallback:
+                        raise
+    except (BrokenProcessPool, RuntimeError, pickle.PicklingError):
+        if not fallback:
+            raise
+        return lut_matmul(lut, a_idx, b_idx, chunk=chunk, dtype=dtype)
+    for i, (s, e) in enumerate(spans):
+        if blocks[i] is None:
+            blocks[i] = lut_matmul(lut, a_idx[s:e], b_idx, chunk=chunk, dtype=dtype)
+    return np.concatenate(blocks, axis=0)

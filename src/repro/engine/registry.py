@@ -116,11 +116,40 @@ class KernelRegistry:
         path = self._path(key)
         if path is None:
             return
+        self._write(path, tables)
+
+    @staticmethod
+    def _write(path: Path, tables: Dict[str, np.ndarray]) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(".npz.tmp")
         with open(tmp, "wb") as fh:  # file object: savez won't append .npz
             np.savez_compressed(fh, **tables)
         os.replace(tmp, path)  # atomic against concurrent builders
+
+    def flush_to_disk(self, cache_dir: Optional[os.PathLike] = None) -> int:
+        """Persist every resident table dict as ``.npz`` under ``cache_dir``.
+
+        ``cache_dir`` defaults to the registry's own cache directory.  This
+        is how the parallel execution layer shares kernel tables across
+        processes: the parent flushes whatever it has built, then spawned
+        workers point their registry at the same directory and *load* the
+        prebuilt tables instead of re-running the O(4**nbits) builders.
+
+        Returns the number of entries written (existing files are kept).
+        """
+        target = Path(cache_dir) if cache_dir is not None else self.cache_dir
+        if target is None:
+            raise ValueError("flush_to_disk needs a cache_dir (none configured)")
+        with self._lock:
+            resident = list(self._memo.items())
+        written = 0
+        for key, tables in resident:
+            path = target / f"{_slug(key)}.npz"
+            if path.exists():
+                continue
+            self._write(path, tables)
+            written += 1
+        return written
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:

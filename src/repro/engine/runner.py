@@ -22,7 +22,15 @@ __all__ = ["BatchedRunner"]
 
 
 class BatchedRunner:
-    """Run inference requests through a model in fixed-size micro-batches."""
+    """Run inference requests through a model in fixed-size micro-batches.
+
+    ``workers`` > 1 shards the micro-batches across a process pool (see
+    :class:`repro.engine.parallel.ParallelRunner`); chunk boundaries stay
+    batch-aligned, so the sharded output is bit-identical to the
+    single-process path.  ``parallel_opts`` forwards extra keyword
+    arguments (``chunk_size``, ``mp_context``, ``cache_dir``,
+    ``task_timeout``, ``fallback``) to the parallel layer.
+    """
 
     def __init__(
         self,
@@ -30,6 +38,8 @@ class BatchedRunner:
         batch_size: int = 64,
         counters: Optional[OpCounters] = None,
         registry: Optional[KernelRegistry] = None,
+        workers: Optional[int] = None,
+        **parallel_opts,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -43,6 +53,23 @@ class BatchedRunner:
             engine = getattr(model, "engine", None)
             self.counters = getattr(engine, "counters", None) or OpCounters()
         self._registry = registry if registry is not None else REGISTRY
+        self.workers = workers
+        self._parallel = None
+        if workers is not None and workers > 1:
+            from .parallel import ParallelRunner
+
+            self._parallel = ParallelRunner(
+                model,
+                workers=workers,
+                batch_size=batch_size,
+                counters=self.counters,
+                registry=self._registry,
+                **parallel_opts,
+            )
+        elif parallel_opts:
+            raise TypeError(
+                f"parallel options {sorted(parallel_opts)} need workers > 1"
+            )
         self._items = 0
         self._batches = 0
         self._wall = 0.0
@@ -52,6 +79,8 @@ class BatchedRunner:
     def run(self, x: np.ndarray) -> np.ndarray:
         """Micro-batch ``x`` through the model; returns concatenated outputs."""
         x = np.asarray(x)
+        if self._parallel is not None:
+            return self._parallel.run(x)
         outs = []
         for start in range(0, len(x), self.batch_size):
             chunk = x[start : start + self.batch_size]
@@ -67,8 +96,23 @@ class BatchedRunner:
     __call__ = run
 
     # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the worker pool, if any (no-op for in-process runners)."""
+        if self._parallel is not None:
+            self._parallel.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
         """Aggregated run statistics: throughput, per-op counters, cache."""
+        if self._parallel is not None:
+            return self._parallel.stats()
         reg = self._registry.stats()
         return {
             "items": self._items,
@@ -86,6 +130,8 @@ class BatchedRunner:
 
     def reset(self) -> None:
         """Clear throughput numbers and op counters (registry untouched)."""
+        if self._parallel is not None:
+            self._parallel.reset()
         self._items = self._batches = 0
         self._wall = 0.0
         self._batch_wall.clear()

@@ -1,16 +1,17 @@
-"""Softfloat backend: bulk IEEE-style arithmetic for <= 16-bit formats.
+"""Softfloat backend: bulk IEEE-style arithmetic for <= 20-bit formats.
 
 New in the engine: :class:`SoftFloatCodec` tabulates a small float format's
-code-to-value map (every <= 16-bit IEEE value is exact in float64,
+code-to-value map (every <= 20-bit IEEE value is exact in float64,
 subnormals included) and implements vectorized correctly rounded encode
 (round to nearest, ties to even significand, overflow to infinity,
-gradual underflow, signed zero).
+gradual underflow, signed zero).  The 20-bit ceiling admits Intel's
+FP19 {1,8,10} DSP-block format alongside binary16/bfloat16.
 
 Elementwise ops use exhaustive pairwise tables built from the bit-exact
 scalar :class:`repro.floats.softfloat.SoftFloat` model for <= 8-bit
 formats, and the via-float strategy above that: float64 compute + one
 correctly rounded re-encode, which is bit-exact for these widths (products
-of <= 12-bit significands are exact in float64; sums are exact whenever the
+of <= 17-bit significands are exact in float64; sums are exact whenever the
 rounding decision is in play, since a tie/midpoint case needs the operand
 exponents within ``frac_bits + 2`` of each other, where the float64 sum is
 exact — the innocuous-double-rounding regime ``53 >= 2p + 2``).
@@ -32,18 +33,51 @@ from .registry import REGISTRY, KernelRegistry
 __all__ = ["SoftFloatCodec", "SoftFloatBackend"]
 
 
+def _build_value_table(fmt: FloatFormat) -> np.ndarray:
+    """Exact float64 value of every code, vectorized.
+
+    Bit-identical to looping ``SoftFloat(fmt, p).to_float()`` over all
+    patterns (every <= 20-bit IEEE value is exact in float64; ``ldexp`` of
+    an integer significand is exact; all NaN patterns map to +nan like the
+    scalar model), but runs in microseconds instead of a python loop over
+    up to 2**20 scalar constructions — what makes the 19-bit FP19 codec
+    affordable.
+    """
+    n = 1 << fmt.width
+    codes = np.arange(n, dtype=np.int64)
+    sign = codes >> (fmt.width - 1)
+    exp = (codes >> fmt.frac_bits) & fmt.exp_mask
+    frac = codes & fmt.frac_mask
+    # Normals: (2**frac_bits + frac) * 2**(exp - bias - frac_bits).
+    mag = np.ldexp(
+        ((1 << fmt.frac_bits) + frac).astype(np.float64),
+        (exp - fmt.bias - fmt.frac_bits).astype(np.int32),
+    )
+    # Subnormals (exp field 0): frac * 2**(emin - frac_bits); includes +-0.
+    mag = np.where(
+        exp == 0,
+        np.ldexp(frac.astype(np.float64), fmt.emin - fmt.frac_bits),
+        mag,
+    )
+    values = np.where(sign == 1, -mag, mag)
+    # Max exponent field: infinity (frac 0) or NaN (always +nan, like the
+    # scalar model's math.nan).
+    values = np.where((exp == fmt.exp_mask) & (frac == 0) & (sign == 1), -np.inf, values)
+    values = np.where((exp == fmt.exp_mask) & (frac == 0) & (sign == 0), np.inf, values)
+    values = np.where((exp == fmt.exp_mask) & (frac != 0), np.nan, values)
+    return values
+
+
 class SoftFloatCodec:
     """Bulk encode/decode between float64 arrays and small-float codes."""
 
     def __init__(self, fmt: FloatFormat, values: Optional[np.ndarray] = None):
-        if fmt.width > 16:
-            raise ValueError("tabulated codec supports at most 16-bit formats")
+        if fmt.width > 20:
+            raise ValueError("tabulated codec supports at most 20-bit formats")
         self.fmt = fmt
         n = 1 << fmt.width
         if values is None:
-            values = np.empty(n, dtype=np.float64)
-            for pattern in range(n):
-                values[pattern] = SoftFloat(fmt, pattern).to_float()
+            values = _build_value_table(fmt)
         else:
             values = np.asarray(values, dtype=np.float64)
             if values.shape != (n,):
@@ -146,8 +180,8 @@ class SoftFloatBackend:
         table_bits: int = 8,
         strategy: Optional[str] = None,
     ):
-        if fmt.width > 16:
-            raise ValueError("SoftFloatBackend supports at most 16-bit formats")
+        if fmt.width > 20:
+            raise ValueError("SoftFloatBackend supports at most 20-bit formats")
         if strategy is None:
             strategy = "pairwise" if fmt.width <= table_bits else "via-float"
         if strategy not in ("pairwise", "via-float"):
@@ -159,7 +193,9 @@ class SoftFloatBackend:
         self.counters = counters if counters is not None else OpCounters()
         self._registry = registry if registry is not None else REGISTRY
         self.codec = get_softfloat_codec(fmt, self._registry)
-        self._code_dtype = np.uint8 if fmt.width <= 8 else np.uint16
+        self._code_dtype = (
+            np.uint8 if fmt.width <= 8 else np.uint16 if fmt.width <= 16 else np.uint32
+        )
         if strategy == "pairwise":
             tables = self._registry.get(
                 ("float", fmt.exp_bits, fmt.frac_bits, "addmul"),

@@ -106,7 +106,24 @@ class PositQuantizedNetwork:
             x = executor.forward(x) if executor is not None else layer.forward(x)
         return x
 
-    def predict(self, x: np.ndarray, batch: int = 256) -> np.ndarray:
+    def predict(
+        self, x: np.ndarray, batch: int = 256, workers: Optional[int] = None
+    ) -> np.ndarray:
+        """Batched inference; ``workers`` > 1 shards batches across processes.
+
+        The parallel path (:class:`repro.engine.parallel.ParallelRunner`)
+        ships the float weights + format to each worker, which rebuilds the
+        quantized network against the shared kernel-table disk cache; chunk
+        boundaries stay batch-aligned so the output is bit-identical to the
+        single-process path.  One process pool is created per call — for
+        repeated serving, keep a ``BatchedRunner(..., workers=N)`` alive
+        instead.
+        """
+        if workers is not None and workers > 1:
+            from ..engine.parallel import ParallelRunner
+
+            with ParallelRunner(self, workers=workers, batch_size=batch) as runner:
+                return runner.run(x)
         outs = []
         for start in range(0, len(x), batch):
             outs.append(self.forward(x[start : start + batch]))

@@ -31,6 +31,31 @@ from .value import Posit
 __all__ = ["PositCodec", "PositTable", "PositTable8"]
 
 
+def _validate_posit_format(fmt, max_nbits: int = 16) -> None:
+    """Reject unsupported widths up front, before any table construction.
+
+    :class:`PositFormat` itself validates on construction, but these
+    classes accept any duck-typed descriptor with ``nbits``/``es``; a bad
+    one used to surface as an opaque failure deep inside the O(4**nbits)
+    build loops.
+    """
+    nbits = getattr(fmt, "nbits", None)
+    es = getattr(fmt, "es", None)
+    if not isinstance(nbits, int) or not isinstance(es, int):
+        raise ValueError(
+            f"posit format descriptor needs integer nbits/es, got {fmt!r}"
+        )
+    if nbits < 2:
+        raise ValueError(f"unsupported posit width nbits={nbits}: need nbits >= 2")
+    if es < 0:
+        raise ValueError(f"unsupported posit exponent field es={es}: need es >= 0")
+    if nbits > max_nbits:
+        raise ValueError(
+            f"tabulated posit arithmetic supports at most {max_nbits}-bit "
+            f"formats, got nbits={nbits}"
+        )
+
+
 class PositCodec:
     """Bulk encode/decode between float arrays and posit codes.
 
@@ -44,8 +69,7 @@ class PositCodec:
         values: Optional[np.ndarray] = None,
         boundaries: Optional[np.ndarray] = None,
     ):
-        if fmt.nbits > 16:
-            raise ValueError("tabulated codec supports at most 16-bit posits")
+        _validate_posit_format(fmt)
         self.fmt = fmt
         n = 1 << fmt.nbits
 
@@ -167,6 +191,7 @@ class PositTable:
         codec: Optional[PositCodec] = None,
         max_bits: int = 10,
     ):
+        _validate_posit_format(fmt)
         if fmt.nbits > max_bits and tables is None:
             raise ValueError(
                 f"refusing to build {1 << fmt.nbits}x{1 << fmt.nbits} behaviour "

@@ -1,0 +1,105 @@
+"""Regenerate the golden-vector files in this directory.
+
+Run from the repo root:
+
+    PYTHONPATH=src python tests/golden/generate.py
+
+Every array is produced by the bit-exact *scalar* models
+(:class:`repro.posit.Posit`, :class:`repro.floats.SoftFloat`) — never by
+the vectorized engine — so the goldens pin today's scalar semantics as an
+independent cross-check.  ``tests/test_golden_vectors.py`` replays them
+against both the scalar models and the engine backends; a diff in either
+means the numerics changed and the change must be deliberate.
+
+The files are small (compressed .npz, ~100 KB total) and checked in, so
+the test suite detects regressions without depending on this script.
+"""
+
+import math
+import pathlib
+
+import numpy as np
+
+from repro.floats import FP8_E4M3, FP8_E5M2, SoftFloat
+from repro.posit import POSIT8, Posit
+
+HERE = pathlib.Path(__file__).resolve().parent
+
+#: Seed for the encode golden inputs.  Never change it: the point of a
+#: golden file is that the inputs stay frozen.
+ENCODE_SEED = 20260806
+
+
+def posit8_goldens() -> dict:
+    fmt = POSIT8
+    n = 1 << fmt.nbits
+    posits = [Posit(fmt, p) for p in range(n)]
+    values = np.array(
+        [math.nan if p.is_nar() else p.to_float() for p in posits], dtype=np.float64
+    )
+    add = np.empty((n, n), dtype=np.uint8)
+    mul = np.empty((n, n), dtype=np.uint8)
+    for i, a in enumerate(posits):
+        for j, b in enumerate(posits):
+            add[i, j] = (a + b).pattern
+            mul[i, j] = (a * b).pattern
+
+    rng = np.random.default_rng(ENCODE_SEED)
+    encode_in = np.concatenate(
+        [
+            rng.normal(scale=s, size=64) for s in (1e-3, 1.0, 1e3)
+        ]
+        + [np.array([0.0, -0.0, np.inf, -np.inf, np.nan, 1.0, -1.0, 64.0, 1 / 64])]
+    )
+    encode_out = np.array(
+        [Posit.from_float(fmt, float(v)).pattern for v in encode_in], dtype=np.uint8
+    )
+    return {
+        "values": values,
+        "add": add,
+        "mul": mul,
+        "encode_in": encode_in,
+        "encode_out": encode_out,
+    }
+
+
+def fp8_goldens(fmt) -> dict:
+    n = 1 << fmt.width
+    floats = [SoftFloat(fmt, p) for p in range(n)]
+    values = np.array([f.to_float() for f in floats], dtype=np.float64)
+    add = np.empty((n, n), dtype=np.uint8)
+    mul = np.empty((n, n), dtype=np.uint8)
+    for i, a in enumerate(floats):
+        for j, b in enumerate(floats):
+            add[i, j] = a.add(b).pattern
+            mul[i, j] = a.mul(b).pattern
+
+    rng = np.random.default_rng(ENCODE_SEED + fmt.exp_bits)
+    encode_in = np.concatenate(
+        [rng.normal(scale=s, size=64) for s in (0.01, 1.0, 100.0)]
+        + [np.array([0.0, -0.0, np.inf, -np.inf, np.nan, 1.0, -1.0])]
+    )
+    encode_out = np.array(
+        [SoftFloat.from_float(fmt, float(v)).pattern for v in encode_in],
+        dtype=np.uint8,
+    )
+    return {
+        "values": values,
+        "add": add,
+        "mul": mul,
+        "encode_in": encode_in,
+        "encode_out": encode_out,
+    }
+
+
+def main() -> None:
+    np.savez_compressed(HERE / "posit8.npz", **posit8_goldens())
+    print(f"wrote {HERE / 'posit8.npz'}")
+    for fmt in (FP8_E4M3, FP8_E5M2):
+        path = HERE / f"{fmt.name}.npz"
+        np.savez_compressed(path, **fp8_goldens(fmt))
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

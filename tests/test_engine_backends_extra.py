@@ -1,0 +1,155 @@
+"""Backend surface not reached by the runner/fuzz suites.
+
+The differential-fuzz harness covers the hot paths (encode/decode/add/mul);
+these tests pin down the remaining contract: the approximate-multiplier
+backend's int8 pipeline, the softfloats' exact (Kulisch) dot product with
+its IEEE special-case ladder, matmul accumulation semantics, and the
+constructor error paths.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.approx import TruncatedMultiplier
+from repro.approx.multipliers import ExactMultiplier
+from repro.engine.approx_backend import ApproxMultiplierBackend
+from repro.engine.backend import OpCounters, timed_op
+from repro.engine.posit_backend import PositBackend
+from repro.engine.softfloat_backend import SoftFloatBackend
+from repro.floats import BINARY16, FP8_E4M3, FloatFormat, SoftFloat
+from repro.posit import POSIT8, PositFormat
+
+
+class TestApproxBackend:
+    def test_encode_auto_scale(self):
+        backend = ApproxMultiplierBackend(ExactMultiplier())
+        x = np.array([-2.0, 0.0, 1.0, 2.0])
+        q = backend.encode(x)
+        assert q.tolist() == [-127, 0, 64, 127]  # round(1.0 / (2/127)) = 64
+        assert backend.last_scale == pytest.approx(2.0 / 127.0)
+        # Explicit scale wins; decode inverts it.
+        q2 = backend.encode(x, scale=1.0)
+        assert q2.tolist() == [-2, 0, 1, 2]
+        assert np.array_equal(backend.decode(q2, scale=1.0), x)
+
+    def test_encode_degenerate_inputs(self):
+        backend = ApproxMultiplierBackend(ExactMultiplier())
+        assert backend.encode(np.zeros(3)).tolist() == [0, 0, 0]
+        assert backend.encode(np.array([])).size == 0
+
+    def test_add_is_exact(self):
+        backend = ApproxMultiplierBackend(TruncatedMultiplier(cut=4))
+        a = np.array([-100, 0, 100])
+        b = np.array([27, -1, 27])
+        assert backend.add(a, b).tolist() == [-73, -1, 127]
+
+    def test_mul_matches_signed_lut(self):
+        mult = TruncatedMultiplier(cut=4)
+        backend = ApproxMultiplierBackend(mult)
+        rng = np.random.default_rng(0)
+        a = rng.integers(-127, 128, size=500)
+        b = rng.integers(-127, 128, size=500)
+        got = backend.mul(a, b)
+        # Sign-magnitude reference straight from the unsigned core.
+        want = np.sign(a) * np.sign(b) * mult.multiply(np.abs(a), np.abs(b))
+        assert np.array_equal(got, want)
+
+    def test_matmul_and_dot_exact_agree(self):
+        backend = ApproxMultiplierBackend(TruncatedMultiplier(cut=4))
+        rng = np.random.default_rng(1)
+        a = rng.integers(-127, 128, size=(5, 9))
+        b = rng.integers(-127, 128, size=(9, 3))
+        out = backend.matmul(a, b)
+        assert out[2, 1] == backend.dot_exact(a[2], b[:, 1])
+        # ExactMultiplier collapses to the true integer product.
+        exact = ApproxMultiplierBackend(ExactMultiplier())
+        assert np.array_equal(exact.matmul(a, b), a @ b)
+
+    def test_counters_and_repr(self):
+        backend = ApproxMultiplierBackend(ExactMultiplier())
+        backend.mul(np.array([1]), np.array([2]))
+        assert backend.counters.ops["mul"]["calls"] == 1
+        assert "exact" in repr(backend)
+
+
+class TestSoftFloatDotExact:
+    def test_exact_accumulation_matches_fractions(self):
+        backend = SoftFloatBackend(BINARY16, strategy="via-float")
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 1 << 15, size=16)  # positive finite codes
+        b = rng.integers(0, 1 << 15, size=16)
+        finite = [
+            (SoftFloat(BINARY16, int(x)), SoftFloat(BINARY16, int(y)))
+            for x, y in zip(a, b)
+            if SoftFloat(BINARY16, int(x)).is_finite()
+            and SoftFloat(BINARY16, int(y)).is_finite()
+        ]
+        a = np.array([x.pattern for x, _ in finite])
+        b = np.array([y.pattern for _, y in finite])
+        want = sum((x.to_fraction() * y.to_fraction() for x, y in finite), Fraction(0))
+        assert backend.dot_exact(a, b) == SoftFloat.from_fraction(BINARY16, want).pattern
+
+    def test_special_case_ladder(self):
+        fmt = BINARY16
+        backend = SoftFloatBackend(fmt, strategy="via-float")
+        one = SoftFloat.from_float(fmt, 1.0).pattern
+        zero = SoftFloat.zero(fmt).pattern
+        inf = SoftFloat.inf(fmt).pattern
+        ninf = SoftFloat.inf(fmt, sign=1).pattern
+        nan = SoftFloat.nan(fmt).pattern
+        qnan = fmt.pattern_quiet_nan
+        # NaN anywhere poisons the dot product.
+        assert backend.dot_exact([one, nan], [one, one]) == qnan
+        # inf * 0 is invalid.
+        assert backend.dot_exact([inf], [zero]) == qnan
+        # inf - inf is invalid.
+        assert backend.dot_exact([inf, ninf], [one, one]) == qnan
+        # A single signed infinity dominates any finite accumulation.
+        assert backend.dot_exact([ninf, one], [one, one]) == ninf
+
+    def test_matmul_rounds_float64_accumulation(self):
+        backend = SoftFloatBackend(FP8_E4M3)
+        rng = np.random.default_rng(3)
+        a = backend.encode(rng.normal(size=(4, 6)))
+        b = backend.encode(rng.normal(size=(6, 2)))
+        out = backend.matmul(a, b)
+        want = backend.encode(backend.decode(a) @ backend.decode(b))
+        assert np.array_equal(out, want)
+
+    def test_matmul_rejects_other_accumulators(self):
+        backend = SoftFloatBackend(FP8_E4M3)
+        with pytest.raises(ValueError):
+            backend.matmul(np.zeros((1, 1)), np.zeros((1, 1)), accumulate="exact")
+
+
+class TestConstructorErrors:
+    def test_posit_backend_width_and_strategy(self):
+        with pytest.raises(ValueError):
+            PositBackend(PositFormat(18, 1))
+        with pytest.raises(ValueError):
+            PositBackend(POSIT8, strategy="magic")
+
+    def test_softfloat_backend_width_and_strategy(self):
+        with pytest.raises(ValueError):
+            SoftFloatBackend(FloatFormat("fp24", exp_bits=8, frac_bits=15))
+        with pytest.raises(ValueError):
+            SoftFloatBackend(FP8_E4M3, strategy="magic")
+
+    def test_reprs(self):
+        assert "posit<8,0>" in repr(PositBackend(POSIT8))
+        assert "pairwise" in repr(SoftFloatBackend(FP8_E4M3))
+
+
+class TestCounterPlumbing:
+    def test_timed_op_without_counters_is_a_noop(self):
+        with timed_op(None, "op", 3):
+            pass
+
+    def test_opcounters_repr_and_merge(self):
+        c = OpCounters()
+        c.record("mul", 10, 0.5)
+        c.merge({"mul": {"calls": 2, "elements": 5, "seconds": 0.25}})
+        assert c.ops["mul"] == {"calls": 3, "elements": 15, "seconds": 0.75}
+        assert "mul: 3 calls / 15 elems" in repr(c)

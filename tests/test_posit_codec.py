@@ -39,6 +39,55 @@ class TestFormat:
             PositFormat(8, -1)
 
 
+class _DuckFormat:
+    """Bypasses PositFormat's own validation — what PositCodec/PositTable
+    must reject on their own (they accept any nbits/es descriptor)."""
+
+    def __init__(self, nbits, es):
+        self.nbits = nbits
+        self.es = es
+
+
+class TestTensorClassValidation:
+    """PositCodec/PositTable reject unsupported widths with a clear error."""
+
+    @pytest.mark.parametrize("nbits,es", [(1, 0), (0, 0), (-4, 0), (8, -1)])
+    def test_codec_rejects_bad_widths(self, nbits, es):
+        from repro.posit.tensor import PositCodec
+
+        with pytest.raises(ValueError, match="unsupported posit"):
+            PositCodec(_DuckFormat(nbits, es))
+
+    @pytest.mark.parametrize("nbits,es", [(1, 0), (0, 0), (-4, 0), (8, -1)])
+    def test_table_rejects_bad_widths(self, nbits, es):
+        from repro.posit.tensor import PositTable
+
+        with pytest.raises(ValueError, match="unsupported posit"):
+            PositTable(_DuckFormat(nbits, es))
+
+    def test_codec_rejects_non_integer_fields(self):
+        from repro.posit.tensor import PositCodec
+
+        with pytest.raises(ValueError, match="integer nbits/es"):
+            PositCodec(_DuckFormat(8.0, 0))
+        with pytest.raises(ValueError, match="integer nbits/es"):
+            PositCodec(object())
+
+    def test_codec_rejects_too_wide(self):
+        from repro.posit.tensor import PositCodec
+
+        with pytest.raises(ValueError, match="at most 16-bit"):
+            PositCodec(_DuckFormat(24, 2))
+
+    def test_error_messages_name_the_bad_field(self):
+        from repro.posit.tensor import PositCodec
+
+        with pytest.raises(ValueError, match="nbits=1"):
+            PositCodec(_DuckFormat(1, 0))
+        with pytest.raises(ValueError, match="es=-1"):
+            PositCodec(_DuckFormat(8, -1))
+
+
 class TestDecode:
     def test_zero_and_nar(self):
         assert decode(POSIT16, 0) == (0, 0, 0)
