@@ -1,0 +1,114 @@
+"""Benchmark-regression gate: compare fresh BENCH_*.json against baselines.
+
+The CI ``bench-regression`` job copies the checked-in ``BENCH_engine.json``
+and ``BENCH_parallel.json`` aside, re-runs the two throughput benchmarks
+(which overwrite those files), then invokes this script to compare the
+fresh numbers against the baselines.
+
+Absolute items/s are not comparable across machines, so the gate compares
+the machine-normalized **speedup** ratios instead:
+
+* ``BENCH_engine.json``: ``speedup`` = engine items/s over the scalar-model
+  items/s measured in the same run — the 117x LUT-throughput win.  A drop
+  of more than ``--max-regression`` (default 30%) fails the gate.
+* ``BENCH_parallel.json``: ``speedup`` = parallel items/s over the
+  single-process items/s.  Only enforced when the current run executed on
+  a >= 4-CPU host (``bar_asserted`` in the fresh JSON, mirroring the
+  benchmark's own gating) — process-pool overhead swamps the signal below
+  that, exactly as the benchmark itself skips its assertion.
+
+Exit status 0 = within budget, 1 = regression (or unreadable inputs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: (name, baseline filename, metric key, gate-condition key or None)
+CHECKS = (
+    ("engine", "BENCH_engine.json", "speedup", None),
+    ("parallel", "BENCH_parallel.json", "speedup", "bar_asserted"),
+)
+
+
+def compare(
+    name: str,
+    baseline: dict,
+    current: dict,
+    metric: str,
+    max_regression: float,
+    gate_key: str = None,
+) -> tuple:
+    """Returns ``(ok, message)`` for one benchmark comparison."""
+    if gate_key is not None and not current.get(gate_key, False):
+        return True, (
+            f"{name}: skipped ({gate_key} is false in the current run — "
+            f"host has {current.get('cpu_count', '?')} CPUs)"
+        )
+    base = float(baseline[metric])
+    cur = float(current[metric])
+    if base <= 0:
+        return True, f"{name}: baseline {metric} <= 0, nothing to compare"
+    ratio = cur / base
+    floor = 1.0 - max_regression
+    verdict = "OK" if ratio >= floor else "REGRESSION"
+    msg = (
+        f"{name}: {metric} {cur:.2f}x vs baseline {base:.2f}x "
+        f"({ratio:.2%} of baseline, floor {floor:.0%}) — {verdict}"
+    )
+    return ratio >= floor, msg
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        required=True,
+        help="directory holding the checked-in BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--current-dir",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory holding the freshly generated BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="maximum allowed fractional throughput drop (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    ok = True
+    for name, filename, metric, gate_key in CHECKS:
+        base_path = args.baseline_dir / filename
+        cur_path = args.current_dir / filename
+        if not base_path.exists():
+            print(f"{name}: no baseline at {base_path}, skipping")
+            continue
+        if not cur_path.exists():
+            print(f"{name}: current run produced no {cur_path} — FAIL")
+            ok = False
+            continue
+        try:
+            baseline = json.loads(base_path.read_text())
+            current = json.loads(cur_path.read_text())
+        except (OSError, ValueError) as err:
+            print(f"{name}: unreadable input ({err}) — FAIL")
+            ok = False
+            continue
+        good, msg = compare(name, baseline, current, metric, args.max_regression, gate_key)
+        print(msg)
+        ok = ok and good
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,10 @@ Every benchmark regenerates one table or figure of the paper and writes the
 reproduced rows/series to ``benchmarks/results/<name>.txt`` (and prints them
 when run with ``-s``), alongside the timing numbers pytest-benchmark
 collects.
+
+``--trace-out=PATH`` enables the engine's tracer for the whole benchmark
+session and exports the buffered span events as JSONL when it ends, so any
+``BENCH_*.json`` run can ship a flame-ready trace of where the time went.
 """
 
 import os
@@ -12,6 +16,32 @@ from pathlib import Path
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-out",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="enable engine tracing and export span events as JSONL to PATH",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _engine_trace(request):
+    """Session-wide tracer lifecycle behind the ``--trace-out`` knob."""
+    path = request.config.getoption("--trace-out")
+    if not path:
+        yield
+        return
+    from repro.engine import enable_tracing, get_tracer
+
+    tracer = enable_tracing()
+    yield
+    n = tracer.export_jsonl(path)
+    print(f"\n--trace-out: wrote {n} span events to {path}")
+    get_tracer().enabled = False
 
 
 @pytest.fixture(scope="session")

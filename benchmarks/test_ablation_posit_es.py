@@ -6,7 +6,6 @@ narrower dynamic range; larger es -> flatter triangle covering more
 decades.  (The 2022 standard later settled on es = 2 everywhere.)
 """
 
-import math
 from fractions import Fraction
 
 import pytest

@@ -10,7 +10,6 @@ field width.
 
 import pytest
 
-from repro.circuits import gate_cost
 from repro.floats import BINARY16, FP8_E4M3, FloatFormat
 from repro.hwcost import build_float_multiplier, build_posit_multiplier
 from repro.posit import PositFormat

@@ -10,7 +10,6 @@ shows the heap abstraction serving several different operators.
 import pytest
 
 from repro.bitheap import (
-    COMPRESSORS,
     FULL_ADDER,
     HALF_ADDER,
     build_bitheap_multiplier,

@@ -8,7 +8,6 @@ ring for multiplication.
 """
 
 import math
-import random
 
 import pytest
 

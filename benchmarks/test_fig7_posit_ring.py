@@ -13,7 +13,7 @@ import pytest
 
 from repro.analysis import monotone_runs, posit_ring, trap_fraction, two_regime_fraction
 from repro.circuits import Circuit
-from repro.posit import POSIT16, POSIT64
+from repro.posit import POSIT16
 
 
 @pytest.fixture(scope="module")

@@ -6,7 +6,6 @@ posit16 an isosceles triangle centered at magnitude 1 that *beats the
 floats in the common range* and loses outside it.
 """
 
-from fractions import Fraction
 
 import pytest
 

@@ -14,7 +14,6 @@
 import math
 from fractions import Fraction
 
-import pytest
 
 from repro.circuits import gate_cost
 from repro.floats import ALL_PREDICATES, BINARY16, FP8_E4M3, SoftFloat

@@ -11,7 +11,6 @@ reproduce: three models with the same relative ordering of size and MACs,
 float accuracy well above chance, and 8-bit accuracy within ~1% of float.
 """
 
-import numpy as np
 import pytest
 
 from repro.datasets import spectrogram_features, synthetic_images, synthetic_keywords

@@ -10,8 +10,7 @@ that burn patterns on NaNs or unreachable magnitudes waste them.
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Dict, Union
+from typing import Dict, Union
 
 import numpy as np
 

@@ -4,12 +4,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from fractions import Fraction
-from typing import Dict, Union
+from typing import Union
 
 from ..fixedpoint import QFormat
 from ..floats import FloatFormat
-from ..posit import Posit, PositFormat
+from ..posit import PositFormat
 
 __all__ = ["dynamic_range_decades", "format_summary", "FormatSummary"]
 

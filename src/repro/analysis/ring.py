@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from .._bits import from_twos_complement
 from ..floats import FloatClass, FloatFormat, SoftFloat

@@ -22,7 +22,7 @@ Families:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import ClassVar, List
+from typing import List
 
 import numpy as np
 

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..engine.approx_backend import get_signed_lut
 from ..engine.kernels import lut_matmul
+from ..engine.observe import TRACER
 from .multipliers import ApproxMultiplier
 
 __all__ = ["signed_lut", "approx_matmul", "approx_conv2d"]
@@ -65,11 +66,14 @@ def approx_matmul(
     b = np.asarray(b, dtype=np.int64)
     if lut is None:
         return a @ b
-    if workers is not None and workers > 1:
-        from ..engine.parallel import shard_lut_matmul
+    with TRACER.span(
+        "approx.matmul", shape=(a.shape[0], a.shape[1], b.shape[1]), workers=workers
+    ):
+        if workers is not None and workers > 1:
+            from ..engine.parallel import shard_lut_matmul
 
-        return shard_lut_matmul(lut, a + 128, b + 128, workers=workers, chunk=chunk)
-    return lut_matmul(lut, a + 128, b + 128, chunk=chunk)
+            return shard_lut_matmul(lut, a + 128, b + 128, workers=workers, chunk=chunk)
+        return lut_matmul(lut, a + 128, b + 128, chunk=chunk)
 
 
 def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int):
@@ -110,7 +114,8 @@ def approx_conv2d(
     """
     n = x.shape[0]
     f, c, kh, kw = w.shape
-    cols, oh, ow = _im2col(x, kh, kw, stride, pad)
-    wmat = w.reshape(f, c * kh * kw).T  # (CKK, F)
-    out = approx_matmul(cols, wmat, lut, workers=workers)
-    return out.reshape(n, oh, ow, f).transpose(0, 3, 1, 2)
+    with TRACER.span("approx.conv2d", shape=list(x.shape), filters=f):
+        cols, oh, ow = _im2col(x, kh, kw, stride, pad)
+        wmat = w.reshape(f, c * kh * kw).T  # (CKK, F)
+        out = approx_matmul(cols, wmat, lut, workers=workers)
+        return out.reshape(n, oh, ow, f).transpose(0, 3, 1, 2)

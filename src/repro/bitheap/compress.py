@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from .compressors import COMPRESSORS, FULL_ADDER, HALF_ADDER, Compressor
+from .compressors import COMPRESSORS, HALF_ADDER, Compressor
 from .heap import BitHeap, WeightedBit
 
 __all__ = ["CompressionResult", "compress_greedy", "compress_heuristic", "final_adder_width"]

@@ -9,9 +9,9 @@ multiplier regularization of Section III / Fig. 4.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from .heap import BitHeap, WeightedBit
+from .heap import BitHeap
 
 __all__ = [
     "partial_product_array",

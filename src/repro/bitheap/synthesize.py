@@ -18,7 +18,7 @@ from typing import Callable, Dict, List, Optional
 from ..circuits import Circuit
 from ..circuits.netlist import Net
 from .compress import CompressionResult, compress_greedy
-from .heap import BitHeap, WeightedBit
+from .heap import BitHeap
 from .ppgen import partial_product_array, squarer_heap
 
 __all__ = ["synthesize_compression", "build_bitheap_multiplier", "build_bitheap_squarer"]

@@ -31,6 +31,19 @@ Batched inference with observability::
     print(runner.stats())              # items/s, per-op counters, table hits
 """
 
+from .observe import (
+    METRICS,
+    TRACER,
+    Histogram,
+    Metrics,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_metrics,
+    get_tracer,
+    load_jsonl,
+    report,
+)
 from .backend import Backend, OpCounters
 from .kernels import lut_matmul, pairwise_lut, rounded_matmul, shard_rows
 from .registry import (
@@ -50,6 +63,17 @@ from .parallel import ModelHandle, ParallelRunner, PositNetworkSpec, shard_lut_m
 __all__ = [
     "Backend",
     "OpCounters",
+    "Tracer",
+    "Metrics",
+    "Histogram",
+    "TRACER",
+    "METRICS",
+    "get_tracer",
+    "get_metrics",
+    "enable_tracing",
+    "disable_tracing",
+    "load_jsonl",
+    "report",
     "KernelRegistry",
     "REGISTRY",
     "enable_disk_cache",

@@ -67,7 +67,7 @@ class ApproxMultiplierBackend:
     def encode(self, x: np.ndarray, scale: Optional[float] = None) -> np.ndarray:
         """Symmetric int8 linear quantization: ``clip(round(x / s), ±127)``."""
         x = np.asarray(x, dtype=np.float64)
-        with timed_op(self.counters, "encode", x.size):
+        with timed_op(self.counters, "encode", x.size, fmt=self.name):
             if scale is None:
                 scale = float(np.max(np.abs(x))) / 127.0 if x.size else 1.0
                 if scale == 0.0:
@@ -77,34 +77,34 @@ class ApproxMultiplierBackend:
             return q
 
     def decode(self, q: np.ndarray, scale: float = 1.0) -> np.ndarray:
-        with timed_op(self.counters, "decode", np.asarray(q).size):
+        with timed_op(self.counters, "decode", np.asarray(q).size, fmt=self.name):
             return np.asarray(q, dtype=np.float64) * scale
 
     # ------------------------------------------------------------------
     def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Exact integer addition (adders are exact in Section IV's flow)."""
         a, b = np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64)
-        with timed_op(self.counters, "add", max(a.size, b.size)):
+        with timed_op(self.counters, "add", max(a.size, b.size), fmt=self.name):
             return a + b
 
     def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Elementwise approximate products through the behaviour table."""
         a, b = np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64)
-        with timed_op(self.counters, "mul", max(a.size, b.size)):
+        with timed_op(self.counters, "mul", max(a.size, b.size), fmt=self.name):
             return pairwise_lut(self.lut, a + 128, b + 128)
 
     def matmul(self, a: np.ndarray, b: np.ndarray, chunk: int = 64) -> np.ndarray:
         """``(M, K) @ (K, N)`` int8 matmul with approximate products."""
         a = np.asarray(a, dtype=np.int64)
         b = np.asarray(b, dtype=np.int64)
-        with timed_op(self.counters, "matmul", a.shape[0] * a.shape[1] * b.shape[1]):
+        with timed_op(self.counters, "matmul", a.shape[0] * a.shape[1] * b.shape[1], fmt=self.name):
             return lut_matmul(self.lut, a + 128, b + 128, chunk=chunk)
 
     def dot_exact(self, a: np.ndarray, b: np.ndarray) -> int:
         """Exact int64 sum of approximate products."""
         a_flat = np.asarray(a, dtype=np.int64).ravel()
         b_flat = np.asarray(b, dtype=np.int64).ravel()
-        with timed_op(self.counters, "dot_exact", a_flat.size):
+        with timed_op(self.counters, "dot_exact", a_flat.size, fmt=self.name):
             return int(self.lut[a_flat + 128, b_flat + 128].sum(dtype=np.int64))
 
     def __repr__(self):

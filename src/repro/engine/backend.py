@@ -20,36 +20,44 @@ from typing import Dict, Optional, Protocol, runtime_checkable
 
 import numpy as np
 
+from .observe import TRACER, Metrics
+
 __all__ = ["Backend", "OpCounters", "timed_op"]
 
 
 class OpCounters:
-    """Mutable per-operation counters: calls, elements processed, wall time.
+    """Per-operation counters: calls, elements processed, wall time.
 
-    The seed of the engine's observability layer: every backend op records
-    into one of these, and :class:`repro.engine.runner.BatchedRunner`
-    snapshots them per inference batch.  Table (memo) hits and misses are
-    tracked globally by :class:`repro.engine.registry.KernelRegistry`.
+    Compatibility shim over :class:`repro.engine.observe.Metrics`: the
+    original flat ``{op: {calls, elements, seconds}}`` API is preserved
+    verbatim (``record``/``snapshot``/``merge``/``total``/``clear`` and the
+    ``.ops`` mapping), but every recording now also feeds the richer
+    metrics registry underneath — per-op latency histograms and any named
+    counters/gauges the execution layers add — exposed as ``.metrics``.
+    Table (memo) hits and misses are tracked globally by
+    :class:`repro.engine.registry.KernelRegistry`.
     """
 
-    __slots__ = ("ops",)
+    __slots__ = ("metrics",)
 
-    def __init__(self):
-        self.ops: Dict[str, Dict[str, float]] = {}
+    def __init__(self, metrics: Optional[Metrics] = None):
+        self.metrics = metrics if metrics is not None else Metrics()
+
+    @property
+    def ops(self) -> Dict[str, Dict[str, float]]:
+        """The per-op ``{calls, elements, seconds}`` table (a copy)."""
+        return self.metrics.op_table()
 
     def record(self, op: str, elements: int, seconds: float) -> None:
-        entry = self.ops.setdefault(op, {"calls": 0, "elements": 0, "seconds": 0.0})
-        entry["calls"] += 1
-        entry["elements"] += int(elements)
-        entry["seconds"] += float(seconds)
+        self.metrics.record_op(op, elements, seconds)
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
         """A deep copy of the current counters (safe to keep)."""
-        return {op: dict(entry) for op, entry in self.ops.items()}
+        return self.metrics.op_table()
 
     def total(self, field: str = "elements") -> float:
         """Sum of one field over all ops (e.g. total elements executed)."""
-        return sum(entry[field] for entry in self.ops.values())
+        return sum(entry[field] for entry in self.metrics.op_table().values())
 
     def merge(self, snapshot: Dict[str, Dict[str, float]]) -> None:
         """Fold another counters snapshot into this one.
@@ -58,40 +66,57 @@ class OpCounters:
         back to the parent and merges them here, so sharded execution
         reports through the same ``stats()`` shape as single-process runs.
         """
-        for op, entry in snapshot.items():
-            mine = self.ops.setdefault(op, {"calls": 0, "elements": 0, "seconds": 0.0})
-            mine["calls"] += entry.get("calls", 0)
-            mine["elements"] += int(entry.get("elements", 0))
-            mine["seconds"] += float(entry.get("seconds", 0.0))
+        self.metrics.merge_ops(snapshot)
 
     def clear(self) -> None:
-        self.ops.clear()
+        self.metrics.clear_ops()
 
     def __repr__(self):
         parts = ", ".join(
             f"{op}: {int(e['calls'])} calls / {int(e['elements'])} elems"
-            for op, e in sorted(self.ops.items())
+            for op, e in sorted(self.metrics.op_table().items())
         )
         return f"OpCounters({parts})"
 
 
 class timed_op:
-    """Context manager recording one op into an (optional) OpCounters."""
+    """Context manager recording one op into an (optional) OpCounters.
 
-    __slots__ = ("counters", "op", "elements", "_t0")
+    Also emits a span to the process-wide tracer when tracing is enabled,
+    carrying the op name, element count and the backend's format name —
+    this is how every backend ``__call__`` path shows up in a trace without
+    per-backend instrumentation.
+    """
 
-    def __init__(self, counters: Optional[OpCounters], op: str, elements: int):
+    __slots__ = ("counters", "op", "elements", "fmt", "_t0", "_span")
+
+    def __init__(
+        self,
+        counters: Optional[OpCounters],
+        op: str,
+        elements: int,
+        fmt: Optional[str] = None,
+    ):
         self.counters = counters
         self.op = op
         self.elements = elements
+        self.fmt = fmt
 
     def __enter__(self):
+        if TRACER.enabled:
+            self._span = TRACER.span(self.op, fmt=self.fmt, elements=self.elements)
+            self._span.__enter__()
+        else:
+            self._span = None
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, *exc):
+        dt = time.perf_counter() - self._t0
         if self.counters is not None:
-            self.counters.record(self.op, self.elements, time.perf_counter() - self._t0)
+            self.counters.record(self.op, self.elements, dt)
+        if self._span is not None:
+            self._span.__exit__(*exc)
         return False
 
 

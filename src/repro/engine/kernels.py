@@ -17,6 +17,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from .observe import TRACER
+
 __all__ = ["pairwise_lut", "lut_matmul", "rounded_matmul", "shard_rows"]
 
 
@@ -78,13 +80,14 @@ def lut_matmul(
     k2, n = b_idx.shape
     if k != k2:
         raise ValueError(f"shape mismatch ({m}, {k}) @ ({k2}, {n})")
-    out = np.zeros((m, n), dtype=dtype)
-    bt = np.ascontiguousarray(b_idx.T)
-    for start in range(0, k, chunk):
-        stop = min(start + chunk, k)
-        prods = lut[a_idx[:, None, start:stop], bt[None, :, start:stop]]
-        out += prods.sum(axis=2, dtype=dtype)
-    return out
+    with TRACER.span("kernel.lut_matmul", shape=(m, k, n), chunk=chunk):
+        out = np.zeros((m, n), dtype=dtype)
+        bt = np.ascontiguousarray(b_idx.T)
+        for start in range(0, k, chunk):
+            stop = min(start + chunk, k)
+            prods = lut[a_idx[:, None, start:stop], bt[None, :, start:stop]]
+            out += prods.sum(axis=2, dtype=dtype)
+        return out
 
 
 def rounded_matmul(
@@ -112,11 +115,12 @@ def rounded_matmul(
     k2, n = b.shape
     if k != k2:
         raise ValueError(f"shape mismatch ({m}, {k}) @ ({k2}, {n})")
-    if bias is not None:
-        acc = np.broadcast_to(np.asarray(bias), (m, n)).copy()
-    else:
-        acc = np.full((m, n), zero_code, dtype=add_table.dtype)
-    for j in range(k):
-        prods = mul_table[a[:, j, None], b[None, j, :]]
-        acc = add_table[acc, prods]
-    return acc
+    with TRACER.span("kernel.rounded_matmul", shape=(m, k, n)):
+        if bias is not None:
+            acc = np.broadcast_to(np.asarray(bias), (m, n)).copy()
+        else:
+            acc = np.full((m, n), zero_code, dtype=add_table.dtype)
+        for j in range(k):
+            prods = mul_table[a[:, j, None], b[None, j, :]]
+            acc = add_table[acc, prods]
+        return acc

@@ -110,7 +110,7 @@ class LNSBackend:
     def encode(self, x: np.ndarray) -> np.ndarray:
         """Round floats onto the LNS grid (nearest exponent code)."""
         x = np.asarray(x, dtype=np.float64)
-        with timed_op(self.counters, "encode", x.size):
+        with timed_op(self.counters, "encode", x.size, fmt=self.name):
             sign = (x < 0).astype(np.int64)
             mag = np.abs(x)
             finite_nz = (mag > 0) & np.isfinite(x)
@@ -125,7 +125,7 @@ class LNSBackend:
 
     def decode(self, codes: np.ndarray) -> np.ndarray:
         codes = np.asarray(codes, dtype=np.int64)
-        with timed_op(self.counters, "decode", codes.size):
+        with timed_op(self.counters, "decode", codes.size, fmt=self.name):
             return self.values[codes]
 
     def quantize(self, x: np.ndarray) -> np.ndarray:
@@ -137,7 +137,7 @@ class LNSBackend:
     def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Exact log-domain multiplication: integer add of exponent codes."""
         a, b = np.broadcast_arrays(np.asarray(a), np.asarray(b))
-        with timed_op(self.counters, "mul", a.size):
+        with timed_op(self.counters, "mul", a.size, fmt=self.name):
             sa, ea = self._unpack(a)
             sb, eb = self._unpack(b)
             zero = (ea == self.fmt.zero_code) | (eb == self.fmt.zero_code)
@@ -148,7 +148,7 @@ class LNSBackend:
     def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Gaussian-log addition; pairwise table when available."""
         a, b = np.broadcast_arrays(np.asarray(a), np.asarray(b))
-        with timed_op(self.counters, "add", a.size):
+        with timed_op(self.counters, "add", a.size, fmt=self.name):
             if self.add_table is not None:
                 return pairwise_lut(self.add_table, a, b).astype(self._code_dtype)
             return self._add_via_phi(a, b)
@@ -191,7 +191,7 @@ class LNSBackend:
         a, b = np.asarray(a), np.asarray(b)
         if accumulate != "float64":
             raise ValueError("LNSBackend supports accumulate='float64' only")
-        with timed_op(self.counters, "matmul[float64]", a.shape[0] * a.shape[1] * b.shape[1]):
+        with timed_op(self.counters, "matmul[float64]", a.shape[0] * a.shape[1] * b.shape[1], fmt=self.name):
             out = self.decode(a) @ self.decode(b)
             return self.encode(out)
 
@@ -199,7 +199,7 @@ class LNSBackend:
         """Float64-accumulated dot product, rounded once onto the grid."""
         a_flat = np.asarray(a).ravel()
         b_flat = np.asarray(b).ravel()
-        with timed_op(self.counters, "dot_exact", a_flat.size):
+        with timed_op(self.counters, "dot_exact", a_flat.size, fmt=self.name):
             total = float(np.dot(self.values[a_flat.astype(np.int64)],
                                  self.values[b_flat.astype(np.int64)]))
             return int(self.encode(np.asarray([total]))[0])

@@ -52,6 +52,7 @@ import numpy as np
 
 from .backend import OpCounters
 from .kernels import lut_matmul, shard_rows
+from .observe import TRACER
 from .registry import REGISTRY, KernelRegistry
 
 __all__ = [
@@ -110,33 +111,41 @@ def _factory_for(model):
 _WORKER: Dict[str, object] = {}
 
 
-def _worker_init(factory, cache_dir: Optional[str]) -> None:
+def _worker_init(factory, cache_dir: Optional[str], trace: bool = False) -> None:
     if cache_dir is not None:
         REGISTRY.cache_dir = Path(cache_dir)
+    if trace:
+        TRACER.enabled = True
     _WORKER["model"] = factory()
 
 
 def _worker_run(idx: int, chunk: np.ndarray, batch_size: int):
     model = _WORKER["model"]
     t0 = time.perf_counter()
-    outs = []
-    for start in range(0, len(chunk), batch_size):
-        outs.append(model.forward(chunk[start : start + batch_size]))
-    out = np.concatenate(outs, axis=0)
+    with TRACER.span("worker.chunk", chunk=idx, shape=chunk.shape):
+        outs = []
+        for start in range(0, len(chunk), batch_size):
+            with TRACER.span("worker.batch", shape=(min(batch_size, len(chunk)),)):
+                outs.append(model.forward(chunk[start : start + batch_size]))
+        out = np.concatenate(outs, axis=0)
     wall = time.perf_counter() - t0
 
-    # Ship per-chunk counter *deltas* (snapshot then clear) so the parent
-    # can merge them without double counting across chunks.
+    # Ship per-chunk counter/metric *deltas* (snapshot then clear) so the
+    # parent can merge them without double counting across chunks.  The
+    # trace buffer is drained the same way: span events recorded in this
+    # worker ride home with the chunk and land in the parent's ring buffer.
     counters = getattr(getattr(model, "engine", None), "counters", None)
-    ops = counters.snapshot() if counters is not None else {}
+    metrics = counters.metrics.snapshot() if counters is not None else {}
     if counters is not None:
-        counters.clear()
+        counters.metrics.clear()
     stats = {
         "pid": os.getpid(),
         "items": int(len(chunk)),
         "batches": math.ceil(len(chunk) / batch_size),
         "wall_s": wall,
-        "ops": ops,
+        "ops": metrics.get("ops", {}),
+        "metrics": metrics,
+        "trace": TRACER.drain() if TRACER.enabled else [],
         "table": REGISTRY.stats(),  # cumulative for this worker process
     }
     return idx, out, stats
@@ -255,16 +264,19 @@ class ParallelRunner:
         if self._pool is None:
             if self._cache_dir is not None:
                 # Share whatever the parent has already built.
-                self._registry.flush_to_disk(self._cache_dir)
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=get_context(self.mp_context),
-                initializer=_worker_init,
-                initargs=(
-                    self._factory,
-                    str(self._cache_dir) if self._cache_dir is not None else None,
-                ),
-            )
+                with TRACER.span("parallel.flush_tables", dir=str(self._cache_dir)):
+                    self._registry.flush_to_disk(self._cache_dir)
+            with TRACER.span("parallel.pool_init", workers=self.workers):
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=get_context(self.mp_context),
+                    initializer=_worker_init,
+                    initargs=(
+                        self._factory,
+                        str(self._cache_dir) if self._cache_dir is not None else None,
+                        TRACER.enabled,  # workers trace iff the parent does now
+                    ),
+                )
         return self._pool
 
     def close(self) -> None:
@@ -338,9 +350,12 @@ class ParallelRunner:
 
         if pool is not None:
             futures = {}
+            submitted_at = {}
             try:
                 for i, (s, e) in enumerate(spans):
-                    futures[pool.submit(_worker_run, i, x[s:e], self.batch_size)] = i
+                    fut = pool.submit(_worker_run, i, x[s:e], self.batch_size)
+                    futures[fut] = i
+                    submitted_at[i] = time.perf_counter()
             except (BrokenProcessPool, RuntimeError):
                 self._broken = True
                 if not self.fallback:
@@ -349,6 +364,12 @@ class ParallelRunner:
                 try:
                     idx, out, wstats = fut.result(timeout=self.task_timeout)
                     results[idx] = out
+                    # Queue wait: turnaround minus the worker's own compute.
+                    turnaround = time.perf_counter() - submitted_at[i]
+                    self.counters.metrics.observe(
+                        "parallel.queue_wait_s",
+                        max(0.0, turnaround - wstats["wall_s"]),
+                    )
                     self._absorb_worker_stats(wstats)
                 except (BrokenProcessPool, TimeoutError, OSError) as err:
                     if isinstance(err, BrokenProcessPool):
@@ -362,9 +383,17 @@ class ParallelRunner:
                 results[i] = self._run_span(x, span)
 
         out = np.concatenate(results, axis=0)
-        self._wall += time.perf_counter() - t0
+        wall = time.perf_counter() - t0
+        self._wall += wall
         self._items += len(x)
         self._batches += sum(math.ceil((e - s) / self.batch_size) for s, e in spans)
+        if TRACER.enabled:
+            TRACER.record(
+                "parallel.run",
+                ts=t0 - TRACER.epoch,
+                dur=wall,
+                attrs={"items": len(x), "chunks": len(spans), "workers": self.workers},
+            )
         return out
 
     __call__ = run
@@ -378,7 +407,13 @@ class ParallelRunner:
         acc["batches"] += wstats["batches"]
         acc["wall_s"] += wstats["wall_s"]
         self._worker_tables[pid] = dict(wstats["table"])
-        self.counters.merge(wstats["ops"])
+        metrics = wstats.get("metrics")
+        if metrics:
+            # Full metric snapshot (covers the op table) — merge once.
+            self.counters.metrics.merge(metrics)
+        else:
+            self.counters.merge(wstats["ops"])
+        TRACER.absorb(wstats.get("trace", ()))
 
     # ------------------------------------------------------------------
     # Observability
@@ -403,6 +438,9 @@ class ParallelRunner:
         disk_loads = parent["disk_loads"] + sum(
             t["disk_loads"] for t in self._worker_tables.values()
         )
+        disk_writes = parent["disk_writes"] + sum(
+            t.get("disk_writes", 0) for t in self._worker_tables.values()
+        )
         return {
             "items": self._items,
             "batches": self._batches,
@@ -415,8 +453,10 @@ class ParallelRunner:
             "table_hits": table_hits,
             "table_misses": table_misses,
             "table_disk_loads": disk_loads,
+            "table_disk_writes": disk_writes,
             "fallbacks": self._fallbacks,
             "per_worker": per_worker,
+            "metrics": self.counters.metrics.snapshot(),
         }
 
     def reset(self) -> None:
@@ -427,6 +467,8 @@ class ParallelRunner:
         self._worker_items.clear()
         self._worker_tables.clear()
         self.counters.clear()
+        for name in ("parallel.queue_wait_s", "runner.batch_s"):
+            self.counters.metrics.histograms.pop(name, None)
 
     def __repr__(self):
         return (

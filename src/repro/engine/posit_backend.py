@@ -72,18 +72,18 @@ class PositBackend:
     # ------------------------------------------------------------------
     def encode(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
-        with timed_op(self.counters, "encode", x.size):
+        with timed_op(self.counters, "encode", x.size, fmt=self.name):
             return self.codec.encode(x).astype(self._code_dtype)
 
     def decode(self, codes: np.ndarray) -> np.ndarray:
         codes = np.asarray(codes)
-        with timed_op(self.counters, "decode", codes.size):
+        with timed_op(self.counters, "decode", codes.size, fmt=self.name):
             return self.codec.decode(codes)
 
     def quantize(self, x: np.ndarray) -> np.ndarray:
         """Round-trip: nearest posit-grid value of each element."""
         x = np.asarray(x, dtype=np.float64)
-        with timed_op(self.counters, "quantize", x.size):
+        with timed_op(self.counters, "quantize", x.size, fmt=self.name):
             return self.codec.quantize(x)
 
     # ------------------------------------------------------------------
@@ -91,7 +91,7 @@ class PositBackend:
     # ------------------------------------------------------------------
     def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         a, b = np.asarray(a), np.asarray(b)
-        with timed_op(self.counters, "add", max(a.size, b.size)):
+        with timed_op(self.counters, "add", max(a.size, b.size), fmt=self.name):
             if self.tables is not None:
                 return pairwise_lut(self.tables.add_table, a, b)
             return self.codec.encode(self.codec.decode(a) + self.codec.decode(b)).astype(
@@ -100,7 +100,7 @@ class PositBackend:
 
     def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         a, b = np.asarray(a), np.asarray(b)
-        with timed_op(self.counters, "mul", max(a.size, b.size)):
+        with timed_op(self.counters, "mul", max(a.size, b.size), fmt=self.name):
             if self.tables is not None:
                 return pairwise_lut(self.tables.mul_table, a, b)
             return self.codec.encode(self.codec.decode(a) * self.codec.decode(b)).astype(
@@ -121,7 +121,7 @@ class PositBackend:
         rounding after every add; needs the pairwise tables).
         """
         a, b = np.asarray(a), np.asarray(b)
-        with timed_op(self.counters, f"matmul[{accumulate}]", a.shape[0] * a.shape[1] * b.shape[1]):
+        with timed_op(self.counters, f"matmul[{accumulate}]", a.shape[0] * a.shape[1] * b.shape[1], fmt=self.name):
             if accumulate == "float64":
                 out = self.codec.decode(a) @ self.codec.decode(b)
                 return self.codec.encode(out).astype(self._code_dtype)
@@ -154,14 +154,14 @@ class PositBackend:
         """
         qa, qb = np.asarray(qa), np.asarray(qb)
         macs = qa.shape[0] * qa.shape[-1] * (qb.shape[-1] if qb.ndim > 1 else 1)
-        with timed_op(self.counters, "matmul[values]", macs):
+        with timed_op(self.counters, "matmul[values]", macs, fmt=self.name):
             return qa @ qb
 
     def dot_exact(self, a: np.ndarray, b: np.ndarray) -> int:
         """Quire dot product of two code vectors, rounded once (exact)."""
         a_flat = np.asarray(a).ravel()
         b_flat = np.asarray(b).ravel()
-        with timed_op(self.counters, "dot_exact", a_flat.size):
+        with timed_op(self.counters, "dot_exact", a_flat.size, fmt=self.name):
             q = Quire(self.fmt)
             for pa, pb in zip(a_flat, b_flat):
                 q.add_product(Posit(self.fmt, int(pa)), Posit(self.fmt, int(pb)))

@@ -21,13 +21,15 @@ from __future__ import annotations
 import os
 import re
 import threading
+import time
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Set
 
 import numpy as np
 
 from ..posit.format import PositFormat
 from ..posit.tensor import PositCodec, PositTable
+from .observe import METRICS, TRACER
 
 __all__ = [
     "KernelRegistry",
@@ -65,6 +67,10 @@ class KernelRegistry:
         self.hits = 0
         self.misses = 0
         self.disk_loads = 0
+        self.disk_writes = 0
+        #: Per-directory set of keys known to be on disk already — what
+        #: makes repeated ``flush_to_disk`` calls no-ops on unchanged tables.
+        self._flushed: Dict[str, Set[tuple]] = {}
         env = os.environ.get("REPRO_ENGINE_CACHE")
         self.cache_dir: Optional[Path] = Path(cache_dir or env) if (cache_dir or env) else None
 
@@ -74,14 +80,26 @@ class KernelRegistry:
         with self._lock:
             if key in self._memo:
                 self.hits += 1
+                METRICS.inc("registry.hits")
                 return self._memo[key]
             self.misses += 1
+            METRICS.inc("registry.misses")
+            t0 = time.perf_counter()
             tables = self._load(key)
             if tables is None:
-                tables = builder()
+                with TRACER.span("registry.build", key=_slug(key)):
+                    tables = builder()
                 self._store(key, tables)
+                METRICS.inc(
+                    "registry.bytes_built", sum(a.nbytes for a in tables.values())
+                )
             else:
                 self.disk_loads += 1
+                METRICS.inc("registry.disk_loads")
+                METRICS.inc(
+                    "registry.bytes_loaded", sum(a.nbytes for a in tables.values())
+                )
+                METRICS.observe("registry.disk_load_s", time.perf_counter() - t0)
             self._memo[key] = tables
             return tables
 
@@ -117,6 +135,9 @@ class KernelRegistry:
         if path is None:
             return
         self._write(path, tables)
+        self.disk_writes += 1
+        METRICS.inc("registry.disk_writes")
+        self._flushed.setdefault(str(Path(self.cache_dir)), set()).add(key)
 
     @staticmethod
     def _write(path: Path, tables: Dict[str, np.ndarray]) -> None:
@@ -135,6 +156,12 @@ class KernelRegistry:
         workers point their registry at the same directory and *load* the
         prebuilt tables instead of re-running the O(4**nbits) builders.
 
+        Idempotent: entries already flushed to (or found on) ``target`` are
+        remembered per directory, so repeated calls with no new resident
+        tables — e.g. every :class:`~repro.engine.parallel.ParallelRunner`
+        construction against one shared cache — do no disk work at all.
+        Actual writes tick the ``disk_writes`` metric in :meth:`stats`.
+
         Returns the number of entries written (existing files are kept).
         """
         target = Path(cache_dir) if cache_dir is not None else self.cache_dir
@@ -142,13 +169,25 @@ class KernelRegistry:
             raise ValueError("flush_to_disk needs a cache_dir (none configured)")
         with self._lock:
             resident = list(self._memo.items())
+            flushed = self._flushed.setdefault(str(target), set())
+            pending = [(k, t) for k, t in resident if k not in flushed]
+        if not pending:
+            return 0
         written = 0
-        for key, tables in resident:
-            path = target / f"{_slug(key)}.npz"
-            if path.exists():
-                continue
-            self._write(path, tables)
-            written += 1
+        with TRACER.span("registry.flush_to_disk", dir=str(target), entries=len(pending)):
+            for key, tables in pending:
+                path = target / f"{_slug(key)}.npz"
+                if not path.exists():
+                    self._write(path, tables)
+                    written += 1
+                    self.disk_writes += 1
+                    METRICS.inc("registry.disk_writes")
+                    METRICS.inc(
+                        "registry.bytes_flushed",
+                        sum(a.nbytes for a in tables.values()),
+                    )
+                with self._lock:
+                    flushed.add(key)
         return written
 
     # ------------------------------------------------------------------
@@ -157,6 +196,7 @@ class KernelRegistry:
             "hits": self.hits,
             "misses": self.misses,
             "disk_loads": self.disk_loads,
+            "disk_writes": self.disk_writes,
             "resident_tables": len(self._memo),
         }
 
@@ -165,7 +205,8 @@ class KernelRegistry:
         with self._lock:
             self._memo.clear()
             self._objects.clear()
-            self.hits = self.misses = self.disk_loads = 0
+            self._flushed.clear()
+            self.hits = self.misses = self.disk_loads = self.disk_writes = 0
 
 
 #: The process-wide registry every backend uses unless given a private one.

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from .backend import OpCounters
+from .observe import TRACER
 from .registry import REGISTRY, KernelRegistry
 
 __all__ = ["BatchedRunner"]
@@ -85,12 +86,14 @@ class BatchedRunner:
         for start in range(0, len(x), self.batch_size):
             chunk = x[start : start + self.batch_size]
             t0 = time.perf_counter()
-            outs.append(self.model.forward(chunk))
+            with TRACER.span("runner.batch", batch=self._batches, shape=chunk.shape):
+                outs.append(self.model.forward(chunk))
             dt = time.perf_counter() - t0
             self._wall += dt
             self._batch_wall.append(dt)
             self._batches += 1
             self._items += len(chunk)
+            self.counters.metrics.observe("runner.batch_s", dt)
         return np.concatenate(outs, axis=0)
 
     __call__ = run
@@ -126,6 +129,8 @@ class BatchedRunner:
             "ops": self.counters.snapshot(),
             "table_hits": reg["hits"],
             "table_misses": reg["misses"],
+            "table_disk_writes": reg["disk_writes"],
+            "metrics": self.counters.metrics.snapshot(),
         }
 
     def reset(self) -> None:
@@ -136,6 +141,7 @@ class BatchedRunner:
         self._wall = 0.0
         self._batch_wall.clear()
         self.counters.clear()
+        self.counters.metrics.histograms.pop("runner.batch_s", None)
 
     def __repr__(self):
         return (

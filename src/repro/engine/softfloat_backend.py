@@ -208,22 +208,22 @@ class SoftFloatBackend:
     # ------------------------------------------------------------------
     def encode(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
-        with timed_op(self.counters, "encode", x.size):
+        with timed_op(self.counters, "encode", x.size, fmt=self.name):
             return self.codec.encode(x).astype(self._code_dtype)
 
     def decode(self, codes: np.ndarray) -> np.ndarray:
         codes = np.asarray(codes)
-        with timed_op(self.counters, "decode", codes.size):
+        with timed_op(self.counters, "decode", codes.size, fmt=self.name):
             return self.codec.decode(codes)
 
     def quantize(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
-        with timed_op(self.counters, "quantize", x.size):
+        with timed_op(self.counters, "quantize", x.size, fmt=self.name):
             return self.codec.quantize(x)
 
     def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         a, b = np.asarray(a), np.asarray(b)
-        with timed_op(self.counters, "add", max(a.size, b.size)):
+        with timed_op(self.counters, "add", max(a.size, b.size), fmt=self.name):
             if self.add_table is not None:
                 return pairwise_lut(self.add_table, a, b)
             with np.errstate(invalid="ignore"):  # inf - inf -> NaN -> qNaN code
@@ -232,7 +232,7 @@ class SoftFloatBackend:
 
     def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         a, b = np.asarray(a), np.asarray(b)
-        with timed_op(self.counters, "mul", max(a.size, b.size)):
+        with timed_op(self.counters, "mul", max(a.size, b.size), fmt=self.name):
             if self.mul_table is not None:
                 return pairwise_lut(self.mul_table, a, b)
             with np.errstate(invalid="ignore"):  # inf * 0 -> NaN -> qNaN code
@@ -249,7 +249,7 @@ class SoftFloatBackend:
         a, b = np.asarray(a), np.asarray(b)
         if accumulate != "float64":
             raise ValueError("SoftFloatBackend supports accumulate='float64' only")
-        with timed_op(self.counters, "matmul[float64]", a.shape[0] * a.shape[1] * b.shape[1]):
+        with timed_op(self.counters, "matmul[float64]", a.shape[0] * a.shape[1] * b.shape[1], fmt=self.name):
             out = self.codec.decode(a) @ self.codec.decode(b)
             return self.codec.encode(out).astype(self._code_dtype)
 
@@ -259,7 +259,7 @@ class SoftFloatBackend:
 
         a_flat = np.asarray(a).ravel()
         b_flat = np.asarray(b).ravel()
-        with timed_op(self.counters, "dot_exact", a_flat.size):
+        with timed_op(self.counters, "dot_exact", a_flat.size, fmt=self.name):
             acc = Fraction(0)
             inf_sign = None  # sign of an infinite partial product, if any
             for pa, pb in zip(a_flat, b_flat):

@@ -22,8 +22,6 @@ divider anyway.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
 from typing import List, Tuple
 
 from .format import FloatFormat

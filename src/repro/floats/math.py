@@ -10,7 +10,6 @@ test suite.
 from __future__ import annotations
 
 import math
-from fractions import Fraction
 
 from ..posit.math import (
     _frac_atan,

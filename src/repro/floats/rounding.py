@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 
-from .._bits import mask, shift_right_sticky
+from .._bits import shift_right_sticky
 from .format import FloatFormat
 
 __all__ = ["RoundingMode", "round_pack"]

@@ -11,12 +11,11 @@ from __future__ import annotations
 
 import enum
 import math
-import struct
 from fractions import Fraction
 from typing import Optional, Tuple
 
 from .._bits import isqrt_rem, mask
-from .format import BINARY64, FloatFormat
+from .format import FloatFormat
 from .rounding import RoundingMode, round_pack
 
 __all__ = ["FloatClass", "SoftFloat"]

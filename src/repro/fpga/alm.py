@@ -10,7 +10,7 @@ multiplier is "a single 3 ALM carry chain, with a single out of band ALM".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 __all__ = ["ALM", "ALMBudget"]
 

@@ -16,7 +16,7 @@ FP32 array the block physically contains).  The behavioural part reuses
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..floats import BFLOAT16, BINARY16, BINARY32, FP19, FloatFormat, SoftFloat
 

@@ -25,7 +25,7 @@ which is why a single fracturable ALM suffices, exactly as the paper says.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ..bitheap import BitHeap, partial_product_array
 from .alm import ALMBudget

@@ -11,7 +11,7 @@ the design at a packing rate of about 80%, and the datapath, which contains
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Tuple
 
 __all__ = ["UtilizationModel", "BRAINWAVE", "TYPICAL_SOFT_ARITHMETIC", "RANDOM_LOGIC"]
 

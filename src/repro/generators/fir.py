@@ -18,8 +18,6 @@ ULP went.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
 from fractions import Fraction
 from typing import List, Sequence
 

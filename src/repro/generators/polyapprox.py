@@ -15,7 +15,6 @@ shows faithful rounding.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, List, Optional
 

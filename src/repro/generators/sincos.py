@@ -29,7 +29,7 @@ dense randomized sweep above that.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Tuple
 

@@ -18,10 +18,8 @@ All operators map an input code ``x`` (``in_bits`` bits, value
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 from .errors import is_faithful, max_abs_error, ulp
 

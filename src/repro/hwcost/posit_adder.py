@@ -32,7 +32,7 @@ from ..circuits.components import (
 )
 from ..circuits.netlist import Net
 from ..posit import PositFormat
-from .posit_units import _decode_operand, _const_word, _pad, _negate_word, _sign_extend
+from .posit_units import _decode_operand, _const_word, _pad, _negate_word
 
 __all__ = ["build_posit_adder"]
 

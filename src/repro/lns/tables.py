@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import math
 from fractions import Fraction
-from typing import Optional
 
 from ..generators import BipartiteTable, PlainTable
 from .format import LNSFormat

@@ -24,9 +24,10 @@ from typing import List, Optional
 import numpy as np
 
 from ..engine.backend import OpCounters
+from ..engine.observe import TRACER
 from ..engine.posit_backend import PositBackend
 from ..posit import PositFormat
-from .layers import Conv2D, Dense, Layer, ResidualBlock, im2col
+from .layers import Conv2D, Dense, ResidualBlock, im2col
 from .network import Sequential
 
 __all__ = ["PositQuantizedNetwork"]
@@ -100,10 +101,18 @@ class PositQuantizedNetwork:
                 self.executors.append(_PResidual(layer, self.engine))
             else:
                 self.executors.append(None)
+        # Precomputed span names: the tracer's disabled path costs one
+        # attribute read, so keep the enabled path's per-layer cost tiny too.
+        self._span_names = [
+            f"layer.{type(layer).__name__}" for layer in net.layers
+        ]
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        for layer, executor in zip(self.net.layers, self.executors):
-            x = executor.forward(x) if executor is not None else layer.forward(x)
+        for name, layer, executor in zip(
+            self._span_names, self.net.layers, self.executors
+        ):
+            with TRACER.span(name, fmt=self.engine.name, quantized=executor is not None):
+                x = executor.forward(x) if executor is not None else layer.forward(x)
         return x
 
     def predict(

@@ -14,24 +14,12 @@ its exhaustive behaviour table (:func:`repro.approx.simulate.signed_lut`).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..approx.simulate import approx_conv2d, approx_matmul
-from .layers import (
-    BatchNorm2D,
-    Conv2D,
-    Dense,
-    Flatten,
-    GlobalAvgPool,
-    Layer,
-    MaxPool2D,
-    ReLU,
-    ResidualBlock,
-    col2im,
-    im2col,
-)
+from .layers import BatchNorm2D, Conv2D, Dense, ResidualBlock, col2im, im2col
 from .network import Sequential
 
 __all__ = ["quantize_tensor", "dequantize", "QuantizedNetwork"]

@@ -1,5 +1,9 @@
 """Shared test configuration."""
 
+import json
+import os
+
+import pytest
 from hypothesis import HealthCheck, settings
 
 # A single moderate profile: the suite is large, so keep per-test example
@@ -11,3 +15,35 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile("repro")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Dump fuzz/parity failure seeds to a JSON artifact for the nightly CI.
+
+    Opt-in via ``REPRO_FUZZ_FAILURE_FILE``: when set (the nightly workflow
+    sets it), every failing test records its node id, the fuzz volume and
+    the failure text, so a red nightly run uploads enough to reproduce —
+    the fuzz RNGs are seeded per format, so node id + pair count replays
+    the exact failing inputs.
+    """
+    outcome = yield
+    path = os.environ.get("REPRO_FUZZ_FAILURE_FILE")
+    if not path:
+        return
+    rep = outcome.get_result()
+    if rep.when != "call" or not rep.failed:
+        return
+    try:
+        records = json.loads(open(path).read()) if os.path.exists(path) else []
+    except (OSError, ValueError):
+        records = []
+    records.append(
+        {
+            "nodeid": item.nodeid,
+            "fuzz_pairs": os.environ.get("REPRO_FUZZ_PAIRS", "2000"),
+            "longrepr": str(rep.longrepr)[:20000],
+        }
+    )
+    with open(path, "w") as fh:
+        json.dump(records, fh, indent=2)

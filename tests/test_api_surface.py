@@ -1,7 +1,6 @@
 """Cross-cutting API-surface tests: batching, shapes, reprs, secondary paths."""
 
 import numpy as np
-import pytest
 
 from repro.approx import ExactMultiplier, signed_lut
 from repro.datasets import spectrogram_features, synthetic_keywords

@@ -1,6 +1,5 @@
 """Bit-heap construction and compression tests (Fig. 2 and Fig. 3)."""
 
-import random
 
 import pytest
 from hypothesis import given

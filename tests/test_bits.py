@@ -5,8 +5,6 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro._bits import (
-    bit,
-    bit_length,
     bits_of,
     count_leading_signs,
     count_leading_zeros,

@@ -18,7 +18,6 @@ from repro.circuits import (
     leading_sign_counter,
     leading_zero_counter,
     lut_cost,
-    mux_word,
     ripple_carry_adder,
     twos_complement,
 )

@@ -8,10 +8,8 @@ and must agree with the Python evaluator.
 
 import re
 
-import pytest
 
 from repro.circuits import Circuit, array_multiplier, ripple_carry_adder, to_verilog
-from repro.floats import FP8_E4M3
 from repro.hwcost import build_posit_multiplier
 from repro.posit import POSIT8
 

@@ -11,9 +11,7 @@ import numpy as np
 import pytest
 
 from repro.engine import (
-    REGISTRY,
     ApproxMultiplierBackend,
-    BatchedRunner,
     KernelRegistry,
     LNSBackend,
     OpCounters,

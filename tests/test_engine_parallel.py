@@ -21,7 +21,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.engine import BatchedRunner, ParallelRunner, REGISTRY, KernelRegistry
+from repro.engine import BatchedRunner, ParallelRunner, KernelRegistry
 from repro.engine.kernels import lut_matmul, shard_rows
 from repro.engine.parallel import ModelHandle, PositNetworkSpec, shard_lut_matmul
 from repro.nn.posit_inference import PositQuantizedNetwork

@@ -1,6 +1,5 @@
 """Fixed-point format and arithmetic tests."""
 
-import math
 from fractions import Fraction
 
 import pytest

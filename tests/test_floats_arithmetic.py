@@ -8,7 +8,6 @@ zeros, infinities and overflow behaviour.
 import math
 
 import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for float format descriptors and landmark values."""
 
-import math
 
 import pytest
 

@@ -1,10 +1,8 @@
 """FIR filter generator tests (the [1]-style 'computing just right' filter)."""
 
-import math
 from fractions import Fraction
 
 import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

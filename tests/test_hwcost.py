@@ -146,7 +146,6 @@ class TestCostComparison:
         assert posit.sig_bits > normal.sig_bits
 
     def test_posit_decode_uses_no_multiplier(self):
-        from repro.circuits import carry_positions
 
         dec = build_posit_decoder(POSIT8)
         assert len(dec.gates) < 400

@@ -1,7 +1,5 @@
 """Logarithmic number system tests."""
 
-import math
-import random
 
 import pytest
 from hypothesis import given
@@ -152,7 +150,6 @@ class TestAdderTable:
             table.add(a, a.negate())
 
     def test_table_smaller_than_plain_equivalent(self):
-        from repro.generators import PlainTable
 
         bi = LNSAdderTable(FMT, bipartite=True)
         plain = LNSAdderTable(FMT, bipartite=False)

@@ -4,7 +4,6 @@ import bisect
 import math
 from fractions import Fraction
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

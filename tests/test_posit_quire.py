@@ -1,6 +1,5 @@
 """Quire (exact accumulator) tests."""
 
-import math
 from fractions import Fraction
 
 from hypothesis import given

@@ -1,0 +1,168 @@
+"""CI configuration stays well-formed: workflow YAML + regression gate.
+
+A dry parse (``yaml.safe_load``) of every workflow file plus structural
+assertions on the jobs the ISSUE adds — the ``lint`` and
+``bench-regression`` jobs in ``ci.yml`` and the scheduled nightly fuzz
+workflow — so a malformed edit fails locally instead of silently
+disabling CI.  Also unit-tests ``benchmarks/check_regression.py``, the
+script the bench-regression job runs.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+WORKFLOW_DIR = REPO_ROOT / ".github" / "workflows"
+CHECK_SCRIPT = REPO_ROOT / "benchmarks" / "check_regression.py"
+
+
+def _load(name):
+    return yaml.safe_load((WORKFLOW_DIR / name).read_text())
+
+
+def _triggers(doc):
+    # YAML 1.1 parses the bare key ``on`` as boolean True.
+    return doc.get("on", doc.get(True))
+
+
+def _run_steps(job):
+    return [s.get("run", "") for s in job["steps"] if "run" in s]
+
+
+class TestWorkflowFiles:
+    def test_all_workflows_parse(self):
+        paths = sorted(WORKFLOW_DIR.glob("*.yml"))
+        assert paths, "no workflow files found"
+        for path in paths:
+            doc = yaml.safe_load(path.read_text())
+            assert isinstance(doc, dict), f"{path.name} did not parse to a mapping"
+            assert _triggers(doc), f"{path.name} has no trigger"
+            assert doc.get("jobs"), f"{path.name} defines no jobs"
+            for job_name, job in doc["jobs"].items():
+                assert job.get("runs-on"), f"{path.name}:{job_name} has no runs-on"
+                assert job.get("steps"), f"{path.name}:{job_name} has no steps"
+
+    def test_ci_has_lint_job(self):
+        job = _load("ci.yml")["jobs"]["lint"]
+        runs = " ".join(_run_steps(job))
+        assert "ruff check" in runs
+        assert "ruff format --check" in runs
+
+    def test_ci_has_bench_regression_job(self):
+        job = _load("ci.yml")["jobs"]["bench-regression"]
+        runs = _run_steps(job)
+        assert any("benchmarks/check_regression.py" in r for r in runs)
+        assert any("--max-regression 0.30" in r for r in runs)
+        assert any("REPRO_QUICK=1" in r for r in runs)
+        # Fresh results are uploaded even when the gate fails.
+        uploads = [s for s in job["steps"] if "upload-artifact" in s.get("uses", "")]
+        assert uploads and uploads[0].get("if") == "always()"
+
+    def test_nightly_is_scheduled_with_fuzz_volume(self):
+        doc = _load("nightly.yml")
+        trig = _triggers(doc)
+        assert "schedule" in trig and trig["schedule"][0]["cron"]
+        assert "workflow_dispatch" in trig
+        fuzz = doc["jobs"]["fuzz"]
+        envs = [s.get("env", {}) for s in fuzz["steps"]]
+        assert any(e.get("REPRO_FUZZ_PAIRS") == "20000" for e in envs)
+        assert any("REPRO_FUZZ_FAILURE_FILE" in e for e in envs)
+        # Failure seeds are only uploaded on red runs.
+        uploads = [s for s in fuzz["steps"] if "upload-artifact" in s.get("uses", "")]
+        assert uploads and uploads[0].get("if") == "failure()"
+        assert uploads[0]["with"]["path"] == "fuzz_failures.json"
+
+
+class TestCheckRegression:
+    """The gate script itself: ratio math, skip conditions, exit codes."""
+
+    @staticmethod
+    def _write(dirpath, name, payload):
+        (dirpath / name).write_text(json.dumps(payload))
+
+    def _gate(self, baseline_dir, current_dir, max_regression=0.30):
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(CHECK_SCRIPT),
+                "--baseline-dir",
+                str(baseline_dir),
+                "--current-dir",
+                str(current_dir),
+                "--max-regression",
+                str(max_regression),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        return proc.returncode, proc.stdout
+
+    def test_within_budget_passes(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        base.mkdir(), cur.mkdir()
+        self._write(base, "BENCH_engine.json", {"speedup": 100.0})
+        self._write(cur, "BENCH_engine.json", {"speedup": 80.0})  # -20%
+        code, out = self._gate(base, cur)
+        assert code == 0
+        assert "engine" in out and "OK" in out
+
+    def test_regression_fails(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        base.mkdir(), cur.mkdir()
+        self._write(base, "BENCH_engine.json", {"speedup": 100.0})
+        self._write(cur, "BENCH_engine.json", {"speedup": 60.0})  # -40%
+        code, out = self._gate(base, cur)
+        assert code == 1
+        assert "REGRESSION" in out
+
+    def test_parallel_skipped_when_bar_not_asserted(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        base.mkdir(), cur.mkdir()
+        self._write(base, "BENCH_parallel.json", {"speedup": 3.0, "bar_asserted": True})
+        # Current host < 4 CPUs: huge apparent regression, but skipped.
+        self._write(
+            cur,
+            "BENCH_parallel.json",
+            {"speedup": 0.5, "bar_asserted": False, "cpu_count": 2},
+        )
+        code, out = self._gate(base, cur)
+        assert code == 0
+        assert "skipped" in out
+
+    def test_parallel_enforced_when_bar_asserted(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        base.mkdir(), cur.mkdir()
+        self._write(base, "BENCH_parallel.json", {"speedup": 3.0, "bar_asserted": True})
+        self._write(cur, "BENCH_parallel.json", {"speedup": 1.0, "bar_asserted": True})
+        code, _ = self._gate(base, cur)
+        assert code == 1
+
+    def test_missing_current_file_fails(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        base.mkdir(), cur.mkdir()
+        self._write(base, "BENCH_engine.json", {"speedup": 100.0})
+        code, out = self._gate(base, cur)
+        assert code == 1
+        assert "FAIL" in out
+
+    def test_missing_baseline_skips(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        base.mkdir(), cur.mkdir()
+        self._write(cur, "BENCH_engine.json", {"speedup": 100.0})
+        code, out = self._gate(base, cur)
+        assert code == 0
+        assert "no baseline" in out
+
+    def test_threshold_is_configurable(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        base.mkdir(), cur.mkdir()
+        self._write(base, "BENCH_engine.json", {"speedup": 100.0})
+        self._write(cur, "BENCH_engine.json", {"speedup": 80.0})
+        code, _ = self._gate(base, cur, max_regression=0.10)
+        assert code == 1
