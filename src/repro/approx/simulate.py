@@ -49,6 +49,7 @@ def approx_matmul(
     lut: Optional[np.ndarray],
     chunk: int = 64,
     workers: Optional[int] = None,
+    fault_plan=None,
 ) -> np.ndarray:
     """``a @ b`` for int8-valued arrays through a signed behaviour table.
 
@@ -61,11 +62,18 @@ def approx_matmul(
     accumulation is exact, so the sharded product is bit-identical to the
     in-process kernel.  Worth it only for large M — each call pays the
     pool spawn cost.
+
+    ``fault_plan`` (a :class:`repro.engine.faults.FaultPlan` with a
+    non-zero ``lut_rate``) runs the contraction through a deterministically
+    bit-flipped copy of the behaviour table — stuck-at faults in the
+    multiplier array, on top of its designed approximation error.
     """
     a = np.asarray(a, dtype=np.int64)
     b = np.asarray(b, dtype=np.int64)
     if lut is None:
         return a @ b
+    if fault_plan is not None and fault_plan.lut_rate > 0.0:
+        lut = fault_plan.corrupt_table("approx.simulate", "lut", lut)
     with TRACER.span(
         "approx.matmul", shape=(a.shape[0], a.shape[1], b.shape[1]), workers=workers
     ):
@@ -104,6 +112,7 @@ def approx_conv2d(
     stride: int = 1,
     pad: int = 0,
     workers: Optional[int] = None,
+    fault_plan=None,
 ) -> np.ndarray:
     """2-D convolution of int8-valued tensors through the behaviour table.
 
@@ -117,5 +126,5 @@ def approx_conv2d(
     with TRACER.span("approx.conv2d", shape=list(x.shape), filters=f):
         cols, oh, ow = _im2col(x, kh, kw, stride, pad)
         wmat = w.reshape(f, c * kh * kw).T  # (CKK, F)
-        out = approx_matmul(cols, wmat, lut, workers=workers)
+        out = approx_matmul(cols, wmat, lut, workers=workers, fault_plan=fault_plan)
         return out.reshape(n, oh, ow, f).transpose(0, 3, 1, 2)

@@ -45,7 +45,8 @@ from .observe import (
     report,
 )
 from .backend import Backend, OpCounters
-from .kernels import lut_matmul, pairwise_lut, rounded_matmul, shard_rows
+from .faults import ChaosPlan, FaultPlan, FormatFaultModel, apply_code_faults
+from .kernels import lut_matmul, nonfinite_count, pairwise_lut, rounded_matmul, shard_rows
 from .registry import (
     REGISTRY,
     KernelRegistry,
@@ -84,6 +85,11 @@ __all__ = [
     "pairwise_lut",
     "lut_matmul",
     "rounded_matmul",
+    "nonfinite_count",
+    "FaultPlan",
+    "ChaosPlan",
+    "FormatFaultModel",
+    "apply_code_faults",
     "PositBackend",
     "SoftFloatBackend",
     "SoftFloatCodec",

@@ -16,6 +16,7 @@ from typing import Optional
 import numpy as np
 
 from .backend import OpCounters, timed_op
+from .faults import apply_code_faults
 from .kernels import lut_matmul, pairwise_lut
 from .registry import REGISTRY, KernelRegistry
 
@@ -56,12 +57,20 @@ class ApproxMultiplierBackend:
         mult,
         counters: Optional[OpCounters] = None,
         registry: Optional[KernelRegistry] = None,
+        fault_plan=None,
     ):
         self.mult = mult
         self.name = f"approx[{mult.name}]"
         self.key = ("approx", type(mult).__name__, mult.bits, mult.name)
         self.counters = counters if counters is not None else OpCounters()
         self.lut = get_signed_lut(mult, registry)
+        #: Product width: two ``bits``-wide operands -> up to ``2 * bits`` bits.
+        self.code_bits = 2 * mult.bits
+        #: Optional :class:`repro.engine.faults.FaultPlan` corrupting op outputs.
+        self.fault_plan = fault_plan
+
+    def _fault(self, op: str, codes: np.ndarray) -> np.ndarray:
+        return apply_code_faults(self.fault_plan, self.name, op, codes, self.code_bits)
 
     # ------------------------------------------------------------------
     def encode(self, x: np.ndarray, scale: Optional[float] = None) -> np.ndarray:
@@ -91,14 +100,14 @@ class ApproxMultiplierBackend:
         """Elementwise approximate products through the behaviour table."""
         a, b = np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64)
         with timed_op(self.counters, "mul", max(a.size, b.size), fmt=self.name):
-            return pairwise_lut(self.lut, a + 128, b + 128)
+            return self._fault("mul", pairwise_lut(self.lut, a + 128, b + 128))
 
     def matmul(self, a: np.ndarray, b: np.ndarray, chunk: int = 64) -> np.ndarray:
         """``(M, K) @ (K, N)`` int8 matmul with approximate products."""
         a = np.asarray(a, dtype=np.int64)
         b = np.asarray(b, dtype=np.int64)
         with timed_op(self.counters, "matmul", a.shape[0] * a.shape[1] * b.shape[1], fmt=self.name):
-            return lut_matmul(self.lut, a + 128, b + 128, chunk=chunk)
+            return self._fault("matmul", lut_matmul(self.lut, a + 128, b + 128, chunk=chunk))
 
     def dot_exact(self, a: np.ndarray, b: np.ndarray) -> int:
         """Exact int64 sum of approximate products."""

@@ -19,7 +19,20 @@ import numpy as np
 
 from .observe import TRACER
 
-__all__ = ["pairwise_lut", "lut_matmul", "rounded_matmul", "shard_rows"]
+__all__ = ["pairwise_lut", "lut_matmul", "rounded_matmul", "shard_rows", "nonfinite_count"]
+
+
+def nonfinite_count(x: np.ndarray) -> int:
+    """How many elements of ``x`` are NaN or infinite (0 for integer arrays).
+
+    The poison-audit primitive: posit NaR decodes to NaN, float overflow
+    decodes to inf, and both propagate through contractions — counting them
+    per layer is how :mod:`repro.nn.posit_inference` traces poisoning.
+    """
+    x = np.asarray(x)
+    if x.dtype.kind not in "fc":
+        return 0
+    return int(x.size - np.count_nonzero(np.isfinite(x)))
 
 
 def shard_rows(total: int, shards: int) -> List[Tuple[int, int]]:

@@ -21,6 +21,7 @@ import numpy as np
 from ..lns.format import LNSFormat
 from ..lns.value import LNS
 from .backend import OpCounters, timed_op
+from .faults import apply_code_faults
 from .kernels import pairwise_lut
 from .registry import REGISTRY, KernelRegistry
 
@@ -58,6 +59,7 @@ class LNSBackend:
         counters: Optional[OpCounters] = None,
         registry: Optional[KernelRegistry] = None,
         table_bits: int = 10,
+        fault_plan=None,
     ):
         if fmt.width > 16:
             raise ValueError("LNSBackend supports at most 16 code bits")
@@ -80,6 +82,13 @@ class LNSBackend:
             self.values = self._build_values()
             self.add_table = None
             self.strategy = "via-phi"
+        #: Width of one code word — the bit-flip domain for fault injection.
+        self.code_bits = fmt.width
+        #: Optional :class:`repro.engine.faults.FaultPlan` corrupting op outputs.
+        self.fault_plan = fault_plan
+
+    def _fault(self, op: str, codes: np.ndarray) -> np.ndarray:
+        return apply_code_faults(self.fault_plan, self.name, op, codes, self.code_bits)
 
     def _build_values(self) -> np.ndarray:
         n = 1 << self.fmt.width
@@ -143,15 +152,17 @@ class LNSBackend:
             zero = (ea == self.fmt.zero_code) | (eb == self.fmt.zero_code)
             code = np.clip(ea + eb, self.fmt.e_min, self.fmt.e_max)
             e_code = np.where(zero, self.fmt.zero_code, code)
-            return self._pack(sa ^ sb, e_code)
+            return self._fault("mul", self._pack(sa ^ sb, e_code))
 
     def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Gaussian-log addition; pairwise table when available."""
         a, b = np.broadcast_arrays(np.asarray(a), np.asarray(b))
         with timed_op(self.counters, "add", a.size, fmt=self.name):
             if self.add_table is not None:
-                return pairwise_lut(self.add_table, a, b).astype(self._code_dtype)
-            return self._add_via_phi(a, b)
+                return self._fault(
+                    "add", pairwise_lut(self.add_table, a, b).astype(self._code_dtype)
+                )
+            return self._fault("add", self._add_via_phi(a, b))
 
     def _add_via_phi(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Vectorized replica of the scalar phi+/phi- addition."""
@@ -193,7 +204,7 @@ class LNSBackend:
             raise ValueError("LNSBackend supports accumulate='float64' only")
         with timed_op(self.counters, "matmul[float64]", a.shape[0] * a.shape[1] * b.shape[1], fmt=self.name):
             out = self.decode(a) @ self.decode(b)
-            return self.encode(out)
+            return self._fault("matmul", self.encode(out))
 
     def dot_exact(self, a: np.ndarray, b: np.ndarray) -> int:
         """Float64-accumulated dot product, rounded once onto the grid."""

@@ -479,10 +479,16 @@ def report(
             f"({stats.get('mean_batch_ms', 0.0):.3f} ms/batch)"
         )
         if "workers" in stats:
+            causes = stats.get("fallback_causes") or {}
+            cause_text = (
+                " [" + ", ".join(f"{k}={causes[k]}" for k in sorted(causes)) + "]"
+                if causes
+                else ""
+            )
             lines.append(
                 f"workers        {stats['workers']} "
                 f"({len(stats.get('per_worker', []))} active, "
-                f"{stats.get('fallbacks', 0)} fallbacks)"
+                f"{stats.get('fallbacks', 0)} fallbacks{cause_text})"
             )
         for w in stats.get("per_worker", []):
             lines.append(
@@ -528,9 +534,17 @@ def report(
                 )
 
     reg = metrics.snapshot()
-    if reg["counters"]:
+    fault_names = [
+        n for n in reg["counters"] if n.startswith(("faults.", "poison."))
+    ]
+    plain_names = [n for n in reg["counters"] if n not in set(fault_names)]
+    if plain_names:
         lines.append("registry counters:")
-        for name in sorted(reg["counters"]):
+        for name in sorted(plain_names):
+            lines.append(f"  {name:<28} {reg['counters'][name]:g}")
+    if fault_names:
+        lines.append("faults & poison:")
+        for name in sorted(fault_names):
             lines.append(f"  {name:<28} {reg['counters'][name]:g}")
 
     if tracer.enabled or tracer.events():

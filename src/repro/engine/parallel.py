@@ -18,9 +18,18 @@ tables (``disk_loads`` ticks up) rather than re-running the
 O(4**nbits) scalar builders.
 
 Robustness: a worker crash (``BrokenProcessPool``) or per-task timeout
-degrades gracefully — the affected chunks are recomputed in-process with
-identical math (``fallback=True``, the default), and the incident is
-counted in ``stats()["fallbacks"]``.
+degrades gracefully in stages — failed chunks are first *retried* on the
+pool (``task_retries`` resubmissions, with up to ``pool_restarts`` pool
+rebuilds after a crash) and only then recomputed in-process with identical
+math (``fallback=True``, the default).  Every terminal fallback is counted
+in ``stats()["fallbacks"]`` and classified by cause in
+``stats()["fallback_causes"]`` (``crash`` / ``timeout`` /
+``retry_exhausted``).  A :class:`repro.engine.faults.ChaosPlan` passed as
+``chaos`` injects deterministic worker crashes and slowdowns for testing
+exactly this machinery, and a :class:`repro.engine.faults.FaultPlan` (given
+as ``fault_plan`` or attached to the parent registry) rides the pool
+initializer so workers corrupt tables and activations bit-identically to
+the in-process path.
 
 Models cross the process boundary as a picklable zero-argument *factory*.
 A :class:`repro.nn.posit_inference.PositQuantizedNetwork` is automatically
@@ -75,14 +84,21 @@ class PositNetworkSpec:
     come from the shared registry disk cache instead of a rebuild.
     """
 
-    def __init__(self, net, fmt):
+    def __init__(self, net, fmt, fault_plan=None, poison_audit: bool = False):
         self.net = net
         self.fmt = fmt
+        self.fault_plan = fault_plan
+        self.poison_audit = poison_audit
 
     def __call__(self):
         from ..nn.posit_inference import PositQuantizedNetwork
 
-        return PositQuantizedNetwork(self.net, self.fmt)
+        return PositQuantizedNetwork(
+            self.net,
+            self.fmt,
+            fault_plan=self.fault_plan,
+            poison_audit=self.poison_audit,
+        )
 
 
 class ModelHandle:
@@ -100,7 +116,12 @@ def _factory_for(model):
     from ..nn.posit_inference import PositQuantizedNetwork
 
     if isinstance(model, PositQuantizedNetwork):
-        return PositNetworkSpec(model.net, model.fmt)
+        return PositNetworkSpec(
+            model.net,
+            model.fmt,
+            fault_plan=getattr(model, "fault_plan", None),
+            poison_audit=getattr(model, "poison_audit", False),
+        )
     return ModelHandle(model)
 
 
@@ -111,22 +132,41 @@ def _factory_for(model):
 _WORKER: Dict[str, object] = {}
 
 
-def _worker_init(factory, cache_dir: Optional[str], trace: bool = False) -> None:
+def _worker_init(
+    factory,
+    cache_dir: Optional[str],
+    trace: bool = False,
+    fault_plan=None,
+    chaos=None,
+) -> None:
     if cache_dir is not None:
         REGISTRY.cache_dir = Path(cache_dir)
     if trace:
         TRACER.enabled = True
+    if fault_plan is not None:
+        # Table corruption re-derives from (plan, table bytes) in this
+        # process — bit-identical to the parent's, never persisted to disk.
+        REGISTRY.fault_plan = fault_plan
+    _WORKER["fault_plan"] = fault_plan
+    _WORKER["chaos"] = chaos
     _WORKER["model"] = factory()
 
 
-def _worker_run(idx: int, chunk: np.ndarray, batch_size: int):
+def _worker_run(idx: int, chunk: np.ndarray, batch_size: int, attempt: int = 0):
+    chaos = _WORKER.get("chaos")
+    if chaos is not None:
+        chaos.apply(idx, attempt)  # may crash (os._exit) or sleep
     model = _WORKER["model"]
+    plan = _WORKER.get("fault_plan")
     t0 = time.perf_counter()
-    with TRACER.span("worker.chunk", chunk=idx, shape=chunk.shape):
+    with TRACER.span("worker.chunk", chunk=idx, shape=chunk.shape, attempt=attempt):
         outs = []
         for start in range(0, len(chunk), batch_size):
+            batch = chunk[start : start + batch_size]
+            if plan is not None:
+                batch = plan.corrupt_floats(batch, "runner.batch")
             with TRACER.span("worker.batch", shape=(min(batch_size, len(chunk)),)):
-                outs.append(model.forward(chunk[start : start + batch_size]))
+                outs.append(model.forward(batch))
         out = np.concatenate(outs, axis=0)
     wall = time.perf_counter() - t0
 
@@ -193,9 +233,20 @@ class ParallelRunner:
             private temporary directory is created (and removed on
             :meth:`close`).
         task_timeout: Seconds to wait for one chunk before falling back.
+        task_retries: Extra pool attempts per failed chunk before the
+            in-process fallback (default 1: each chunk gets two chances on
+            workers, then falls back).
+        pool_restarts: How many times a crash-broken pool may be rebuilt
+            across the runner's lifetime before it stays in-process.
         fallback: When true (default), worker crashes and timeouts are
             recovered by recomputing the affected chunks in-process; when
             false they raise.
+        chaos: Optional :class:`repro.engine.faults.ChaosPlan` injecting
+            deterministic worker crashes/slowdowns (tests only).
+        fault_plan: Optional :class:`repro.engine.faults.FaultPlan` shipped
+            to every worker (and applied to in-process fallback batches),
+            so injected corruption is identical at any worker count.
+            Defaults to the parent registry's attached plan, if any.
     """
 
     def __init__(
@@ -209,7 +260,11 @@ class ParallelRunner:
         mp_context: str = "spawn",
         cache_dir: Optional[os.PathLike] = None,
         task_timeout: Optional[float] = 120.0,
+        task_retries: int = 1,
+        pool_restarts: int = 1,
         fallback: bool = True,
+        chaos=None,
+        fault_plan=None,
         counters: Optional[OpCounters] = None,
         registry: Optional[KernelRegistry] = None,
     ):
@@ -219,14 +274,22 @@ class ParallelRunner:
             raise ValueError("batch_size must be >= 1")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1 (or None for auto)")
+        if task_retries < 0 or pool_restarts < 0:
+            raise ValueError("task_retries and pool_restarts must be >= 0")
         self.workers = int(workers) if workers is not None else (os.cpu_count() or 1)
         self.batch_size = batch_size
         self.chunk_size = chunk_size
         self.mp_context = mp_context
         self.task_timeout = task_timeout
+        self.task_retries = int(task_retries)
+        self.pool_restarts = int(pool_restarts)
         self.fallback = fallback
+        self.chaos = chaos
         self.counters = counters if counters is not None else OpCounters()
         self._registry = registry if registry is not None else REGISTRY
+        self.fault_plan = (
+            fault_plan if fault_plan is not None else self._registry.fault_plan
+        )
 
         self._factory = model_factory if model_factory is not None else _factory_for(model)
         # Fail in the constructor, not inside a broken pool, if the factory
@@ -249,6 +312,9 @@ class ParallelRunner:
         self._pool: Optional[ProcessPoolExecutor] = None
         self._broken = False
         self._fallbacks = 0
+        self._fallback_causes: Dict[str, int] = {}
+        self._restarts_used = 0
+        self._retries = 0
         self._items = 0
         self._batches = 0
         self._wall = 0.0
@@ -275,9 +341,17 @@ class ParallelRunner:
                         self._factory,
                         str(self._cache_dir) if self._cache_dir is not None else None,
                         TRACER.enabled,  # workers trace iff the parent does now
+                        self.fault_plan,
+                        self.chaos,
                     ),
                 )
         return self._pool
+
+    def _discard_pool(self) -> None:
+        """Drop a crash-broken pool; :meth:`_ensure_pool` builds a fresh one."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
 
     def close(self) -> None:
         """Shut the pool down and remove any private temporary cache dir."""
@@ -326,9 +400,15 @@ class ParallelRunner:
     def _run_span(self, x: np.ndarray, span: Tuple[int, int]) -> np.ndarray:
         """In-process execution of one chunk, micro-batched identically."""
         model = self._model()
+        plan = self.fault_plan
         outs = []
         for start in range(span[0], span[1], self.batch_size):
-            outs.append(model.forward(x[start : min(start + self.batch_size, span[1])]))
+            batch = x[start : min(start + self.batch_size, span[1])]
+            if plan is not None:
+                # Content-keyed corruption: identical to what a worker
+                # running this same micro-batch would have injected.
+                batch = plan.corrupt_floats(batch, "runner.batch")
+            outs.append(model.forward(batch))
         return np.concatenate(outs, axis=0)
 
     def run(self, x: np.ndarray) -> np.ndarray:
@@ -339,31 +419,45 @@ class ParallelRunner:
             return self._model().forward(x)
         t0 = time.perf_counter()
         results: List[Optional[np.ndarray]] = [None] * len(spans)
+        attempts = [0] * len(spans)
+        last_cause: Dict[int, str] = {}
+        max_attempts = 1 + self.task_retries
+        pending = list(range(len(spans)))
 
-        pool = None
-        try:
-            pool = self._ensure_pool()
-        except Exception:
-            if not self.fallback:
-                raise
-            self._broken = True
+        while pending:
+            pool = None
+            try:
+                pool = self._ensure_pool()
+            except Exception:
+                if not self.fallback:
+                    raise
+                self._broken = True
+            if pool is None:
+                break  # no pool (or budget spent): everything left falls back
 
-        if pool is not None:
             futures = {}
             submitted_at = {}
+            pool_broke = False
             try:
-                for i, (s, e) in enumerate(spans):
-                    fut = pool.submit(_worker_run, i, x[s:e], self.batch_size)
+                for i in pending:
+                    s, e = spans[i]
+                    fut = pool.submit(
+                        _worker_run, i, x[s:e], self.batch_size, attempts[i]
+                    )
                     futures[fut] = i
                     submitted_at[i] = time.perf_counter()
             except (BrokenProcessPool, RuntimeError):
-                self._broken = True
+                pool_broke = True
                 if not self.fallback:
                     raise
+            for i in pending:
+                attempts[i] += 1
+                last_cause.setdefault(i, "crash")  # unsubmitted == pool died
             for fut, i in futures.items():
                 try:
                     idx, out, wstats = fut.result(timeout=self.task_timeout)
                     results[idx] = out
+                    last_cause.pop(idx, None)
                     # Queue wait: turnaround minus the worker's own compute.
                     turnaround = time.perf_counter() - submitted_at[i]
                     self.counters.metrics.observe(
@@ -373,13 +467,38 @@ class ParallelRunner:
                     self._absorb_worker_stats(wstats)
                 except (BrokenProcessPool, TimeoutError, OSError) as err:
                     if isinstance(err, BrokenProcessPool):
-                        self._broken = True
+                        pool_broke = True
                     if not self.fallback:
                         raise
-                    self._fallbacks += 1
+                    last_cause[i] = (
+                        "timeout" if isinstance(err, TimeoutError) else "crash"
+                    )
+
+            pending = [i for i in pending if results[i] is None]
+            if pool_broke:
+                self._discard_pool()
+                if self._restarts_used < self.pool_restarts:
+                    self._restarts_used += 1
+                    self.counters.metrics.inc("parallel.pool_restarts")
+                else:
+                    self._broken = True  # budget spent: stay in-process
+            retryable = [i for i in pending if attempts[i] < max_attempts]
+            if len(retryable) < len(pending):
+                pending = retryable  # the rest exhausted their attempts
+            if pending and not self._broken:
+                self._retries += len(pending)
+                self.counters.metrics.inc("parallel.task_retries", len(pending))
+            elif self._broken:
+                break
 
         for i, span in enumerate(spans):
             if results[i] is None:  # never submitted, timed out, or crashed
+                self._fallbacks += 1
+                cause = last_cause.get(i, "crash")
+                if attempts[i] >= max_attempts and self.task_retries > 0:
+                    cause = "retry_exhausted"
+                self._fallback_causes[cause] = self._fallback_causes.get(cause, 0) + 1
+                self.counters.metrics.inc(f"parallel.fallbacks.{cause}")
                 results[i] = self._run_span(x, span)
 
         out = np.concatenate(results, axis=0)
@@ -441,6 +560,12 @@ class ParallelRunner:
         disk_writes = parent["disk_writes"] + sum(
             t.get("disk_writes", 0) for t in self._worker_tables.values()
         )
+        integrity_failures = parent.get("integrity_failures", 0) + sum(
+            t.get("integrity_failures", 0) for t in self._worker_tables.values()
+        )
+        disk_errors = parent.get("disk_errors", 0) + sum(
+            t.get("disk_errors", 0) for t in self._worker_tables.values()
+        )
         return {
             "items": self._items,
             "batches": self._batches,
@@ -454,7 +579,12 @@ class ParallelRunner:
             "table_misses": table_misses,
             "table_disk_loads": disk_loads,
             "table_disk_writes": disk_writes,
+            "table_integrity_failures": integrity_failures,
+            "table_disk_errors": disk_errors,
             "fallbacks": self._fallbacks,
+            "fallback_causes": dict(self._fallback_causes),
+            "task_retries": self._retries,
+            "pool_restarts": self._restarts_used,
             "per_worker": per_worker,
             "metrics": self.counters.metrics.snapshot(),
         }
@@ -464,6 +594,8 @@ class ParallelRunner:
         self._items = self._batches = 0
         self._wall = 0.0
         self._fallbacks = 0
+        self._fallback_causes.clear()
+        self._retries = 0
         self._worker_items.clear()
         self._worker_tables.clear()
         self.counters.clear()

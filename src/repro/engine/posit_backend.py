@@ -33,6 +33,7 @@ from ..posit.quire import Quire
 from ..posit.tensor import PositCodec, PositTable
 from ..posit.value import Posit
 from .backend import OpCounters, timed_op
+from .faults import apply_code_faults
 from .kernels import pairwise_lut, rounded_matmul
 from .registry import KernelRegistry, get_codec, get_posit_tables
 
@@ -49,6 +50,7 @@ class PositBackend:
         registry: Optional[KernelRegistry] = None,
         table_bits: int = 8,
         strategy: Optional[str] = None,
+        fault_plan=None,
     ):
         if fmt.nbits > 16:
             raise ValueError("PositBackend supports at most 16-bit posits")
@@ -66,6 +68,13 @@ class PositBackend:
             get_posit_tables(fmt, registry) if strategy == "pairwise" else None
         )
         self._code_dtype = np.uint8 if fmt.nbits <= 8 else np.uint16
+        #: Width of one code word — the bit-flip domain for fault injection.
+        self.code_bits = fmt.nbits
+        #: Optional :class:`repro.engine.faults.FaultPlan` corrupting op outputs.
+        self.fault_plan = fault_plan
+
+    def _fault(self, op: str, codes: np.ndarray) -> np.ndarray:
+        return apply_code_faults(self.fault_plan, self.name, op, codes, self.code_bits)
 
     # ------------------------------------------------------------------
     # Codec
@@ -93,18 +102,24 @@ class PositBackend:
         a, b = np.asarray(a), np.asarray(b)
         with timed_op(self.counters, "add", max(a.size, b.size), fmt=self.name):
             if self.tables is not None:
-                return pairwise_lut(self.tables.add_table, a, b)
-            return self.codec.encode(self.codec.decode(a) + self.codec.decode(b)).astype(
-                self._code_dtype
+                return self._fault("add", pairwise_lut(self.tables.add_table, a, b))
+            return self._fault(
+                "add",
+                self.codec.encode(self.codec.decode(a) + self.codec.decode(b)).astype(
+                    self._code_dtype
+                ),
             )
 
     def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         a, b = np.asarray(a), np.asarray(b)
         with timed_op(self.counters, "mul", max(a.size, b.size), fmt=self.name):
             if self.tables is not None:
-                return pairwise_lut(self.tables.mul_table, a, b)
-            return self.codec.encode(self.codec.decode(a) * self.codec.decode(b)).astype(
-                self._code_dtype
+                return self._fault("mul", pairwise_lut(self.tables.mul_table, a, b))
+            return self._fault(
+                "mul",
+                self.codec.encode(self.codec.decode(a) * self.codec.decode(b)).astype(
+                    self._code_dtype
+                ),
             )
 
     # ------------------------------------------------------------------
@@ -124,7 +139,7 @@ class PositBackend:
         with timed_op(self.counters, f"matmul[{accumulate}]", a.shape[0] * a.shape[1] * b.shape[1], fmt=self.name):
             if accumulate == "float64":
                 out = self.codec.decode(a) @ self.codec.decode(b)
-                return self.codec.encode(out).astype(self._code_dtype)
+                return self._fault("matmul", self.codec.encode(out).astype(self._code_dtype))
             if accumulate == "quire":
                 m, k = a.shape
                 k2, n = b.shape
@@ -132,14 +147,17 @@ class PositBackend:
                 for i in range(m):
                     for j in range(n):
                         out[i, j] = self.dot_exact(a[i], b[:, j])
-                return out
+                return self._fault("matmul", out)
             if accumulate == "rounded":
                 if self.tables is None:
                     raise ValueError(
                         "rounded accumulation needs pairwise tables "
                         f"(format {self.fmt} uses the via-float strategy)"
                     )
-                return rounded_matmul(self.tables.add_table, self.tables.mul_table, a, b)
+                return self._fault(
+                    "matmul",
+                    rounded_matmul(self.tables.add_table, self.tables.mul_table, a, b),
+                )
             raise ValueError(f"unknown accumulation mode {accumulate!r}")
 
     def matmul_values(self, qa: np.ndarray, qb: np.ndarray) -> np.ndarray:

@@ -18,10 +18,13 @@ quantized-network construction stops rebuilding identical 256x256 tables.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import re
 import threading
 import time
+import zipfile
+import zlib
 from pathlib import Path
 from typing import Callable, Dict, Optional, Set
 
@@ -51,6 +54,31 @@ def _slug(key: tuple) -> str:
     return re.sub(r"[^A-Za-z0-9._-]+", "-", text)
 
 
+#: Name of the integrity-digest array embedded in every flushed ``.npz``.
+DIGEST_KEY = "__sha256__"
+
+#: Exceptions that mean "this cache file cannot be parsed right now" —
+#: either a half-written file from a concurrent writer (transient, cured by
+#: the retry loop) or true corruption (quarantined after retries).
+_LOAD_ERRORS = (OSError, ValueError, EOFError, KeyError, zipfile.BadZipFile, zlib.error)
+
+#: Bounded exponential backoff for disk races: attempt, sleep, retry.
+_IO_RETRIES = 3
+_IO_BACKOFF_S = 0.01
+
+
+def _digest(tables: Dict[str, np.ndarray]) -> bytes:
+    """sha256 over the sorted (name, dtype, shape, bytes) of every table."""
+    h = hashlib.sha256()
+    for name in sorted(tables):
+        arr = np.ascontiguousarray(tables[name])
+        h.update(name.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(repr(arr.shape).encode())
+        h.update(arr.tobytes())
+    return h.digest()
+
+
 class KernelRegistry:
     """Memoizing (and optionally persisting) store of kernel tables.
 
@@ -60,7 +88,7 @@ class KernelRegistry:
     the "table hits/misses" of the engine's observability counters.
     """
 
-    def __init__(self, cache_dir: Optional[os.PathLike] = None):
+    def __init__(self, cache_dir: Optional[os.PathLike] = None, fault_plan=None):
         self._memo: Dict[tuple, Dict[str, np.ndarray]] = {}
         self._objects: Dict[tuple, object] = {}
         self._lock = threading.Lock()
@@ -68,6 +96,17 @@ class KernelRegistry:
         self.misses = 0
         self.disk_loads = 0
         self.disk_writes = 0
+        #: Disk entries rejected on load (bad checksum / truncated / stale /
+        #: failed validation) and quarantined — each one also increments the
+        #: ``registry.disk_integrity_failures`` metric.
+        self.integrity_failures = 0
+        #: Disk writes that failed even after retries (cache stays memory-only).
+        self.disk_errors = 0
+        #: Optional :class:`repro.engine.faults.FaultPlan` corrupting tables
+        #: at ``get()`` time.  The memo (and anything flushed to disk) stays
+        #: pristine; corruption is re-derived per call from the plan + table
+        #: contents, so it is bit-identical in every process.
+        self.fault_plan = fault_plan
         #: Per-directory set of keys known to be on disk already — what
         #: makes repeated ``flush_to_disk`` calls no-ops on unchanged tables.
         self._flushed: Dict[str, Set[tuple]] = {}
@@ -75,17 +114,29 @@ class KernelRegistry:
         self.cache_dir: Optional[Path] = Path(cache_dir or env) if (cache_dir or env) else None
 
     # ------------------------------------------------------------------
-    def get(self, key: tuple, builder: TableBuilder) -> Dict[str, np.ndarray]:
-        """The table dict for ``key``; built (or loaded from disk) once."""
+    def get(
+        self,
+        key: tuple,
+        builder: TableBuilder,
+        validate: Optional[Callable[[Dict[str, np.ndarray]], bool]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """The table dict for ``key``; built (or loaded from disk) once.
+
+        ``validate`` is an optional structural check applied to disk-loaded
+        tables (shape/dtype sanity); entries that fail it are quarantined
+        and rebuilt like any other integrity failure.  When a
+        :attr:`fault_plan` is attached, the returned dict is a corrupted
+        *copy* — the memoized tables themselves stay pristine.
+        """
         with self._lock:
             if key in self._memo:
                 self.hits += 1
                 METRICS.inc("registry.hits")
-                return self._memo[key]
+                return self._faulted(key, self._memo[key])
             self.misses += 1
             METRICS.inc("registry.misses")
             t0 = time.perf_counter()
-            tables = self._load(key)
+            tables = self._load(key, validate)
             if tables is None:
                 with TRACER.span("registry.build", key=_slug(key)):
                     tables = builder()
@@ -101,7 +152,14 @@ class KernelRegistry:
                 )
                 METRICS.observe("registry.disk_load_s", time.perf_counter() - t0)
             self._memo[key] = tables
+            return self._faulted(key, tables)
+
+    def _faulted(self, key: tuple, tables: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Apply the attached fault plan (if any) to a pristine table dict."""
+        plan = self.fault_plan
+        if plan is None or getattr(plan, "lut_rate", 0.0) <= 0.0:
             return tables
+        return plan.corrupt_tables(_slug(key), tables)
 
     def get_object(self, key: tuple, factory: Callable[[], object]) -> object:
         """Memoize an arbitrary object (codec wrappers, backends) per key."""
@@ -120,32 +178,109 @@ class KernelRegistry:
             return None
         return Path(self.cache_dir) / f"{_slug(key)}.npz"
 
-    def _load(self, key: tuple) -> Optional[Dict[str, np.ndarray]]:
+    def _load(
+        self,
+        key: tuple,
+        validate: Optional[Callable[[Dict[str, np.ndarray]], bool]] = None,
+    ) -> Optional[Dict[str, np.ndarray]]:
+        """Load + integrity-check a cache entry; None means "rebuild".
+
+        Parse failures are retried with bounded exponential backoff (a
+        concurrent writer may be mid-``os.replace``); a file that still
+        won't parse — or parses but fails its embedded sha256 digest,
+        lacks one entirely (stale, pre-integrity format), or fails the
+        structural ``validate`` hook — is quarantined and rebuilt.
+        """
         path = self._path(key)
         if path is None or not path.exists():
             return None
+        tables = None
+        for attempt in range(_IO_RETRIES):
+            try:
+                with np.load(path) as data:
+                    tables = {name: data[name] for name in data.files}
+                break
+            except _LOAD_ERRORS:
+                if attempt + 1 < _IO_RETRIES:
+                    time.sleep(_IO_BACKOFF_S * (2 ** attempt))
+        if tables is None:
+            return self._integrity_failure(key, path, "unreadable")
+        stored = tables.pop(DIGEST_KEY, None)
+        if stored is None:
+            return self._integrity_failure(key, path, "stale")
+        if bytes(np.asarray(stored, dtype=np.uint8).tobytes()) != _digest(tables):
+            return self._integrity_failure(key, path, "checksum")
+        if validate is not None:
+            try:
+                ok = bool(validate(tables))
+            except Exception:
+                ok = False
+            if not ok:
+                return self._integrity_failure(key, path, "shape")
+        return tables
+
+    def _integrity_failure(self, key: tuple, path: Path, cause: str) -> None:
+        """Quarantine a bad cache file, count it, and signal a rebuild."""
+        self.integrity_failures += 1
+        METRICS.inc("registry.disk_integrity_failures")
+        METRICS.inc(f"registry.disk_integrity_failures.{cause}")
+        quarantined = path.with_suffix(".npz.corrupt")
         try:
-            with np.load(path) as data:
-                return {name: data[name] for name in data.files}
-        except (OSError, ValueError):
-            return None  # corrupt cache entry: rebuild
+            os.replace(path, quarantined)
+        except OSError:
+            quarantined = None  # unreadable/unwritable dir: leave it be
+        if TRACER.enabled:
+            TRACER.record(
+                "registry.integrity_failure",
+                ts=time.perf_counter() - TRACER.epoch,
+                dur=0.0,
+                attrs={
+                    "key": _slug(key),
+                    "cause": cause,
+                    "quarantined": str(quarantined) if quarantined else None,
+                },
+            )
+        return None
 
     def _store(self, key: tuple, tables: Dict[str, np.ndarray]) -> None:
         path = self._path(key)
         if path is None:
             return
-        self._write(path, tables)
-        self.disk_writes += 1
-        METRICS.inc("registry.disk_writes")
+        if self._write(path, tables):
+            self.disk_writes += 1
+            METRICS.inc("registry.disk_writes")
         self._flushed.setdefault(str(Path(self.cache_dir)), set()).add(key)
 
-    @staticmethod
-    def _write(path: Path, tables: Dict[str, np.ndarray]) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".npz.tmp")
-        with open(tmp, "wb") as fh:  # file object: savez won't append .npz
-            np.savez_compressed(fh, **tables)
-        os.replace(tmp, path)  # atomic against concurrent builders
+    def _write(self, path: Path, tables: Dict[str, np.ndarray]) -> bool:
+        """Atomically write ``tables`` (+ embedded sha256) to ``path``.
+
+        The temp name is unique per writer (pid + thread), so two parallel
+        workers flushing the same key never stomp each other's half-written
+        bytes; ``os.replace`` makes the final rename atomic.  Transient
+        I/O errors are retried with bounded exponential backoff; a write
+        that still fails is counted (``disk_errors``) and swallowed — the
+        cache degrades to memory-only rather than killing the run.
+        """
+        payload = dict(tables)
+        payload[DIGEST_KEY] = np.frombuffer(_digest(tables), dtype=np.uint8)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
+        for attempt in range(_IO_RETRIES):
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                with open(tmp, "wb") as fh:  # file object: savez won't append .npz
+                    np.savez_compressed(fh, **payload)
+                os.replace(tmp, path)  # atomic against concurrent builders
+                return True
+            except OSError:
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+                if attempt + 1 < _IO_RETRIES:
+                    time.sleep(_IO_BACKOFF_S * (2 ** attempt))
+        self.disk_errors += 1
+        METRICS.inc("registry.disk_errors")
+        return False
 
     def flush_to_disk(self, cache_dir: Optional[os.PathLike] = None) -> int:
         """Persist every resident table dict as ``.npz`` under ``cache_dir``.
@@ -178,14 +313,14 @@ class KernelRegistry:
             for key, tables in pending:
                 path = target / f"{_slug(key)}.npz"
                 if not path.exists():
-                    self._write(path, tables)
-                    written += 1
-                    self.disk_writes += 1
-                    METRICS.inc("registry.disk_writes")
-                    METRICS.inc(
-                        "registry.bytes_flushed",
-                        sum(a.nbytes for a in tables.values()),
-                    )
+                    if self._write(path, tables):
+                        written += 1
+                        self.disk_writes += 1
+                        METRICS.inc("registry.disk_writes")
+                        METRICS.inc(
+                            "registry.bytes_flushed",
+                            sum(a.nbytes for a in tables.values()),
+                        )
                 with self._lock:
                     flushed.add(key)
         return written
@@ -197,6 +332,8 @@ class KernelRegistry:
             "misses": self.misses,
             "disk_loads": self.disk_loads,
             "disk_writes": self.disk_writes,
+            "integrity_failures": self.integrity_failures,
+            "disk_errors": self.disk_errors,
             "resident_tables": len(self._memo),
         }
 
@@ -207,6 +344,7 @@ class KernelRegistry:
             self._objects.clear()
             self._flushed.clear()
             self.hits = self.misses = self.disk_loads = self.disk_writes = 0
+            self.integrity_failures = self.disk_errors = 0
 
 
 #: The process-wide registry every backend uses unless given a private one.
@@ -236,7 +374,17 @@ def get_codec(fmt: PositFormat, registry: Optional[KernelRegistry] = None) -> Po
             codec = PositCodec(fmt)
             return {"values": codec.values, "boundaries": codec.boundaries}
 
-        tables = reg.get(("posit", fmt.nbits, fmt.es, "values"), build)
+        def valid(tables: Dict[str, np.ndarray]) -> bool:
+            values = tables.get("values")
+            boundaries = tables.get("boundaries")
+            if values is None or boundaries is None or values.ndim != 1:
+                return False
+            # One boundary between each adjacent pair of *finite* values
+            # (NaR stores as NaN and is excluded from the rounding grid).
+            finite = int(np.count_nonzero(~np.isnan(values)))
+            return values.shape == (1 << fmt.nbits,) and boundaries.shape == (finite - 1,)
+
+        tables = reg.get(("posit", fmt.nbits, fmt.es, "values"), build, validate=valid)
         return PositCodec(fmt, values=tables["values"], boundaries=tables["boundaries"])
 
     return reg.get_object(key, factory)
@@ -252,9 +400,20 @@ def get_posit_tables(
     key = ("posit", fmt.nbits, fmt.es, "pairwise")
 
     def factory() -> PositTable:
+        def valid(tables: Dict[str, np.ndarray]) -> bool:
+            add, mul = tables.get("add"), tables.get("mul")
+            n = 1 << fmt.nbits
+            return (
+                add is not None
+                and mul is not None
+                and add.shape == (n, n)
+                and mul.shape == (n, n)
+            )
+
         tables = reg.get(
             ("posit", fmt.nbits, fmt.es, "addmul"),
             lambda: _build_posit_pair_tables(fmt, max_bits),
+            validate=valid,
         )
         return PositTable(
             fmt,

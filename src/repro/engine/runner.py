@@ -40,12 +40,16 @@ class BatchedRunner:
         counters: Optional[OpCounters] = None,
         registry: Optional[KernelRegistry] = None,
         workers: Optional[int] = None,
+        fault_plan=None,
         **parallel_opts,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.model = model
         self.batch_size = batch_size
+        #: Optional :class:`repro.engine.faults.FaultPlan` flipping bits in
+        #: each micro-batch's raw float64 words before the model sees it.
+        self.fault_plan = fault_plan
         # Adopt the model's engine counters when it has them, so backend ops
         # executed inside the model show up in this runner's stats.
         if counters is not None:
@@ -65,6 +69,7 @@ class BatchedRunner:
                 batch_size=batch_size,
                 counters=self.counters,
                 registry=self._registry,
+                fault_plan=fault_plan,
                 **parallel_opts,
             )
         elif parallel_opts:
@@ -85,6 +90,9 @@ class BatchedRunner:
         outs = []
         for start in range(0, len(x), self.batch_size):
             chunk = x[start : start + self.batch_size]
+            if self.fault_plan is not None:
+                # Content-keyed, so the parallel path injects identically.
+                chunk = self.fault_plan.corrupt_floats(chunk, "runner.batch")
             t0 = time.perf_counter()
             with TRACER.span("runner.batch", batch=self._batches, shape=chunk.shape):
                 outs.append(self.model.forward(chunk))
@@ -130,6 +138,7 @@ class BatchedRunner:
             "table_hits": reg["hits"],
             "table_misses": reg["misses"],
             "table_disk_writes": reg["disk_writes"],
+            "table_integrity_failures": reg.get("integrity_failures", 0),
             "metrics": self.counters.metrics.snapshot(),
         }
 

@@ -27,6 +27,7 @@ import numpy as np
 from ..floats.format import FloatFormat
 from ..floats.softfloat import SoftFloat
 from .backend import OpCounters, timed_op
+from .faults import apply_code_faults
 from .kernels import pairwise_lut
 from .registry import REGISTRY, KernelRegistry
 
@@ -179,6 +180,7 @@ class SoftFloatBackend:
         registry: Optional[KernelRegistry] = None,
         table_bits: int = 8,
         strategy: Optional[str] = None,
+        fault_plan=None,
     ):
         if fmt.width > 20:
             raise ValueError("SoftFloatBackend supports at most 20-bit formats")
@@ -204,6 +206,13 @@ class SoftFloatBackend:
             self.add_table, self.mul_table = tables["add"], tables["mul"]
         else:
             self.add_table = self.mul_table = None
+        #: Width of one code word — the bit-flip domain for fault injection.
+        self.code_bits = fmt.width
+        #: Optional :class:`repro.engine.faults.FaultPlan` corrupting op outputs.
+        self.fault_plan = fault_plan
+
+    def _fault(self, op: str, codes: np.ndarray) -> np.ndarray:
+        return apply_code_faults(self.fault_plan, self.name, op, codes, self.code_bits)
 
     # ------------------------------------------------------------------
     def encode(self, x: np.ndarray) -> np.ndarray:
@@ -225,19 +234,19 @@ class SoftFloatBackend:
         a, b = np.asarray(a), np.asarray(b)
         with timed_op(self.counters, "add", max(a.size, b.size), fmt=self.name):
             if self.add_table is not None:
-                return pairwise_lut(self.add_table, a, b)
+                return self._fault("add", pairwise_lut(self.add_table, a, b))
             with np.errstate(invalid="ignore"):  # inf - inf -> NaN -> qNaN code
                 out = self.codec.decode(a) + self.codec.decode(b)
-            return self.codec.encode(out).astype(self._code_dtype)
+            return self._fault("add", self.codec.encode(out).astype(self._code_dtype))
 
     def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         a, b = np.asarray(a), np.asarray(b)
         with timed_op(self.counters, "mul", max(a.size, b.size), fmt=self.name):
             if self.mul_table is not None:
-                return pairwise_lut(self.mul_table, a, b)
+                return self._fault("mul", pairwise_lut(self.mul_table, a, b))
             with np.errstate(invalid="ignore"):  # inf * 0 -> NaN -> qNaN code
                 out = self.codec.decode(a) * self.codec.decode(b)
-            return self.codec.encode(out).astype(self._code_dtype)
+            return self._fault("mul", self.codec.encode(out).astype(self._code_dtype))
 
     def matmul(self, a: np.ndarray, b: np.ndarray, accumulate: str = "float64") -> np.ndarray:
         """``(M, K) @ (K, N)``: Kulisch-style float64 accumulation.
@@ -251,7 +260,7 @@ class SoftFloatBackend:
             raise ValueError("SoftFloatBackend supports accumulate='float64' only")
         with timed_op(self.counters, "matmul[float64]", a.shape[0] * a.shape[1] * b.shape[1], fmt=self.name):
             out = self.codec.decode(a) @ self.codec.decode(b)
-            return self.codec.encode(out).astype(self._code_dtype)
+            return self._fault("matmul", self.codec.encode(out).astype(self._code_dtype))
 
     def dot_exact(self, a: np.ndarray, b: np.ndarray) -> int:
         """Exactly accumulated dot product (Kulisch), rounded once."""

@@ -24,7 +24,8 @@ from typing import List, Optional
 import numpy as np
 
 from ..engine.backend import OpCounters
-from ..engine.observe import TRACER
+from ..engine.kernels import nonfinite_count
+from ..engine.observe import METRICS, TRACER
 from ..engine.posit_backend import PositBackend
 from ..posit import PositFormat
 from .layers import Conv2D, Dense, ResidualBlock, im2col
@@ -78,6 +79,16 @@ class PositQuantizedNetwork:
     counters across several networks); by default one is built over the
     process-wide kernel registry, so constructing many networks for the
     same format reuses one codec instead of rebuilding its tables.
+
+    Robustness hooks:
+
+    * ``fault_plan`` — a :class:`repro.engine.faults.FaultPlan` whose
+      ``activation_rate`` flips bits in each layer's *posit-encoded*
+      activations (the soft-error model for activation SRAM); fully
+      deterministic under the plan's seed.
+    * ``poison_audit`` — count non-finite (NaR-decoded NaN / inf)
+      elements after every layer into the ``poison.nonfinite`` metric and
+      per-layer trace records; read back with :meth:`poison_report`.
     """
 
     def __init__(
@@ -86,10 +97,15 @@ class PositQuantizedNetwork:
         fmt: PositFormat,
         engine: Optional[PositBackend] = None,
         counters: Optional[OpCounters] = None,
+        fault_plan=None,
+        poison_audit: bool = False,
     ):
         self.net = net
         self.fmt = fmt
         self.engine = engine if engine is not None else PositBackend(fmt, counters=counters)
+        self.fault_plan = fault_plan
+        self.poison_audit = bool(poison_audit)
+        self._poison: dict = {}
         self.codec = self.engine.codec  # back-compat alias
         self.executors: List[Optional[object]] = []
         for layer in net.layers:
@@ -108,12 +124,50 @@ class PositQuantizedNetwork:
         ]
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        for name, layer, executor in zip(
-            self._span_names, self.net.layers, self.executors
+        plan = self.fault_plan
+        inject = plan is not None and plan.activation_rate > 0.0
+        for i, (name, layer, executor) in enumerate(
+            zip(self._span_names, self.net.layers, self.executors)
         ):
             with TRACER.span(name, fmt=self.engine.name, quantized=executor is not None):
                 x = executor.forward(x) if executor is not None else layer.forward(x)
+            if inject:
+                x = plan.corrupt_activations(x, self.engine, f"activation.{i}.{name}")
+            if self.poison_audit:
+                self._audit_layer(i, name, x)
         return x
+
+    # ------------------------------------------------------------------
+    # NaR/NaN poison audit
+    # ------------------------------------------------------------------
+    def _audit_layer(self, i: int, name: str, x: np.ndarray) -> None:
+        bad = nonfinite_count(x)
+        entry = self._poison.setdefault(
+            (i, name), {"layer": i, "name": name, "nonfinite": 0, "elements": 0}
+        )
+        entry["nonfinite"] += bad
+        entry["elements"] += int(np.asarray(x).size)
+        if bad:
+            METRICS.inc("poison.nonfinite", bad)
+            if TRACER.enabled:
+                TRACER.record(
+                    "poison.layer",
+                    ts=0.0,
+                    dur=0.0,
+                    attrs={"layer": i, "name": name, "nonfinite": bad},
+                )
+
+    def poison_report(self) -> List[dict]:
+        """Per-layer non-finite propagation counts (poison audit results).
+
+        Each entry: ``{"layer", "name", "nonfinite", "elements"}`` in layer
+        order, accumulated over every :meth:`forward` since the last
+        :meth:`reset_poison`.  Empty unless ``poison_audit=True``.
+        """
+        return [self._poison[k] for k in sorted(self._poison)]
+
+    def reset_poison(self) -> None:
+        self._poison.clear()
 
     def predict(
         self, x: np.ndarray, batch: int = 256, workers: Optional[int] = None

@@ -42,6 +42,35 @@ def _load(name):
     return np.load(path)
 
 
+def assert_bitexact(got, want, label, show=10):
+    """Bit-exact comparison that names the diverging vector indices.
+
+    ``np.array_equal`` alone fails with an opaque boolean; this reports the
+    first ``show`` flat indices where the replay diverged, with both
+    values, so a golden failure pinpoints the offending operands.  NaN ==
+    NaN for float arrays (golden NaN patterns decode to NaN by design).
+    """
+    got, want = np.asarray(got), np.asarray(want)
+    assert got.shape == want.shape, (
+        f"{label}: shape mismatch {got.shape} vs golden {want.shape}"
+    )
+    if got.dtype.kind == "f" or want.dtype.kind == "f":
+        mismatch = ~((got == want) | (np.isnan(got) & np.isnan(want)))
+    else:
+        mismatch = got != want
+    bad = np.flatnonzero(mismatch)
+    if bad.size == 0:
+        return
+    detail = ", ".join(
+        f"[{i}] got={got.ravel()[i]!r} want={want.ravel()[i]!r}"
+        for i in bad[:show]
+    )
+    raise AssertionError(
+        f"{label}: {bad.size}/{got.size} vectors diverged from golden; "
+        f"first {min(show, bad.size)}: {detail}"
+    )
+
+
 @pytest.fixture(scope="module")
 def posit8():
     return _load("posit8")
@@ -56,7 +85,7 @@ class TestPosit8Goldens:
                 for p in range(256)
             ]
         )
-        assert np.array_equal(got, want, equal_nan=True)
+        assert_bitexact(got, want, "posit8 value table")
 
     def test_scalar_add_mul_full_square(self, posit8):
         add, mul = posit8["add"], posit8["mul"]
@@ -73,22 +102,22 @@ class TestPosit8Goldens:
     def test_engine_add_mul_exhaustive(self, posit8):
         backend = PositBackend(POSIT8, strategy="pairwise")
         a, b = map(np.ravel, np.meshgrid(np.arange(256), np.arange(256)))
-        assert np.array_equal(backend.add(a, b), posit8["add"][a, b])
-        assert np.array_equal(backend.mul(a, b), posit8["mul"][a, b])
+        assert_bitexact(backend.add(a, b), posit8["add"][a, b], "posit8 pairwise add")
+        assert_bitexact(backend.mul(a, b), posit8["mul"][a, b], "posit8 pairwise mul")
 
     def test_engine_via_float_exhaustive(self, posit8):
         backend = PositBackend(POSIT8, strategy="via-float")
         a, b = map(np.ravel, np.meshgrid(np.arange(256), np.arange(256)))
-        assert np.array_equal(backend.add(a, b), posit8["add"][a, b])
-        assert np.array_equal(backend.mul(a, b), posit8["mul"][a, b])
+        assert_bitexact(backend.add(a, b), posit8["add"][a, b], "posit8 via-float add")
+        assert_bitexact(backend.mul(a, b), posit8["mul"][a, b], "posit8 via-float mul")
 
     def test_encode(self, posit8):
         x = posit8["encode_in"]
         want = posit8["encode_out"]
         got_scalar = np.array([Posit.from_float(POSIT8, float(v)).pattern for v in x])
-        assert np.array_equal(got_scalar, want)
+        assert_bitexact(got_scalar, want, "posit8 scalar encode")
         backend = PositBackend(POSIT8)
-        assert np.array_equal(backend.encode(x), want)
+        assert_bitexact(backend.encode(x), want, "posit8 engine encode")
 
 
 @pytest.mark.parametrize("name", sorted(FP8_FORMATS))
@@ -97,7 +126,7 @@ class TestFP8Goldens:
         fmt, g = FP8_FORMATS[name], _load(name)
         want = g["values"]
         got = np.array([SoftFloat(fmt, p).to_float() for p in range(256)])
-        assert np.array_equal(got, want, equal_nan=True)
+        assert_bitexact(got, want, f"{name} value table")
         real = ~np.isnan(want)
         assert np.array_equal(np.signbit(got[real]), np.signbit(want[real]))
 
@@ -106,8 +135,8 @@ class TestFP8Goldens:
         a, b = map(np.ravel, np.meshgrid(np.arange(256), np.arange(256)))
         for strategy in ("pairwise", "via-float"):
             backend = SoftFloatBackend(fmt, strategy=strategy)
-            assert np.array_equal(backend.add(a, b), g["add"][a, b]), strategy
-            assert np.array_equal(backend.mul(a, b), g["mul"][a, b]), strategy
+            assert_bitexact(backend.add(a, b), g["add"][a, b], f"{name} {strategy} add")
+            assert_bitexact(backend.mul(a, b), g["mul"][a, b], f"{name} {strategy} mul")
 
     def test_scalar_add_mul_sampled(self, name):
         fmt, g = FP8_FORMATS[name], _load(name)
@@ -122,6 +151,33 @@ class TestFP8Goldens:
         fmt, g = FP8_FORMATS[name], _load(name)
         x, want = g["encode_in"], g["encode_out"]
         got_scalar = np.array([SoftFloat.from_float(fmt, float(v)).pattern for v in x])
-        assert np.array_equal(got_scalar, want)
+        assert_bitexact(got_scalar, want, f"{name} scalar encode")
         backend = SoftFloatBackend(fmt)
-        assert np.array_equal(backend.encode(x), want)
+        assert_bitexact(backend.encode(x), want, f"{name} engine encode")
+
+
+class TestDivergenceReporting:
+    """The replay helper itself: failures must name the diverging indices."""
+
+    def test_reports_diverging_indices(self):
+        want = np.arange(10, dtype=np.uint8)
+        got = want.copy()
+        got[3] = 99
+        got[7] = 42
+        with pytest.raises(AssertionError) as exc:
+            assert_bitexact(got, want, "demo")
+        msg = str(exc.value)
+        assert "demo" in msg
+        assert "2/10" in msg
+        assert "[3]" in msg and "[7]" in msg
+        assert "99" in msg and "42" in msg
+
+    def test_nan_matches_nan(self):
+        a = np.array([1.0, np.nan, -np.inf])
+        assert_bitexact(a, a.copy(), "nan-aware")
+
+    def test_float_divergence_reported(self):
+        want = np.array([1.0, np.nan, 2.0])
+        got = np.array([1.0, np.nan, 2.5])
+        with pytest.raises(AssertionError, match=r"\[2\]"):
+            assert_bitexact(got, want, "float")

@@ -64,6 +64,16 @@ class TestWorkflowFiles:
         uploads = [s for s in job["steps"] if "upload-artifact" in s.get("uses", "")]
         assert uploads and uploads[0].get("if") == "always()"
 
+    def test_ci_has_chaos_job(self):
+        job = _load("ci.yml")["jobs"]["chaos"]
+        runs = _run_steps(job)
+        assert any("tests/test_chaos.py" in r for r in runs)
+        assert any("tests/test_engine_parallel.py" in r for r in runs)
+        envs = [s.get("env", {}) for s in job["steps"]]
+        rates = next(e for e in envs if "REPRO_CHAOS_CRASH_RATE" in e)
+        assert float(rates["REPRO_CHAOS_CRASH_RATE"]) > 0.0
+        assert float(rates["REPRO_CHAOS_LUT_RATE"]) == 0.01  # the 1% flip bar
+
     def test_nightly_is_scheduled_with_fuzz_volume(self):
         doc = _load("nightly.yml")
         trig = _triggers(doc)
