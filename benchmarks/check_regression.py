@@ -16,6 +16,10 @@ the machine-normalized **speedup** ratios instead:
   a >= 4-CPU host (``bar_asserted`` in the fresh JSON, mirroring the
   benchmark's own gating) — process-pool overhead swamps the signal below
   that, exactly as the benchmark itself skips its assertion.
+* ``BENCH_wide.json``: ``speedup`` = the *worst* wide-codec cell
+  (posit32/binary32 x encode/decode/mul) over the scalar-object loop.
+  Skipped when ``bar_asserted`` is false (REPRO_QUICK smoke runs, whose
+  scalar sample is too small for a stable ratio).
 
 Exit status 0 = within budget, 1 = regression (or unreadable inputs).
 """
@@ -33,6 +37,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 CHECKS = (
     ("engine", "BENCH_engine.json", "speedup", None),
     ("parallel", "BENCH_parallel.json", "speedup", "bar_asserted"),
+    ("wide", "BENCH_wide.json", "speedup", "bar_asserted"),
 )
 
 

@@ -1,0 +1,170 @@
+"""Throughput: bit-parallel wide codecs vs the scalar posit32/binary32 models.
+
+The point of ``strategy="wide"``: posit<32,2> and binary32 have no tables
+(2**32 codes), so before this layer they only existed as per-element scalar
+:class:`repro.posit.value.Posit` / :class:`repro.floats.softfloat.SoftFloat`
+objects.  The wide codecs run the same decode/encode/multiply math as whole
+numpy shift/mask expressions, and this benchmark measures the win on the
+ISSUE's 10k-element encode/decode/mul sweep for both formats.
+
+Both paths are bit-exact against each other (checked here on the scalar
+subset, and hammered by ``tests/test_differential_fuzz.py``), so the
+comparison is pure execution efficiency.  Results go to ``BENCH_wide.json``
+at the repo root; the reported ``speedup`` is the *minimum* across the six
+format x op cells, and the >= 50x acceptance bar is asserted except in
+smoke mode (``REPRO_QUICK=1``), where the scalar sample is too small for a
+stable ratio — the honesty convention of ``BENCH_parallel.json``: record,
+don't assert, when the environment can't support the measurement.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from conftest import quick_mode
+from repro.engine import PositBackend, SoftFloatBackend
+from repro.floats import BINARY32, SoftFloat
+from repro.posit import POSIT32, Posit
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+N = 10_000
+SCALAR_N = 60 if quick_mode() else 300
+REPS = 3 if quick_mode() else 7
+SPEEDUP_BAR = 50.0
+
+
+def _best(fn, *args):
+    """Best-of-REPS wall time for one bulk call (first call pre-warmed)."""
+    fn(*args)
+    best = float("inf")
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _scalar_best(fn):
+    """Best-of-REPS wall time and last result for one scalar sweep."""
+    out, best = None, float("inf")
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return out, best
+
+
+def _scalar_posit_ops(xs, codes_a, codes_b):
+    enc, t_enc = _scalar_best(
+        lambda: [Posit.from_float(POSIT32, float(v)).pattern for v in xs]
+    )
+    pa = [Posit(POSIT32, int(c)) for c in codes_a]
+    pb = [Posit(POSIT32, int(c)) for c in codes_b]
+    dec, t_dec = _scalar_best(lambda: [p.to_float() for p in pa])
+    mul, t_mul = _scalar_best(
+        lambda: [(x * y).pattern for x, y in zip(pa, pb)]
+    )
+    return (enc, dec, mul), (t_enc, t_dec, t_mul)
+
+
+def _scalar_float_ops(xs, codes_a, codes_b):
+    enc, t_enc = _scalar_best(
+        lambda: [SoftFloat.from_float(BINARY32, float(v)).pattern for v in xs]
+    )
+    fa = [SoftFloat(BINARY32, int(c)) for c in codes_a]
+    fb = [SoftFloat(BINARY32, int(c)) for c in codes_b]
+    dec, t_dec = _scalar_best(lambda: [f.to_float() for f in fa])
+    mul, t_mul = _scalar_best(
+        lambda: [x.mul(y).pattern for x, y in zip(fa, fb)]
+    )
+    return (enc, dec, mul), (t_enc, t_dec, t_mul)
+
+
+def _measure_format(backend, scalar_ops, rng):
+    """One format's sweep: wide elems/s, scalar elems/s, parity, speedups."""
+    xs = rng.standard_normal(N) * np.exp2(rng.uniform(-20, 20, N))
+    codes_a = backend.encode(xs)
+    codes_b = backend.encode(xs[::-1].copy())
+
+    wide_s = {
+        "encode": _best(backend.encode, xs),
+        "decode": _best(backend.decode, codes_a),
+        "mul": _best(backend.mul, codes_a, codes_b),
+    }
+
+    (s_enc, s_dec, s_mul), (t_enc, t_dec, t_mul) = scalar_ops(
+        xs[:SCALAR_N], codes_a[:SCALAR_N], codes_b[:SCALAR_N]
+    )
+    scalar_s = {"encode": t_enc, "decode": t_dec, "mul": t_mul}
+
+    # Bit-exact parity on the scalar subset — the speedup must not be
+    # bought with wrong answers.
+    assert np.array_equal(codes_a[:SCALAR_N].astype(np.int64), s_enc)
+    assert np.array_equal(
+        backend.decode(codes_a[:SCALAR_N]), s_dec, equal_nan=True
+    )
+    assert np.array_equal(
+        backend.mul(codes_a[:SCALAR_N], codes_b[:SCALAR_N]).astype(np.int64), s_mul
+    )
+
+    cells = {}
+    for op in ("encode", "decode", "mul"):
+        wide_eps = N / wide_s[op]
+        scalar_eps = SCALAR_N / scalar_s[op]
+        cells[op] = {
+            "wide_elems_per_s": wide_eps,
+            "scalar_elems_per_s": scalar_eps,
+            "speedup": wide_eps / scalar_eps,
+        }
+    return cells
+
+
+@pytest.fixture(scope="module")
+def measurement():
+    rng = np.random.default_rng(32)
+    posit_cells = _measure_format(PositBackend(POSIT32), _scalar_posit_ops, rng)
+    float_cells = _measure_format(SoftFloatBackend(BINARY32), _scalar_float_ops, rng)
+    speedups = [c["speedup"] for cells in (posit_cells, float_cells) for c in cells.values()]
+    return {
+        "elements": N,
+        "scalar_elements": SCALAR_N,
+        "reps": REPS,
+        "posit32": posit_cells,
+        "binary32": float_cells,
+        "speedup": min(speedups),  # the regression-gate metric: worst cell
+        "speedup_bar": SPEEDUP_BAR,
+        "bar_asserted": not quick_mode(),
+        "bit_exact_on_scalar_subset": True,
+    }
+
+
+def test_wide_throughput(benchmark, measurement, report):
+    backend = PositBackend(POSIT32)
+    rng = np.random.default_rng(9)
+    xs = rng.standard_normal(N)
+    a = backend.encode(xs)
+    b = backend.encode(xs[::-1].copy())
+    benchmark(lambda: backend.mul(a, b))
+
+    m = measurement
+    lines = [
+        f"sweep          {m['elements']} elements, scalar sample {m['scalar_elements']}",
+    ]
+    for fmt_name in ("posit32", "binary32"):
+        for op, cell in m[fmt_name].items():
+            lines.append(
+                f"{fmt_name:9s} {op:7s} {cell['wide_elems_per_s']:14.0f} elems/s"
+                f"  ({cell['speedup']:8.1f}x over scalar)"
+            )
+    bar_note = "asserted" if m["bar_asserted"] else "not asserted (REPRO_QUICK smoke run)"
+    lines.append(
+        f"min speedup    {m['speedup']:10.1f}x  (bar >= {SPEEDUP_BAR:.0f}x, {bar_note})"
+    )
+    report("wide_throughput", lines)
+    (REPO_ROOT / "BENCH_wide.json").write_text(json.dumps(m, indent=2) + "\n")
+
+    if m["bar_asserted"]:
+        assert m["speedup"] >= SPEEDUP_BAR

@@ -6,7 +6,10 @@ format's behaviour is precomputed into lookup tables exactly once
 to disk), and all tensor arithmetic then runs as bulk integer indexing and
 float64 re-encoding — the ApproxTrain/ProxSim architecture, generalized
 over posits, IEEE-style softfloats, LNS and approximate multipliers behind
-one :class:`Backend <repro.engine.backend.Backend>` protocol.
+one :class:`Backend <repro.engine.backend.Backend>` protocol.  Wider
+formats (posit<32,2>, binary32) skip the tables entirely: the ``wide``
+strategy of :mod:`repro.engine.wide` decodes and encodes by bit-parallel
+field extraction on whole code arrays.
 
 Quickstart::
 
@@ -54,6 +57,13 @@ from .registry import (
     get_codec,
     get_posit_tables,
 )
+from .wide import (
+    MAX_WIDE_BITS,
+    WideFloatCodec,
+    WidePositCodec,
+    get_wide_float_codec,
+    get_wide_posit_codec,
+)
 from .posit_backend import PositBackend
 from .softfloat_backend import SoftFloatBackend, SoftFloatCodec, get_softfloat_codec
 from .lns_backend import LNSBackend
@@ -81,6 +91,11 @@ __all__ = [
     "get_codec",
     "get_posit_tables",
     "get_softfloat_codec",
+    "MAX_WIDE_BITS",
+    "WidePositCodec",
+    "WideFloatCodec",
+    "get_wide_posit_codec",
+    "get_wide_float_codec",
     "get_signed_lut",
     "pairwise_lut",
     "lut_matmul",

@@ -1,6 +1,6 @@
 """Posit backend: bulk posit arithmetic on code arrays.
 
-Two op strategies, chosen per format width:
+Three op strategies, chosen per format width:
 
 * ``pairwise`` (default for <= 8 bits): exhaustive 2-D behaviour tables
   built from the bit-exact scalar :class:`repro.posit.value.Posit` model —
@@ -14,6 +14,12 @@ Two op strategies, chosen per format width:
   <= 16-bit posit sum needs more than 53 bits only when the operand scales
   differ by > 40, while the rounding decision happens within ~14 bits of
   the larger operand).
+* ``wide`` (17..32 bits, where even the 2**nbits codec value table stops
+  being buildable): the bit-parallel field-extraction codecs of
+  :mod:`repro.engine.wide`.  add/mul run in *integer* significand
+  arithmetic because float64 round-tripping is no longer bit-exact (a
+  posit<32,2> product carries 56 significant bits; the
+  innocuous-double-rounding condition ``53 >= 2p + 2`` fails at p = 28).
 
 ``matmul`` offers three accumulation modes: ``"float64"`` (products exact,
 accumulation at 53-bit precision — the Kulisch-style model that
@@ -30,18 +36,23 @@ import numpy as np
 
 from ..posit.format import PositFormat
 from ..posit.quire import Quire
-from ..posit.tensor import PositCodec, PositTable
+from ..posit.tensor import PositTable
 from ..posit.value import Posit
 from .backend import OpCounters, timed_op
 from .faults import apply_code_faults
 from .kernels import pairwise_lut, rounded_matmul
 from .registry import KernelRegistry, get_codec, get_posit_tables
+from .wide import MAX_WIDE_BITS, get_wide_posit_codec
 
 __all__ = ["PositBackend"]
 
+#: Widest format the tabulated (pairwise / via-float) strategies support;
+#: beyond it the 2**nbits codec tables stop being buildable.
+_TABULATED_BITS = 16
+
 
 class PositBackend:
-    """Vectorized posit arithmetic for formats up to 16 bits."""
+    """Vectorized posit arithmetic for formats up to 32 bits."""
 
     def __init__(
         self,
@@ -52,22 +63,42 @@ class PositBackend:
         strategy: Optional[str] = None,
         fault_plan=None,
     ):
-        if fmt.nbits > 16:
-            raise ValueError("PositBackend supports at most 16-bit posits")
+        if fmt.nbits > MAX_WIDE_BITS:
+            raise ValueError(
+                f"PositBackend supports at most {MAX_WIDE_BITS}-bit posits"
+            )
         if strategy is None:
-            strategy = "pairwise" if fmt.nbits <= table_bits else "via-float"
-        if strategy not in ("pairwise", "via-float"):
+            if fmt.nbits <= table_bits:
+                strategy = "pairwise"
+            elif fmt.nbits <= _TABULATED_BITS:
+                strategy = "via-float"
+            else:
+                strategy = "wide"
+        if strategy not in ("pairwise", "via-float", "wide"):
             raise ValueError(f"unknown strategy {strategy!r}")
+        if strategy != "wide" and fmt.nbits > _TABULATED_BITS:
+            raise ValueError(
+                f"strategy {strategy!r} needs a tabulated codec "
+                f"(<= {_TABULATED_BITS} bits); use strategy='wide' for {fmt}"
+            )
         self.fmt = fmt
         self.name = f"posit<{fmt.nbits},{fmt.es}>"
         self.key = ("posit", fmt.nbits, fmt.es)
         self.strategy = strategy
         self.counters = counters if counters is not None else OpCounters()
-        self.codec: PositCodec = get_codec(fmt, registry)
+        # The wide codec is table-free; tabulated strategies share the
+        # registry's 2**nbits value/boundary tables.
+        self.codec = (
+            get_wide_posit_codec(fmt, registry)
+            if strategy == "wide"
+            else get_codec(fmt, registry)
+        )
         self.tables: Optional[PositTable] = (
             get_posit_tables(fmt, registry) if strategy == "pairwise" else None
         )
-        self._code_dtype = np.uint8 if fmt.nbits <= 8 else np.uint16
+        self._code_dtype = (
+            np.uint8 if fmt.nbits <= 8 else np.uint16 if fmt.nbits <= 16 else np.uint32
+        )
         #: Width of one code word — the bit-flip domain for fault injection.
         self.code_bits = fmt.nbits
         #: Optional :class:`repro.engine.faults.FaultPlan` corrupting op outputs.
@@ -103,6 +134,12 @@ class PositBackend:
         with timed_op(self.counters, "add", max(a.size, b.size), fmt=self.name):
             if self.tables is not None:
                 return self._fault("add", pairwise_lut(self.tables.add_table, a, b))
+            if self.strategy == "wide":
+                # Integer datapath: float64 round-tripping double-rounds
+                # above 16 bits.
+                return self._fault(
+                    "add", self.codec.add(a, b).astype(self._code_dtype)
+                )
             return self._fault(
                 "add",
                 self.codec.encode(self.codec.decode(a) + self.codec.decode(b)).astype(
@@ -115,6 +152,10 @@ class PositBackend:
         with timed_op(self.counters, "mul", max(a.size, b.size), fmt=self.name):
             if self.tables is not None:
                 return self._fault("mul", pairwise_lut(self.tables.mul_table, a, b))
+            if self.strategy == "wide":
+                return self._fault(
+                    "mul", self.codec.mul(a, b).astype(self._code_dtype)
+                )
             return self._fault(
                 "mul",
                 self.codec.encode(self.codec.decode(a) * self.codec.decode(b)).astype(
@@ -152,7 +193,7 @@ class PositBackend:
                 if self.tables is None:
                     raise ValueError(
                         "rounded accumulation needs pairwise tables "
-                        f"(format {self.fmt} uses the via-float strategy)"
+                        f"(format {self.fmt} uses the {self.strategy} strategy)"
                     )
                 return self._fault(
                     "matmul",

@@ -1,10 +1,10 @@
-"""Softfloat backend: bulk IEEE-style arithmetic for <= 20-bit formats.
+"""Softfloat backend: bulk IEEE-style arithmetic for <= 32-bit formats.
 
 New in the engine: :class:`SoftFloatCodec` tabulates a small float format's
 code-to-value map (every <= 20-bit IEEE value is exact in float64,
 subnormals included) and implements vectorized correctly rounded encode
 (round to nearest, ties to even significand, overflow to infinity,
-gradual underflow, signed zero).  The 20-bit ceiling admits Intel's
+gradual underflow, signed zero).  The 20-bit table ceiling admits Intel's
 FP19 {1,8,10} DSP-block format alongside binary16/bfloat16.
 
 Elementwise ops use exhaustive pairwise tables built from the bit-exact
@@ -15,6 +15,12 @@ of <= 17-bit significands are exact in float64; sums are exact whenever the
 rounding decision is in play, since a tie/midpoint case needs the operand
 exponents within ``frac_bits + 2`` of each other, where the float64 sum is
 exact — the innocuous-double-rounding regime ``53 >= 2p + 2``).
+
+Above 20 bits the value table itself stops being buildable, so the third
+strategy, ``wide``, swaps the tabulated codec for the bit-parallel
+field-extraction codec of :mod:`repro.floats.vector` — same
+decode/compute/encode datapath, still bit-exact as long as
+``2 * precision + 2 <= 53``, which binary32 (p = 24) satisfies.
 """
 
 from __future__ import annotations
@@ -30,8 +36,14 @@ from .backend import OpCounters, timed_op
 from .faults import apply_code_faults
 from .kernels import pairwise_lut
 from .registry import REGISTRY, KernelRegistry
+from .wide import MAX_WIDE_BITS, get_wide_float_codec
 
 __all__ = ["SoftFloatCodec", "SoftFloatBackend"]
+
+#: Widest format the tabulated codec (and hence via-float) supports.
+_TABULATED_WIDTH = 20
+#: Widest format pairwise 2-D tables support (2**32 entries at 16 bits).
+_PAIRWISE_WIDTH = 16
 
 
 def _build_value_table(fmt: FloatFormat) -> np.ndarray:
@@ -156,9 +168,14 @@ def get_softfloat_codec(
 
 
 def _build_float_pair_tables(fmt: FloatFormat) -> dict:
+    if fmt.width > _PAIRWISE_WIDTH:
+        raise ValueError(
+            f"pairwise tables support at most {_PAIRWISE_WIDTH}-bit formats "
+            f"(a {fmt.width}-bit table would need 2**{2 * fmt.width} entries)"
+        )
     n = 1 << fmt.width
     floats = [SoftFloat(fmt, p) for p in range(n)]
-    dtype = np.uint8 if fmt.width <= 8 else np.uint16
+    dtype = np.uint8 if fmt.width <= 8 else np.uint16 if fmt.width <= 16 else np.uint32
     add = np.empty((n, n), dtype=dtype)
     mul = np.empty((n, n), dtype=dtype)
     for i, a in enumerate(floats):
@@ -171,7 +188,7 @@ def _build_float_pair_tables(fmt: FloatFormat) -> dict:
 
 
 class SoftFloatBackend:
-    """Vectorized IEEE-style arithmetic for formats up to 16 bits."""
+    """Vectorized IEEE-style arithmetic for formats up to 32 bits."""
 
     def __init__(
         self,
@@ -182,19 +199,49 @@ class SoftFloatBackend:
         strategy: Optional[str] = None,
         fault_plan=None,
     ):
-        if fmt.width > 20:
-            raise ValueError("SoftFloatBackend supports at most 20-bit formats")
+        if fmt.width > MAX_WIDE_BITS:
+            raise ValueError(
+                f"SoftFloatBackend supports at most {MAX_WIDE_BITS}-bit formats"
+            )
         if strategy is None:
-            strategy = "pairwise" if fmt.width <= table_bits else "via-float"
-        if strategy not in ("pairwise", "via-float"):
+            if fmt.width <= table_bits:
+                strategy = "pairwise"
+            elif fmt.width <= _TABULATED_WIDTH:
+                strategy = "via-float"
+            else:
+                strategy = "wide"
+        if strategy not in ("pairwise", "via-float", "wide"):
             raise ValueError(f"unknown strategy {strategy!r}")
+        if strategy == "pairwise" and fmt.width > _PAIRWISE_WIDTH:
+            raise ValueError(
+                f"strategy 'pairwise' supports at most {_PAIRWISE_WIDTH}-bit "
+                f"formats; use 'via-float' (<= {_TABULATED_WIDTH} bits) or "
+                f"'wide' for {fmt}"
+            )
+        if strategy == "via-float" and fmt.width > _TABULATED_WIDTH:
+            raise ValueError(
+                f"strategy 'via-float' needs a tabulated codec "
+                f"(<= {_TABULATED_WIDTH} bits); use strategy='wide' for {fmt}"
+            )
+        if strategy == "wide" and 2 * fmt.precision + 2 > 53:
+            raise ValueError(
+                f"the wide strategy computes in float64, which is only "
+                f"bit-exact while 2 * precision + 2 <= 53 (got precision "
+                f"{fmt.precision} for {fmt})"
+            )
         self.fmt = fmt
         self.name = f"{fmt.name}{{1,{fmt.exp_bits},{fmt.frac_bits}}}"
         self.key = ("float", fmt.exp_bits, fmt.frac_bits)
         self.strategy = strategy
         self.counters = counters if counters is not None else OpCounters()
         self._registry = registry if registry is not None else REGISTRY
-        self.codec = get_softfloat_codec(fmt, self._registry)
+        # The wide codec is table-free; the others share the registry's
+        # 2**width value table.
+        self.codec = (
+            get_wide_float_codec(fmt, self._registry)
+            if strategy == "wide"
+            else get_softfloat_codec(fmt, self._registry)
+        )
         self._code_dtype = (
             np.uint8 if fmt.width <= 8 else np.uint16 if fmt.width <= 16 else np.uint32
         )
@@ -251,9 +298,11 @@ class SoftFloatBackend:
     def matmul(self, a: np.ndarray, b: np.ndarray, accumulate: str = "float64") -> np.ndarray:
         """``(M, K) @ (K, N)``: Kulisch-style float64 accumulation.
 
-        Products of <= 16-bit formats are exact in float64; the 53-bit
-        accumulator plays the role of a (finite) Kulisch accumulator, and
-        the result is rounded into the format once.
+        Products are exact in float64 for any format with precision <= 26
+        (two p-bit significands multiply into 2p bits; binary32's p = 24
+        gives 48 <= 53); the 53-bit accumulator plays the role of a
+        (finite) Kulisch accumulator, and the result is rounded into the
+        format once.
         """
         a, b = np.asarray(a), np.asarray(b)
         if accumulate != "float64":

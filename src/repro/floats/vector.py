@@ -1,0 +1,112 @@
+"""Bit-parallel IEEE-style codecs: field arithmetic instead of value tables.
+
+:class:`repro.engine.softfloat_backend.SoftFloatCodec` tabulates every code
+of a <= 20-bit format; binary32 has 2**32 codes, so this module computes the
+same decode/encode maps arithmetically on whole numpy arrays: split sign /
+biased exponent / fraction on decode, and on encode round the 53-bit float64
+significand straight at the target precision with nearest/ties-to-even,
+gradual underflow, overflow to infinity at ``max_finite + ulp/2``, signed
+zero, and the canonical (positive) quiet NaN — bit-identical to the scalar
+:class:`repro.floats.softfloat.SoftFloat` model.
+
+The trick that keeps encode branch-free: assemble the magnitude pattern as
+``kept + (max(be, 1) - 1) << frac_bits`` where ``kept`` is the rounded
+significand *including* its hidden bit and ``be`` the biased exponent.  A
+subnormal result (``be < 1``) takes extra right-shift in the cut so its
+hidden bit vanishes; a significand carry (``kept`` reaching ``2**precision``)
+bumps the exponent field arithmetically; and an exponent bumped past the
+top lands at or above the infinity pattern, which the overflow clamp turns
+into ±inf — exactly IEEE round-to-nearest-even behaviour in one addition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .format import FloatFormat
+
+__all__ = [
+    "MAX_WIDE_WIDTH",
+    "check_wide_format",
+    "vector_decode",
+    "vector_encode",
+]
+
+#: Widest float format the bit-parallel codec supports.
+MAX_WIDE_WIDTH = 32
+
+
+def check_wide_format(fmt: FloatFormat) -> None:
+    """Reject formats whose values float64 cannot hold exactly.
+
+    Exact decode (and hence correct encode) needs every finite value of the
+    format to be a float64: precision within 53 bits and the exponent range
+    inside float64's (normals up to 2**1024, subnormals down to 2**-1074).
+    """
+    if fmt.width > MAX_WIDE_WIDTH:
+        raise ValueError(
+            f"wide float codecs support at most {MAX_WIDE_WIDTH}-bit "
+            f"formats, got {fmt}"
+        )
+    if fmt.precision > 53 or fmt.emax > 1023 or fmt.emin - fmt.frac_bits < -1074:
+        raise ValueError(
+            f"{fmt} exceeds float64's exact range; the wide codec cannot "
+            "represent its values exactly"
+        )
+
+
+def vector_decode(fmt: FloatFormat, codes: np.ndarray) -> np.ndarray:
+    """Exact float64 value of each code (all NaN patterns -> +nan)."""
+    check_wide_format(fmt)
+    codes = np.asarray(codes).astype(np.int64) & np.int64((1 << fmt.width) - 1)
+    sign = codes >> (fmt.width - 1)
+    exp = (codes >> fmt.frac_bits) & fmt.exp_mask
+    frac = codes & fmt.frac_mask
+    # Normals: (2**frac_bits + frac) * 2**(exp - bias - frac_bits);
+    # subnormals (exp field 0): frac * 2**(emin - frac_bits), incl. +-0.
+    mag = np.ldexp(
+        ((1 << fmt.frac_bits) + frac).astype(np.float64),
+        (exp - fmt.bias - fmt.frac_bits).astype(np.int32),
+    )
+    mag = np.where(
+        exp == 0, np.ldexp(frac.astype(np.float64), fmt.emin - fmt.frac_bits), mag
+    )
+    values = np.where(sign == 1, -mag, mag)
+    top = exp == fmt.exp_mask
+    values = np.where(top & (frac == 0), np.where(sign == 1, -np.inf, np.inf), values)
+    return np.where(top & (frac != 0), np.nan, values)
+
+
+def vector_encode(fmt: FloatFormat, x: np.ndarray) -> np.ndarray:
+    """Round a float64 array to codes: IEEE nearest, ties to even."""
+    check_wide_format(fmt)
+    x = np.asarray(x, dtype=np.float64)
+    finite = np.isfinite(x)
+    xf = np.where(finite, x, 0.0)
+    m, e2 = np.frexp(np.abs(xf))
+    # |m| in [0.5, 1): m * 2**53 is an exactly representable integer.
+    sig = np.ldexp(m, 53).astype(np.int64)
+    be = e2.astype(np.int64) - 1 + fmt.bias  # biased exponent if normal
+
+    # Cut the 53-bit significand at the target precision; results in the
+    # subnormal range (be < 1) lose 1 - be further bits.  A cut of 62
+    # already discards every significand bit, so deeper underflow clips.
+    cut = np.clip((53 - fmt.precision) + np.maximum(0, 1 - be), 0, 62)
+    kept = sig >> cut
+    rem = sig & ((np.int64(1) << cut) - 1)
+    half = np.int64(1) << np.clip(cut - 1, 0, 62)
+    kept = kept + ((rem > half) | ((rem == half) & ((kept & 1) == 1))).astype(
+        np.int64
+    )
+
+    # Hidden bit + exponent merge: subnormals (be <= 1 term vanishes),
+    # significand carries, and overflow past the top all fall out of the
+    # one addition; anything at or above the infinity pattern clamps.
+    mag = kept + ((np.maximum(be, 1) - 1) << fmt.frac_bits)
+    mag = np.where(xf == 0.0, np.int64(0), mag)
+    mag = np.where(mag >= fmt.pattern_inf, np.int64(fmt.pattern_inf), mag)
+
+    signbits = np.signbit(x).astype(np.int64) << (fmt.width - 1)
+    out = mag | signbits
+    out = np.where(np.isinf(x), np.int64(fmt.pattern_inf) | signbits, out)
+    return np.where(np.isnan(x), np.int64(fmt.pattern_quiet_nan), out)

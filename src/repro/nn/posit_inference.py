@@ -2,9 +2,12 @@
 
 The edge-ML pitch of Section V, exercised end to end: weights and
 activations are rounded onto a posit grid (no per-tensor scale calibration
-— the tapered dynamic range absorbs it), products are exact (float64 holds
-any product of two <=16-bit posits exactly), and accumulations model the
-quire (exact until the final rounding per output).
+— the tapered dynamic range absorbs it), products are exact for <=16-bit
+formats (float64 holds any product of two such posits exactly; the wide
+posit<32,2> path's 28-bit significands can round a product by one float64
+ulp, ~2**-53 relative, far below the final posit rounding), and
+accumulations model the quire (exact until the final rounding per
+output).
 
 All bulk arithmetic goes through a shared
 :class:`repro.engine.posit_backend.PositBackend`: codecs and behaviour

@@ -26,9 +26,9 @@ import pytest
 from repro.engine.lns_backend import LNSBackend
 from repro.engine.posit_backend import PositBackend
 from repro.engine.softfloat_backend import SoftFloatBackend
-from repro.floats import BFLOAT16, BINARY16, FP8_E4M3, FP8_E5M2, FP19, SoftFloat
+from repro.floats import BFLOAT16, BINARY16, BINARY32, FP8_E4M3, FP8_E5M2, FP19, SoftFloat
 from repro.lns import LNS, LNSFormat
-from repro.posit import POSIT8, POSIT16, Posit, PositFormat
+from repro.posit import POSIT8, POSIT16, POSIT32, Posit, PositFormat
 
 N_PAIRS = int(os.environ.get("REPRO_FUZZ_PAIRS", "2000"))
 
@@ -152,6 +152,83 @@ class TestPositDifferential:
 
 
 # ----------------------------------------------------------------------
+# Wide posits (table-free bit-parallel codecs; exhaustive is impossible
+# at 32 bits, so these sample pairs like everything else here)
+# ----------------------------------------------------------------------
+class TestWidePositDifferential:
+    def test_decode_encode_match_scalar(self):
+        backend = PositBackend(POSIT32)
+        assert backend.strategy == "wide"
+        rng = np.random.default_rng(32_001)
+        n = 1 << POSIT32.nbits
+        codes = np.unique(
+            np.concatenate(
+                [rng.integers(0, n, size=N_PAIRS), _posit_specials(POSIT32)]
+            )
+        )
+        got = backend.decode(codes)
+        want = np.array(
+            [
+                math.nan
+                if Posit(POSIT32, int(c)).is_nar()
+                else Posit(POSIT32, int(c)).to_float()
+                for c in codes
+            ]
+        )
+        assert np.array_equal(got, want, equal_nan=True)
+        # Encode round-trips every decoded value back to its code (decoded
+        # values sit exactly on the grid), plus scalar-encode parity on
+        # values that need rounding.
+        finite = ~np.isnan(want)
+        assert np.array_equal(backend.encode(want[finite]), codes[finite])
+        xs = rng.standard_normal(N_PAIRS) * np.exp2(rng.uniform(-130, 130, N_PAIRS))
+        _first_mismatch(
+            backend.encode(xs),
+            [Posit.from_float(POSIT32, float(x)).pattern for x in xs],
+            xs, xs, f"{backend.name} wide encode",
+        )
+
+    def test_wide_add_mul_match_scalar(self):
+        backend = PositBackend(POSIT32)
+        rng = np.random.default_rng(32_002)
+        a, b = _sample_pairs(rng, 1 << POSIT32.nbits, _posit_specials(POSIT32))
+        pa = [Posit(POSIT32, int(x)) for x in a]
+        pb = [Posit(POSIT32, int(y)) for y in b]
+        _first_mismatch(
+            backend.add(a, b),
+            [(x + y).pattern for x, y in zip(pa, pb)],
+            a, b, f"{backend.name} wide add",
+        )
+        _first_mismatch(
+            backend.mul(a, b),
+            [(x * y).pattern for x, y in zip(pa, pb)],
+            a, b, f"{backend.name} wide mul",
+        )
+
+    def test_close_scale_subtraction(self):
+        """Near-cancellation: operands within a few ulps, opposite signs.
+
+        Uniform code sampling almost never exercises the sticky-subtract
+        path where the guarded significands differ only far below the
+        guard bits — build such pairs directly.
+        """
+        backend = PositBackend(POSIT32)
+        rng = np.random.default_rng(32_003)
+        base = rng.integers(1, POSIT32.pattern_nar - 8, size=N_PAIRS)
+        delta = rng.integers(0, 8, size=N_PAIRS)
+        a = base
+        # -b with b a few codes away from a: pattern of -x is (2**n - x).
+        b = ((1 << POSIT32.nbits) - (base + delta)) & ((1 << POSIT32.nbits) - 1)
+        pa = [Posit(POSIT32, int(x)) for x in a]
+        pb = [Posit(POSIT32, int(y)) for y in b]
+        _first_mismatch(
+            backend.add(a, b),
+            [(x + y).pattern for x, y in zip(pa, pb)],
+            a, b, f"{backend.name} near-cancellation add",
+        )
+
+
+# ----------------------------------------------------------------------
 # IEEE-style softfloats
 # ----------------------------------------------------------------------
 def _float_specials(fmt):
@@ -244,6 +321,67 @@ class TestSoftFloatDifferential:
             backend.mul(a, b),
             [x.mul(y).pattern for x, y in zip(fa, fb)],
             a, b, f"{backend.name} special mul",
+        )
+
+
+# ----------------------------------------------------------------------
+# Wide floats (binary32 through the table-free codec)
+# ----------------------------------------------------------------------
+class TestWideSoftFloatDifferential:
+    def test_decode_encode_match_scalar(self):
+        backend = SoftFloatBackend(BINARY32)
+        assert backend.strategy == "wide"
+        rng = np.random.default_rng(32_004)
+        n = 1 << BINARY32.width
+        codes = np.unique(
+            np.concatenate(
+                [rng.integers(0, n, size=N_PAIRS), _float_specials(BINARY32)]
+            )
+        )
+        got = backend.decode(codes)
+        want = np.array([SoftFloat(BINARY32, int(c)).to_float() for c in codes])
+        assert np.array_equal(got, want, equal_nan=True)
+        real = ~np.isnan(want)
+        assert np.array_equal(np.signbit(got[real]), np.signbit(want[real]))
+        xs = rng.standard_normal(N_PAIRS) * np.exp2(rng.uniform(-150, 130, N_PAIRS))
+        _first_mismatch(
+            backend.encode(xs),
+            [SoftFloat.from_float(BINARY32, float(x)).pattern for x in xs],
+            xs, xs, f"{backend.name} wide encode",
+        )
+
+    def test_wide_add_mul_match_scalar(self):
+        backend = SoftFloatBackend(BINARY32)
+        rng = np.random.default_rng(32_005)
+        a, b = _sample_pairs(rng, 1 << BINARY32.width, _float_specials(BINARY32))
+        fa = [SoftFloat(BINARY32, int(x)) for x in a]
+        fb = [SoftFloat(BINARY32, int(y)) for y in b]
+        _first_mismatch(
+            backend.add(a, b),
+            [x.add(y).pattern for x, y in zip(fa, fb)],
+            a, b, f"{backend.name} wide add",
+        )
+        _first_mismatch(
+            backend.mul(a, b),
+            [x.mul(y).pattern for x, y in zip(fa, fb)],
+            a, b, f"{backend.name} wide mul",
+        )
+
+    def test_special_square(self):
+        backend = SoftFloatBackend(BINARY32)
+        specials = _float_specials(BINARY32)
+        a, b = map(np.ravel, np.meshgrid(specials, specials))
+        fa = [SoftFloat(BINARY32, int(x)) for x in a]
+        fb = [SoftFloat(BINARY32, int(y)) for y in b]
+        _first_mismatch(
+            backend.add(a, b),
+            [x.add(y).pattern for x, y in zip(fa, fb)],
+            a, b, f"{backend.name} wide special add",
+        )
+        _first_mismatch(
+            backend.mul(a, b),
+            [x.mul(y).pattern for x, y in zip(fa, fb)],
+            a, b, f"{backend.name} wide special mul",
         )
 
 

@@ -109,6 +109,38 @@ class TestSoftFloatDotExact:
         # A single signed infinity dominates any finite accumulation.
         assert backend.dot_exact([ninf, one], [one, one]) == ninf
 
+    def test_special_case_operand_orderings(self):
+        # The invalid-operation ladder must not depend on which operand of
+        # a pair (or which pair of the vector) carries the special value.
+        fmt = BINARY16
+        backend = SoftFloatBackend(fmt, strategy="via-float")
+        one = SoftFloat.from_float(fmt, 1.0).pattern
+        none = SoftFloat.from_float(fmt, -1.0).pattern
+        zero = SoftFloat.zero(fmt).pattern
+        nzero = SoftFloat.zero(fmt, sign=1).pattern
+        inf = SoftFloat.inf(fmt).pattern
+        ninf = SoftFloat.inf(fmt, sign=1).pattern
+        nan = SoftFloat.nan(fmt).pattern
+        qnan = fmt.pattern_quiet_nan
+
+        # inf * 0 in both operand orders, and with a signed zero.
+        assert backend.dot_exact([zero], [inf]) == qnan
+        assert backend.dot_exact([ninf], [nzero]) == qnan
+        # NaN wins even when an infinity was already accumulated.
+        assert backend.dot_exact([inf, nan], [one, one]) == qnan
+        assert backend.dot_exact([one, inf], [nan, one]) == qnan
+        # Mixed-sign infinite partials: -inf from (-inf, +1) then +inf from
+        # (+inf, +1), in either order, with finite partials interleaved.
+        assert backend.dot_exact([ninf, one, inf], [one, one, one]) == qnan
+        assert backend.dot_exact([inf, one, ninf], [one, one, one]) == qnan
+        # Sign of an infinite partial follows the product sign rule:
+        # (-inf) * (-1) is a +inf partial, so adding +inf agrees.
+        assert backend.dot_exact([ninf, inf], [none, one]) == inf
+        # Repeated same-sign infinities accumulate to that infinity.
+        assert backend.dot_exact([ninf, ninf], [one, one]) == ninf
+        # An infinite partial dominates finite partials of opposite sign.
+        assert backend.dot_exact([inf, none], [one, one]) == inf
+
     def test_matmul_rounds_float64_accumulation(self):
         backend = SoftFloatBackend(FP8_E4M3)
         rng = np.random.default_rng(3)
@@ -127,15 +159,33 @@ class TestSoftFloatDotExact:
 class TestConstructorErrors:
     def test_posit_backend_width_and_strategy(self):
         with pytest.raises(ValueError):
-            PositBackend(PositFormat(18, 1))
+            PositBackend(PositFormat(33, 2))
         with pytest.raises(ValueError):
             PositBackend(POSIT8, strategy="magic")
+        # Tabulated strategies cap at 16 bits; only 'wide' goes beyond.
+        with pytest.raises(ValueError):
+            PositBackend(PositFormat(18, 1), strategy="via-float")
+        assert PositBackend(PositFormat(18, 1)).strategy == "wide"
 
     def test_softfloat_backend_width_and_strategy(self):
         with pytest.raises(ValueError):
-            SoftFloatBackend(FloatFormat("fp24", exp_bits=8, frac_bits=15))
+            SoftFloatBackend(FloatFormat("fp35", exp_bits=8, frac_bits=26))
         with pytest.raises(ValueError):
             SoftFloatBackend(FP8_E4M3, strategy="magic")
+        # Pairwise tables stop at 16 bits, the tabulated codec at 20; a
+        # 24-bit format now auto-selects the table-free wide strategy.
+        fp24 = FloatFormat("fp24", exp_bits=8, frac_bits=15)
+        with pytest.raises(ValueError):
+            SoftFloatBackend(fp24, strategy="pairwise")
+        with pytest.raises(ValueError):
+            SoftFloatBackend(fp24, strategy="via-float")
+        assert SoftFloatBackend(fp24).strategy == "wide"
+        # Wide float compute runs in float64; precision 26 is the exactness
+        # ceiling (2p + 2 <= 53), so a p = 27 format is rejected.
+        with pytest.raises(ValueError):
+            SoftFloatBackend(
+                FloatFormat("fp32e5", exp_bits=5, frac_bits=26), strategy="wide"
+            )
 
     def test_reprs(self):
         assert "posit<8,0>" in repr(PositBackend(POSIT8))
