@@ -38,6 +38,7 @@ CHECKS = (
     ("engine", "BENCH_engine.json", "speedup", None),
     ("parallel", "BENCH_parallel.json", "speedup", "bar_asserted"),
     ("wide", "BENCH_wide.json", "speedup", "bar_asserted"),
+    ("serve", "BENCH_serve.json", "efficiency", "bar_asserted"),
 )
 
 

@@ -1,0 +1,229 @@
+"""Load benchmark for the serving layer: concurrent clients, real sockets.
+
+Simulated edge clients hammer a live :class:`repro.serve.ReproServer` over
+TCP and measure what a deployment would: client-observed p50/p99 latency,
+sustained QPS, and the rejection rate under deliberate overload.  A chaos
+segment then repeats the load against a crash-injected worker pool and
+asserts the zero-drop ledger (every accepted request answered).
+
+The regression-gated metric is ``efficiency`` — served QPS divided by the
+QPS of the same samples run *sequentially, solo* through the quantized
+network in-process.  That normalizes away host speed (both sides run on
+the same machine in the same process group) and measures exactly what the
+serving layer adds: batching amortization minus protocol/asyncio
+overhead.  Results go to ``BENCH_serve.json`` at the repo root, gated by
+``check_regression.py``.
+"""
+
+import asyncio
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.engine import ChaosPlan
+from repro.engine.observe import Metrics
+from repro.nn.posit_inference import PositQuantizedNetwork
+from repro.nn.zoo import kws_cnn1
+from repro.posit import STD_POSIT8
+from repro.serve import ReproServer, ServeClient, ServeConfig
+
+from conftest import quick_mode
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+CLIENTS = 16
+PER_CLIENT = 4 if quick_mode() else 12
+MULTI_CORE = (os.cpu_count() or 1) >= 4
+#: Gate: batching must recover at least half of direct sequential QPS
+#: (asserted on multi-core hosts; single-core boxes record it unasserted).
+EFFICIENCY_BAR = 0.5
+
+
+def _percentile(values, q):
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+async def _client_run(address, samples, latencies, deadline_ms=None):
+    """One simulated edge device: pipeline its samples, record latencies."""
+    client = await ServeClient.connect(*address)
+    responses = []
+    try:
+        for x in samples:
+            payload = dict(workload="nn_predict", model="kws1", x=x.tolist())
+            if deadline_ms is not None:
+                payload["deadline_ms"] = deadline_ms
+            t0 = time.perf_counter()
+            resp = await client.request(timeout=120.0, **payload)
+            latencies.append((time.perf_counter() - t0) * 1e3)
+            responses.append(resp)
+    finally:
+        await client.close()
+    return responses
+
+
+async def _serve_load(config, samples_per_client, deadline_ms=None, metrics=None):
+    """Run the full client fleet against one server; returns measurements."""
+    metrics = metrics if metrics is not None else Metrics()
+    latencies = []
+    async with ReproServer(config, metrics=metrics) as server:
+        t0 = time.perf_counter()
+        replies = await asyncio.gather(
+            *[
+                _client_run(server.address, samples, latencies, deadline_ms)
+                for samples in samples_per_client
+            ]
+        )
+        wall = time.perf_counter() - t0
+        stats = server.describe()
+    flat = [r for shard in replies for r in shard]
+    return {
+        "responses": flat,
+        "latencies_ms": latencies,
+        "wall_s": wall,
+        "server": stats,
+    }
+
+
+@pytest.fixture(scope="module")
+def measurement():
+    rng = np.random.default_rng(20260808)
+    total = CLIENTS * PER_CLIENT
+    samples = rng.normal(size=(total, 1, 31, 20))
+    shards = [samples[i::CLIENTS] for i in range(CLIENTS)]
+
+    # ------------------------------------------------------------------
+    # Direct baseline: the same samples, sequential solo forwards — what
+    # an edge client doing local inference (no batching) would get.
+    # ------------------------------------------------------------------
+    qnet = PositQuantizedNetwork(kws_cnn1(seed=0), STD_POSIT8, stable_contractions=True)
+    qnet.forward(samples[0:1])  # warm the kernel tables
+    t0 = time.perf_counter()
+    for i in range(total):
+        qnet.forward(samples[i : i + 1])
+    direct_wall = time.perf_counter() - t0
+    direct_qps = total / direct_wall
+
+    # ------------------------------------------------------------------
+    # Served load: 16 concurrent clients against one in-process server.
+    # ------------------------------------------------------------------
+    config = ServeConfig(
+        max_batch=16, max_delay_ms=2.0, queue_limit=256,
+        default_deadline_ms=120_000.0,
+    )
+    load = asyncio.run(_serve_load(config, shards))
+    assert all(r["ok"] for r in load["responses"])
+    assert load["server"]["accepted"] == load["server"]["responded"] == total
+    served_qps = total / load["wall_s"]
+    coalesced = max(r["batch_rows"] for r in load["responses"])
+
+    # ------------------------------------------------------------------
+    # Overload segment: a tiny queue forces backpressure; the rejection
+    # rate is the fraction turned away with retry_after instead of queued
+    # into unbounded latency.
+    # ------------------------------------------------------------------
+    overload_cfg = ServeConfig(
+        max_batch=4, max_delay_ms=5.0, queue_limit=4,
+        default_deadline_ms=120_000.0,
+    )
+    overload = asyncio.run(_serve_load(overload_cfg, shards))
+    rejected = sum(
+        1
+        for r in overload["responses"]
+        if not r["ok"] and r["error"] == "rejected"
+    )
+    answered = len(overload["responses"])
+    assert answered == total, "backpressure must answer, never drop"
+
+    # ------------------------------------------------------------------
+    # Chaos segment: crash-injected worker pool, zero-drop ledger.
+    # ------------------------------------------------------------------
+    chaos_cfg = ServeConfig(
+        max_batch=16, max_delay_ms=2.0, queue_limit=256, workers=2,
+        chaos=ChaosPlan(seed=2, crash_rate=0.35),
+        default_deadline_ms=120_000.0,
+    )
+    chaos_shards = [s[: max(2, PER_CLIENT // 2)] for s in shards]
+    chaos_total = sum(len(s) for s in chaos_shards)
+    chaos = asyncio.run(_serve_load(chaos_cfg, chaos_shards))
+    chaos_ok = sum(1 for r in chaos["responses"] if r["ok"])
+    assert chaos["server"]["accepted"] == chaos["server"]["responded"]
+    assert len(chaos["responses"]) == chaos_total
+    assert chaos_ok == chaos_total, "chaos degraded requests must still succeed"
+
+    return {
+        "workload": "nn_predict/kws1",
+        "format": str(STD_POSIT8),
+        "clients": CLIENTS,
+        "requests": total,
+        "cpu_count": os.cpu_count(),
+        "quick_mode": quick_mode(),
+        "p50_ms": _percentile(load["latencies_ms"], 50),
+        "p99_ms": _percentile(load["latencies_ms"], 99),
+        "sustained_qps": served_qps,
+        "direct_qps": direct_qps,
+        "efficiency": served_qps / direct_qps,
+        "efficiency_bar": EFFICIENCY_BAR,
+        "bar_asserted": MULTI_CORE,
+        "max_batch_rows_seen": coalesced,
+        "batches": load["server"]["batcher"]["batches"],
+        "rejection_rate": rejected / answered,
+        "overload": {
+            "queue_limit": overload_cfg.queue_limit,
+            "requests": answered,
+            "rejected": rejected,
+            "p99_ms": _percentile(overload["latencies_ms"], 99),
+        },
+        "chaos": {
+            "workers": 2,
+            "crash_rate": 0.35,
+            "requests": chaos_total,
+            "ok": chaos_ok,
+            "accepted": chaos["server"]["accepted"],
+            "responded": chaos["server"]["responded"],
+            "dropped": chaos["server"]["accepted"] - chaos["server"]["responded"],
+            "p99_ms": _percentile(chaos["latencies_ms"], 99),
+        },
+    }
+
+
+def test_serve_load(benchmark, measurement, report):
+    m = measurement
+    if m["bar_asserted"]:
+        assert m["efficiency"] >= EFFICIENCY_BAR, (
+            f"serving efficiency {m['efficiency']:.2f} below bar {EFFICIENCY_BAR}"
+        )
+    assert m["chaos"]["dropped"] == 0
+
+    # pytest-benchmark timing on the hot serving kernel (one coalesced
+    # forward), stable on any host; the socket numbers come from the
+    # module-scope measurement.
+    qnet = PositQuantizedNetwork(kws_cnn1(seed=0), STD_POSIT8, stable_contractions=True)
+    rng = np.random.default_rng(7)
+    batch = rng.normal(size=(16, 1, 31, 20))
+    qnet.forward(batch[:1])
+    benchmark(lambda: qnet.forward(batch))
+
+    bar_note = (
+        "asserted" if m["bar_asserted"] else f"not asserted ({m['cpu_count']} CPU host)"
+    )
+    report(
+        "serve_load",
+        [
+            f"workload       {m['workload']} ({m['format']})",
+            f"clients        {m['clients']} concurrent, {m['requests']} requests",
+            f"p50 / p99      {m['p50_ms']:8.2f} / {m['p99_ms']:8.2f} ms",
+            f"sustained      {m['sustained_qps']:10.2f} req/s served",
+            f"direct solo    {m['direct_qps']:10.2f} req/s sequential",
+            f"efficiency     {m['efficiency']:10.2f}x  (bar >= {EFFICIENCY_BAR}x, {bar_note})",
+            f"coalescing     up to {m['max_batch_rows_seen']} rows/batch over {m['batches']} batches",
+            f"overload       {m['overload']['rejected']}/{m['overload']['requests']} rejected "
+            f"(queue_limit {m['overload']['queue_limit']})",
+            f"chaos          {m['chaos']['ok']}/{m['chaos']['requests']} ok, "
+            f"{m['chaos']['dropped']} dropped (crash_rate {m['chaos']['crash_rate']})",
+        ],
+    )
+    (REPO_ROOT / "BENCH_serve.json").write_text(json.dumps(m, indent=2) + "\n")

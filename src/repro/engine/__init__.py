@@ -49,7 +49,14 @@ from .observe import (
 )
 from .backend import Backend, OpCounters
 from .faults import ChaosPlan, FaultPlan, FormatFaultModel, apply_code_faults
-from .kernels import lut_matmul, nonfinite_count, pairwise_lut, rounded_matmul, shard_rows
+from .kernels import (
+    lut_matmul,
+    nonfinite_count,
+    pairwise_lut,
+    rounded_matmul,
+    shard_rows,
+    stable_matmul,
+)
 from .registry import (
     REGISTRY,
     KernelRegistry,
@@ -100,6 +107,7 @@ __all__ = [
     "pairwise_lut",
     "lut_matmul",
     "rounded_matmul",
+    "stable_matmul",
     "nonfinite_count",
     "FaultPlan",
     "ChaosPlan",

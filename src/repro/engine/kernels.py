@@ -19,7 +19,14 @@ import numpy as np
 
 from .observe import TRACER
 
-__all__ = ["pairwise_lut", "lut_matmul", "rounded_matmul", "shard_rows", "nonfinite_count"]
+__all__ = [
+    "pairwise_lut",
+    "lut_matmul",
+    "rounded_matmul",
+    "stable_matmul",
+    "shard_rows",
+    "nonfinite_count",
+]
 
 
 def nonfinite_count(x: np.ndarray) -> int:
@@ -101,6 +108,24 @@ def lut_matmul(
             prods = lut[a_idx[:, None, start:stop], bt[None, :, start:stop]]
             out += prods.sum(axis=2, dtype=dtype)
         return out
+
+
+def stable_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` with a batch-composition-independent accumulation order.
+
+    BLAS ``@`` picks different kernels (and hence different float64
+    summation orders) for different row counts, so ``(x @ w)[i]`` is *not*
+    byte-equal to ``x[i:i+1] @ w`` in general.  The serving layer coalesces
+    rows from unrelated requests into one batch and promises each request a
+    result byte-equal to solo execution, so its contractions run through
+    this kernel instead: non-optimized ``einsum`` reduces over K in a fixed
+    C-order loop per output element, making every output row a pure
+    function of its own input row.  Costs ~5x BLAS at serving sizes —
+    still vectorized, and far cheaper than the coalescing win it enables.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return np.einsum("ik,kj->ij", a, b, optimize=False)
 
 
 def rounded_matmul(

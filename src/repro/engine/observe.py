@@ -412,11 +412,71 @@ class Metrics:
         for name in [n for n in self.histograms if n.startswith("op.")]:
             del self.histograms[name]
 
+    # ------------------------------------------------------------------
+    def to_prometheus(self, prefix: str = "repro_") -> str:
+        """Render the registry in the Prometheus text exposition format.
+
+        Counters become ``<prefix><name>_total``, gauges ``<prefix><name>``,
+        and every histogram emits the standard series — ``_bucket`` lines
+        with **cumulative** counts per ``le`` upper bound (ending in
+        ``le="+Inf"`` equal to the total count), plus ``_sum`` and
+        ``_count``.  The per-op table exports as three labelled counters
+        (``op_calls_total{op=...}`` etc).  Dots and other non-identifier
+        characters in metric names collapse to ``_``; this is what the
+        serving layer's ``/metrics`` scrape endpoint returns.
+        """
+        lines: List[str] = []
+
+        def emit(name: str, mtype: str, *samples) -> None:
+            lines.append(f"# TYPE {name} {mtype}")
+            for labels, value in samples:
+                if isinstance(value, float) and value == int(value):
+                    value = int(value)
+                lines.append(f"{name}{labels} {value}")
+
+        for name in sorted(self.counters):
+            emit(
+                _prom_name(prefix, name) + "_total",
+                "counter",
+                ("", self.counters[name]),
+            )
+        for name in sorted(self.gauges):
+            emit(_prom_name(prefix, name), "gauge", ("", self.gauges[name]))
+        for name in sorted(self.histograms):
+            hist = self.histograms[name]
+            base = _prom_name(prefix, name)
+            cumulative = 0
+            buckets = []
+            for bound, count in zip(hist.bounds, hist.counts):
+                cumulative += count
+                buckets.append((f'{{le="{bound:g}"}}', cumulative))
+            buckets.append(('{le="+Inf"}', hist.count))
+            emit(base + "_bucket", "histogram", *buckets)
+            lines.append(f"{base}_sum {hist.sum}")
+            lines.append(f"{base}_count {hist.count}")
+        if self._ops:
+            for field in ("calls", "elements", "seconds"):
+                emit(
+                    f"{prefix}op_{field}_total",
+                    "counter",
+                    *(
+                        (f'{{op="{op}"}}', self._ops[op][field])
+                        for op in sorted(self._ops)
+                    ),
+                )
+        return "\n".join(lines) + "\n"
+
     def __repr__(self):
         return (
             f"Metrics({len(self.counters)} counters, {len(self.gauges)} gauges, "
             f"{len(self.histograms)} histograms, {len(self._ops)} ops)"
         )
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    """``serve.latency_s`` -> ``<prefix>serve_latency_s`` (Prometheus-legal)."""
+    safe = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return prefix + safe
 
 
 # ----------------------------------------------------------------------

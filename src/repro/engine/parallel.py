@@ -84,11 +84,19 @@ class PositNetworkSpec:
     come from the shared registry disk cache instead of a rebuild.
     """
 
-    def __init__(self, net, fmt, fault_plan=None, poison_audit: bool = False):
+    def __init__(
+        self,
+        net,
+        fmt,
+        fault_plan=None,
+        poison_audit: bool = False,
+        stable_contractions: bool = False,
+    ):
         self.net = net
         self.fmt = fmt
         self.fault_plan = fault_plan
         self.poison_audit = poison_audit
+        self.stable_contractions = stable_contractions
 
     def __call__(self):
         from ..nn.posit_inference import PositQuantizedNetwork
@@ -98,6 +106,7 @@ class PositNetworkSpec:
             self.fmt,
             fault_plan=self.fault_plan,
             poison_audit=self.poison_audit,
+            stable_contractions=self.stable_contractions,
         )
 
 
@@ -121,6 +130,7 @@ def _factory_for(model):
             model.fmt,
             fault_plan=getattr(model, "fault_plan", None),
             poison_audit=getattr(model, "poison_audit", False),
+            stable_contractions=getattr(model, "stable_contractions", False),
         )
     return ModelHandle(model)
 
@@ -299,6 +309,7 @@ class ParallelRunner:
         self._local_model = model  # lazily built from the factory if None
 
         self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
+        self._owns_cache_dir = False
         if cache_dir is not None:
             self._cache_dir: Optional[Path] = Path(cache_dir)
         elif self._registry.cache_dir is not None:
@@ -306,10 +317,17 @@ class ParallelRunner:
         elif self.workers > 1:
             self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-engine-cache-")
             self._cache_dir = Path(self._tmpdir.name)
+            self._owns_cache_dir = True
         else:
             self._cache_dir = None
 
         self._pool: Optional[ProcessPoolExecutor] = None
+        #: Workers of crash-broken pools discarded mid-run without joining
+        #: (joining there would stall the run); :meth:`close` reaps them.
+        #: Snapshotted *before* the discarding shutdown, because
+        #: ``Executor.shutdown`` drops its process references even with
+        #: ``wait=False`` — a second ``shutdown(wait=True)`` joins nothing.
+        self._dead_procs: List[object] = []
         self._broken = False
         self._fallbacks = 0
         self._fallback_causes: Dict[str, int] = {}
@@ -328,6 +346,13 @@ class ParallelRunner:
         if self._broken or self.workers <= 1:
             return None
         if self._pool is None:
+            if self._owns_cache_dir and self._tmpdir is None:
+                # Reopening after close(): the private cache dir was
+                # removed, so stage a fresh one for the new pool.
+                self._tmpdir = tempfile.TemporaryDirectory(
+                    prefix="repro-engine-cache-"
+                )
+                self._cache_dir = Path(self._tmpdir.name)
             if self._cache_dir is not None:
                 # Share whatever the parent has already built.
                 with TRACER.span("parallel.flush_tables", dir=str(self._cache_dir)):
@@ -350,20 +375,47 @@ class ParallelRunner:
     def _discard_pool(self) -> None:
         """Drop a crash-broken pool; :meth:`_ensure_pool` builds a fresh one."""
         if self._pool is not None:
+            self._dead_procs.extend(
+                (getattr(self._pool, "_processes", None) or {}).values()
+            )
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
 
     def close(self) -> None:
-        """Shut the pool down and remove any private temporary cache dir."""
+        """Shut the pool down and remove any private temporary cache dir.
+
+        Idempotent, and *joins* the worker processes (``wait=True``) so a
+        long-lived parent — an asyncio server cycling runners across
+        restarts — never accumulates orphaned spawn children.  The runner
+        stays usable: the next :meth:`run` lazily rebuilds the pool (and a
+        fresh private cache dir, when this runner owns one).
+        """
         if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        for proc in self._dead_procs:
+            proc.join(timeout=10.0)
+        self._dead_procs.clear()
         if self._tmpdir is not None:
             try:
                 self._tmpdir.cleanup()
             except OSError:
                 pass
             self._tmpdir = None
+            if self._owns_cache_dir:
+                self._cache_dir = None
+
+    def restart(self) -> None:
+        """Close the pool and reset the crash budget for a fresh start.
+
+        The serving layer calls this after chaos-driven degradation: a
+        runner whose ``pool_restarts`` budget was spent stays in-process
+        forever, while an explicitly restarted runner gets its full budget
+        back on a brand-new pool.
+        """
+        self.close()
+        self._broken = False
+        self._restarts_used = 0
 
     def __enter__(self):
         return self

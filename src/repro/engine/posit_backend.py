@@ -40,7 +40,7 @@ from ..posit.tensor import PositTable
 from ..posit.value import Posit
 from .backend import OpCounters, timed_op
 from .faults import apply_code_faults
-from .kernels import pairwise_lut, rounded_matmul
+from .kernels import pairwise_lut, rounded_matmul, stable_matmul
 from .registry import KernelRegistry, get_codec, get_posit_tables
 from .wide import MAX_WIDE_BITS, get_wide_posit_codec
 
@@ -62,6 +62,7 @@ class PositBackend:
         table_bits: int = 8,
         strategy: Optional[str] = None,
         fault_plan=None,
+        stable_contractions: bool = False,
     ):
         if fmt.nbits > MAX_WIDE_BITS:
             raise ValueError(
@@ -103,6 +104,13 @@ class PositBackend:
         self.code_bits = fmt.nbits
         #: Optional :class:`repro.engine.faults.FaultPlan` corrupting op outputs.
         self.fault_plan = fault_plan
+        #: When true, float64 contractions run through
+        #: :func:`repro.engine.kernels.stable_matmul`, whose accumulation
+        #: order is independent of batch composition — the property the
+        #: serving layer needs to coalesce rows from unrelated requests
+        #: while keeping every request's result byte-equal to solo
+        #: execution.
+        self.stable_contractions = bool(stable_contractions)
 
     def _fault(self, op: str, codes: np.ndarray) -> np.ndarray:
         return apply_code_faults(self.fault_plan, self.name, op, codes, self.code_bits)
@@ -179,7 +187,8 @@ class PositBackend:
         a, b = np.asarray(a), np.asarray(b)
         with timed_op(self.counters, f"matmul[{accumulate}]", a.shape[0] * a.shape[1] * b.shape[1], fmt=self.name):
             if accumulate == "float64":
-                out = self.codec.decode(a) @ self.codec.decode(b)
+                da, db = self.codec.decode(a), self.codec.decode(b)
+                out = stable_matmul(da, db) if self.stable_contractions else da @ db
                 return self._fault("matmul", self.codec.encode(out).astype(self._code_dtype))
             if accumulate == "quire":
                 m, k = a.shape
@@ -214,6 +223,8 @@ class PositBackend:
         qa, qb = np.asarray(qa), np.asarray(qb)
         macs = qa.shape[0] * qa.shape[-1] * (qb.shape[-1] if qb.ndim > 1 else 1)
         with timed_op(self.counters, "matmul[values]", macs, fmt=self.name):
+            if self.stable_contractions and qa.ndim == 2 and qb.ndim == 2:
+                return stable_matmul(qa, qb)
             return qa @ qb
 
     def dot_exact(self, a: np.ndarray, b: np.ndarray) -> int:

@@ -112,6 +112,12 @@ class BatchedRunner:
         if self._parallel is not None:
             self._parallel.close()
 
+    def restart(self) -> None:
+        """Rebuild the worker pool with a fresh crash budget (see
+        :meth:`repro.engine.parallel.ParallelRunner.restart`)."""
+        if self._parallel is not None:
+            self._parallel.restart()
+
     def __enter__(self):
         return self
 

@@ -102,10 +102,24 @@ class PositQuantizedNetwork:
         counters: Optional[OpCounters] = None,
         fault_plan=None,
         poison_audit: bool = False,
+        stable_contractions: bool = False,
     ):
         self.net = net
         self.fmt = fmt
-        self.engine = engine if engine is not None else PositBackend(fmt, counters=counters)
+        self.engine = (
+            engine
+            if engine is not None
+            else PositBackend(
+                fmt, counters=counters, stable_contractions=stable_contractions
+            )
+        )
+        #: Whether contractions use the batch-composition-independent
+        #: kernel (the serving layer's coalescing guarantee).  Mirrors the
+        #: engine's flag so :class:`repro.engine.parallel.PositNetworkSpec`
+        #: can rebuild an identical network worker-side.
+        self.stable_contractions = bool(
+            getattr(self.engine, "stable_contractions", stable_contractions)
+        )
         self.fault_plan = fault_plan
         self.poison_audit = bool(poison_audit)
         self._poison: dict = {}

@@ -1,0 +1,66 @@
+"""repro.serve — asyncio edge-inference serving layer over the engine.
+
+The "millions of users" front end: an NDJSON-over-TCP service (plus HTTP
+``/healthz`` / ``/metrics`` / ``/stats`` on the same port) that coalesces
+concurrent posit/approximate arithmetic and DNN-inference requests into
+dynamic batches for the vectorized engine, under admission control
+(bounded queue with retry-after backpressure, per-tenant token-bucket
+quotas, per-request deadlines).
+
+Quickstart::
+
+    import asyncio
+    from repro.serve import ReproServer, ServeConfig, ServeClient
+
+    async def main():
+        async with ReproServer(ServeConfig(port=0, workers=2)) as server:
+            client = await ServeClient.connect(*server.address)
+            resp = await client.request(
+                workload="posit_matmul", bits=8, es=2,
+                a=[[1.0, 2.0]], b=[[3.0], [4.0]],
+            )
+            print(resp["result"])
+            await client.close()
+
+    asyncio.run(main())
+
+Or from a shell: ``python -m repro.serve --port 7070 --workers 2``.
+
+The coalescing contract: a request's result is **byte-equal** whether it
+is served solo, coalesced into any batch, or sharded across any worker
+count — the engine's batch entry points run serving contractions through
+:func:`repro.engine.kernels.stable_matmul`, whose accumulation order is
+independent of batch composition.
+"""
+
+from .admission import AdmissionController, TokenBucket
+from .batcher import DynamicBatcher
+from .client import ServeClient, http_get
+from .executor import MODELS, MULTIPLIERS, DeadlineExceeded, EngineExecutor
+from .protocol import (
+    WORKLOADS,
+    ProtocolError,
+    Rejected,
+    Request,
+    parse_request,
+)
+from .server import ReproServer, ServeConfig
+
+__all__ = [
+    "AdmissionController",
+    "TokenBucket",
+    "DynamicBatcher",
+    "ServeClient",
+    "http_get",
+    "EngineExecutor",
+    "DeadlineExceeded",
+    "MODELS",
+    "MULTIPLIERS",
+    "WORKLOADS",
+    "ProtocolError",
+    "Rejected",
+    "Request",
+    "parse_request",
+    "ReproServer",
+    "ServeConfig",
+]

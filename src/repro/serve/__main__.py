@@ -1,0 +1,52 @@
+"""``python -m repro.serve`` — run the serving layer from a shell."""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from .server import ReproServer, ServeConfig
+
+
+def _parse_args(argv=None) -> ServeConfig:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="asyncio edge-inference server over the repro engine",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7070)
+    parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument("--max-delay-ms", type=float, default=2.0)
+    parser.add_argument("--queue-limit", type=int, default=64)
+    parser.add_argument("--tenant-rate", type=float, default=None)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--default-deadline-ms", type=float, default=1000.0)
+    args = parser.parse_args(argv)
+    return ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        queue_limit=args.queue_limit,
+        tenant_rate=args.tenant_rate,
+        workers=args.workers,
+        default_deadline_ms=args.default_deadline_ms,
+    )
+
+
+async def _main(config: ServeConfig) -> None:
+    async with ReproServer(config) as server:
+        host, port = server.address
+        print(f"repro.serve listening on {host}:{port} "
+              f"(NDJSON data plane + HTTP /healthz /metrics /stats)")
+        try:
+            await asyncio.Event().wait()
+        except asyncio.CancelledError:
+            pass
+
+
+if __name__ == "__main__":
+    try:
+        asyncio.run(_main(_parse_args()))
+    except KeyboardInterrupt:
+        pass

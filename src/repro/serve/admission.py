@@ -1,0 +1,142 @@
+"""repro.serve.admission — bounded queue, per-tenant quotas, deadlines.
+
+Admission control is what lets the server say *no* cheaply instead of
+failing expensively: a bounded in-flight budget provides backpressure
+(reject-with-retry-after once full, instead of queueing without bound
+until latency is unbounded too), and per-tenant token buckets keep one hot
+tenant from starving the rest.  Both decisions are O(1) per request and
+happen *before* any payload touches the engine.
+
+Every decision is observable: ``serve.queue_depth`` gauges the in-flight
+count, ``serve.admitted`` / ``serve.rejected.<reason>`` count outcomes,
+and ``serve.tenant.<tenant>.requests`` / ``.rejected`` attribute them.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from ..engine.observe import METRICS, Metrics
+from .protocol import Rejected
+
+__all__ = ["TokenBucket", "AdmissionController"]
+
+
+class TokenBucket:
+    """A standard token bucket: ``rate`` tokens/s, capacity ``burst``.
+
+    :meth:`take` returns 0.0 and consumes a token when one is available,
+    otherwise the time until the next token accrues — which becomes the
+    rejection's ``retry_after`` hint.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        #: Lazily anchored to the first :meth:`take`'s clock, so callers
+        #: may supply any monotone ``now`` sequence (e.g. synthetic test
+        #: clocks) without racing ``time.monotonic()``.
+        self.stamp: Optional[float] = None
+
+    def take(self, now: Optional[float] = None) -> float:
+        now = time.monotonic() if now is None else now
+        if self.stamp is not None:
+            elapsed = max(0.0, now - self.stamp)
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class AdmissionController:
+    """Admit-or-reject gate in front of the batcher.
+
+    Parameters:
+        queue_limit: Maximum admitted-but-unanswered requests.  At the
+            limit, new arrivals are rejected with reason ``queue_full``
+            and a retry hint of ``retry_after_s``.
+        tenant_rate: Per-tenant sustained requests/s quota (``None``
+            disables quotas).
+        tenant_burst: Per-tenant burst capacity (defaults to
+            ``max(1, tenant_rate)``).
+        retry_after_s: The ``queue_full`` retry hint.
+    """
+
+    def __init__(
+        self,
+        queue_limit: int = 64,
+        tenant_rate: Optional[float] = None,
+        tenant_burst: Optional[float] = None,
+        retry_after_s: float = 0.05,
+        metrics: Optional[Metrics] = None,
+    ):
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.queue_limit = int(queue_limit)
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = (
+            tenant_burst
+            if tenant_burst is not None
+            else (max(1.0, tenant_rate) if tenant_rate is not None else None)
+        )
+        self.retry_after_s = float(retry_after_s)
+        self.metrics = metrics if metrics is not None else METRICS
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._inflight = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def _reject(self, tenant: str, reason: str, retry_after_s: float) -> None:
+        self.rejected += 1
+        self.metrics.inc(f"serve.rejected.{reason}")
+        self.metrics.inc(f"serve.tenant.{tenant}.rejected")
+        raise Rejected(reason, retry_after_s)
+
+    def admit(self, tenant: str, now: Optional[float] = None) -> None:
+        """Admit one request or raise :class:`~repro.serve.protocol.Rejected`.
+
+        Every successful admit must be paired with exactly one
+        :meth:`release` once the response has been written.
+        """
+        self.metrics.inc(f"serve.tenant.{tenant}.requests")
+        if self._inflight >= self.queue_limit:
+            self._reject(tenant, "queue_full", self.retry_after_s)
+        if self.tenant_rate is not None:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.tenant_rate, self.tenant_burst
+                )
+            wait = bucket.take(now)
+            if wait > 0.0:
+                self._reject(tenant, "quota", wait)
+        self._inflight += 1
+        self.admitted += 1
+        self.metrics.inc("serve.admitted")
+        self.metrics.set_gauge("serve.queue_depth", self._inflight)
+
+    def release(self) -> None:
+        """The paired bookend of :meth:`admit` (response written)."""
+        self._inflight = max(0, self._inflight - 1)
+        self.metrics.set_gauge("serve.queue_depth", self._inflight)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "inflight": self._inflight,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "queue_limit": self.queue_limit,
+        }

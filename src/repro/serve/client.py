@@ -1,0 +1,104 @@
+"""repro.serve.client — asyncio NDJSON client + HTTP scrape helper.
+
+:class:`ServeClient` pipelines requests over one connection and correlates
+out-of-order responses by ``id`` — the shape the load harness's simulated
+edge devices use.  :func:`http_get` fetches the scrape plane
+(``/healthz``, ``/metrics``, ``/stats``) over a throwaway connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Dict, Optional, Tuple
+
+from .protocol import decode_line, encode_line
+
+__all__ = ["ServeClient", "http_get"]
+
+
+class ServeClient:
+    """One pipelined NDJSON connection to a :class:`ReproServer`."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._pending: Dict[str, asyncio.Future] = {}
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                obj = decode_line(line)
+                future = self._pending.pop(str(obj.get("id", "")), None)
+                if future is not None and not future.done():
+                    future.set_result(obj)
+        except (ConnectionError, ValueError, asyncio.CancelledError):
+            pass
+        finally:
+            self._closed = True
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(ConnectionError("server closed connection"))
+            self._pending.clear()
+
+    async def request(self, timeout: Optional[float] = 30.0, **payload) -> dict:
+        """Send one request and await its correlated response dict.
+
+        Fills in a fresh ``id`` unless the payload carries one.  Raises
+        ``ConnectionError`` if the connection dies first, ``TimeoutError``
+        past ``timeout``.
+        """
+        if self._closed:
+            raise ConnectionError("client is closed")
+        req_id = str(payload.setdefault("id", f"c{next(self._ids)}"))
+        future = asyncio.get_running_loop().create_future()
+        self._pending[req_id] = future
+        self._writer.write(encode_line(payload))
+        await self._writer.drain()
+        return await asyncio.wait_for(future, timeout)
+
+    async def close(self) -> None:
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self):
+        return self
+
+    async def __aexit__(self, *exc):
+        await self.close()
+        return False
+
+
+async def http_get(host: str, port: int, path: str) -> Tuple[int, str]:
+    """``(status_code, body)`` of one HTTP/1.0 GET against the scrape plane."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n".encode())
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split()[1]) if head.split() else 0
+    return status, body.decode()

@@ -92,6 +92,31 @@ def fp8_goldens(fmt) -> dict:
     }
 
 
+def serve_goldens() -> dict:
+    """Frozen inputs + outputs for the serving path's coalescing contract.
+
+    Unlike the scalar-model goldens above, these ARE produced by the
+    engine — deliberately: they pin the byte-exact output of the
+    *stable-contraction* serving path (posit8 ``kws1`` inference, solo,
+    in-process), so ``tests/test_serve_identity.py`` can replay the same
+    samples solo, coalesced, and across worker counts and require all of
+    them to match these bytes.
+    """
+    from repro.nn.posit_inference import PositQuantizedNetwork
+    from repro.nn.zoo import kws_cnn1
+    from repro.posit import STD_POSIT8
+
+    rng = np.random.default_rng(ENCODE_SEED + 8000)
+    x = rng.normal(size=(8, 1, 31, 20))
+    # posit<8,2> — the serving protocol's wire default (bits=8, es=2).
+    qnet = PositQuantizedNetwork(
+        kws_cnn1(seed=0), STD_POSIT8, stable_contractions=True
+    )
+    # Solo reference: each sample forwarded alone.
+    y = np.concatenate([qnet.forward(x[i : i + 1]) for i in range(len(x))], axis=0)
+    return {"x": x, "y": y}
+
+
 def main() -> None:
     np.savez_compressed(HERE / "posit8.npz", **posit8_goldens())
     print(f"wrote {HERE / 'posit8.npz'}")
@@ -99,6 +124,8 @@ def main() -> None:
         path = HERE / f"{fmt.name}.npz"
         np.savez_compressed(path, **fp8_goldens(fmt))
         print(f"wrote {path}")
+    np.savez_compressed(HERE / "serve_kws1_posit8.npz", **serve_goldens())
+    print(f"wrote {HERE / 'serve_kws1_posit8.npz'}")
 
 
 if __name__ == "__main__":

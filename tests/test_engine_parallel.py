@@ -397,3 +397,68 @@ class TestParallelStats:
         assert isinstance(rebuilt, PositQuantizedNetwork)
         handle = ModelHandle(TinyModel(seed=24))
         assert handle() is handle.model
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: close/restart must be leak-free and idempotent
+# ----------------------------------------------------------------------
+class TestRunnerLifecycle:
+    def test_ten_runners_open_close_leak_no_children(self):
+        """Serving churn: repeatedly built-and-closed pools must join every
+        worker — a leaked spawn process per server restart is a slow OOM."""
+        x = np.arange(24, dtype=np.float64).reshape(4, 6)
+        for i in range(10):
+            runner = ParallelRunner(TinyModel(), workers=2, batch_size=2)
+            runner.run(x)
+            runner.close()
+        assert multiprocessing.active_children() == []
+
+    def test_close_is_idempotent(self):
+        runner = ParallelRunner(TinyModel(), workers=2, batch_size=2)
+        runner.run(np.zeros((2, 6)))
+        runner.close()
+        runner.close()
+        runner.close()
+        assert multiprocessing.active_children() == []
+
+    def test_reopen_after_close_is_bit_identical(self):
+        """A closed runner must rebuild its pool (and owned cache dir) on
+        the next run, and the reopened pool's output must not drift."""
+        x = np.arange(36, dtype=np.float64).reshape(6, 6)
+        runner = ParallelRunner(TinyModel(), workers=2, batch_size=2)
+        first = runner.run(x)
+        runner.close()
+        second = runner.run(x)  # transparently reopens
+        runner.close()
+        assert first.tobytes() == second.tobytes()
+        assert multiprocessing.active_children() == []
+
+    def test_restart_resets_crash_budget(self):
+        """After chaos breaks a pool into in-process fallback, restart()
+        must hand back a working pool with a fresh crash budget."""
+        x = np.zeros((4, 6))
+        runner = ParallelRunner(
+            CrashInWorker(), workers=2, batch_size=2,
+            task_retries=0, pool_restarts=0,
+        )
+        runner.run(x)  # crash -> broken -> in-process fallback
+        assert runner._broken
+        runner.restart()
+        assert not runner._broken
+        # The model still crashes workers, but the budget is fresh: the
+        # runner degrades again instead of raising.
+        out = runner.run(x)
+        assert out.shape == (4, 3)
+        runner.close()
+        assert multiprocessing.active_children() == []
+
+    def test_batched_runner_close_and_restart_delegate(self):
+        runner = BatchedRunner(TinyModel(), batch_size=2, workers=2)
+        x = np.ones((4, 6))
+        first = runner.run(x)
+        runner.close()
+        runner.restart()
+        second = runner.run(x)
+        runner.close()
+        assert first.tobytes() == second.tobytes()
+        assert multiprocessing.active_children() == []

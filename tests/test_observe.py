@@ -450,3 +450,71 @@ class TestReport:
 
     def test_report_without_stats(self):
         assert "engine run report" in report()
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+class TestPrometheusExport:
+    def test_counters_and_gauges(self):
+        metrics = Metrics()
+        metrics.inc("serve.admitted", 3)
+        metrics.set_gauge("serve.queue_depth", 7)
+        body = metrics.to_prometheus()
+        assert "# TYPE repro_serve_admitted_total counter" in body
+        assert "repro_serve_admitted_total 3" in body
+        assert "# TYPE repro_serve_queue_depth gauge" in body
+        assert "repro_serve_queue_depth 7" in body
+        assert body.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        metrics = Metrics()
+        bounds = (1.0, 10.0, 100.0)
+        for v in (0.5, 0.6, 5.0, 50.0, 5000.0):
+            metrics.observe("lat", v, bounds=bounds)
+        body = metrics.to_prometheus()
+        lines = body.splitlines()
+        assert 'repro_lat_bucket{le="1"} 2' in lines
+        assert 'repro_lat_bucket{le="10"} 3' in lines
+        assert 'repro_lat_bucket{le="100"} 4' in lines
+        # +Inf equals the total count (cumulative, overflow included).
+        assert 'repro_lat_bucket{le="+Inf"} 5' in lines
+        assert "repro_lat_count 5" in lines
+        assert f"repro_lat_sum {0.5 + 0.6 + 5.0 + 50.0 + 5000.0}" in body
+        # Bucket counts never decrease as le grows.
+        counts = [
+            int(ln.rsplit(" ", 1)[1])
+            for ln in lines
+            if ln.startswith("repro_lat_bucket")
+        ]
+        assert counts == sorted(counts)
+
+    def test_op_table_exports_labelled_counters(self):
+        metrics = Metrics()
+        metrics.record_op("mul", elements=64, seconds=0.5)
+        metrics.record_op("matmul[values]", elements=128, seconds=1.5)
+        body = metrics.to_prometheus()
+        assert 'repro_op_calls_total{op="mul"} 1' in body
+        assert 'repro_op_elements_total{op="mul"} 64' in body
+        assert 'repro_op_seconds_total{op="mul"} 0.5' in body
+        # Op labels keep their raw name; only metric names are sanitized.
+        assert 'repro_op_elements_total{op="matmul[values]"} 128' in body
+
+    def test_metric_names_are_sanitized(self):
+        metrics = Metrics()
+        metrics.inc("serve.tenant.acme-eu.requests")
+        metrics.observe("op.matmul[values].seconds", 0.1)
+        body = metrics.to_prometheus(prefix="x_")
+        assert "x_serve_tenant_acme_eu_requests_total 1" in body
+        assert 'x_op_matmul_values__seconds_bucket{le="+Inf"} 1' in body
+
+    def test_integer_valued_floats_render_as_ints(self):
+        metrics = Metrics()
+        metrics.inc("n", 2.0)
+        metrics.set_gauge("g", 1.5)
+        body = metrics.to_prometheus()
+        assert "repro_n_total 2\n" in body
+        assert "repro_g 1.5" in body
+
+    def test_empty_registry_renders_empty(self):
+        assert Metrics().to_prometheus() == "\n"

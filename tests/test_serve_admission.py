@@ -1,0 +1,195 @@
+"""Unit tests for the serving layer's protocol and admission control."""
+
+import numpy as np
+import pytest
+
+from repro.engine.observe import Metrics
+from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.protocol import (
+    ProtocolError,
+    Rejected,
+    decode_line,
+    encode_line,
+    error_response,
+    ok_response,
+    parse_request,
+)
+
+
+# ----------------------------------------------------------------------
+# Protocol parsing
+# ----------------------------------------------------------------------
+class TestParseRequest:
+    def test_posit_matmul_roundtrip(self):
+        req = parse_request(
+            {
+                "id": "r1",
+                "workload": "posit_matmul",
+                "bits": 8,
+                "es": 2,
+                "a": [[1.0, 2.0]],
+                "b": [[3.0], [4.0]],
+            }
+        )
+        assert req.batch_key() == ("posit_matmul", 8, 2)
+        assert req.rows == 1
+        assert req.tenant == "default"
+
+    def test_nn_predict_single_sample_gets_batch_dim(self):
+        x = np.zeros((1, 31, 20))
+        req = parse_request(
+            {"id": "r", "workload": "nn_predict", "model": "kws1", "x": x.tolist()}
+        )
+        assert req.x.shape == (1, 1, 31, 20)
+        assert req.rows == 1
+        assert req.batch_key() == ("nn_predict", "kws1", 8, 2)
+
+    def test_nn_predict_multi_sample(self):
+        x = np.zeros((3, 1, 31, 20))
+        req = parse_request(
+            {"id": "r", "workload": "nn_predict", "model": "kws1", "x": x.tolist()}
+        )
+        assert req.rows == 3
+
+    def test_approx_matmul_requires_int8_values(self):
+        base = {"id": "r", "workload": "approx_matmul", "b": [[1], [1]]}
+        parse_request({**base, "a": [[127, -128]]})
+        with pytest.raises(ProtocolError, match="int8"):
+            parse_request({**base, "a": [[1.5, 2.0]]})
+        with pytest.raises(ProtocolError, match="int8"):
+            parse_request({**base, "a": [[400, 0]]})
+
+    @pytest.mark.parametrize(
+        "mutation, match",
+        [
+            ({"id": ""}, "id"),
+            ({"workload": "nope"}, "unknown workload"),
+            ({"bits": 99}, "unsupported format"),
+            ({"bits": "x"}, "integers"),
+            ({"a": [[1.0, np.inf]]}, "non-finite"),
+            ({"a": [[]]}, "empty"),
+            ({"b": [[1.0, 2.0]]}, "shape mismatch"),
+            ({"deadline_ms": -5}, "positive"),
+            ({"deadline_ms": "soon"}, "number"),
+        ],
+    )
+    def test_validation_errors(self, mutation, match):
+        good = {
+            "id": "r1",
+            "workload": "posit_matmul",
+            "a": [[1.0, 2.0]],
+            "b": [[3.0], [4.0]],
+        }
+        with pytest.raises(ProtocolError, match=match):
+            parse_request({**good, **mutation})
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="limit") as exc:
+            parse_request(
+                {
+                    "id": "r",
+                    "workload": "posit_matmul",
+                    "a": np.zeros((2048, 1024)).tolist(),
+                    "b": np.zeros((1024, 1)).tolist(),
+                }
+            )
+        assert exc.value.code == "too_large"
+
+    def test_line_codec_roundtrip(self):
+        obj = ok_response("r1", np.array([[1.5]]), ms=2.0, batch_rows=4)
+        again = decode_line(encode_line(obj))
+        assert again == {
+            "id": "r1",
+            "ok": True,
+            "result": [[1.5]],
+            "ms": 2.0,
+            "batch_rows": 4,
+        }
+        err = error_response("r2", "rejected", "full", retry_after_ms=50.0)
+        assert decode_line(encode_line(err))["retry_after_ms"] == 50.0
+        with pytest.raises(ProtocolError):
+            decode_line(b"{nope")
+
+
+# ----------------------------------------------------------------------
+# Token bucket
+# ----------------------------------------------------------------------
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        t0 = 100.0
+        assert bucket.take(t0) == 0.0
+        assert bucket.take(t0) == 0.0
+        wait = bucket.take(t0)
+        assert wait == pytest.approx(0.1)
+        # After the hinted wait (plus float-rounding slack), a token is
+        # available again.
+        assert bucket.take(t0 + wait + 1e-9) == 0.0
+
+    def test_capacity_is_capped_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=1.0)
+        bucket.take(0.0)
+        # A long idle period still accrues only ``burst`` tokens.
+        assert bucket.take(1e6) == 0.0
+        assert bucket.take(1e6) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+# ----------------------------------------------------------------------
+# Admission controller
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_queue_full_backpressure(self):
+        metrics = Metrics()
+        adm = AdmissionController(queue_limit=2, metrics=metrics)
+        adm.admit("t")
+        adm.admit("t")
+        with pytest.raises(Rejected) as exc:
+            adm.admit("t")
+        assert exc.value.reason == "queue_full"
+        assert exc.value.retry_after_s > 0
+        adm.release()
+        adm.admit("t")  # a slot freed up
+        assert metrics.counters["serve.rejected.queue_full"] == 1
+        assert metrics.counters["serve.admitted"] == 3
+        assert metrics.gauges["serve.queue_depth"] == 2
+
+    def test_tenant_quota_isolated_per_tenant(self):
+        now = 50.0
+        adm = AdmissionController(
+            queue_limit=100, tenant_rate=5.0, tenant_burst=1.0, metrics=Metrics()
+        )
+        adm.admit("a", now=now)
+        with pytest.raises(Rejected) as exc:
+            adm.admit("a", now=now)
+        assert exc.value.reason == "quota"
+        assert exc.value.retry_after_s == pytest.approx(0.2)
+        # Tenant b has its own bucket.
+        adm.admit("b", now=now)
+
+    def test_release_floors_at_zero(self):
+        adm = AdmissionController(queue_limit=1, metrics=Metrics())
+        adm.release()
+        assert adm.inflight == 0
+
+    def test_stats_shape(self):
+        metrics = Metrics()
+        adm = AdmissionController(queue_limit=3, metrics=metrics)
+        adm.admit("t")
+        stats = adm.stats()
+        assert stats == {
+            "inflight": 1,
+            "admitted": 1,
+            "rejected": 0,
+            "queue_limit": 3,
+        }
+        assert metrics.counters["serve.tenant.t.requests"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(queue_limit=0)
