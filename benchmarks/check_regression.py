@@ -20,6 +20,11 @@ the machine-normalized **speedup** ratios instead:
   (posit32/binary32 x encode/decode/mul) over the scalar-object loop.
   Skipped when ``bar_asserted`` is false (REPRO_QUICK smoke runs, whose
   scalar sample is too small for a stable ratio).
+* ``BENCH_fog.json``: ``hit_rate`` = cached replays over total submissions
+  after repeated passes of a fixed working set.  Deterministic (seeded
+  traffic, rendezvous routing), so it is always enforced — a drop means
+  the fog's caching or routing changed behaviourally, not that the host
+  was slow.
 
 Exit status 0 = within budget, 1 = regression (or unreadable inputs).
 """
@@ -39,6 +44,7 @@ CHECKS = (
     ("parallel", "BENCH_parallel.json", "speedup", "bar_asserted"),
     ("wide", "BENCH_wide.json", "speedup", "bar_asserted"),
     ("serve", "BENCH_serve.json", "efficiency", "bar_asserted"),
+    ("fog", "BENCH_fog.json", "hit_rate", None),
 )
 
 

@@ -1,0 +1,217 @@
+"""Fog benchmark: cache-hit scaling and correctness under churn.
+
+Measures what the fog layer claims to buy an edge deployment:
+
+1. **Hit-rate growth** — repeated named computations over a fixed working
+   set should converge to near-pure cache replay.  Measured per round on
+   a 4-node topology; the final round's hit rate is the regression-gated
+   metric (deterministic: routing, caching, and traffic are all seeded).
+2. **Scaling** — the same working set on 2/4/8 nodes: total hit rate and
+   forwarding cost as ownership spreads out.
+3. **Churn** — a 6-node topology under ``ChaosPlan(crash_rate=0.35)``:
+   every completed answer is checked byte-for-byte against the direct
+   backend, rejections are counted, reroutes must engage.
+
+Results go to ``BENCH_fog.json`` at the repo root, gated by
+``check_regression.py`` (metric: ``hit_rate``).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.engine import ChaosPlan
+from repro.engine.observe import Metrics
+from repro.engine.posit_backend import PositBackend
+from repro.fog import ChurnDriver, FogTopology, FogUnavailable
+from repro.posit import PositFormat
+from repro.serve.protocol import Request
+
+from conftest import quick_mode
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+WORKING_SET = 8 if quick_mode() else 16
+ROUNDS = 4 if quick_mode() else 6
+CHURN_STEPS = 8 if quick_mode() else 15
+CRASH_RATE = 0.35
+#: Gate: after ROUNDS passes over the working set, at least 60% of all
+#: submissions must have been cache replays (the first pass is all misses,
+#: so perfect behaviour converges to (ROUNDS-1)/ROUNDS).
+HIT_RATE_BAR = 0.6
+
+
+def _matmul_request(req_id, a, b):
+    return Request(
+        id=req_id, workload="posit_matmul", tenant="bench", bits=8, es=2,
+        a=a, b=b, rows=len(a),
+    )
+
+
+def _working_set(seed, count=WORKING_SET):
+    rng = np.random.default_rng(seed)
+    pairs = [(rng.normal(size=(4, 6)), rng.normal(size=(6, 3))) for _ in range(count)]
+    backend = PositBackend(PositFormat(8, 2), stable_contractions=True)
+    want = [
+        backend.decode(backend.matmul(backend.encode(a), backend.encode(b))).tobytes()
+        for a, b in pairs
+    ]
+    return pairs, want
+
+
+def _run_rounds(nodes, pairs, want, rounds=ROUNDS):
+    """Drive `rounds` passes of the working set; returns per-round hits."""
+    per_round = []
+    wrong = 0
+    with FogTopology(nodes=nodes, replicas=2, metrics=Metrics()) as topo:
+        for r in range(rounds):
+            before = topo.cache_hits
+            for j, (a, b) in enumerate(pairs):
+                got = topo.submit(_matmul_request(f"r{r}j{j}", a, b))
+                if got.tobytes() != want[j]:
+                    wrong += 1
+            per_round.append(topo.cache_hits - before)
+        stats = topo.stats()
+    return {
+        "per_round_hits": per_round,
+        "wrong": wrong,
+        "submitted": stats["submitted"],
+        "cache_hits": stats["cache_hits"],
+        "forwards": stats["forwards"],
+        "executions": sum(n["executions"] for n in stats["nodes"].values()),
+    }
+
+
+@pytest.fixture(scope="module")
+def measurement():
+    pairs, want = _working_set(seed=20260808)
+    total = len(pairs) * ROUNDS
+
+    # ------------------------------------------------------------------
+    # Hit-rate growth on the reference 4-node topology.
+    # ------------------------------------------------------------------
+    t0 = time.perf_counter()
+    ref = _run_rounds(4, pairs, want)
+    ref_wall = time.perf_counter() - t0
+    assert ref["wrong"] == 0
+    hit_rate = ref["cache_hits"] / total
+    hit_rate_by_round = [h / len(pairs) for h in ref["per_round_hits"]]
+
+    # ------------------------------------------------------------------
+    # Scaling: same working set across 2/4/8 nodes.
+    # ------------------------------------------------------------------
+    scaling = {}
+    for n in (2, 4, 8):
+        obs = _run_rounds(n, pairs, want)
+        assert obs["wrong"] == 0
+        scaling[str(n)] = {
+            "hit_rate": obs["cache_hits"] / total,
+            "forwards": obs["forwards"],
+            "executions": obs["executions"],
+        }
+
+    # ------------------------------------------------------------------
+    # Churn: 6 nodes, ChaosPlan crash_rate=0.35, reject-or-exact.
+    # ------------------------------------------------------------------
+    metrics = Metrics()
+    churn_wrong = churn_rejected = churn_completed = 0
+    with FogTopology(nodes=6, replicas=2, metrics=metrics) as topo:
+        driver = ChurnDriver(topo, ChaosPlan(seed=3, crash_rate=CRASH_RATE))
+        for step in range(CHURN_STEPS):
+            driver.step(step)
+            for j, (a, b) in enumerate(pairs[:6]):
+                try:
+                    got = topo.submit(_matmul_request(f"c{step}j{j}", a, b))
+                except FogUnavailable:
+                    churn_rejected += 1
+                    continue
+                churn_completed += 1
+                if got.tobytes() != want[j]:
+                    churn_wrong += 1
+        churn_stats = topo.stats()
+        churn_events = driver.stats()
+    assert churn_wrong == 0, "churn produced wrong answers"
+    assert churn_events["crashes"] >= 1, "churn never fired"
+    assert churn_stats["reroutes"] >= 1, "no reroute engaged under churn"
+
+    return {
+        "workload": "posit_matmul (posit<8,2>, stable contractions)",
+        "working_set": len(pairs),
+        "rounds": ROUNDS,
+        "requests": total,
+        "cpu_count": os.cpu_count(),
+        "quick_mode": quick_mode(),
+        "hit_rate": hit_rate,
+        "hit_rate_bar": HIT_RATE_BAR,
+        "bar_asserted": True,
+        "hit_rate_by_round": hit_rate_by_round,
+        "identity_ok": ref["wrong"] == 0,
+        "wall_s": ref_wall,
+        "scaling": scaling,
+        "churn": {
+            "nodes": 6,
+            "replicas": 2,
+            "crash_rate": CRASH_RATE,
+            "seed": 3,
+            "steps": CHURN_STEPS,
+            "submitted": churn_stats["submitted"],
+            "completed": churn_completed,
+            "rejected": churn_rejected,
+            "wrong": churn_wrong,
+            "reroutes": churn_stats["reroutes"],
+            "crashes": churn_events["crashes"],
+            "revivals": churn_events["revivals"],
+            "cache_hits": churn_stats["cache_hits"],
+        },
+    }
+
+
+def test_fog_churn(benchmark, measurement, report):
+    m = measurement
+    assert m["identity_ok"]
+    assert m["hit_rate"] >= HIT_RATE_BAR, (
+        f"fog hit rate {m['hit_rate']:.2f} below bar {HIT_RATE_BAR}"
+    )
+    # Growth: every post-warmup round replays better than the first.
+    first, rest = m["hit_rate_by_round"][0], m["hit_rate_by_round"][1:]
+    assert all(r > first for r in rest), m["hit_rate_by_round"]
+    assert m["churn"]["wrong"] == 0
+
+    # pytest-benchmark timing on the hot fog path: one cached submission
+    # (name + lookup + integrity re-verify), the steady-state cost.
+    pairs, _ = _working_set(seed=20260808, count=1)
+    topo = FogTopology(nodes=4, replicas=2, metrics=Metrics())
+    try:
+        a, b = pairs[0]
+        topo.submit(_matmul_request("warm", a, b))
+        benchmark(lambda: topo.submit(_matmul_request("hot", a, b)))
+    finally:
+        topo.close()
+
+    by_round = "  ".join(f"{r:.2f}" for r in m["hit_rate_by_round"])
+    scale = "  ".join(
+        f"{n}n={s['hit_rate']:.2f}" for n, s in sorted(m["scaling"].items())
+    )
+    c = m["churn"]
+    report(
+        "fog_churn",
+        [
+            f"workload       {m['workload']}",
+            f"working set    {m['working_set']} names x {m['rounds']} rounds "
+            f"= {m['requests']} submissions",
+            f"hit rate       {m['hit_rate']:.2f} total (bar >= {m['hit_rate_bar']})",
+            f"by round       {by_round}",
+            f"scaling        {scale}",
+            f"churn          {c['completed']}/{c['submitted']} completed, "
+            f"{c['rejected']} rejected, {c['wrong']} wrong "
+            f"(crash_rate {c['crash_rate']}, {c['crashes']} crashes)",
+            f"reroutes       {c['reroutes']} (replicas={c['replicas']})",
+            f"identity       {'OK' if m['identity_ok'] else 'FAILED'} "
+            f"(byte-exact vs direct backend)",
+        ],
+    )
+    (REPO_ROOT / "BENCH_fog.json").write_text(json.dumps(m, indent=2) + "\n")

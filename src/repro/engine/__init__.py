@@ -60,6 +60,7 @@ from .kernels import (
 from .registry import (
     REGISTRY,
     KernelRegistry,
+    array_digest,
     enable_disk_cache,
     get_codec,
     get_posit_tables,
@@ -94,6 +95,7 @@ __all__ = [
     "report",
     "KernelRegistry",
     "REGISTRY",
+    "array_digest",
     "enable_disk_cache",
     "get_codec",
     "get_posit_tables",

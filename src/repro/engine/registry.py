@@ -37,6 +37,7 @@ from .observe import METRICS, TRACER
 __all__ = [
     "KernelRegistry",
     "REGISTRY",
+    "array_digest",
     "enable_disk_cache",
     "get_codec",
     "get_posit_tables",
@@ -77,6 +78,22 @@ def _digest(tables: Dict[str, np.ndarray]) -> bytes:
         h.update(repr(arr.shape).encode())
         h.update(arr.tobytes())
     return h.digest()
+
+
+def array_digest(arr: np.ndarray) -> str:
+    """Hex sha256 content name of one array: dtype + shape + bytes.
+
+    The building block of content addressing across the repo: the same
+    scheme the disk cache's embedded integrity digest uses per table, so a
+    tensor (or a kernel table) has exactly one name everywhere — two arrays
+    share a digest iff they are bit-identical with the same dtype and shape.
+    """
+    a = np.ascontiguousarray(arr)
+    h = hashlib.sha256()
+    h.update(str(a.dtype).encode())
+    h.update(repr(a.shape).encode())
+    h.update(a.tobytes())
+    return h.hexdigest()
 
 
 class KernelRegistry:
@@ -324,6 +341,36 @@ class KernelRegistry:
                 with self._lock:
                     flushed.add(key)
         return written
+
+    # ------------------------------------------------------------------
+    # Content naming (the fog layer's kernel provenance hook)
+    # ------------------------------------------------------------------
+    def content_digest(self, key: tuple) -> Optional[str]:
+        """Hex sha256 content name of the resident table dict for ``key``.
+
+        ``None`` when ``key`` has no resident tables yet — content names
+        exist only for tables that have actually been built or loaded, so a
+        name can never refer to bytes this process has not seen.  The digest
+        is the same one :meth:`_write` embeds in the ``.npz`` disk cache,
+        which makes it a cross-process kernel identity: two nodes citing the
+        same digest are provably executing over bit-identical tables.
+        """
+        with self._lock:
+            tables = self._memo.get(key)
+        if tables is None:
+            return None
+        return _digest(tables).hex()
+
+    def content_names(self) -> Dict[str, str]:
+        """``{format-key slug: hex digest}`` for every resident table dict.
+
+        The registry's advertisement surface: :mod:`repro.fog` nodes publish
+        these so routing and result caching can name the exact kernel bytes
+        a computation ran over.
+        """
+        with self._lock:
+            keys = list(self._memo)
+        return {_slug(key): self.content_digest(key) for key in keys}
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:

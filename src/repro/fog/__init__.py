@@ -1,0 +1,57 @@
+"""repro.fog — named-function fog topology with content-addressed caching.
+
+The paper's deployment shape (PAPER.md: many small posit-arithmetic nodes
+near the data) as an in-process simulator, following the NFN pattern:
+computations are *named* — workload, parameters, and the sha256 content
+digests of their operands (:mod:`repro.fog.names`) — and the fog routes
+each interest to a node that owns the kernel, caches the result under its
+name (:mod:`repro.fog.store`), and re-routes around node loss
+(:mod:`repro.fog.topology`).
+
+Quickstart::
+
+    import numpy as np
+    from repro.fog import FogTopology
+    from repro.serve.protocol import parse_request
+
+    topo = FogTopology(nodes=4, replicas=2)
+    req = parse_request({
+        "id": "r1", "workload": "posit_matmul", "bits": 8, "es": 2,
+        "a": [[1.0, 2.0]], "b": [[3.0], [4.0]],
+    })
+    y1 = topo.submit(req)      # executed at the owning node
+    y2 = topo.submit(req)      # served from a content store, bit-identical
+    assert y1.tobytes() == y2.tobytes()
+    print(topo.stats()["cache_hits"])    # 1
+
+Guarantees the tests pin:
+
+* **Routing identity** — a result is byte-identical whether computed
+  locally, forwarded across nodes, or replayed from any content store
+  (``tests/test_fog_identity.py``, golden-vector backed).
+* **Churn safety** — under :class:`~repro.engine.faults.ChaosPlan` node
+  churn, every completed computation is still bit-exact; what the fog
+  cannot serve it rejects with :class:`FogUnavailable`, never answers
+  wrongly (``tests/test_fog_churn.py``, ``benchmarks/test_fog_churn.py``).
+
+The serve front end dispatches into a fog with
+``ServeConfig(fog_nodes=N)`` (see :class:`repro.fog.executor.FogExecutor`).
+"""
+
+from .executor import FogExecutor
+from .names import ComputationName, name_request
+from .node import FogNode, NodeDown
+from .store import ContentStore
+from .topology import ChurnDriver, FogTopology, FogUnavailable
+
+__all__ = [
+    "ComputationName",
+    "name_request",
+    "ContentStore",
+    "FogNode",
+    "NodeDown",
+    "FogTopology",
+    "FogUnavailable",
+    "ChurnDriver",
+    "FogExecutor",
+]

@@ -1,0 +1,134 @@
+"""repro.fog.store — per-node content store for computation results.
+
+A bounded LRU cache keyed by computation name (see :mod:`repro.fog.names`).
+Entries are immutable by construction — results are copied in, marked
+read-only, and their :func:`~repro.engine.registry.array_digest` is pinned
+at insertion — so a hit replays exactly the bytes the original execution
+produced.  Every :meth:`get` re-verifies the pinned digest before serving;
+an entry whose bytes no longer match its name is dropped and counted
+(``integrity_failures``) rather than served, mirroring the kernel disk
+cache's quarantine-and-rebuild posture.
+
+Entries also record the content digest of the kernel tables the producing
+node executed over (when the registry had them resident), so a cached
+result carries provenance: *which function, which inputs, which kernel
+bytes*.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..engine.registry import array_digest
+
+__all__ = ["ContentStore"]
+
+
+class _Entry:
+    __slots__ = ("result", "digest", "kernel_digest", "nbytes")
+
+    def __init__(self, result: np.ndarray, kernel_digest: Optional[str]):
+        frozen = np.array(result, copy=True)
+        frozen.setflags(write=False)
+        self.result = frozen
+        self.digest = array_digest(frozen)
+        self.kernel_digest = kernel_digest
+        self.nbytes = int(frozen.nbytes)
+
+
+class ContentStore:
+    """LRU content-addressed result cache with verified replay.
+
+    Parameters:
+        capacity_bytes: Result-byte budget; least-recently-used entries are
+            evicted past it.  A single result larger than the budget is
+            simply not cached.
+    """
+
+    def __init__(self, capacity_bytes: int = 16 << 20):
+        if capacity_bytes < 1:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self.resident_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.integrity_failures = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    # ------------------------------------------------------------------
+    def put(self, name: str, result: np.ndarray, kernel_digest: Optional[str] = None) -> bool:
+        """Cache ``result`` under ``name``; False if it exceeds the budget.
+
+        Re-inserting an existing name refreshes its recency (the bytes are
+        content-addressed, so any two correct producers wrote the same
+        ones).
+        """
+        entry = _Entry(result, kernel_digest)
+        if entry.nbytes > self.capacity_bytes:
+            return False
+        old = self._entries.pop(name, None)
+        if old is not None:
+            self.resident_bytes -= old.nbytes
+        self._entries[name] = entry
+        self.resident_bytes += entry.nbytes
+        self.insertions += 1
+        while self.resident_bytes > self.capacity_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self.resident_bytes -= evicted.nbytes
+            self.evictions += 1
+        return True
+
+    def get(self, name: str) -> Optional[np.ndarray]:
+        """The verified read-only result for ``name``, or ``None``.
+
+        A hit refreshes recency; a digest mismatch (bit rot, a buggy
+        producer mutating shared memory) drops the entry and reports a
+        miss — the fog must re-execute rather than serve corrupt bytes.
+        """
+        entry = self._entries.get(name)
+        if entry is None:
+            self.misses += 1
+            return None
+        if array_digest(entry.result) != entry.digest:
+            del self._entries[name]
+            self.resident_bytes -= entry.nbytes
+            self.integrity_failures += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(name)
+        self.hits += 1
+        return entry.result
+
+    def kernel_digest(self, name: str) -> Optional[str]:
+        """The kernel provenance recorded for ``name`` (no recency effect)."""
+        entry = self._entries.get(name)
+        return entry.kernel_digest if entry is not None else None
+
+    def clear(self) -> None:
+        """Drop every entry (node crash / memory loss); stats survive."""
+        self._entries.clear()
+        self.resident_bytes = 0
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "resident_bytes": self.resident_bytes,
+            "capacity_bytes": self.capacity_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "integrity_failures": self.integrity_failures,
+        }

@@ -1,0 +1,360 @@
+"""repro.fog.topology — routing named computations across a fog of nodes.
+
+The multi-node story of the ROADMAP, in one process: a
+:class:`FogTopology` owns N :class:`~repro.fog.node.FogNode`\\ s, assigns
+each capability (serve-layer batch key) to ``replicas`` owner nodes by
+**rendezvous hashing** — deterministic, stable under membership churn, and
+with a built-in fallback order — and drives the NFN request walk:
+
+1. the interest enters at an ingress node (round-robin);
+2. the ingress answers from its content store if the name is cached;
+3. otherwise it executes locally if it advertises the capability;
+4. otherwise it **forwards** to the capability's owners in rendezvous
+   order — skipping dead owners counts a *reroute* — and on success the
+   result is cached both at the executing owner and along the reverse
+   path back to the ingress (on-path caching, so repeated interests hit
+   closer and closer to where they enter).
+
+Node loss is first-class: :meth:`FogTopology.crash` wipes the node's
+volatile content store, interests re-route to surviving replicas, and the
+caches re-populate as results flow again — :class:`ChurnDriver` scripts
+exactly that from a deterministic
+:class:`~repro.engine.faults.ChaosPlan`.  When every replica of a
+capability is down the interest fails *loudly* with
+:class:`FogUnavailable`: the fog rejects what it cannot serve, it never
+fabricates or drops an accepted answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.faults import ChaosPlan
+from ..engine.observe import METRICS, TRACER, Metrics
+from ..serve.executor import EngineExecutor
+from ..serve.protocol import Request
+from .names import ComputationName, name_request
+from .node import FogNode, NodeDown
+from .store import ContentStore
+
+__all__ = ["FogTopology", "FogUnavailable", "ChurnDriver"]
+
+
+class FogUnavailable(Exception):
+    """No alive node can serve this computation right now (retryable)."""
+
+    def __init__(self, message: str, name: Optional[str] = None):
+        super().__init__(message)
+        self.name = name
+
+
+def _slug(batch_key: Tuple) -> str:
+    return "/".join(str(part) for part in batch_key)
+
+
+def _rendezvous_score(node_name: str, capability_slug: str) -> int:
+    """Highest-random-weight score of ``node`` for ``capability``."""
+    digest = hashlib.sha256(f"{node_name}|{capability_slug}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class FogTopology:
+    """An in-process fog of edge nodes routing named computations.
+
+    Parameters:
+        nodes: Node count, or explicit node names.
+        replicas: Owners per capability (rendezvous top-``replicas``).
+            2+ gives the reroute path somewhere to go when a primary dies.
+        capacity_bytes: Per-node content-store budget.
+        max_hops: Forwarding budget per interest (ingress hop included).
+        executor_opts: Keyword arguments for each node's
+            :class:`~repro.serve.executor.EngineExecutor` (e.g. ``workers``).
+    """
+
+    def __init__(
+        self,
+        nodes: int = 4,
+        replicas: int = 2,
+        capacity_bytes: int = 16 << 20,
+        max_hops: int = 8,
+        metrics: Optional[Metrics] = None,
+        executor_opts: Optional[dict] = None,
+    ):
+        if isinstance(nodes, int):
+            if nodes < 1:
+                raise ValueError("a fog needs at least one node")
+            names = [f"n{i}" for i in range(nodes)]
+        else:
+            names = [str(n) for n in nodes]
+            if not names:
+                raise ValueError("a fog needs at least one node")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate node names: {names}")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.metrics = metrics if metrics is not None else METRICS
+        opts = dict(executor_opts or {})
+        opts.setdefault("metrics", self.metrics)
+        self.nodes: List[FogNode] = [
+            FogNode(
+                name,
+                executor=EngineExecutor(**opts),
+                store=ContentStore(capacity_bytes=capacity_bytes),
+                metrics=self.metrics,
+            )
+            for name in names
+        ]
+        self._by_name: Dict[str, FogNode] = {n.name: n for n in self.nodes}
+        self.replicas = min(int(replicas), len(self.nodes))
+        self.max_hops = int(max_hops)
+        #: Capability -> owner nodes in rendezvous (fallback) order.
+        self._owners: Dict[Tuple, List[FogNode]] = {}
+        self._ingress_counter = 0
+        self.submitted = 0
+        self.completed = 0
+        self.cache_hits = 0
+        self.forwards = 0
+        self.reroutes = 0
+        self.unavailable = 0
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def node(self, name: str) -> FogNode:
+        return self._by_name[name]
+
+    def alive_nodes(self) -> List[FogNode]:
+        return [n for n in self.nodes if n.alive]
+
+    def crash(self, name: str) -> None:
+        """Take a node down (volatile content store is lost with it)."""
+        self._by_name[name].crash()
+
+    def revive(self, name: str) -> None:
+        """Bring a node back, empty-handed: its caches refill from traffic."""
+        self._by_name[name].revive()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def owners(self, batch_key: Tuple) -> List[FogNode]:
+        """The capability's owner nodes, primary first (lazily assigned).
+
+        Assignment is rendezvous hashing over *all* nodes — dead ones
+        included — so the owner list is a pure function of the membership
+        roster and the capability, never of crash history.  A node that
+        crashes and revives owns exactly what it owned before.
+        """
+        owners = self._owners.get(batch_key)
+        if owners is None:
+            slug = _slug(batch_key)
+            ranked = sorted(
+                self.nodes,
+                key=lambda n: _rendezvous_score(n.name, slug),
+                reverse=True,
+            )
+            owners = ranked[: self.replicas]
+            for node in owners:
+                node.advertise(batch_key)
+            self._owners[batch_key] = owners
+            self.metrics.inc("fog.capabilities_assigned")
+        return owners
+
+    def _ingress(self) -> FogNode:
+        """Round-robin over alive nodes (any edge node can take traffic)."""
+        alive = self.alive_nodes()
+        if not alive:
+            raise FogUnavailable("every node in the fog is down")
+        node = alive[self._ingress_counter % len(alive)]
+        self._ingress_counter += 1
+        return node
+
+    # ------------------------------------------------------------------
+    # The NFN request walk
+    # ------------------------------------------------------------------
+    def submit(self, request: Request, ingress: Optional[str] = None) -> np.ndarray:
+        """Route one named computation through the fog and return its result.
+
+        Raises :class:`FogUnavailable` when no alive node can serve it
+        (rejected, not wrong), or whatever the executing engine raised.
+        """
+        self.submitted += 1
+        self.metrics.inc("fog.submitted")
+        name = name_request(request)
+        entry = self._by_name[ingress] if ingress is not None else self._ingress()
+        with TRACER.span("fog.submit", interest=name.uri(), ingress=entry.name):
+            result = self._walk(name, request, entry)
+        self.completed += 1
+        self.metrics.inc("fog.completed")
+        return result
+
+    def _walk(self, name: ComputationName, request: Request, entry: FogNode) -> np.ndarray:
+        key = request.batch_key()
+        path: List[FogNode] = []
+        node = entry
+        hops = 0
+        while True:
+            if hops > self.max_hops:
+                self.unavailable += 1
+                self.metrics.inc("fog.unavailable")
+                raise FogUnavailable(
+                    f"hop budget {self.max_hops} exhausted for {name.uri()}",
+                    name=name.uri(),
+                )
+            try:
+                cached = node.lookup(name)
+                if cached is not None:
+                    self.cache_hits += 1
+                    self.metrics.inc("fog.cache_hits")
+                    self._repopulate(path, name, cached)
+                    return cached
+                if node.serves(key):
+                    result = node.execute(request)
+                    self._repopulate(path, name, result)
+                    return result
+            except NodeDown:
+                pass  # stale route: fall through to the next candidate
+            # Forward: this node can't serve the name — send the interest
+            # to the capability's owners, skipping nodes already visited.
+            path.append(node)
+            visited = {n.name for n in path}
+            candidates = [
+                owner
+                for owner in self.owners(key)
+                if owner.alive and owner.name not in visited
+            ]
+            if not candidates:
+                self.unavailable += 1
+                self.metrics.inc("fog.unavailable")
+                raise FogUnavailable(
+                    f"no alive owner for {_slug(key)} (interest {name.uri()})",
+                    name=name.uri(),
+                )
+            # A reroute is a forward that had to skip the rendezvous
+            # primary — it is down, or it was the dead node just left.
+            primary = self.owners(key)[0]
+            node = candidates[0]
+            if node is not primary and (not primary.alive or primary.name in visited):
+                self.reroutes += 1
+                self.metrics.inc("fog.reroutes")
+                self.metrics.inc(f"fog.node.{node.name}.reroutes_absorbed")
+            hops += 1
+            self.forwards += 1
+            self.metrics.inc("fog.forwards")
+            self.metrics.inc(f"fog.node.{path[-1].name}.forwards")
+
+    def _repopulate(self, path: Sequence[FogNode], name: ComputationName, result: np.ndarray) -> None:
+        """On-path caching: the result rides the reverse path to the ingress."""
+        for node in path:
+            if node.alive:
+                node.carry(name, result)
+                self.metrics.inc("fog.repopulations")
+
+    # ------------------------------------------------------------------
+    # Lifecycle + observability
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        for node in self.nodes:
+            node.close()
+
+    def restart(self) -> None:
+        for node in self.nodes:
+            node.restart()
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "nodes": {n.name: n.stats() for n in self.nodes},
+            "alive": len(self.alive_nodes()),
+            "replicas": self.replicas,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "cache_hits": self.cache_hits,
+            "forwards": self.forwards,
+            "reroutes": self.reroutes,
+            "unavailable": self.unavailable,
+            "capabilities": {
+                _slug(key): [n.name for n in owners]
+                for key, owners in self._owners.items()
+            },
+        }
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+# ----------------------------------------------------------------------
+# Churn: scripted node loss and recovery
+# ----------------------------------------------------------------------
+class ChurnDriver:
+    """Deterministic membership churn from a :class:`ChaosPlan`.
+
+    Each :meth:`step` consults ``plan.decide(step, node_index)`` per node:
+    ``"crash"`` takes the node down for ``downtime_steps`` steps (its
+    content store is lost), anything else leaves it alone; nodes whose
+    downtime has elapsed revive empty.  ``min_alive`` keeps the simulation
+    honest rather than degenerate — a fog with zero alive nodes serves
+    nothing, which tests nothing.
+
+    Like every fault plan in this repo the sequence is a pure function of
+    ``(plan.seed, step, node index)``: the same plan crashes the same
+    nodes at the same steps in every run.
+    """
+
+    def __init__(
+        self,
+        topology: FogTopology,
+        plan: ChaosPlan,
+        downtime_steps: int = 2,
+        min_alive: int = 1,
+    ):
+        if downtime_steps < 1:
+            raise ValueError("downtime_steps must be >= 1")
+        if min_alive < 1:
+            raise ValueError("min_alive must be >= 1")
+        self.topology = topology
+        self.plan = plan
+        self.downtime_steps = int(downtime_steps)
+        self.min_alive = int(min_alive)
+        self._revive_at: Dict[str, int] = {}
+        self.crashes = 0
+        self.revivals = 0
+
+    def step(self, step_idx: int) -> Dict[str, List[str]]:
+        """Advance churn one step; returns ``{"crashed": [...], "revived": [...]}``."""
+        topo = self.topology
+        revived = [
+            name for name, due in self._revive_at.items() if step_idx >= due
+        ]
+        for name in revived:
+            del self._revive_at[name]
+            topo.revive(name)
+            self.revivals += 1
+            topo.metrics.inc("fog.churn.revivals")
+        crashed = []
+        for idx, node in enumerate(topo.nodes):
+            if not node.alive:
+                continue
+            if self.plan.decide(step_idx, idx) != "crash":
+                continue
+            if len(topo.alive_nodes()) <= self.min_alive:
+                break  # keep the fog serving: stop crashing this step
+            topo.crash(node.name)
+            self._revive_at[node.name] = step_idx + self.downtime_steps
+            crashed.append(node.name)
+            self.crashes += 1
+            topo.metrics.inc("fog.churn.crashes")
+        return {"crashed": crashed, "revived": revived}
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "crashes": self.crashes,
+            "revivals": self.revivals,
+            "currently_down": len(self._revive_at),
+        }

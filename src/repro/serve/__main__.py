@@ -21,6 +21,11 @@ def _parse_args(argv=None) -> ServeConfig:
     parser.add_argument("--tenant-rate", type=float, default=None)
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument("--default-deadline-ms", type=float, default=1000.0)
+    parser.add_argument(
+        "--fog-nodes", type=int, default=None,
+        help="dispatch through an N-node fog topology (default: direct engine)",
+    )
+    parser.add_argument("--fog-replicas", type=int, default=2)
     args = parser.parse_args(argv)
     return ServeConfig(
         host=args.host,
@@ -31,6 +36,8 @@ def _parse_args(argv=None) -> ServeConfig:
         tenant_rate=args.tenant_rate,
         workers=args.workers,
         default_deadline_ms=args.default_deadline_ms,
+        fog_nodes=args.fog_nodes,
+        fog_replicas=args.fog_replicas,
     )
 
 

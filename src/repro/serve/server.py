@@ -76,6 +76,10 @@ class ServeConfig:
     #: Optional ChaosPlan injected into runner pools (testing).
     chaos: object = None
     extra_executor_opts: dict = field(default_factory=dict)
+    #: Dispatch through an N-node :class:`repro.fog.FogTopology` instead of
+    #: a single in-process engine executor (None = direct execution).
+    fog_nodes: Optional[int] = None
+    fog_replicas: int = 2
 
 
 class ReproServer:
@@ -89,17 +93,31 @@ class ReproServer:
     ):
         self.config = config if config is not None else ServeConfig()
         self.metrics = metrics if metrics is not None else METRICS
-        self.executor = (
-            executor
-            if executor is not None
-            else EngineExecutor(
+        if executor is not None:
+            self.executor = executor
+        elif self.config.fog_nodes:
+            # Imported here: repro.fog builds on repro.serve, not vice versa.
+            from ..fog.executor import FogExecutor
+
+            self.executor = FogExecutor(
+                nodes=self.config.fog_nodes,
+                replicas=self.config.fog_replicas,
+                metrics=self.metrics,
+                executor_opts={
+                    "workers": self.config.workers,
+                    "nn_batch_size": self.config.nn_batch_size,
+                    "chaos": self.config.chaos,
+                    **self.config.extra_executor_opts,
+                },
+            )
+        else:
+            self.executor = EngineExecutor(
                 workers=self.config.workers,
                 nn_batch_size=self.config.nn_batch_size,
                 chaos=self.config.chaos,
                 metrics=self.metrics,
                 **self.config.extra_executor_opts,
             )
-        )
         self.admission = AdmissionController(
             queue_limit=self.config.queue_limit,
             tenant_rate=self.config.tenant_rate,

@@ -2,6 +2,8 @@
 
 import json
 import os
+import signal
+import threading
 
 import pytest
 from hypothesis import HealthCheck, settings
@@ -15,6 +17,53 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile("repro")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): fail the test if it runs longer than `seconds` "
+        "(repo-local SIGALRM fallback for pytest-timeout; a hung asyncio "
+        "server fails fast instead of stalling the whole suite)",
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Enforce ``@pytest.mark.timeout(seconds)`` on socket/asyncio tests.
+
+    The container has no pytest-timeout, so this implements the same
+    signal-based contract: an ``ITIMER_REAL`` alarm raises inside the test
+    (interrupting a blocked event loop or socket wait) and the test fails
+    with a timeout message instead of hanging CI.  No-ops when the real
+    pytest-timeout plugin is installed, on platforms without ``SIGALRM``,
+    or off the main thread — exactly the cases the signal trick can't
+    serve.
+    """
+    marker = item.get_closest_marker("timeout")
+    if (
+        marker is None
+        or item.config.pluginmanager.hasplugin("timeout")
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+    seconds = float(marker.args[0]) if marker.args else 60.0
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded its {seconds:g}s timeout marker "
+            f"(hung server/event loop?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.hookimpl(hookwrapper=True)

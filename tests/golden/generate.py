@@ -117,6 +117,32 @@ def serve_goldens() -> dict:
     return {"x": x, "y": y}
 
 
+def fog_goldens() -> dict:
+    """Frozen inputs + outputs for the fog routing-identity contract.
+
+    Engine-produced, like :func:`serve_goldens`: a batch of posit<8,2>
+    matmul operands and their stable-contraction products, computed by
+    the backend directly (no fog, no serve).  ``tests/test_fog_identity.py``
+    replays each pair through every fog path — local execution, a forced
+    one-hop forward, and a content-store cache hit — and requires all of
+    them to match these bytes.
+    """
+    from repro.engine.posit_backend import PositBackend
+    from repro.posit.format import PositFormat
+
+    rng = np.random.default_rng(ENCODE_SEED + 9000)
+    a = rng.normal(size=(6, 4, 5))
+    b = rng.normal(size=(6, 5, 3))
+    backend = PositBackend(PositFormat(8, 2), stable_contractions=True)
+    y = np.stack(
+        [
+            backend.decode(backend.matmul(backend.encode(a[i]), backend.encode(b[i])))
+            for i in range(len(a))
+        ]
+    )
+    return {"a": a, "b": b, "y": y}
+
+
 def main() -> None:
     np.savez_compressed(HERE / "posit8.npz", **posit8_goldens())
     print(f"wrote {HERE / 'posit8.npz'}")
@@ -126,6 +152,8 @@ def main() -> None:
         print(f"wrote {path}")
     np.savez_compressed(HERE / "serve_kws1_posit8.npz", **serve_goldens())
     print(f"wrote {HERE / 'serve_kws1_posit8.npz'}")
+    np.savez_compressed(HERE / "fog_posit8_matmul.npz", **fog_goldens())
+    print(f"wrote {HERE / 'fog_posit8_matmul.npz'}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,111 @@
+"""Golden-vector replay: fog routing must be invisible in the bytes.
+
+The fog's core promise extends the serving layer's coalescing contract
+one level up: a named computation returns **byte-identical** results
+whether it executes locally at its owner, is forwarded a hop to reach
+that owner, or is replayed from a content store — and all three must
+match a checked-in golden produced by the engine backend directly, so a
+regression is caught even if every fog path drifts together.
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.engine.observe import Metrics
+from repro.fog import FogTopology, name_request
+from repro.serve.protocol import Request
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "fog_posit8_matmul.npz"
+
+pytestmark = pytest.mark.timeout(120)
+
+
+def matmul_request(req_id, a, b):
+    return Request(
+        id=req_id,
+        workload="posit_matmul",
+        tenant="t",
+        bits=8,
+        es=2,
+        a=np.asarray(a, dtype=np.float64),
+        b=np.asarray(b, dtype=np.float64),
+        rows=len(a),
+    )
+
+
+def assert_bitexact(got, want, label):
+    got = np.asarray(got)
+    want = np.asarray(want)
+    assert got.shape == want.shape and got.dtype == want.dtype, label
+    assert got.tobytes() == want.tobytes(), f"{label}: outputs differ bytewise"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with np.load(GOLDEN) as data:
+        return data["a"].copy(), data["b"].copy(), data["y"].copy()
+
+
+class TestFogGoldenReplay:
+    def test_local_execution_matches_golden(self, golden):
+        """Ingress == owner: no forwarding, no cache — pure execution."""
+        a, b, y = golden
+        with FogTopology(nodes=2, replicas=1, metrics=Metrics()) as topo:
+            for i in range(len(a)):
+                req = matmul_request(f"local{i}", a[i], b[i])
+                owner = topo.owners(req.batch_key())[0]
+                got = topo.submit(req, ingress=owner.name)
+                assert_bitexact(got, y[i], f"local pair {i}")
+            assert topo.forwards == 0
+
+    def test_forwarded_one_hop_matches_golden(self, golden):
+        """Ingress != owner: the interest crosses exactly one hop."""
+        a, b, y = golden
+        with FogTopology(nodes=2, replicas=1, metrics=Metrics()) as topo:
+            for i in range(len(a)):
+                req = matmul_request(f"fwd{i}", a[i], b[i])
+                owner = topo.owners(req.batch_key())[0]
+                ingress = next(n for n in topo.nodes if n.name != owner.name)
+                got = topo.submit(req, ingress=ingress.name)
+                assert_bitexact(got, y[i], f"forwarded pair {i}")
+            assert topo.forwards == len(a), "every submission took the hop"
+
+    def test_cache_replay_matches_golden(self, golden):
+        """Second submission of every name is a store replay, not a rerun."""
+        a, b, y = golden
+        with FogTopology(nodes=2, replicas=1, metrics=Metrics()) as topo:
+            for i in range(len(a)):
+                topo.submit(matmul_request(f"warm{i}", a[i], b[i]))
+            execs_after_warm = sum(n.executions for n in topo.nodes)
+            for i in range(len(a)):
+                got = topo.submit(matmul_request(f"replay{i}", a[i], b[i]))
+                assert_bitexact(got, y[i], f"cached pair {i}")
+            assert sum(n.executions for n in topo.nodes) == execs_after_warm, (
+                "cache replay must not re-execute"
+            )
+            assert topo.cache_hits >= len(a)
+
+    def test_all_paths_agree_after_owner_crash(self, golden):
+        """Rerouted execution on the surviving replica is still golden."""
+        a, b, y = golden
+        with FogTopology(nodes=4, replicas=2, metrics=Metrics()) as topo:
+            req0 = matmul_request("probe", a[0], b[0])
+            primary = topo.owners(req0.batch_key())[0]
+            topo.crash(primary.name)
+            for i in range(len(a)):
+                got = topo.submit(matmul_request(f"crash{i}", a[i], b[i]))
+                assert_bitexact(got, y[i], f"rerouted pair {i}")
+
+    def test_golden_names_are_stable(self, golden):
+        """The content name of a golden pair is a pure function of its bytes.
+
+        If this changes, every cached result in a deployed fog is
+        silently invalidated — treat a diff here like a wire-format break.
+        """
+        a, b, _ = golden
+        n1 = name_request(matmul_request("x", a[0], b[0]))
+        n2 = name_request(matmul_request("y", a[0], b[0]))
+        assert n1.uri() == n2.uri()
+        assert n1.uri().startswith("/fog/exec/posit_matmul/bits=8;es=2/")

@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.timeout(60)
+
 from repro.engine.observe import Metrics
 from repro.serve.admission import AdmissionController, TokenBucket
 from repro.serve.protocol import (

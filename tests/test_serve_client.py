@@ -1,0 +1,265 @@
+"""Dedicated tests for :class:`repro.serve.client.ServeClient`.
+
+The client is the reference implementation of the wire contract's caller
+side: request/response correlation by ``id`` over one pipelined NDJSON
+connection.  These tests pin its lifecycle (connect, request, close),
+its failure surfacing (connection loss, timeouts, rejection hints,
+deadline overruns), and its concurrency behaviour (out-of-order
+responses land on the right futures).
+"""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine.observe import Metrics
+from repro.serve import EngineExecutor, ReproServer, ServeClient, ServeConfig
+from repro.serve.protocol import decode_line, encode_line
+
+pytestmark = pytest.mark.timeout(60)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class SlowExecutor(EngineExecutor):
+    """Deterministic dispatch-thread stall (same trick as the server tests)."""
+
+    def __init__(self, delay_s: float, **kwargs):
+        super().__init__(**kwargs)
+        self.delay_s = delay_s
+
+    def execute(self, key, requests):
+        time.sleep(self.delay_s)
+        return super().execute(key, requests)
+
+
+MATMUL = dict(workload="posit_matmul", a=[[1.0, 2.0]], b=[[3.0], [4.0]])
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_connect_request_close(self):
+        async def go():
+            async with ReproServer(ServeConfig(), metrics=Metrics()) as server:
+                client = await ServeClient.connect(*server.address)
+                resp = await client.request(**MATMUL)
+                await client.close()
+            assert resp["ok"] and resp["id"] == "c1"
+            assert resp["result"] == [[11.0]]
+
+        run(go())
+
+    def test_context_manager_closes(self):
+        async def go():
+            async with ReproServer(ServeConfig(), metrics=Metrics()) as server:
+                async with await ServeClient.connect(*server.address) as client:
+                    resp = await client.request(**MATMUL)
+                assert resp["ok"]
+                with pytest.raises(ConnectionError, match="closed"):
+                    await client.request(**MATMUL)
+
+        run(go())
+
+    def test_request_after_close_raises(self):
+        async def go():
+            async with ReproServer(ServeConfig(), metrics=Metrics()) as server:
+                client = await ServeClient.connect(*server.address)
+                await client.close()
+                with pytest.raises(ConnectionError, match="closed"):
+                    await client.request(**MATMUL)
+
+        run(go())
+
+    def test_close_is_idempotent(self):
+        async def go():
+            async with ReproServer(ServeConfig(), metrics=Metrics()) as server:
+                client = await ServeClient.connect(*server.address)
+                await client.close()
+                await client.close()
+
+        run(go())
+
+    def test_ids_auto_increment_but_caller_ids_win(self):
+        async def go():
+            async with ReproServer(ServeConfig(), metrics=Metrics()) as server:
+                async with await ServeClient.connect(*server.address) as client:
+                    first = await client.request(**MATMUL)
+                    second = await client.request(**MATMUL)
+                    named = await client.request(id="mine", **MATMUL)
+            assert first["id"] == "c1" and second["id"] == "c2"
+            assert named["id"] == "mine"
+
+        run(go())
+
+
+# ----------------------------------------------------------------------
+# Correlation under pipelining
+# ----------------------------------------------------------------------
+class TestCorrelation:
+    def test_concurrent_requests_land_on_right_futures(self):
+        async def go():
+            rng = np.random.default_rng(21)
+            pairs = [
+                (rng.normal(size=(2, 3)), rng.normal(size=(3, 2))) for _ in range(6)
+            ]
+            async with ReproServer(
+                ServeConfig(max_batch=8, max_delay_ms=20.0), metrics=Metrics()
+            ) as server:
+                async with await ServeClient.connect(*server.address) as client:
+                    resps = await asyncio.gather(
+                        *[
+                            client.request(
+                                id=f"p{i}",
+                                workload="posit_matmul",
+                                a=a.tolist(),
+                                b=b.tolist(),
+                            )
+                            for i, (a, b) in enumerate(pairs)
+                        ]
+                    )
+            for i, resp in enumerate(resps):
+                assert resp["id"] == f"p{i}", "responses must correlate by id"
+                assert resp["ok"]
+            # Distinct operands -> distinct results; a cross-wired future
+            # would collide here.
+            distinct = {str(r["result"]) for r in resps}
+            assert len(distinct) == len(pairs)
+
+        run(go())
+
+
+# ----------------------------------------------------------------------
+# Failure surfacing
+# ----------------------------------------------------------------------
+class TestFailureSurfacing:
+    def test_server_closing_connection_fails_pending_futures(self):
+        """A server that goes away mid-request -> ConnectionError, not a hang."""
+
+        async def go():
+            async def mute_handler(reader, writer):
+                await reader.readline()  # swallow one request...
+                writer.close()  # ...and hang up without replying
+
+            server = await asyncio.start_server(mute_handler, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                client = await ServeClient.connect(host, port)
+                with pytest.raises(ConnectionError, match="server closed"):
+                    await client.request(timeout=10.0, **MATMUL)
+                await client.close()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(go())
+
+    def test_request_timeout_raises_timeout_error(self):
+        """A silent server -> TimeoutError after the caller's budget."""
+
+        async def go():
+            async def silent_handler(reader, writer):
+                await reader.read()  # consume forever, never answer
+
+            server = await asyncio.start_server(silent_handler, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                client = await ServeClient.connect(host, port)
+                with pytest.raises(asyncio.TimeoutError):
+                    await client.request(timeout=0.2, **MATMUL)
+                await client.close()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(go())
+
+    def test_rejection_carries_retry_after_hint(self):
+        """Tenant-quota rejection surfaces ``retry_after_ms`` to the caller."""
+
+        async def go():
+            config = ServeConfig(tenant_rate=1.0, tenant_burst=1.0)
+            async with ReproServer(config, metrics=Metrics()) as server:
+                async with await ServeClient.connect(*server.address) as client:
+                    ok = await client.request(tenant="hog", **MATMUL)
+                    throttled = await client.request(tenant="hog", **MATMUL)
+            assert ok["ok"]
+            assert not throttled["ok"] and throttled["error"] == "rejected"
+            assert throttled["retry_after_ms"] > 0
+            return throttled
+
+        resp = run(go())
+        # The hint is actionable: waiting that long restores admission.
+        assert resp["retry_after_ms"] <= 1000.0
+
+    def test_deadline_exceeded_surfaces_as_error_response(self):
+        async def go():
+            metrics = Metrics()
+            executor = SlowExecutor(0.1, metrics=metrics)
+            async with ReproServer(
+                ServeConfig(max_delay_ms=0.0), executor=executor, metrics=metrics
+            ) as server:
+                async with await ServeClient.connect(*server.address) as client:
+                    resp = await client.request(deadline_ms=10, **MATMUL)
+            assert not resp["ok"]
+            assert resp["error"] == "deadline_exceeded"
+
+        run(go())
+
+    def test_malformed_response_line_fails_cleanly(self):
+        """Garbage from the server kills the read loop -> pending futures
+        get ConnectionError instead of waiting forever."""
+
+        async def go():
+            async def garbage_handler(reader, writer):
+                await reader.readline()
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(garbage_handler, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                client = await ServeClient.connect(host, port)
+                with pytest.raises(ConnectionError):
+                    await client.request(timeout=10.0, **MATMUL)
+                await client.close()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(go())
+
+    def test_unsolicited_response_id_is_ignored(self):
+        """A response for an id the client never sent must not wedge the
+        read loop or misdeliver; the real response still arrives."""
+
+        async def go():
+            async def chatty_handler(reader, writer):
+                line = await reader.readline()
+                req = decode_line(line)
+                writer.write(encode_line({"id": "ghost", "ok": True, "result": []}))
+                writer.write(
+                    encode_line(
+                        {"id": req["id"], "ok": True, "result": [[11.0]], "ms": 0.1}
+                    )
+                )
+                await writer.drain()
+
+            server = await asyncio.start_server(chatty_handler, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                client = await ServeClient.connect(host, port)
+                resp = await client.request(timeout=10.0, **MATMUL)
+                assert resp["ok"] and resp["result"] == [[11.0]]
+                await client.close()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(go())

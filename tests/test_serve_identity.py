@@ -23,6 +23,9 @@ from repro.serve.protocol import Request
 
 GOLDEN = pathlib.Path(__file__).parent / "golden" / "serve_kws1_posit8.npz"
 
+# Chaos segments spin up worker pools; a hung pool must fail fast in CI.
+pytestmark = pytest.mark.timeout(120)
+
 
 def assert_bitexact(a: np.ndarray, b: np.ndarray, label: str) -> None:
     a = np.asarray(a)

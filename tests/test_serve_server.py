@@ -13,6 +13,7 @@ import json
 import time
 
 import numpy as np
+import pytest
 
 from repro.engine import ChaosPlan
 from repro.engine.observe import Metrics
@@ -23,6 +24,10 @@ from repro.posit import STD_POSIT8, PositFormat
 from repro.serve import EngineExecutor, ReproServer, ServeClient, ServeConfig, http_get
 from repro.serve.executor import MULTIPLIERS
 from repro.approx.simulate import approx_matmul, signed_lut
+
+# Real sockets + a real event loop per test: a wedged server must fail
+# fast in CI, not stall the suite (see the timeout hook in conftest.py).
+pytestmark = pytest.mark.timeout(120)
 
 
 def run(coro):
