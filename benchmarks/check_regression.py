@@ -20,6 +20,10 @@ the machine-normalized **speedup** ratios instead:
   (posit32/binary32 x encode/decode/mul) over the scalar-object loop.
   Skipped when ``bar_asserted`` is false (REPRO_QUICK smoke runs, whose
   scalar sample is too small for a stable ratio).
+* ``BENCH_fused.json``: ``speedup`` = best fused items/s (single-process
+  plan or shared-memory workers) over the unfused PR 1 engine path in the
+  same run.  Enforced only when ``bar_asserted`` is true (>= 4-CPU host),
+  mirroring the benchmark's own >= 5x assertion gate.
 * ``BENCH_fog.json``: ``hit_rate`` = cached replays over total submissions
   after repeated passes of a fixed working set.  Deterministic (seeded
   traffic, rendezvous routing), so it is always enforced — a drop means
@@ -44,6 +48,7 @@ CHECKS = (
     ("parallel", "BENCH_parallel.json", "speedup", "bar_asserted"),
     ("wide", "BENCH_wide.json", "speedup", "bar_asserted"),
     ("serve", "BENCH_serve.json", "efficiency", "bar_asserted"),
+    ("fused", "BENCH_fused.json", "speedup", "bar_asserted"),
     ("fog", "BENCH_fog.json", "hit_rate", None),
 )
 

@@ -68,3 +68,19 @@ def report(results_dir, request):
 def quick_mode() -> bool:
     """REPRO_QUICK=1 shrinks the heavy Fig. 5 sweep for smoke runs."""
     return os.environ.get("REPRO_QUICK", "0") == "1"
+
+
+try:
+    import pytest_benchmark  # noqa: F401
+except ImportError:
+    # Without pytest-benchmark the ``benchmark`` fixture below stands in:
+    # it runs the workload once (so correctness asserts still execute) and
+    # skips the statistics.  The BENCH_*.json numbers every benchmark file
+    # writes come from its own wall-clock measurements, not this fixture,
+    # so CI can gate regressions without installing the plugin.
+    @pytest.fixture
+    def benchmark():
+        def _run(fn, *args, **kwargs):
+            return fn(*args, **kwargs)
+
+        return _run

@@ -1,0 +1,149 @@
+"""Throughput: the fused code-space path vs the PR 1 engine path.
+
+The fused plan (:mod:`repro.engine.fused`) removes the unfused DNN path's
+dominant cost — the boundary-searchsorted encode inside every layer-entry
+quantize (>50% of the profile on 8-bit KWS models) — by planning the
+network once: a direct float64-bits encode LUT at each quantization
+boundary, table-gather decodes into reused scratch buffers, pre-encoded
+weights, and activations travelling between quantized layers as posit
+codes.  With workers, those codes (1/8th the bytes of float64) move
+through shared memory instead of pickled float chunks.
+
+Because the fused plan is **bit-identical** to the unfused network — this
+module asserts it on every configuration it times — the speedup below is
+pure execution efficiency, never a numerics change.
+
+Results go to ``BENCH_fused.json`` at the repo root: items/s for the
+unfused single-process baseline (the PR 1 engine path), the fused
+single-process plan, and the fused multi-worker shared-memory path;
+``speedup`` is best-fused over unfused-baseline.  The ISSUE acceptance
+bar (>= 5x end-to-end) applies **on a multi-core host**, where the
+single-process fused gain (~2x from killing the encode) compounds with
+parallel sharding; on < 4 CPUs the honest sub-bar number is recorded with
+``bar_asserted: false`` and the regression gate skips it.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchedRunner, ParallelRunner
+from repro.nn.posit_inference import PositQuantizedNetwork
+from repro.nn.zoo import kws_cnn1
+from repro.posit import POSIT8
+
+from conftest import quick_mode
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FMT = POSIT8
+ITEMS = 64 if quick_mode() else 192
+BATCH = 16
+REPEATS = 2 if quick_mode() else 5
+WORKERS = max(2, min(4, os.cpu_count() or 1))
+MULTI_CORE = (os.cpu_count() or 1) >= 4
+SPEEDUP_BAR = 5.0
+
+
+def _best_wall(fn, x) -> float:
+    """Best-of-N wall clock for one full pass over ``x`` (N small; the
+    best run is the least-perturbed one on a noisy shared host)."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        fn(x)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.fixture(scope="module")
+def measurement(tmp_path_factory):
+    net = kws_cnn1(seed=0)
+    qnet = PositQuantizedNetwork(net, FMT)
+    plan = qnet.fused_plan()
+    rng = np.random.default_rng(42)
+    x = rng.normal(size=(ITEMS, 1, 31, 20))
+
+    # Unfused single-process baseline — the PR 1 engine path.
+    unfused = BatchedRunner(qnet, batch_size=BATCH)
+    unfused.run(x[:BATCH])  # warm tables outside the timed region
+    y_ref = unfused.run(x)
+    unfused_wall = _best_wall(unfused.run, x)
+
+    # Fused, single process: same batches through the compiled plan.
+    fused = BatchedRunner(plan, batch_size=BATCH)
+    fused.run(x[:BATCH])  # warm the encode LUT + scratch buffers
+    y_fused = fused.run(x)
+    assert np.array_equal(y_fused, y_ref), "fused single-process diverged"
+    fused_wall = _best_wall(fused.run, x)
+
+    # Fused, multi-worker: codes through shared memory, outputs in place.
+    cache_dir = tmp_path_factory.mktemp("kernel-cache")
+    with ParallelRunner(
+        plan, workers=WORKERS, batch_size=BATCH, cache_dir=cache_dir
+    ) as runner:
+        runner.run(x[:BATCH])  # pool spawn + worker compile warmup
+        y_par = runner.run(x)
+        assert np.array_equal(y_par, y_ref), "fused parallel diverged"
+        runner.reset()
+        par_wall = _best_wall(runner.run, x)
+        pstats = runner.stats()
+    assert pstats["fallbacks"] == 0, "fused parallel path fell back in-process"
+
+    unfused_ips = ITEMS / unfused_wall
+    fused_ips = ITEMS / fused_wall
+    par_ips = ITEMS / par_wall
+    best_ips = max(fused_ips, par_ips)
+    return {
+        "model": "kws-cnn1",
+        "format": str(FMT),
+        "items": ITEMS,
+        "batch_size": BATCH,
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count(),
+        "unfused_items_per_s": unfused_ips,
+        "fused_items_per_s": fused_ips,
+        "fused_parallel_items_per_s": par_ips,
+        "fused_single_speedup": fused_ips / unfused_ips,
+        "speedup": best_ips / unfused_ips,
+        "speedup_bar": SPEEDUP_BAR,
+        "bar_asserted": MULTI_CORE,
+        "bit_identical": True,
+        "fallbacks": pstats["fallbacks"],
+        "encode_kind": plan.kernels.encode_kind,
+        "decode_kind": plan.kernels.decode_kind,
+    }
+
+
+def test_fused_throughput(benchmark, measurement, report):
+    m = measurement
+    # pytest-benchmark timing on the fused single-process forward (stable
+    # on any host); the comparative numbers come from the module fixture.
+    qnet = PositQuantizedNetwork(kws_cnn1(seed=0), FMT)
+    plan = qnet.fused_plan()
+    batch = np.random.default_rng(7).normal(size=(BATCH, 1, 31, 20))
+    benchmark(lambda: plan.forward(batch))
+
+    bar_note = (
+        "asserted" if m["bar_asserted"] else f"not asserted ({m['cpu_count']} CPU host)"
+    )
+    report(
+        "fused_throughput",
+        [
+            f"model            {m['model']} ({m['format']})",
+            f"kernels          encode={m['encode_kind']} decode={m['decode_kind']}",
+            f"unfused (PR 1)   {m['unfused_items_per_s']:10.2f} items/s",
+            f"fused 1-proc     {m['fused_items_per_s']:10.2f} items/s "
+            f"({m['fused_single_speedup']:.2f}x)",
+            f"fused {m['workers']} workers   {m['fused_parallel_items_per_s']:10.2f} items/s",
+            f"speedup          {m['speedup']:10.2f}x  (bar >= {SPEEDUP_BAR}x, {bar_note})",
+            f"bit-identical    {m['bit_identical']}",
+        ],
+    )
+    (REPO_ROOT / "BENCH_fused.json").write_text(json.dumps(m, indent=2) + "\n")
+
+    if MULTI_CORE:
+        assert m["speedup"] >= SPEEDUP_BAR

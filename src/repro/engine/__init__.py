@@ -58,11 +58,13 @@ from .kernels import (
     stable_matmul,
 )
 from .registry import (
+    ENCODE_TABLE_TOP_BITS,
     REGISTRY,
     KernelRegistry,
     array_digest,
     enable_disk_cache,
     get_codec,
+    get_encode_table,
     get_posit_tables,
 )
 from .wide import (
@@ -72,12 +74,19 @@ from .wide import (
     get_wide_float_codec,
     get_wide_posit_codec,
 )
-from .posit_backend import PositBackend
+from .posit_backend import CodecKernels, PositBackend
 from .softfloat_backend import SoftFloatBackend, SoftFloatCodec, get_softfloat_codec
 from .lns_backend import LNSBackend
 from .approx_backend import ApproxMultiplierBackend, get_signed_lut
+from .fused import FusedPlan
 from .runner import BatchedRunner
-from .parallel import ModelHandle, ParallelRunner, PositNetworkSpec, shard_lut_matmul
+from .parallel import (
+    FusedPlanSpec,
+    ModelHandle,
+    ParallelRunner,
+    PositNetworkSpec,
+    shard_lut_matmul,
+)
 
 __all__ = [
     "Backend",
@@ -98,6 +107,8 @@ __all__ = [
     "array_digest",
     "enable_disk_cache",
     "get_codec",
+    "get_encode_table",
+    "ENCODE_TABLE_TOP_BITS",
     "get_posit_tables",
     "get_softfloat_codec",
     "MAX_WIDE_BITS",
@@ -116,10 +127,13 @@ __all__ = [
     "FormatFaultModel",
     "apply_code_faults",
     "PositBackend",
+    "CodecKernels",
     "SoftFloatBackend",
     "SoftFloatCodec",
     "LNSBackend",
     "ApproxMultiplierBackend",
+    "FusedPlan",
+    "FusedPlanSpec",
     "BatchedRunner",
     "ParallelRunner",
     "PositNetworkSpec",

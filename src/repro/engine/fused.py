@@ -1,0 +1,393 @@
+"""Fused code-space inference: plan a whole network once, then execute it
+without re-deriving any per-layer decisions.
+
+The unfused path (:mod:`repro.nn.posit_inference`) quantizes every
+quantized layer's input on entry — a correctly rounded *encode* (boundary
+binary search) followed by a *decode* back to grid values.  Profiling the
+end-to-end DNN path shows that encode dominating the wall clock (>50% on
+the 8-bit KWS models).  :class:`FusedPlan` removes it from the hot loop,
+PAPER §II's FloPoCo paradigm applied in software — generate exactly the
+datapath the computation needs instead of round-tripping through generic
+machinery:
+
+* **Plan once.**  ``FusedPlan.compile(network, fmt)`` walks the float
+  :class:`~repro.nn.network.Sequential` a single time and emits a flat
+  stage list: an encode stage feeding each quantized layer, a
+  decode–matmul–accumulate–bias stage per convolution / dense layer, and
+  passthrough stages for the unquantized interludes (ReLU, pooling,
+  flatten).  Weights are pre-encoded once at compile time.
+* **Operator specialization.**  Each stage's codec kernels come from
+  :meth:`repro.engine.posit_backend.PositBackend.codec_kernels` — a
+  direct float64-bits encode LUT plus value-table gather below the table
+  ceiling, the bit-parallel wide kernels of :mod:`repro.posit.vector`
+  above it — every one byte-equal to the default codec.
+* **Code space across quantization boundaries.**  Between one quantized
+  layer's interludes and the next quantized layer, activations travel as
+  posit *codes* (one fast encode at the boundary, one table gather at the
+  consumer) — 1/8th the bytes of float64 for 8-bit formats, which is also
+  what the parallel layer ships through shared memory instead of pickling
+  float arrays.  Accumulation stays quire-style exact (float64 holds every
+  product of <= 16-bit posits exactly; 53-bit accumulation, one posit
+  rounding at the next encode), identical to the unfused engine.
+
+**Fused is a pure execution strategy, never a numerics change**: for any
+input, ``plan.forward(x)`` is byte-equal to the unfused
+``PositQuantizedNetwork.forward(x)`` built over the same backend.  The
+argument, boundary by boundary: the stage-exit encode runs where the
+unfused quantize's encode half runs (after all interludes), the stage-entry
+decode is the quantize's decode half, and the specialized kernels are
+bit-exact with the codec.  Residual blocks are the one structural
+exception — their shortcut adds the *unquantized* block input, so they
+take a float entry and quantize internally (through the same fast
+kernels), exactly like the unfused executor.
+
+Not supported (by design): fault injection and poison audits.  Those
+hooks exist to perturb the unfused datapath; a plan compiled against a
+fault-carrying backend or registry raises instead of silently diverging.
+
+Plans hold per-stage scratch buffers (decode targets are reused across
+calls via the codecs' ``out=`` hooks), so a plan instance is not
+thread-safe; the serving layer's single dispatch thread and one-plan-per-
+worker-process parallel sharding both satisfy that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .backend import OpCounters, timed_op
+from .posit_backend import CodecKernels, PositBackend
+from .registry import REGISTRY, KernelRegistry
+
+__all__ = ["FusedPlan", "FusedStage"]
+
+
+class _Scratch:
+    """Named reusable buffers, reallocated only when a shape changes.
+
+    A freshly allocated temporary costs ~4x a compute kernel at benchmark
+    sizes (page faults on first touch — the same measurement that shaped
+    :mod:`repro.posit.vector`), so each stage recycles its decode target
+    across calls.  Buffers are handed out by name; a shape or dtype
+    mismatch (new batch size) simply reallocates that slot.
+    """
+
+    __slots__ = ("bufs",)
+
+    def __init__(self):
+        self.bufs: Dict[str, np.ndarray] = {}
+
+    def take(self, name: str, shape, dtype) -> np.ndarray:
+        buf = self.bufs.get(name)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.empty(shape, dtype=dtype)
+            self.bufs[name] = buf
+        return buf
+
+
+def _conv_apply(backend: PositBackend, conv, qw: np.ndarray, qx: np.ndarray) -> np.ndarray:
+    """One convolution over already-quantized grid values.
+
+    Same operation sequence as the unfused ``_PConv`` executor (im2col,
+    float64 contraction, bias, NHWC->NCHW) so the float arithmetic — and
+    therefore every output byte — is identical.
+    """
+    from ..nn.layers import im2col
+
+    f, c, kh, kw = qw.shape
+    cols, oh, ow = im2col(qx, kh, kw, conv.stride, conv.pad)
+    out = backend.matmul_values(cols, qw.reshape(f, -1).T) + conv.b.data
+    return out.reshape(qx.shape[0], oh, ow, f).transpose(0, 3, 1, 2)
+
+
+class FusedStage:
+    """One compiled op of a :class:`FusedPlan`.
+
+    ``entry`` names the representation the stage consumes: ``"codes"``
+    (posit code array — the stage's first act is a table-gather decode) or
+    ``"float"`` (unquantized float64).  Compile inserts an encode stage
+    wherever a float producer feeds a codes consumer, which is exactly
+    where the unfused path's quantize ran.
+    """
+
+    kind = "?"
+    entry = "float"
+    name = ""
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        return {"kind": self.kind, "entry": self.entry, "name": self.name}
+
+
+class _EncodeStage(FusedStage):
+    kind = "encode"
+    entry = "float"
+
+    def __init__(self, backend: PositBackend, kernels: CodecKernels):
+        self.backend = backend
+        self.kernels = kernels
+        self.name = f"encode[{kernels.encode_kind}]"
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        with timed_op(self.backend.counters, "fused.encode", x.size, fmt=self.backend.name):
+            return self.kernels.encode(x)
+
+
+class _ConvStage(FusedStage):
+    kind = "conv"
+    entry = "codes"
+
+    def __init__(self, conv, backend: PositBackend, kernels: CodecKernels):
+        self.conv = conv
+        self.backend = backend
+        self.kernels = kernels
+        self.scratch = _Scratch()
+        #: Weights pre-encoded once at compile time; ``qw`` is their decoded
+        #: grid values — bit-identical to the unfused executor's quantize.
+        self.wcodes = kernels.encode(conv.w.data)
+        self.qw = kernels.decode(self.wcodes)
+        self.name = conv.w.name.rsplit(".", 1)[0] or "conv"
+
+    def run(self, codes: np.ndarray) -> np.ndarray:
+        with timed_op(self.backend.counters, "fused.decode", codes.size, fmt=self.backend.name):
+            qx = self.kernels.decode(
+                codes, out=self.scratch.take("qx", codes.shape, np.float64)
+            )
+        return _conv_apply(self.backend, self.conv, self.qw, qx)
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["decode"] = self.kernels.decode_kind
+        info["weight_codes"] = int(self.wcodes.size)
+        return info
+
+
+class _DenseStage(FusedStage):
+    kind = "dense"
+    entry = "codes"
+
+    def __init__(self, dense, backend: PositBackend, kernels: CodecKernels):
+        self.dense = dense
+        self.backend = backend
+        self.kernels = kernels
+        self.scratch = _Scratch()
+        self.wcodes = kernels.encode(dense.w.data)
+        self.qw = kernels.decode(self.wcodes)
+        self.name = dense.w.name.rsplit(".", 1)[0] or "dense"
+
+    def run(self, codes: np.ndarray) -> np.ndarray:
+        with timed_op(self.backend.counters, "fused.decode", codes.size, fmt=self.backend.name):
+            qx = self.kernels.decode(
+                codes, out=self.scratch.take("qx", codes.shape, np.float64)
+            )
+        return self.backend.matmul_values(qx, self.qw) + self.dense.b.data
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["decode"] = self.kernels.decode_kind
+        info["weight_codes"] = int(self.wcodes.size)
+        return info
+
+
+class _ResidualStage(FusedStage):
+    """conv-relu-conv + shortcut.  Float entry: the shortcut adds the
+    *unquantized* block input, so no boundary encode may precede it; the
+    internal convolutions quantize through the fast kernels instead."""
+
+    kind = "residual"
+    entry = "float"
+
+    def __init__(self, block, backend: PositBackend, kernels: CodecKernels):
+        self.block = block
+        self.backend = backend
+        self.kernels = kernels
+        self.scratch = _Scratch()
+        self.wcodes1 = kernels.encode(block.conv1.w.data)
+        self.qw1 = kernels.decode(self.wcodes1)
+        self.wcodes2 = kernels.encode(block.conv2.w.data)
+        self.qw2 = kernels.decode(self.wcodes2)
+        self.name = block.conv1.w.name.rsplit(".", 2)[0] or "residual"
+
+    def _quantize(self, x: np.ndarray, slot: str) -> np.ndarray:
+        k = self.kernels
+        with timed_op(self.backend.counters, "fused.quantize", x.size, fmt=self.backend.name):
+            codes = k.encode(x)
+            return k.decode(codes, out=self.scratch.take(slot, codes.shape, np.float64))
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        block = self.block
+        y = _conv_apply(self.backend, block.conv1, self.qw1, self._quantize(x, "q1"))
+        y = block.relu1.forward(y)
+        y = _conv_apply(self.backend, block.conv2, self.qw2, self._quantize(y, "q2"))
+        return block.relu2.forward(y + x)
+
+
+class _LayerStage(FusedStage):
+    """Unquantized interlude (ReLU, pooling, flatten, ...): the float
+    layer's own forward, verbatim — byte-identity by construction."""
+
+    kind = "layer"
+    entry = "float"
+
+    def __init__(self, layer):
+        self.layer = layer
+        self.name = type(layer).__name__
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        return self.layer.forward(x)
+
+
+class FusedPlan:
+    """A compiled, code-space execution plan for one network + format.
+
+    Build with :meth:`compile`; run with :meth:`forward` (drop-in for any
+    ``forward(x)`` model, e.g. under a
+    :class:`~repro.engine.runner.BatchedRunner`) or split the input
+    boundary with :meth:`encode_input` / :meth:`forward_codes` — what the
+    parallel layer does to ship encoded activations through shared memory.
+    """
+
+    def __init__(self, net, fmt, backend: PositBackend, kernels: CodecKernels, stages):
+        self.net = net
+        self.fmt = fmt
+        #: The backend whose counters/codec/contraction mode this plan uses
+        #: (exposed as ``engine`` so runners adopt its counters).
+        self.engine = backend
+        self.kernels = kernels
+        self.stages: List[FusedStage] = list(stages)
+        self.stable_contractions = backend.stable_contractions
+        self.code_dtype = np.dtype(kernels.code_dtype)
+        #: ``"codes"`` when the first stage is an input encode (every
+        #: network whose first layer is quantized) — the shared-memory
+        #: transport eligibility flag.
+        self.input_rep = (
+            "codes" if self.stages and self.stages[0].kind == "encode" else "float"
+        )
+        #: Per-sample output shape (float64 logits — no trailing encode).
+        self.output_shape = tuple(net.output_shape())
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def compile(
+        cls,
+        net,
+        fmt,
+        *,
+        backend: Optional[PositBackend] = None,
+        registry: Optional[KernelRegistry] = None,
+        stable_contractions: bool = False,
+        counters: Optional[OpCounters] = None,
+    ) -> "FusedPlan":
+        """Plan ``net`` (a float :class:`~repro.nn.network.Sequential`) once.
+
+        ``backend`` may be a preconstructed :class:`PositBackend` (sharing
+        counters and the stable-contraction flag with an existing unfused
+        network); by default one is built over the process-wide registry.
+        A :class:`~repro.nn.posit_inference.PositQuantizedNetwork` may be
+        passed as ``net`` — its float network, format and backend are used.
+        """
+        from ..nn.layers import Conv2D, Dense, ResidualBlock
+
+        if hasattr(net, "net") and hasattr(net, "engine"):  # a quantized network
+            qnet = net
+            if getattr(qnet, "fault_plan", None) is not None or getattr(
+                qnet, "poison_audit", False
+            ):
+                raise ValueError(
+                    "fused execution is a pure execution strategy; fault "
+                    "injection and poison audits need the unfused path"
+                )
+            net, fmt = qnet.net, qnet.fmt
+            backend = backend if backend is not None else qnet.engine
+        if backend is None:
+            backend = PositBackend(
+                fmt,
+                counters=counters,
+                registry=registry,
+                stable_contractions=stable_contractions,
+            )
+        reg = backend.registry if backend.registry is not None else (
+            registry if registry is not None else REGISTRY
+        )
+        if backend.fault_plan is not None or reg.fault_plan is not None:
+            raise ValueError(
+                "cannot compile a fused plan against a fault-carrying "
+                "backend/registry: fused execution would not reproduce the "
+                "injected corruption (use the unfused path)"
+            )
+        kernels = backend.codec_kernels()
+
+        ops: List[FusedStage] = []
+        for layer in net.layers:
+            if isinstance(layer, Conv2D):
+                ops.append(_ConvStage(layer, backend, kernels))
+            elif isinstance(layer, Dense):
+                ops.append(_DenseStage(layer, backend, kernels))
+            elif isinstance(layer, ResidualBlock):
+                ops.append(_ResidualStage(layer, backend, kernels))
+            else:
+                ops.append(_LayerStage(layer))
+        stages: List[FusedStage] = []
+        for op in ops:
+            if op.entry == "codes":
+                # The boundary encode sits exactly where the unfused
+                # quantize's encode half ran: after every interlude, at
+                # the quantized layer's entry.
+                stages.append(_EncodeStage(backend, kernels))
+            stages.append(op)
+        return cls(net, fmt, backend, kernels, stages)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Float samples in, float64 logits out — byte-equal to unfused."""
+        cur = np.asarray(x, dtype=np.float64)
+        with timed_op(self.engine.counters, "fused.forward", cur.size, fmt=self.engine.name):
+            for stage in self.stages:
+                cur = stage.run(cur)
+        return cur
+
+    def encode_input(self, x: np.ndarray) -> np.ndarray:
+        """The input boundary's code array (what shared memory carries).
+
+        Elementwise, so ``encode_input(x)[s:e] == encode_input(x[s:e])`` —
+        span slicing after one whole-array encode is identical to
+        per-chunk encoding, which is what makes sharding exact.
+        """
+        if self.input_rep != "codes":
+            raise ValueError(
+                f"network {self.net.name!r} takes a float entry "
+                "(first layer is not quantized); use forward()"
+            )
+        return self.stages[0].run(np.asarray(x, dtype=np.float64))
+
+    def forward_codes(self, codes: np.ndarray) -> np.ndarray:
+        """Run from pre-encoded input codes (see :meth:`encode_input`)."""
+        if self.input_rep != "codes":
+            raise ValueError("plan has a float entry; use forward()")
+        cur = codes
+        with timed_op(
+            self.engine.counters, "fused.forward", codes.size, fmt=self.engine.name
+        ):
+            for stage in self.stages[1:]:
+                cur = stage.run(cur)
+        return cur
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> List[dict]:
+        """One dict per stage: kind, entry representation, kernel choices."""
+        return [stage.describe() for stage in self.stages]
+
+    def __repr__(self):
+        kinds = "/".join(s.kind for s in self.stages)
+        return (
+            f"FusedPlan({self.net.name!r}, {self.engine.name}, "
+            f"{len(self.stages)} stages: {kinds})"
+        )

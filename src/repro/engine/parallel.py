@@ -35,7 +35,27 @@ Models cross the process boundary as a picklable zero-argument *factory*.
 A :class:`repro.nn.posit_inference.PositQuantizedNetwork` is automatically
 converted to a :class:`PositNetworkSpec` (ship the float weights + format,
 rebuild the quantized network worker-side against the shared table cache);
-any other model is shipped by value via :class:`ModelHandle`.
+a :class:`repro.engine.fused.FusedPlan` becomes a :class:`FusedPlanSpec`
+(ship the float network, recompile the plan worker-side); any other model
+is shipped by value via :class:`ModelHandle`.
+
+Fused plans additionally switch the *data* transport: instead of pickling
+float64 chunks through the pool's pipes, the parent encodes the input once
+and publishes the code array — 1/8th the bytes at 8 bits — plus a shared
+float64 output buffer as :mod:`multiprocessing.shared_memory` segments.
+Workers map views and write their spans in place (no result pickling at
+all); span boundaries stay batch-aligned, and encode is elementwise, so
+the shared-memory path is byte-identical to both the pickling path and the
+single-process runner.  The parent owns segment lifetime: every segment it
+creates is tracked and both closed *and* unlinked in a ``finally`` (and
+re-swept by :meth:`ParallelRunner.close` / ``__del__``), while workers
+explicitly deregister their attachments from :mod:`multiprocessing`'s
+resource tracker — Python registers shared memory on *attach* as well as
+create, and letting that stand would have a worker's exit handler unlink a
+segment the parent still owns.  Crashed or timed-out spans are recomputed
+by the parent directly into the output buffer; a zombie worker that wakes
+up later and rewrites the same span is harmless because bit-identity
+guarantees it writes the same bytes.
 
 :func:`shard_lut_matmul` applies the same recipe to one tiled LUT matmul:
 row spans of ``A`` fan out over a short-lived pool (the LUT and ``B`` ride
@@ -53,13 +73,14 @@ import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from multiprocessing import get_context
+from multiprocessing import get_context, resource_tracker, shared_memory
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from .backend import OpCounters
+from .fused import FusedPlan
 from .kernels import lut_matmul, shard_rows
 from .observe import TRACER
 from .registry import REGISTRY, KernelRegistry
@@ -67,6 +88,7 @@ from .registry import REGISTRY, KernelRegistry
 __all__ = [
     "ParallelRunner",
     "PositNetworkSpec",
+    "FusedPlanSpec",
     "ModelHandle",
     "shard_lut_matmul",
 ]
@@ -110,6 +132,29 @@ class PositNetworkSpec:
         )
 
 
+class FusedPlanSpec:
+    """Picklable recipe for recompiling a fused plan worker-side.
+
+    Ships only the float network and format; the worker recompiles the
+    plan against its own process-wide registry, so the codec tables and
+    the encode LUT *load* from the shared disk cache instead of being
+    rebuilt, and compiled stages (pre-encoded weights, scratch buffers)
+    never cross the process boundary.
+    """
+
+    def __init__(self, net, fmt, stable_contractions: bool = False):
+        self.net = net
+        self.fmt = fmt
+        self.stable_contractions = stable_contractions
+
+    def __call__(self):
+        from .fused import FusedPlan
+
+        return FusedPlan.compile(
+            self.net, self.fmt, stable_contractions=self.stable_contractions
+        )
+
+
 class ModelHandle:
     """Fallback factory: ship an arbitrary picklable model by value."""
 
@@ -132,6 +177,10 @@ def _factory_for(model):
             poison_audit=getattr(model, "poison_audit", False),
             stable_contractions=getattr(model, "stable_contractions", False),
         )
+    if isinstance(model, FusedPlan):
+        return FusedPlanSpec(
+            model.net, model.fmt, stable_contractions=model.stable_contractions
+        )
     return ModelHandle(model)
 
 
@@ -140,6 +189,10 @@ def _factory_for(model):
 # ----------------------------------------------------------------------
 #: Per-worker-process state, populated once by the pool initializer.
 _WORKER: Dict[str, object] = {}
+
+#: Distinguishes "span not delivered yet" from any legitimate payload
+#: (the shared-memory transport's payload is a bare ``True``).
+_PENDING = object()
 
 
 def _worker_init(
@@ -199,6 +252,80 @@ def _worker_run(idx: int, chunk: np.ndarray, batch_size: int, attempt: int = 0):
         "table": REGISTRY.stats(),  # cumulative for this worker process
     }
     return idx, out, stats
+
+
+def _attach_fused_shm(meta: Dict[str, dict]) -> Tuple[np.ndarray, np.ndarray]:
+    """Map this run's (codes, out) shared-memory segments in the worker.
+
+    Attachments are cached per segment-name pair — every span task of one
+    ``run()`` reuses the same mapping, and a new run's names evict the old
+    one.  Registration with the resource tracker is suppressed during the
+    attach: Python registers shared memory on *attach* as well as create
+    (3.8-3.12), spawn workers share the parent's tracker process, and a
+    worker registration would make the tracker try to unlink — or drop the
+    parent's own crash-safety registration for — segments the parent still
+    owns (unregistering after the fact is no better: it removes the
+    parent's entry from the shared tracker).
+    """
+    cache = _WORKER.setdefault("shm", {"names": None, "segs": []})
+    names = (meta["codes"]["name"], meta["out"]["name"])
+    if cache["names"] != names:
+        for seg in cache["segs"]:
+            try:
+                seg.close()
+            except BufferError:  # a stale view pins the old mapping
+                pass
+        segs = []
+        register = resource_tracker.register
+        resource_tracker.register = lambda name, rtype: None
+        try:
+            for name in names:
+                segs.append(shared_memory.SharedMemory(name=name))
+        finally:
+            resource_tracker.register = register
+        cache["names"] = names
+        cache["segs"] = segs
+    c_meta, o_meta = meta["codes"], meta["out"]
+    codes = np.ndarray(
+        tuple(c_meta["shape"]), dtype=np.dtype(c_meta["dtype"]), buffer=cache["segs"][0].buf
+    )
+    out = np.ndarray(tuple(o_meta["shape"]), dtype=np.float64, buffer=cache["segs"][1].buf)
+    return codes, out
+
+
+def _fused_worker_run(
+    idx: int, meta: Dict[str, dict], span: Tuple[int, int], batch_size: int, attempt: int = 0
+):
+    """One span of a fused run: read codes from shared memory, write logits
+    back in place.  The payload is just ``True`` — results never pickle."""
+    chaos = _WORKER.get("chaos")
+    if chaos is not None:
+        chaos.apply(idx, attempt)  # may crash (os._exit) or sleep
+    model = _WORKER["model"]
+    codes, out = _attach_fused_shm(meta)
+    s, e = span
+    t0 = time.perf_counter()
+    with TRACER.span("worker.fused_chunk", chunk=idx, span=(s, e), attempt=attempt):
+        for start in range(s, e, batch_size):
+            stop = min(start + batch_size, e)
+            with TRACER.span("worker.batch", shape=(stop - start,)):
+                out[start:stop] = model.forward_codes(codes[start:stop])
+    wall = time.perf_counter() - t0
+    counters = getattr(getattr(model, "engine", None), "counters", None)
+    metrics = counters.metrics.snapshot() if counters is not None else {}
+    if counters is not None:
+        counters.metrics.clear()
+    stats = {
+        "pid": os.getpid(),
+        "items": int(e - s),
+        "batches": math.ceil((e - s) / batch_size),
+        "wall_s": wall,
+        "ops": metrics.get("ops", {}),
+        "metrics": metrics,
+        "trace": TRACER.drain() if TRACER.enabled else [],
+        "table": REGISTRY.stats(),
+    }
+    return idx, True, stats
 
 
 def _matmul_init(lut: np.ndarray, b_idx: np.ndarray, chunk: int, dtype) -> None:
@@ -322,6 +449,11 @@ class ParallelRunner:
             self._cache_dir = None
 
         self._pool: Optional[ProcessPoolExecutor] = None
+        #: Shared-memory segments created by fused runs and not yet
+        #: released; swept by the per-run ``finally`` and re-swept by
+        #: :meth:`close` / ``__del__`` so no ``/dev/shm`` name outlives
+        #: the runner even if a run is interrupted mid-flight.
+        self._shm_segments: List[shared_memory.SharedMemory] = []
         #: Workers of crash-broken pools discarded mid-run without joining
         #: (joining there would stall the run); :meth:`close` reaps them.
         #: Snapshotted *before* the discarding shutdown, because
@@ -396,6 +528,8 @@ class ParallelRunner:
         for proc in self._dead_procs:
             proc.join(timeout=10.0)
         self._dead_procs.clear()
+        for seg in list(self._shm_segments):
+            self._release_segment(seg)
         if self._tmpdir is not None:
             try:
                 self._tmpdir.cleanup()
@@ -463,14 +597,22 @@ class ParallelRunner:
             outs.append(model.forward(batch))
         return np.concatenate(outs, axis=0)
 
-    def run(self, x: np.ndarray) -> np.ndarray:
-        """Shard ``x`` over the pool; returns outputs concatenated in order."""
-        x = np.asarray(x)
-        spans = self._spans(len(x))
-        if not spans:
-            return self._model().forward(x)
-        t0 = time.perf_counter()
-        results: List[Optional[np.ndarray]] = [None] * len(spans)
+    def _dispatch(
+        self,
+        spans: List[Tuple[int, int]],
+        worker_fn: Callable,
+        task_args: Callable[[int], tuple],
+        fallback_span: Callable[[int, Tuple[int, int]], object],
+    ) -> List[object]:
+        """The retry/restart/fallback ladder, transport-agnostic.
+
+        ``worker_fn(i, *task_args(i), attempt)`` runs on the pool and must
+        return ``(i, payload, worker_stats)``; ``fallback_span(i, span)``
+        is the in-process recovery for spans the pool never delivered.
+        Returns one payload per span (arrays for the pickling transport, a
+        bare ``True`` for shared memory, where outputs land in place).
+        """
+        results: List[object] = [_PENDING] * len(spans)
         attempts = [0] * len(spans)
         last_cause: Dict[int, str] = {}
         max_attempts = 1 + self.task_retries
@@ -492,10 +634,7 @@ class ParallelRunner:
             pool_broke = False
             try:
                 for i in pending:
-                    s, e = spans[i]
-                    fut = pool.submit(
-                        _worker_run, i, x[s:e], self.batch_size, attempts[i]
-                    )
+                    fut = pool.submit(worker_fn, i, *task_args(i), attempts[i])
                     futures[fut] = i
                     submitted_at[i] = time.perf_counter()
             except (BrokenProcessPool, RuntimeError):
@@ -507,8 +646,8 @@ class ParallelRunner:
                 last_cause.setdefault(i, "crash")  # unsubmitted == pool died
             for fut, i in futures.items():
                 try:
-                    idx, out, wstats = fut.result(timeout=self.task_timeout)
-                    results[idx] = out
+                    idx, payload, wstats = fut.result(timeout=self.task_timeout)
+                    results[idx] = payload
                     last_cause.pop(idx, None)
                     # Queue wait: turnaround minus the worker's own compute.
                     turnaround = time.perf_counter() - submitted_at[i]
@@ -526,7 +665,7 @@ class ParallelRunner:
                         "timeout" if isinstance(err, TimeoutError) else "crash"
                     )
 
-            pending = [i for i in pending if results[i] is None]
+            pending = [i for i in pending if results[i] is _PENDING]
             if pool_broke:
                 self._discard_pool()
                 if self._restarts_used < self.pool_restarts:
@@ -544,30 +683,139 @@ class ParallelRunner:
                 break
 
         for i, span in enumerate(spans):
-            if results[i] is None:  # never submitted, timed out, or crashed
+            if results[i] is _PENDING:  # never submitted, timed out, or crashed
                 self._fallbacks += 1
                 cause = last_cause.get(i, "crash")
                 if attempts[i] >= max_attempts and self.task_retries > 0:
                     cause = "retry_exhausted"
                 self._fallback_causes[cause] = self._fallback_causes.get(cause, 0) + 1
                 self.counters.metrics.inc(f"parallel.fallbacks.{cause}")
-                results[i] = self._run_span(x, span)
+                results[i] = fallback_span(i, span)
+        return results
 
-        out = np.concatenate(results, axis=0)
+    def _finish(self, t0: float, n_items: int, spans: List[Tuple[int, int]]) -> None:
         wall = time.perf_counter() - t0
         self._wall += wall
-        self._items += len(x)
+        self._items += n_items
         self._batches += sum(math.ceil((e - s) / self.batch_size) for s, e in spans)
         if TRACER.enabled:
             TRACER.record(
                 "parallel.run",
                 ts=t0 - TRACER.epoch,
                 dur=wall,
-                attrs={"items": len(x), "chunks": len(spans), "workers": self.workers},
+                attrs={"items": n_items, "chunks": len(spans), "workers": self.workers},
             )
+
+    def _fused_plan(self) -> Optional["FusedPlan"]:
+        """The local fused plan when shared-memory transport applies.
+
+        Requires a codes-entry :class:`FusedPlan` (directly or via a
+        :class:`FusedPlanSpec` factory), more than one worker, and no
+        fault plan — fault injection perturbs float micro-batches, which
+        only the pickling transport carries.
+        """
+        if self.workers <= 1 or self.fault_plan is not None:
+            return None
+        model = self._local_model
+        if model is None and isinstance(self._factory, FusedPlanSpec):
+            model = self._model()
+        if isinstance(model, FusedPlan) and model.input_rep == "codes":
+            return model
+        return None
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Shard ``x`` over the pool; returns outputs concatenated in order."""
+        x = np.asarray(x)
+        spans = self._spans(len(x))
+        if not spans:
+            return self._model().forward(x)
+        plan = self._fused_plan()
+        if plan is not None:
+            return self._run_fused(plan, x, spans)
+        t0 = time.perf_counter()
+        results = self._dispatch(
+            spans,
+            _worker_run,
+            lambda i: (x[spans[i][0] : spans[i][1]], self.batch_size),
+            lambda i, span: self._run_span(x, span),
+        )
+        out = np.concatenate(results, axis=0)
+        self._finish(t0, len(x), spans)
         return out
 
     __call__ = run
+
+    # ------------------------------------------------------------------
+    # Fused shared-memory transport
+    # ------------------------------------------------------------------
+    def _create_segment(self, size: int) -> shared_memory.SharedMemory:
+        seg = shared_memory.SharedMemory(create=True, size=max(1, int(size)))
+        self._shm_segments.append(seg)
+        return seg
+
+    def _release_segment(self, seg: shared_memory.SharedMemory) -> None:
+        """Close and unlink one owned segment.  Never raises, never leaks
+        the name: ``unlink`` runs even when a live numpy view still pins
+        the mapping (the memory itself is freed when the view dies)."""
+        try:
+            seg.close()
+        except BufferError:
+            pass
+        try:
+            seg.unlink()
+        except FileNotFoundError:
+            pass
+        try:
+            self._shm_segments.remove(seg)
+        except ValueError:
+            pass
+
+    def _run_fused(
+        self, plan: "FusedPlan", x: np.ndarray, spans: List[Tuple[int, int]]
+    ) -> np.ndarray:
+        """Fused run: encode once, share codes + output buffer, no pickling."""
+        t0 = time.perf_counter()
+        codes = plan.encode_input(x)
+        out_shape = (len(x),) + plan.output_shape
+        seg_codes = self._create_segment(codes.nbytes)
+        seg_out = self._create_segment(int(np.prod(out_shape, dtype=np.int64)) * 8)
+        try:
+            codes_view = np.ndarray(codes.shape, dtype=codes.dtype, buffer=seg_codes.buf)
+            codes_view[...] = codes
+            out_view = np.ndarray(out_shape, dtype=np.float64, buffer=seg_out.buf)
+            meta = {
+                "codes": {
+                    "name": seg_codes.name,
+                    "shape": tuple(codes.shape),
+                    "dtype": codes.dtype.str,
+                },
+                "out": {"name": seg_out.name, "shape": out_shape},
+            }
+
+            def fallback(i, span):
+                # Recompute straight into the output buffer, micro-batched
+                # identically to a worker.  A zombie worker that finishes
+                # after its timeout may rewrite the same span — harmless,
+                # since bit-identity means it writes the same bytes.
+                s, e = span
+                for start in range(s, e, self.batch_size):
+                    stop = min(start + self.batch_size, e)
+                    out_view[start:stop] = plan.forward_codes(codes[start:stop])
+                return True
+
+            self._dispatch(
+                spans,
+                _fused_worker_run,
+                lambda i: (meta, spans[i], self.batch_size),
+                fallback,
+            )
+            result = np.array(out_view)  # own the bytes before unmapping
+            del codes_view, out_view
+        finally:
+            self._release_segment(seg_codes)
+            self._release_segment(seg_out)
+        self._finish(t0, len(x), spans)
+        return result
 
     def _absorb_worker_stats(self, wstats: Dict[str, object]) -> None:
         pid = int(wstats["pid"])

@@ -30,10 +30,11 @@ every add — the no-quire datapath baseline).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, NamedTuple, Optional
 
 import numpy as np
 
+from ..posit import vector as pvec
 from ..posit.format import PositFormat
 from ..posit.quire import Quire
 from ..posit.tensor import PositTable
@@ -41,10 +42,35 @@ from ..posit.value import Posit
 from .backend import OpCounters, timed_op
 from .faults import apply_code_faults
 from .kernels import pairwise_lut, rounded_matmul, stable_matmul
-from .registry import KernelRegistry, get_codec, get_posit_tables
+from .registry import (
+    ENCODE_TABLE_MAX_BITS,
+    ENCODE_TABLE_TOP_BITS,
+    KernelRegistry,
+    get_codec,
+    get_encode_table,
+    get_posit_tables,
+)
 from .wide import MAX_WIDE_BITS, get_wide_posit_codec
 
-__all__ = ["PositBackend"]
+__all__ = ["CodecKernels", "PositBackend"]
+
+
+class CodecKernels(NamedTuple):
+    """The fastest bit-identical (encode, decode) pair for one format.
+
+    What :meth:`PositBackend.codec_kernels` hands the fused planner:
+    ``encode(x) -> codes`` and ``decode(codes, out=None) -> float64``,
+    each byte-equal to the backend's default codec on every input, plus
+    the kernel names for plan introspection.  ``code_dtype`` is the
+    narrowest unsigned dtype holding a code word (what crosses shared
+    memory in the parallel fused path).
+    """
+
+    encode: Callable[[np.ndarray], np.ndarray]
+    decode: Callable[..., np.ndarray]
+    encode_kind: str
+    decode_kind: str
+    code_dtype: type
 
 #: Widest format the tabulated (pairwise / via-float) strategies support;
 #: beyond it the 2**nbits codec tables stop being buildable.
@@ -87,6 +113,9 @@ class PositBackend:
         self.key = ("posit", fmt.nbits, fmt.es)
         self.strategy = strategy
         self.counters = counters if counters is not None else OpCounters()
+        #: Registry the codec/tables came from — also where
+        #: :meth:`codec_kernels` sources its specialized encode tables.
+        self.registry = registry
         # The wide codec is table-free; tabulated strategies share the
         # registry's 2**nbits value/boundary tables.
         self.codec = (
@@ -226,6 +255,76 @@ class PositBackend:
             if self.stable_contractions and qa.ndim == 2 and qb.ndim == 2:
                 return stable_matmul(qa, qb)
             return qa @ qb
+
+    # ------------------------------------------------------------------
+    # Operator specialization (the fused path's kernel chooser)
+    # ------------------------------------------------------------------
+    def codec_kernels(self) -> CodecKernels:
+        """The fastest encode/decode kernels bit-identical to this codec.
+
+        Per-format specialization, chosen from the kernel registry — the
+        software analogue of PAPER §II's FloPoCo paradigm (generate
+        exactly the datapath the computation needs):
+
+        * ``nbits <= 8`` — encode through a direct float64-bits LUT
+          (:func:`repro.engine.registry.get_encode_table`; one gather
+          instead of a boundary binary search), decode by value-table
+          gather.
+        * ``9..16`` — encode through the table-free bit-parallel kernel
+          of :mod:`repro.posit.vector` when the format qualifies
+          (``es <= 3``; bit-exact with the scalar model, like the
+          codec's boundary search), decode by value-table gather.
+        * ``17..32`` — the wide codec's own bit-parallel kernels, with
+          in-place ``out=`` decode for scratch reuse.
+
+        Every pair is byte-equal to ``(self.encode, self.decode)`` on all
+        inputs — specialization is an execution strategy, never a
+        numerics change.
+        """
+        fmt = self.fmt
+        code_dtype = self._code_dtype
+        if self.strategy == "wide":
+            codec = self.codec
+
+            def encode(x, _c=codec, _dt=code_dtype):
+                return _c.encode(x).astype(_dt)
+
+            return CodecKernels(
+                encode, codec.decode, "wide-bitparallel", "wide-bitparallel", code_dtype
+            )
+
+        values = self.codec.values
+
+        def decode(codes, out=None, _v=values):
+            return np.take(_v, codes, out=out)
+
+        if fmt.nbits <= ENCODE_TABLE_MAX_BITS:
+            lut = get_encode_table(fmt, self.registry)
+            shift = np.uint64(52 - ENCODE_TABLE_TOP_BITS)
+            tail_mask = np.uint64((1 << (52 - ENCODE_TABLE_TOP_BITS)) - 1)
+
+            def encode(x, _lut=lut, _sh=shift, _tm=tail_mask, _dt=code_dtype):
+                bits = np.ascontiguousarray(x, dtype=np.float64).view(np.uint64)
+                key = (bits >> _sh) << np.uint64(1)
+                key |= (bits & _tm) != 0
+                return np.take(_lut, key).astype(_dt, copy=False)
+
+            return CodecKernels(encode, decode, "table-lut", "table-gather", code_dtype)
+        if fmt.es <= pvec._MAX_WIDE_ES:
+
+            def encode(x, _fmt=fmt, _dt=code_dtype):
+                return pvec.vector_encode(_fmt, x).astype(_dt)
+
+            return CodecKernels(
+                encode, decode, "wide-bitparallel", "table-gather", code_dtype
+            )
+
+        def encode(x, _c=self.codec, _dt=code_dtype):
+            return _c.encode(np.asarray(x, dtype=np.float64)).astype(_dt)
+
+        return CodecKernels(
+            encode, decode, "table-searchsorted", "table-gather", code_dtype
+        )
 
     def dot_exact(self, a: np.ndarray, b: np.ndarray) -> int:
         """Quire dot product of two code vectors, rounded once (exact)."""

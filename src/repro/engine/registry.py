@@ -35,11 +35,13 @@ from ..posit.tensor import PositCodec, PositTable
 from .observe import METRICS, TRACER
 
 __all__ = [
+    "ENCODE_TABLE_TOP_BITS",
     "KernelRegistry",
     "REGISTRY",
     "array_digest",
     "enable_disk_cache",
     "get_codec",
+    "get_encode_table",
     "get_posit_tables",
 ]
 
@@ -474,3 +476,70 @@ def get_posit_tables(
 def _build_posit_pair_tables(fmt: PositFormat, max_bits: int) -> Dict[str, np.ndarray]:
     table = PositTable(fmt, max_bits=max_bits)
     return {"add": table.add_table, "mul": table.mul_table}
+
+
+# ----------------------------------------------------------------------
+# Direct float64-bits -> posit-code encode tables (the fused path's LUT)
+# ----------------------------------------------------------------------
+#: Fraction bits of a float64 kept verbatim in an encode-table key.  The
+#: key is ``sign(1) | biased exp(11) | top fraction bits | sticky(1)`` —
+#: 21 bits, a 2 MiB uint8 table per <= 8-bit format.
+ENCODE_TABLE_TOP_BITS = 8
+
+#: Widest format an encode table covers.  The correctness condition is
+#: that no posit rounding boundary distinguishes two doubles sharing a
+#: key: boundaries of an ``nbits``-bit posit are values of the
+#: ``(nbits+1)``-bit format, whose significands carry at most ``nbits - 1``
+#: bits — i.e. <= 7 fraction bits for ``nbits <= 8``, strictly inside the
+#: 8 kept bits, so every boundary is itself a key representative (tail
+#: zero, sticky clear) and no truncation interval straddles one.
+ENCODE_TABLE_MAX_BITS = 8
+
+
+def get_encode_table(
+    fmt: PositFormat, registry: Optional["KernelRegistry"] = None
+) -> np.ndarray:
+    """The shared float64-bits -> posit-code encode LUT for ``fmt``.
+
+    Indexed by ``key = (bits >> 44) << 1 | (low 44 bits != 0)`` of the
+    float64 bit pattern; the entry is exactly
+    ``get_codec(fmt).encode(x)`` for every double mapping to that key
+    (built by encoding one representative per key through the codec, so
+    parity with the baseline encoder holds by construction plus the
+    boundary argument above).  Registry-memoized and ``.npz``-cacheable
+    like every other kernel table — this is the table the CI kernel-cache
+    step keeps warm across runs.
+    """
+    if fmt.nbits > ENCODE_TABLE_MAX_BITS:
+        raise ValueError(
+            f"encode tables cover formats up to {ENCODE_TABLE_MAX_BITS} bits "
+            f"(boundary significands must fit the kept fraction bits), got {fmt}"
+        )
+    reg = registry if registry is not None else REGISTRY
+    f = ENCODE_TABLE_TOP_BITS
+    nkey = 1 << (1 + 11 + f + 1)
+    # Resolved up front: the registry lock is not reentrant, so the codec
+    # (itself a registry entry) must not be fetched from inside build().
+    codec = get_codec(fmt, reg)
+
+    def build() -> Dict[str, np.ndarray]:
+        keys = np.arange(nkey, dtype=np.uint64)
+        top = keys >> np.uint64(1)
+        sticky = keys & np.uint64(1)
+        # Representative double per key: kept bits verbatim, sticky classes
+        # get one tail bit set (any nonzero tail rounds identically).
+        rep_bits = (top << np.uint64(52 - f)) | (sticky << np.uint64(52 - f - 1))
+        reps = rep_bits.view(np.float64)
+        return {"encode": codec.encode(reps).astype(np.uint8)}
+
+    def valid(tables: Dict[str, np.ndarray]) -> bool:
+        table = tables.get("encode")
+        return (
+            table is not None
+            and table.dtype == np.uint8
+            and table.shape == (nkey,)
+        )
+
+    return reg.get(("posit", fmt.nbits, fmt.es, "encode-lut"), build, validate=valid)[
+        "encode"
+    ]

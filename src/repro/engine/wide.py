@@ -72,9 +72,15 @@ class WidePositCodec:
         pvec.check_wide_format(fmt)
         self.fmt = fmt
 
-    def decode(self, codes: np.ndarray) -> np.ndarray:
-        """Exact float64 values of the given codes (NaR -> NaN)."""
-        return pvec.vector_decode(self.fmt, codes)
+    def decode(self, codes: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Exact float64 values of the given codes (NaR -> NaN).
+
+        ``out`` (optional, float64, same shape as ``codes``) receives the
+        values in place — the fused path's scratch-buffer hook.  It may
+        alias the storage behind ``codes``; field extraction completes
+        before the first write.
+        """
+        return pvec.vector_decode(self.fmt, codes, out=out)
 
     def encode(self, x: np.ndarray) -> np.ndarray:
         """Round a float array to posit codes, bit-exact with the scalar model."""

@@ -182,11 +182,27 @@ def vector_decode_fields(fmt: PositFormat, codes: np.ndarray):
     return sign, sig, exp, zero, nar
 
 
-def vector_decode(fmt: PositFormat, codes: np.ndarray) -> np.ndarray:
-    """Exact float64 value of each code (NaR -> NaN), bit-parallel."""
+def vector_decode(
+    fmt: PositFormat, codes: np.ndarray, out: np.ndarray = None
+) -> np.ndarray:
+    """Exact float64 value of each code (NaR -> NaN), bit-parallel.
+
+    ``out`` (optional) receives the values in place — a float64 array of
+    the same shape as ``codes``.  The integer fields are fully extracted
+    before ``out`` is written, so ``out`` may even alias the storage
+    behind ``codes`` (e.g. a float64 view of the same buffer); the fused
+    inference path leans on this to recycle one scratch buffer per stage
+    instead of paying a page-faulting fresh allocation per call.
+    """
     sign, sig, exp, zero, nar, _ = _decode_fields_raw(fmt, codes)
+    if out is not None:
+        if out.shape != np.shape(codes) or out.dtype != np.float64:
+            raise ValueError(
+                f"out must be a float64 array of shape {np.shape(codes)}, "
+                f"got {out.dtype} {out.shape}"
+            )
     # sig has <= nbits - 2 bits and |exp| <= max_scale + nbits: exact.
-    val = np.ldexp(sig.astype(np.float64), exp.astype(np.int32))
+    val = np.ldexp(sig.astype(np.float64), exp.astype(np.int32), out=out)
     sign *= -2  # exact sign flip: multiply by +1 (sign 0) or -1 (sign 1)
     sign += 1
     val *= sign

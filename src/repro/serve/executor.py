@@ -7,9 +7,13 @@ and it drives the right engine entry point —
 * ``nn_predict`` — samples from all requests stack into one array and run
   through a long-lived :class:`repro.engine.runner.BatchedRunner` (with
   ``workers > 1``, a :class:`repro.engine.parallel.ParallelRunner` spawn
-  pool) built over a :class:`PositQuantizedNetwork` with
-  ``stable_contractions=True``, so every sample's output is byte-equal to
-  solo execution regardless of batch mates or worker count.
+  pool) built, by default, over the network's compiled
+  :class:`repro.engine.fused.FusedPlan` (``fused=False`` reverts to the
+  per-layer :class:`PositQuantizedNetwork` executors).  Either way the
+  model carries ``stable_contractions=True``, and the fused plan is
+  bit-identical to the unfused network by construction, so every sample's
+  output is byte-equal to solo execution regardless of batch mates,
+  worker count, or execution strategy.
 * ``posit_matmul`` — each request's operands encode into the shared
   per-format :class:`PositBackend` and contract with one posit rounding
   per output element.
@@ -71,6 +75,10 @@ class EngineExecutor:
             into every runner's pool (chaos testing the serving path).
         task_timeout / pool_restarts: Forwarded to
             :class:`~repro.engine.parallel.ParallelRunner`.
+        fused: Serve ``nn_predict`` through compiled
+            :class:`~repro.engine.fused.FusedPlan` objects (default).
+            Bit-identical to the unfused executors; disable to exercise
+            or compare against the per-layer path.
     """
 
     def __init__(
@@ -81,9 +89,11 @@ class EngineExecutor:
         task_timeout: Optional[float] = 30.0,
         pool_restarts: int = 2,
         metrics: Optional[Metrics] = None,
+        fused: bool = True,
     ):
         self.workers = workers
         self.nn_batch_size = int(nn_batch_size)
+        self.fused = bool(fused)
         self.chaos = chaos
         self.task_timeout = task_timeout
         self.pool_restarts = int(pool_restarts)
@@ -124,6 +134,7 @@ class EngineExecutor:
                 qnet = PositQuantizedNetwork(
                     net, PositFormat(bits, es), stable_contractions=True
                 )
+                model = qnet.fused_plan() if self.fused else qnet
                 opts = {}
                 if self.workers is not None and self.workers > 1:
                     opts = {
@@ -132,7 +143,7 @@ class EngineExecutor:
                         "pool_restarts": self.pool_restarts,
                     }
                 runner = self._runners[key] = BatchedRunner(
-                    qnet,
+                    model,
                     batch_size=self.nn_batch_size,
                     workers=self.workers,
                     **opts,
@@ -253,6 +264,7 @@ class EngineExecutor:
             return {
                 "executed": self.executed,
                 "workers": self.workers,
+                "fused": self.fused,
                 "runners": {
                     "/".join(str(p) for p in key): runner.stats()
                     for key, runner in self._runners.items()

@@ -73,6 +73,9 @@ class ServeConfig:
     #: nn_predict worker-pool size (None/1 = in-process execution).
     workers: Optional[int] = None
     nn_batch_size: int = 32
+    #: Serve nn_predict through compiled fused plans (bit-identical to the
+    #: unfused executors; False reverts to the per-layer path).
+    fused: bool = True
     #: Optional ChaosPlan injected into runner pools (testing).
     chaos: object = None
     extra_executor_opts: dict = field(default_factory=dict)
@@ -107,6 +110,7 @@ class ReproServer:
                     "workers": self.config.workers,
                     "nn_batch_size": self.config.nn_batch_size,
                     "chaos": self.config.chaos,
+                    "fused": self.config.fused,
                     **self.config.extra_executor_opts,
                 },
             )
@@ -116,6 +120,7 @@ class ReproServer:
                 nn_batch_size=self.config.nn_batch_size,
                 chaos=self.config.chaos,
                 metrics=self.metrics,
+                fused=self.config.fused,
                 **self.config.extra_executor_opts,
             )
         self.admission = AdmissionController(

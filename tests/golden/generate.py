@@ -143,6 +143,35 @@ def fog_goldens() -> dict:
     return {"a": a, "b": b, "y": y}
 
 
+def fused_mlp_goldens() -> dict:
+    """Frozen inputs + outputs for the fused execution-strategy contract.
+
+    Engine-produced by the *unfused* path on purpose: a small posit<8,0>
+    MLP predicted through the per-layer executors pins the bytes that
+    ``tests/test_fused_identity.py`` then demands from every fused
+    configuration — single-process plan, split code boundary, and
+    shared-memory sharding across workers.  If a fused kernel ever
+    rounds differently, the replay fails against these bytes even if
+    fused and unfused were changed in the same (wrong) way.
+    """
+    from repro.nn.layers import Dense, ReLU
+    from repro.nn.network import Sequential
+    from repro.nn.posit_inference import PositQuantizedNetwork
+    from repro.posit import POSIT8
+
+    rng = np.random.default_rng(ENCODE_SEED + 7000)
+    net = Sequential(
+        [Dense(24, 32, rng, "fc1"), ReLU(), Dense(32, 8, rng, "fc2")],
+        input_shape=(24,),
+        name="fused-golden-mlp",
+    )
+    qnet = PositQuantizedNetwork(net, POSIT8)
+    x = rng.normal(size=(12, 24))
+    y = qnet.predict(x, batch=4)
+    w = {f"w{i}": p.data for i, p in enumerate(net.params())}
+    return {"x": x, "y": y, **w}
+
+
 def main() -> None:
     np.savez_compressed(HERE / "posit8.npz", **posit8_goldens())
     print(f"wrote {HERE / 'posit8.npz'}")
@@ -154,6 +183,8 @@ def main() -> None:
     print(f"wrote {HERE / 'serve_kws1_posit8.npz'}")
     np.savez_compressed(HERE / "fog_posit8_matmul.npz", **fog_goldens())
     print(f"wrote {HERE / 'fog_posit8_matmul.npz'}")
+    np.savez_compressed(HERE / "fused_posit8_mlp.npz", **fused_mlp_goldens())
+    print(f"wrote {HERE / 'fused_posit8_mlp.npz'}")
 
 
 if __name__ == "__main__":

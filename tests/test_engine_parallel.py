@@ -462,3 +462,99 @@ class TestRunnerLifecycle:
         runner.close()
         assert first.tobytes() == second.tobytes()
         assert multiprocessing.active_children() == []
+
+
+class TestFusedSharedMemoryLifecycle:
+    """The fused transport's shared-memory segments must never outlive a
+    run: the parent both closes and *unlinks* everything it creates, even
+    across crashes, timeouts, and repeated runner churn."""
+
+    @staticmethod
+    def _plan():
+        from repro.engine.fused import FusedPlan
+
+        return FusedPlan.compile(kws_cnn1(seed=0), POSIT8)
+
+    def test_ten_fused_cycles_leak_nothing(self):
+        """Serving churn with the shared-memory transport: ten runners
+        opened, run, and closed must leave no spawn children and no
+        tracked segments."""
+        plan = self._plan()
+        x = np.random.default_rng(0).normal(size=(20, 1, 31, 20))
+        ref = None
+        for i in range(10):
+            runner = ParallelRunner(plan, workers=2, batch_size=4)
+            out = runner.run(x)
+            assert runner._shm_segments == [], f"cycle {i} leaked a segment"
+            runner.close()
+            if ref is None:
+                ref = out
+            assert np.array_equal(out, ref), f"cycle {i} drifted"
+        assert multiprocessing.active_children() == []
+
+    def test_segments_are_unlinked_after_run(self):
+        """The segment *names* must be gone from the OS after a run — a
+        re-attach by name has to fail, or /dev/shm fills up over time."""
+        from multiprocessing import shared_memory
+
+        plan = self._plan()
+        runner = ParallelRunner(plan, workers=2, batch_size=4)
+        created = []
+        original = runner._create_segment
+
+        def spying_create(size):
+            seg = original(size)
+            created.append(seg.name)
+            return seg
+
+        runner._create_segment = spying_create
+        runner.run(np.random.default_rng(1).normal(size=(12, 1, 31, 20)))
+        runner.close()
+        assert len(created) == 2  # codes + out
+        for name in created:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        assert multiprocessing.active_children() == []
+
+    def test_close_sweeps_segments_left_by_an_interrupted_run(self):
+        """A segment created outside a completed run (simulating an
+        interrupt between creation and the finally) is released by
+        close() — and close() stays idempotent."""
+        from multiprocessing import shared_memory
+
+        plan = self._plan()
+        runner = ParallelRunner(plan, workers=2, batch_size=4)
+        seg = runner._create_segment(4096)
+        name = seg.name
+        assert runner._shm_segments  # tracked
+        runner.close()
+        runner.close()
+        assert runner._shm_segments == []
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_fused_timeout_falls_back_bit_identically(self):
+        """A stalled worker (chaos slowdown past the task timeout) must
+        not lose the span: the parent recomputes it into the shared
+        output buffer and the merged result is exact."""
+        from repro.engine.faults import ChaosPlan
+
+        plan = self._plan()
+        x = np.random.default_rng(2).normal(size=(16, 1, 31, 20))
+        ref = BatchedRunner(plan, batch_size=4).run(x)
+        chaos = ChaosPlan(slow_rate=1.0, slow_s=5.0)
+        runner = ParallelRunner(
+            plan,
+            workers=2,
+            batch_size=4,
+            chaos=chaos,
+            task_timeout=0.5,
+            task_retries=0,
+            pool_restarts=0,
+        )
+        out = runner.run(x)
+        stats = runner.stats()
+        runner.close()
+        assert np.array_equal(out, ref)
+        assert stats["fallbacks"] > 0
+        assert runner._shm_segments == []

@@ -254,3 +254,65 @@ class TestWideBackendPlumbing:
         y_ref = net.forward(x)
         assert np.allclose(y, y_ref, rtol=1e-5, atol=1e-6)
         assert qnet.weight_quantization_error() < 1e-7
+
+
+class TestDecodeOutBuffer:
+    """In-place buffer reuse on the wide decode path (the fused plan's
+    scratch-buffer hook): ``out=`` must be exact, alias-safe, and strict
+    about shape/dtype."""
+
+    @pytest.mark.parametrize("fmt", [POSIT16, POSIT32], ids=str)
+    def test_out_buffer_receives_exact_values(self, fmt):
+        codec = WidePositCodec(fmt)
+        codes = codec.encode(np.random.default_rng(3).normal(size=301))
+        buf = np.empty(codes.shape, dtype=np.float64)
+        out = codec.decode(codes, out=buf)
+        assert out is buf
+        assert np.array_equal(out, codec.decode(codes), equal_nan=True)
+
+    def test_out_may_alias_the_codes_storage(self):
+        """Decoding into the buffer that *holds* the codes (reinterpreted
+        as float64) must still be exact: every field is extracted before
+        the first write."""
+        codec = WidePositCodec(POSIT32)
+        values = np.random.default_rng(4).normal(size=256)
+        codes = codec.encode(values).astype(np.uint64)
+        want = codec.decode(codes.astype(np.uint32))
+        alias = codes.view(np.float64)  # same 8-byte storage, float view
+        got = pvec.vector_decode(POSIT32, codes, out=alias)
+        assert got is alias
+        assert np.array_equal(got, want, equal_nan=True)
+
+    def test_strided_codes_decode_into_contiguous_out(self):
+        codec = WidePositCodec(POSIT32)
+        codes = codec.encode(np.random.default_rng(5).normal(size=200))
+        strided = codes[::2]
+        buf = np.empty(strided.shape, dtype=np.float64)
+        out = codec.decode(strided, out=buf)
+        assert np.array_equal(out, codec.decode(np.ascontiguousarray(strided)))
+
+    def test_out_shape_and_dtype_are_validated(self):
+        codec = WidePositCodec(POSIT32)
+        codes = codec.encode(np.zeros(10))
+        with pytest.raises(ValueError, match="out"):
+            codec.decode(codes, out=np.empty(11, dtype=np.float64))
+        with pytest.raises(ValueError, match="out"):
+            codec.decode(codes, out=np.empty(10, dtype=np.float32))
+
+    def test_elementwise_ops_tolerate_aliased_operands(self):
+        """add/mul with both operands the same array (a += a patterns)."""
+        codec = WidePositCodec(POSIT32)
+        a = codec.encode(np.random.default_rng(6).normal(size=128))
+        doubled = codec.add(a, a)
+        squared = codec.mul(a, a)
+        vals = codec.decode(a)
+        assert np.array_equal(codec.decode(doubled), codec.quantize(vals + vals))
+        assert np.array_equal(codec.decode(squared), codec.quantize(vals * vals))
+
+    def test_overlapping_views_decode_identically(self):
+        codec = WidePositCodec(POSIT32)
+        codes = codec.encode(np.random.default_rng(7).normal(size=64))
+        head, tail = codes[:48], codes[16:]
+        ref = codec.decode(codes)
+        assert np.array_equal(codec.decode(head), ref[:48])
+        assert np.array_equal(codec.decode(tail), ref[16:])
