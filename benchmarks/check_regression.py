@@ -29,6 +29,11 @@ the machine-normalized **speedup** ratios instead:
   traffic, rendezvous routing), so it is always enforced — a drop means
   the fog's caching or routing changed behaviourally, not that the host
   was slow.
+* ``BENCH_resilience.json``: ``availability`` = completed submissions over
+  total while live fabric node processes are SIGKILLed mid-load.  Always
+  enforced: graceful degradation makes the expected value ~1.0 regardless
+  of host speed, so a drop means failure handling (supervision, breakers,
+  degradation) regressed, not the machine.
 
 Exit status 0 = within budget, 1 = regression (or unreadable inputs).
 """
@@ -50,6 +55,7 @@ CHECKS = (
     ("serve", "BENCH_serve.json", "efficiency", "bar_asserted"),
     ("fused", "BENCH_fused.json", "speedup", "bar_asserted"),
     ("fog", "BENCH_fog.json", "hit_rate", None),
+    ("resilience", "BENCH_resilience.json", "availability", None),
 )
 
 

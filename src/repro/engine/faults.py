@@ -302,6 +302,36 @@ class ChaosPlan:
             time.sleep(self.slow_s)
         return action
 
+    def apply_to_process(self, pid: int, chunk_idx: int, attempt: int = 0) -> Optional[str]:
+        """Execute the decision against a *real* OS process by pid.
+
+        The fabric-scale analogue of :meth:`apply`: ``crash`` SIGKILLs the
+        process (the failure a supervisor must detect and restart),
+        ``slow`` SIGSTOPs it for ``slow_s`` seconds then SIGCONTs (the
+        stall a heartbeat detector must mark suspect — and forgive when
+        the process resumes).  A pid that is already gone is a no-op:
+        chaos raced the supervisor's restart, which is fine.
+        """
+        import signal as _signal
+
+        action = self.decide(chunk_idx, attempt)
+        if action is None:
+            return None
+        try:
+            if action == "crash":
+                os.kill(int(pid), _signal.SIGKILL)
+                METRICS.inc("faults.process_kills")
+            elif action == "slow":
+                os.kill(int(pid), _signal.SIGSTOP)
+                METRICS.inc("faults.process_stalls")
+                try:
+                    time.sleep(self.slow_s)
+                finally:
+                    os.kill(int(pid), _signal.SIGCONT)
+        except ProcessLookupError:
+            return None
+        return action
+
     def __repr__(self):
         return (
             f"ChaosPlan(seed={self.seed}, crash_rate={self.crash_rate}, "

@@ -597,10 +597,18 @@ def report(
     fault_names = [
         n for n in reg["counters"] if n.startswith(("faults.", "poison."))
     ]
-    plain_names = [n for n in reg["counters"] if n not in set(fault_names)]
+    fabric_names = [
+        n for n in reg["counters"] if n.startswith(("fog.", "fabric."))
+    ]
+    grouped = set(fault_names) | set(fabric_names)
+    plain_names = [n for n in reg["counters"] if n not in grouped]
     if plain_names:
         lines.append("registry counters:")
         for name in sorted(plain_names):
+            lines.append(f"  {name:<28} {reg['counters'][name]:g}")
+    if fabric_names:
+        lines.append("fog & fabric (breakers, heartbeats, hedges, degradation):")
+        for name in sorted(fabric_names):
             lines.append(f"  {name:<28} {reg['counters'][name]:g}")
     if fault_names:
         lines.append("faults & poison:")

@@ -70,6 +70,25 @@ _IO_RETRIES = 3
 _IO_BACKOFF_S = 0.01
 
 
+def _io_backoff_s(attempt: int, token: str) -> float:
+    """Jittered exponential disk-retry delay, pure function of its inputs.
+
+    Lockstep backoff re-collides the very writers it is meant to separate:
+    N processes that hit the same half-written file sleep the same
+    ``base * 2**attempt`` and retry together.  The jitter factor in
+    ``[0.5, 1.5)`` derives from ``crc32(token | attempt)`` — ``token`` is
+    per-caller (pid + thread id), so colliding writers spread out, yet the
+    schedule stays deterministic for tests.
+    """
+    h = zlib.crc32(f"{token}|{attempt}".encode()) & 0xFFFFFFFF
+    return _IO_BACKOFF_S * (2 ** int(attempt)) * (0.5 + h / 2**32)
+
+
+def _io_token() -> str:
+    """The per-caller jitter token: this process and thread."""
+    return f"{os.getpid()}.{threading.get_ident()}"
+
+
 def _digest(tables: Dict[str, np.ndarray]) -> bytes:
     """sha256 over the sorted (name, dtype, shape, bytes) of every table."""
     h = hashlib.sha256()
@@ -221,7 +240,7 @@ class KernelRegistry:
                 break
             except _LOAD_ERRORS:
                 if attempt + 1 < _IO_RETRIES:
-                    time.sleep(_IO_BACKOFF_S * (2 ** attempt))
+                    time.sleep(_io_backoff_s(attempt, _io_token()))
         if tables is None:
             return self._integrity_failure(key, path, "unreadable")
         stored = tables.pop(DIGEST_KEY, None)
@@ -296,7 +315,7 @@ class KernelRegistry:
                 except OSError:
                     pass
                 if attempt + 1 < _IO_RETRIES:
-                    time.sleep(_IO_BACKOFF_S * (2 ** attempt))
+                    time.sleep(_io_backoff_s(attempt, _io_token()))
         self.disk_errors += 1
         METRICS.inc("registry.disk_errors")
         return False

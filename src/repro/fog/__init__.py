@@ -39,9 +39,12 @@ The serve front end dispatches into a fog with
 """
 
 from .executor import FogExecutor
+from .fabric import FogFabric
 from .names import ComputationName, name_request
 from .node import FogNode, NodeDown
+from .peer import CircuitBreaker, PeerClient, PeerError
 from .store import ContentStore
+from .supervisor import FabricSupervisor
 from .topology import ChurnDriver, FogTopology, FogUnavailable
 
 __all__ = [
@@ -54,4 +57,9 @@ __all__ = [
     "FogUnavailable",
     "ChurnDriver",
     "FogExecutor",
+    "FogFabric",
+    "FabricSupervisor",
+    "CircuitBreaker",
+    "PeerClient",
+    "PeerError",
 ]

@@ -51,7 +51,17 @@ class ComputationName:
 
     @classmethod
     def parse(cls, uri: str) -> "ComputationName":
-        """Inverse of :meth:`uri`; raises ``ValueError`` on malformed names."""
+        """Inverse of :meth:`uri`; raises ``ValueError`` on malformed names.
+
+        Total over arbitrary input: anything that is not a well-formed
+        name string — wrong type included — raises ``ValueError``, never
+        an incidental ``AttributeError``/``TypeError`` from the parsing
+        internals (names arrive off the wire; the error contract is API).
+        """
+        if not isinstance(uri, str):
+            raise ValueError(
+                f"computation name must be a str, got {type(uri).__name__}"
+            )
         if not uri.startswith(_PREFIX + "/"):
             raise ValueError(f"not a fog computation name: {uri!r}")
         parts = uri[len(_PREFIX) + 1 :].split("/")

@@ -20,6 +20,7 @@ topology's reroute path.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, FrozenSet, Optional, Tuple
 
 import numpy as np
@@ -69,6 +70,24 @@ class FogNode:
         self.alive = True
         self.executions = 0
         self.crashes = 0
+        self.last_heartbeat_s: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def heartbeat(self, now: Optional[float] = None) -> Dict[str, object]:
+        """Answer a liveness probe (raises :class:`NodeDown` when down).
+
+        The in-process analogue of the fabric's heartbeat frame: records
+        when the node last acked so a failure detector can age it out.
+        """
+        if not self.alive:
+            raise NodeDown(self.name)
+        self.last_heartbeat_s = time.monotonic() if now is None else float(now)
+        return {
+            "node": self.name,
+            "executions": self.executions,
+            "store_entries": len(self.store),
+            "at_s": self.last_heartbeat_s,
+        }
 
     # ------------------------------------------------------------------
     def serves(self, batch_key: Tuple) -> bool:

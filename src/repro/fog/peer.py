@@ -1,0 +1,481 @@
+"""repro.fog.peer — one fabric peer: the node process and its client.
+
+The cross-process half of the fog lives here.  :func:`node_main` is the
+entry point of one spawned **node process**: it binds an ephemeral
+localhost socket, reports the port back through a pipe, and serves NDJSON
+frames (:mod:`repro.serve.protocol`) over it — ``interest`` (answer from
+the content store or execute locally), ``carry`` (on-path cache
+repopulation, digest-verified before insertion), ``advertise``,
+``heartbeat``, ``stats`` and ``shutdown``.  Inside, the process is just a
+:class:`~repro.fog.node.FogNode`: same executor, same content store, same
+bytes as the in-process topology — which is exactly why fabric results
+replay byte-identical against the PR 7 fog golden vectors.
+
+On the parent side, :class:`PeerClient` is the blocking socket client the
+fabric routes through: a persistent data connection (closed and re-dialed
+after any failure — a timed-out stream can have a response in flight, so
+it can never be reused), one-shot connections for heartbeats and hedged
+interests (they must not queue behind a long execution), and hard
+connect/request timeouts so a dead or stalled peer costs bounded time.
+
+:class:`CircuitBreaker` wraps each peer with the classic three-state
+machine — **closed** (normal), **open** (recent failures: fail fast, stop
+queueing interests on a dead peer), **half-open** (cooldown elapsed: admit
+exactly one probe; its outcome closes or re-opens the circuit).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..engine.observe import METRICS, Metrics
+from ..engine.registry import array_digest
+from ..serve.protocol import (
+    ProtocolError,
+    decode_line,
+    encode_line,
+    request_from_wire,
+)
+
+__all__ = ["CircuitBreaker", "PeerClient", "PeerError", "node_main"]
+
+#: Longest NDJSON frame a peer will buffer (matches the serve front door).
+_MAX_FRAME = 32 * 1024 * 1024
+
+
+class PeerError(Exception):
+    """Talking to a peer failed (connect, timeout, protocol, hangup).
+
+    Every failure mode of the socket path collapses to this one type so
+    the fabric's retry/breaker logic has a single thing to catch; the
+    original cause rides along in ``args``.
+    """
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+class CircuitBreaker:
+    """Per-peer closed → open → half-open failure circuit.
+
+    Parameters:
+        failure_threshold: Consecutive failures that trip the circuit.
+        reset_after_s: Cooldown before an open circuit admits one probe.
+        clock: Injectable monotonic clock (tests pin time).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_after_s: float = 0.5,
+        clock=time.monotonic,
+        metrics: Optional[Metrics] = None,
+        name: str = "",
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_after_s = float(reset_after_s)
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else METRICS
+        self.name = name
+        self.state = self.CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.opens = 0
+        self.probes = 0
+        self.closes = 0
+        self._lock = threading.Lock()
+
+    def allow(self) -> bool:
+        """May a request go to this peer right now?
+
+        In half-open state only the first caller after cooldown gets
+        ``True`` (the probe); everyone else fails fast until the probe's
+        outcome is recorded.
+        """
+        with self._lock:
+            if self.state == self.CLOSED:
+                return True
+            if self.state == self.OPEN:
+                if self.clock() - self.opened_at >= self.reset_after_s:
+                    self.state = self.HALF_OPEN
+                    self.probes += 1
+                    self.metrics.inc("fabric.breaker.probes")
+                    return True
+                return False
+            return False  # HALF_OPEN: probe already in flight
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self.state != self.CLOSED:
+                self.closes += 1
+                self.metrics.inc("fabric.breaker.closes")
+            self.state = self.CLOSED
+            self.failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failures += 1
+            tripped = (
+                self.state == self.HALF_OPEN
+                or self.failures >= self.failure_threshold
+            )
+            if tripped and self.state != self.OPEN:
+                self.state = self.OPEN
+                self.opens += 1
+                self.metrics.inc("fabric.breaker.opens")
+            if tripped:
+                self.opened_at = self.clock()
+
+    def force_open(self) -> None:
+        """Trip the circuit from outside (heartbeat detector, supervisor)."""
+        with self._lock:
+            if self.state != self.OPEN:
+                self.opens += 1
+                self.metrics.inc("fabric.breaker.opens")
+            self.state = self.OPEN
+            self.failures = max(self.failures, self.failure_threshold)
+            self.opened_at = self.clock()
+
+    def reset(self) -> None:
+        """Close the circuit (a freshly restarted peer starts trusted)."""
+        with self._lock:
+            self.state = self.CLOSED
+            self.failures = 0
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "state": self.state,
+                "failures": self.failures,
+                "opens": self.opens,
+                "probes": self.probes,
+                "closes": self.closes,
+            }
+
+    def __repr__(self):
+        return f"CircuitBreaker({self.name!r}, {self.state}, failures={self.failures})"
+
+
+# ----------------------------------------------------------------------
+# Parent-side client
+# ----------------------------------------------------------------------
+class PeerClient:
+    """Blocking NDJSON client for one fabric node process."""
+
+    def __init__(
+        self,
+        name: str,
+        address: Tuple[str, int],
+        connect_timeout_s: float = 2.0,
+        request_timeout_s: float = 30.0,
+        metrics: Optional[Metrics] = None,
+    ):
+        self.name = str(name)
+        self.address = (str(address[0]), int(address[1]))
+        self.connect_timeout_s = float(connect_timeout_s)
+        self.request_timeout_s = float(request_timeout_s)
+        self.metrics = metrics if metrics is not None else METRICS
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self._buf = b""
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        try:
+            sock = socket.create_connection(
+                self.address, timeout=self.connect_timeout_s
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock
+        except OSError as err:
+            raise PeerError(f"connect to {self.name} {self.address}: {err}")
+
+    def _read_frame(self, sock: socket.socket, oneshot: bool) -> dict:
+        buf = b"" if oneshot else self._buf
+        while b"\n" not in buf:
+            if len(buf) > _MAX_FRAME:
+                raise PeerError(f"oversized frame from {self.name}")
+            try:
+                chunk = sock.recv(1 << 16)
+            except OSError as err:
+                raise PeerError(f"recv from {self.name}: {err}")
+            if not chunk:
+                raise PeerError(f"peer {self.name} closed the connection")
+            buf += chunk
+        line, _, rest = buf.partition(b"\n")
+        if not oneshot:
+            self._buf = rest
+        try:
+            return decode_line(line)
+        except ProtocolError as err:
+            raise PeerError(f"bad frame from {self.name}: {err}")
+
+    def call(
+        self,
+        frame: dict,
+        timeout_s: Optional[float] = None,
+        oneshot: bool = False,
+    ) -> dict:
+        """Send one frame, await one response frame; raises :class:`PeerError`.
+
+        ``oneshot=True`` dials a dedicated connection for this exchange —
+        what heartbeats and hedged interests use so they never queue
+        behind (or desynchronize) the persistent data stream.  On any
+        failure of the persistent stream the socket is discarded: a reply
+        may still be in flight on it, and reading that reply later would
+        correlate it with the wrong request.
+        """
+        timeout = self.request_timeout_s if timeout_s is None else float(timeout_s)
+        payload = encode_line(frame)
+        if oneshot:
+            sock = self._connect()
+            try:
+                sock.settimeout(timeout)
+                sock.sendall(payload)
+                return self._read_frame(sock, oneshot=True)
+            except OSError as err:
+                raise PeerError(f"oneshot call to {self.name}: {err}")
+            finally:
+                sock.close()
+        with self._lock:
+            try:
+                if self._sock is None:
+                    self._sock = self._connect()
+                    self._buf = b""
+                self._sock.settimeout(timeout)
+                self._sock.sendall(payload)
+                return self._read_frame(self._sock, oneshot=False)
+            except (OSError, PeerError) as err:
+                self._drop_locked()
+                if isinstance(err, PeerError):
+                    raise
+                raise PeerError(f"call to {self.name}: {err}")
+
+    def heartbeat(self, seq: int, timeout_s: float = 1.0) -> dict:
+        """One liveness probe on a throwaway connection."""
+        resp = self.call(
+            {"op": "heartbeat", "seq": int(seq)}, timeout_s=timeout_s, oneshot=True
+        )
+        if not resp.get("ok") or resp.get("seq") != int(seq):
+            raise PeerError(f"bad heartbeat ack from {self.name}: {resp}")
+        return resp
+
+    def _drop_locked(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+            self._buf = b""
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop_locked()
+
+    def __repr__(self):
+        return f"PeerClient({self.name!r}, {self.address[0]}:{self.address[1]})"
+
+
+# ----------------------------------------------------------------------
+# Node-process side
+# ----------------------------------------------------------------------
+def _tuple_key(parts) -> tuple:
+    """JSON round-trips tuples as lists; batch keys must come back tuples."""
+    return tuple(parts)
+
+
+class _NodeServer:
+    """The frame handler running inside one fabric node process."""
+
+    def __init__(self, node):
+        self.node = node
+        # Data-plane ops mutate the content store and executor caches;
+        # one lock serializes them while heartbeats answer concurrently.
+        self._data_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def handle(self, frame: dict) -> dict:
+        op = frame.get("op")
+        if op == "interest":
+            return self._interest(frame)
+        if op == "carry":
+            return self._carry(frame)
+        if op == "advertise":
+            with self._data_lock:
+                self.node.advertise(_tuple_key(frame.get("batch_key", [])))
+            return {"ok": True}
+        if op == "heartbeat":
+            return {
+                "ok": True,
+                "seq": frame.get("seq"),
+                "node": self.node.name,
+                "pid": os.getpid(),
+                "executions": self.node.executions,
+                "store_entries": len(self.node.store),
+            }
+        if op == "stats":
+            with self._data_lock:
+                return {"ok": True, "stats": self.node.stats()}
+        if op == "shutdown":
+            return {"ok": True, "bye": True}
+        return {"ok": False, "error": "bad_request", "message": f"unknown op {op!r}"}
+
+    def _interest(self, frame: dict) -> dict:
+        budget_ms = frame.get("budget_ms")
+        if budget_ms is not None and float(budget_ms) <= 0.0:
+            # The forwarded deadline budget is spent: refuse, never work
+            # past a deadline another hop already consumed.
+            return {"ok": False, "error": "deadline", "message": "budget exhausted"}
+        try:
+            request = request_from_wire(frame.get("request"))
+        except ProtocolError as err:
+            return {"ok": False, "error": err.code, "message": str(err)}
+        from .names import name_request  # local import: avoid cycle at module load
+
+        name = name_request(request)
+        with self._data_lock:
+            cached = self.node.lookup(name)
+            if cached is not None:
+                return self._result(cached, source="cache")
+            if not self.node.serves(request.batch_key()):
+                return {
+                    "ok": False,
+                    "error": "cant_serve",
+                    "message": f"{self.node.name} does not own {request.batch_key()}",
+                }
+            try:
+                result = self.node.execute(request)
+            except Exception as err:  # noqa: BLE001 — resolve over the wire
+                return {
+                    "ok": False,
+                    "error": "exec_failed",
+                    "message": f"{type(err).__name__}: {err}",
+                }
+        return self._result(result, source="exec")
+
+    def _result(self, result: np.ndarray, source: str) -> dict:
+        from ..serve.protocol import encode_array
+
+        return {
+            "ok": True,
+            "source": source,
+            "result": encode_array(result),
+            "digest": array_digest(result),
+        }
+
+    def _carry(self, frame: dict) -> dict:
+        from ..serve.protocol import decode_array
+
+        try:
+            result = decode_array(frame.get("result"))
+        except ProtocolError as err:
+            return {"ok": False, "error": err.code, "message": str(err)}
+        # Integrity re-verification at the door: the bytes must still hash
+        # to the digest pinned when the result was produced — a corrupted
+        # or tampered carry is refused, not cached (and counted, exactly
+        # like a store read that fails its pinned digest).
+        if array_digest(result) != frame.get("digest"):
+            self.node.store.integrity_failures += 1
+            self.node.metrics.inc(f"fog.node.{self.node.name}.carry_rejected")
+            return {"ok": True, "accepted": False}
+        from .names import ComputationName
+
+        try:
+            name = ComputationName.parse(str(frame.get("name")))
+        except ValueError as err:
+            return {"ok": False, "error": "bad_request", "message": str(err)}
+        with self._data_lock:
+            self.node.carry(name, result)
+        return {"ok": True, "accepted": True}
+
+
+def _serve_connection(conn: socket.socket, server: _NodeServer) -> None:
+    buf = b""
+    try:
+        while True:
+            while b"\n" not in buf:
+                if len(buf) > _MAX_FRAME:
+                    return
+                chunk = conn.recv(1 << 16)
+                if not chunk:
+                    return
+                buf += chunk
+            line, _, buf = buf.partition(b"\n")
+            try:
+                frame = decode_line(line)
+            except ProtocolError as err:
+                conn.sendall(
+                    encode_line({"ok": False, "error": "bad_request", "message": str(err)})
+                )
+                continue
+            response = server.handle(frame)
+            conn.sendall(encode_line(response))
+            if response.get("bye"):
+                os._exit(0)
+    except OSError:
+        pass  # client went away: this connection is done, the node is not
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def node_main(name: str, port_conn, opts: Optional[dict] = None) -> None:
+    """Entry point of one spawned fabric node process.
+
+    Builds a :class:`~repro.fog.node.FogNode` (executor + content store),
+    binds an ephemeral localhost socket, reports the bound port through
+    ``port_conn`` (a one-shot pipe to the supervisor) and serves frames
+    until killed or told to shut down.  One thread per connection: the
+    supervisor's heartbeats land on their own connections and are answered
+    even while an execution occupies the data plane.
+    """
+    from ..engine.observe import Metrics as _Metrics
+    from ..serve.executor import EngineExecutor
+    from .node import FogNode
+    from .store import ContentStore
+
+    opts = dict(opts or {})
+    executor_opts = dict(opts.get("executor_opts") or {})
+    executor_opts.setdefault("metrics", _Metrics())
+    node = FogNode(
+        name,
+        capabilities=frozenset(_tuple_key(k) for k in opts.get("capabilities", [])),
+        executor=EngineExecutor(**executor_opts),
+        store=ContentStore(capacity_bytes=int(opts.get("capacity_bytes", 16 << 20))),
+        metrics=executor_opts["metrics"],
+    )
+    server = _NodeServer(node)
+    listener = socket.create_server(("127.0.0.1", 0))
+    listener.settimeout(1.0)
+    port_conn.send(listener.getsockname()[1])
+    port_conn.close()
+    threads = []
+    try:
+        while True:
+            try:
+                conn, _ = listener.accept()
+            except socket.timeout:
+                threads = [t for t in threads if t.is_alive()]
+                continue
+            t = threading.Thread(
+                target=_serve_connection, args=(conn, server), daemon=True
+            )
+            t.start()
+            threads.append(t)
+    finally:
+        listener.close()

@@ -163,6 +163,21 @@ class FogTopology:
             self.metrics.inc("fog.capabilities_assigned")
         return owners
 
+    def live_owners(self, batch_key: Tuple, visited=()) -> List[FogNode]:
+        """Owners currently worth forwarding to, in rendezvous order.
+
+        The topology's liveness view is the ``alive`` flag; subclasses and
+        the cross-process fabric substitute a *measured* verdict here
+        (heartbeat failure detector + circuit breaker) without touching
+        the walk itself.
+        """
+        visited = set(visited)
+        return [
+            owner
+            for owner in self.owners(batch_key)
+            if owner.alive and owner.name not in visited
+        ]
+
     def _ingress(self) -> FogNode:
         """Round-robin over alive nodes (any edge node can take traffic)."""
         alive = self.alive_nodes()
@@ -221,11 +236,7 @@ class FogTopology:
             # to the capability's owners, skipping nodes already visited.
             path.append(node)
             visited = {n.name for n in path}
-            candidates = [
-                owner
-                for owner in self.owners(key)
-                if owner.alive and owner.name not in visited
-            ]
+            candidates = self.live_owners(key, visited)
             if not candidates:
                 self.unavailable += 1
                 self.metrics.inc("fog.unavailable")

@@ -31,7 +31,33 @@ def _parse_args(argv=None) -> ServeConfig:
         help="dispatch through an N-node fog topology (default: direct engine)",
     )
     parser.add_argument("--fog-replicas", type=int, default=2)
+    parser.add_argument(
+        "--fog-fabric", action="store_true",
+        help="promote the fog to supervised node *processes* behind "
+             "sockets, with heartbeat failure detection, circuit breakers "
+             "and restart-with-backoff (requires --fog-nodes)",
+    )
+    parser.add_argument(
+        "--fog-heartbeat-ms", type=float, default=100.0,
+        help="fabric failure-detector probe interval",
+    )
+    parser.add_argument(
+        "--fog-miss-budget", type=int, default=3,
+        help="consecutive missed heartbeats before a node is suspect",
+    )
+    parser.add_argument(
+        "--fog-hedge-ms", type=float, default=None,
+        help="hedge fabric interests to a second replica after this "
+             "silence (default: no hedging)",
+    )
+    parser.add_argument(
+        "--no-fog-degrade", action="store_true",
+        help="fail fabric interests when every owner is unreachable "
+             "instead of degrading to counted in-process execution",
+    )
     args = parser.parse_args(argv)
+    if args.fog_fabric and not args.fog_nodes:
+        parser.error("--fog-fabric requires --fog-nodes")
     return ServeConfig(
         host=args.host,
         port=args.port,
@@ -44,6 +70,11 @@ def _parse_args(argv=None) -> ServeConfig:
         fused=not args.no_fused,
         fog_nodes=args.fog_nodes,
         fog_replicas=args.fog_replicas,
+        fog_fabric=args.fog_fabric,
+        fog_heartbeat_ms=args.fog_heartbeat_ms,
+        fog_miss_budget=args.fog_miss_budget,
+        fog_hedge_ms=args.fog_hedge_ms,
+        fog_degrade_local=not args.no_fog_degrade,
     )
 
 

@@ -65,9 +65,15 @@ class ServeClient:
         req_id = str(payload.setdefault("id", f"c{next(self._ids)}"))
         future = asyncio.get_running_loop().create_future()
         self._pending[req_id] = future
-        self._writer.write(encode_line(payload))
-        await self._writer.drain()
-        return await asyncio.wait_for(future, timeout)
+        try:
+            self._writer.write(encode_line(payload))
+            await self._writer.drain()
+            return await asyncio.wait_for(future, timeout)
+        finally:
+            # A timed-out or failed request must not leave its future in
+            # the pending map: a late response for a dead id is dropped by
+            # the read loop, not delivered to a caller who already gave up.
+            self._pending.pop(req_id, None)
 
     async def close(self) -> None:
         self._closed = True

@@ -33,6 +33,7 @@ Failure: ``{"id", "ok": false, "error": <code>, "message", and
 
 from __future__ import annotations
 
+import base64
 import json
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
@@ -49,6 +50,13 @@ __all__ = [
     "decode_line",
     "ok_response",
     "error_response",
+    "encode_array",
+    "decode_array",
+    "request_to_wire",
+    "request_from_wire",
+    "interest_frame",
+    "heartbeat_frame",
+    "carry_frame",
 ]
 
 WORKLOADS = ("posit_matmul", "nn_predict", "approx_matmul")
@@ -237,3 +245,125 @@ def error_response(
     if retry_after_ms is not None:
         out["retry_after_ms"] = round(float(retry_after_ms), 3)
     return out
+
+
+# ----------------------------------------------------------------------
+# Fabric wire format: arrays, requests and frames between fog peers
+# ----------------------------------------------------------------------
+# The cross-process fabric (:mod:`repro.fog.fabric`) reuses this module's
+# NDJSON line codec but carries tensors as base64 raw bytes plus dtype and
+# shape instead of JSON number lists: the bytes that leave one process are
+# exactly the bytes that arrive in the other, so the fog's byte-identity
+# contract survives the socket with no float round-trip argument needed.
+
+def encode_array(arr: np.ndarray) -> dict:
+    """A JSON-able ``{dtype, shape, data}`` triple carrying exact bytes."""
+    a = np.ascontiguousarray(arr)
+    return {
+        "dtype": str(a.dtype),
+        "shape": list(a.shape),
+        "data": base64.b64encode(a.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(obj: dict) -> np.ndarray:
+    """Inverse of :func:`encode_array`; raises :class:`ProtocolError`."""
+    if not isinstance(obj, dict):
+        raise ProtocolError("array field must be a {dtype, shape, data} object")
+    try:
+        dtype = np.dtype(str(obj["dtype"]))
+        shape = tuple(int(n) for n in obj["shape"])
+        raw = base64.b64decode(str(obj["data"]).encode("ascii"), validate=True)
+    except KeyError as err:
+        raise ProtocolError(f"array object missing field {err}")
+    except (TypeError, ValueError) as err:
+        raise ProtocolError(f"malformed array object: {err}")
+    count = 1
+    for n in shape:
+        if n < 0:
+            raise ProtocolError(f"negative dimension in shape {shape}")
+        count *= n
+    if count > MAX_ELEMENTS:
+        raise ProtocolError(
+            f"array has {count} elements (limit {MAX_ELEMENTS})", code="too_large"
+        )
+    if len(raw) != count * dtype.itemsize:
+        raise ProtocolError(
+            f"array payload is {len(raw)} bytes, expected {count * dtype.itemsize}"
+        )
+    return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+
+
+#: Request fields that cross the fabric wire verbatim (arrays travel as
+#: :func:`encode_array` objects; server bookkeeping stays home).
+_WIRE_SCALARS = ("id", "workload", "tenant", "bits", "es", "model", "mult", "rows")
+
+
+def request_to_wire(req: Request) -> dict:
+    """A validated :class:`Request` as a JSON-able fabric payload."""
+    out = {name: getattr(req, name) for name in _WIRE_SCALARS}
+    for name in ("a", "b", "x"):
+        arr = getattr(req, name)
+        if arr is not None:
+            out[name] = encode_array(arr)
+    return out
+
+
+def request_from_wire(obj: dict) -> Request:
+    """Rebuild a :class:`Request` shipped by :func:`request_to_wire`.
+
+    Peers trust each other's validation (every request was parsed at the
+    serve front door), so this only re-checks structure, not semantics.
+    """
+    if not isinstance(obj, dict):
+        raise ProtocolError("wire request must be a JSON object")
+    try:
+        req = Request(
+            id=str(obj["id"]),
+            workload=str(obj["workload"]),
+            tenant=str(obj.get("tenant", "default")),
+            bits=int(obj["bits"]),
+            es=int(obj["es"]),
+            model=obj.get("model"),
+            mult=obj.get("mult"),
+            rows=int(obj.get("rows", 1)),
+        )
+    except (KeyError, TypeError, ValueError) as err:
+        raise ProtocolError(f"malformed wire request: {err!r}")
+    if req.workload not in WORKLOADS:
+        raise ProtocolError(f"unknown workload {req.workload!r}")
+    for name in ("a", "b", "x"):
+        if obj.get(name) is not None:
+            setattr(req, name, decode_array(obj[name]))
+    return req
+
+
+def interest_frame(req: Request, budget_ms: Optional[float] = None) -> dict:
+    """One fabric interest: a named computation plus its remaining deadline
+    budget in milliseconds.  The budget is decremented by every hop and
+    retry on the sending side — a peer that receives a spent budget must
+    answer ``deadline`` without executing, never work past it."""
+    frame = {"op": "interest", "request": request_to_wire(req)}
+    if budget_ms is not None:
+        frame["budget_ms"] = round(float(budget_ms), 3)
+    return frame
+
+
+def heartbeat_frame(seq: int) -> dict:
+    """One liveness probe; peers echo ``seq`` so acks can't be conflated."""
+    return {"op": "heartbeat", "seq": int(seq)}
+
+
+def carry_frame(name_uri: str, result: np.ndarray, digest: str) -> dict:
+    """On-path cache repopulation: a result and its pinned sha256 digest.
+
+    The receiver re-computes the digest of the decoded bytes and refuses
+    the entry on mismatch — the same integrity posture the content store
+    applies on every read.
+    """
+    return {
+        "op": "carry",
+        "name": str(name_uri),
+        "result": encode_array(result),
+        "digest": str(digest),
+    }

@@ -83,6 +83,21 @@ class ServeConfig:
     #: a single in-process engine executor (None = direct execution).
     fog_nodes: Optional[int] = None
     fog_replicas: int = 2
+    #: Promote the fog to a cross-process fabric: each node a supervised
+    #: OS process behind sockets (:class:`repro.fog.FogFabric`), with
+    #: heartbeat failure detection, circuit breakers and restart-with-
+    #: backoff.  Requires ``fog_nodes``.
+    fog_fabric: bool = False
+    #: Fabric failure-detector cadence and miss budget.
+    fog_heartbeat_ms: float = 100.0
+    fog_miss_budget: int = 3
+    #: Hedge delay for fabric interests (None = no hedging).
+    fog_hedge_ms: Optional[float] = None
+    #: Deadline budget for fabric interests that carry no deadline.
+    fog_budget_ms: float = 2000.0
+    #: Fall back to in-process execution when every owner is unreachable
+    #: (counted in ``fabric.degraded_local``); False raises instead.
+    fog_degrade_local: bool = True
 
 
 class ReproServer:
@@ -102,18 +117,42 @@ class ReproServer:
             # Imported here: repro.fog builds on repro.serve, not vice versa.
             from ..fog.executor import FogExecutor
 
-            self.executor = FogExecutor(
-                nodes=self.config.fog_nodes,
-                replicas=self.config.fog_replicas,
-                metrics=self.metrics,
-                executor_opts={
-                    "workers": self.config.workers,
-                    "nn_batch_size": self.config.nn_batch_size,
-                    "chaos": self.config.chaos,
-                    "fused": self.config.fused,
-                    **self.config.extra_executor_opts,
-                },
-            )
+            executor_opts = {
+                "workers": self.config.workers,
+                "nn_batch_size": self.config.nn_batch_size,
+                "chaos": self.config.chaos,
+                "fused": self.config.fused,
+                **self.config.extra_executor_opts,
+            }
+            if self.config.fog_fabric:
+                from ..fog.fabric import FogFabric
+
+                # Fabric nodes are daemonic processes and cannot spawn
+                # grandchildren, so their executors stay in-process.
+                fabric_opts = dict(executor_opts)
+                fabric_opts["workers"] = None
+                fabric_opts.pop("chaos", None)
+                self.executor = FogExecutor(
+                    topology=FogFabric(
+                        nodes=self.config.fog_nodes,
+                        replicas=self.config.fog_replicas,
+                        heartbeat_ms=self.config.fog_heartbeat_ms,
+                        miss_budget=self.config.fog_miss_budget,
+                        hedge_ms=self.config.fog_hedge_ms,
+                        default_budget_ms=self.config.fog_budget_ms,
+                        degrade_local=self.config.fog_degrade_local,
+                        metrics=self.metrics,
+                        executor_opts=fabric_opts,
+                    ),
+                    metrics=self.metrics,
+                )
+            else:
+                self.executor = FogExecutor(
+                    nodes=self.config.fog_nodes,
+                    replicas=self.config.fog_replicas,
+                    metrics=self.metrics,
+                    executor_opts=executor_opts,
+                )
         else:
             self.executor = EngineExecutor(
                 workers=self.config.workers,

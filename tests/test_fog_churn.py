@@ -14,7 +14,7 @@ import pytest
 from repro.engine import ChaosPlan
 from repro.engine.observe import Metrics
 from repro.engine.posit_backend import PositBackend
-from repro.fog import ChurnDriver, FogTopology, FogUnavailable
+from repro.fog import ChurnDriver, FogTopology, FogUnavailable, name_request
 from repro.posit.format import PositFormat
 from repro.serve.protocol import Request
 
@@ -154,3 +154,100 @@ class TestCacheUnderChurn:
             assert set(out2["revived"]) >= set(out0["crashed"]), (
                 "nodes crashed at step 0 revive after downtime_steps=2"
             )
+
+
+class TestChurnDriverEdgeCases:
+    def test_min_alive_equal_to_node_count_disables_churn(self):
+        """The floor is honoured even against an always-crash plan: with
+        min_alive == nodes, the driver may never take anyone down."""
+        with FogTopology(nodes=3, replicas=2, metrics=Metrics()) as topo:
+            driver = ChurnDriver(
+                topo, ChaosPlan(seed=5, crash_rate=1.0), min_alive=3
+            )
+            for step in range(5):
+                out = driver.step(step)
+                assert out["crashed"] == []
+                assert all(n.alive for n in topo.nodes)
+            assert driver.stats() == {
+                "crashes": 0, "revivals": 0, "currently_down": 0,
+            }
+
+    def test_adversarial_plan_keeps_serving_at_the_floor(self):
+        """crash_rate=1.0, min_alive=1: the one surviving node still
+        serves every capability it owns — reject-or-exact, not silence."""
+        rng = np.random.default_rng(31)
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 2))
+        want = direct(a, b).tobytes()
+        completed = rejected = 0
+        with FogTopology(nodes=4, replicas=2, metrics=Metrics()) as topo:
+            driver = ChurnDriver(
+                topo, ChaosPlan(seed=5, crash_rate=1.0), min_alive=1,
+                downtime_steps=100,  # nobody comes back: worst case
+            )
+            for step in range(4):
+                driver.step(step)
+                assert sum(1 for n in topo.nodes if n.alive) >= 1
+                try:
+                    got = topo.submit(matmul_request(f"floor{step}", a, b))
+                except FogUnavailable:
+                    rejected += 1
+                    continue
+                completed += 1
+                assert got.tobytes() == want
+        assert completed + rejected == 4
+
+    def test_currently_down_accounting(self):
+        with FogTopology(nodes=4, replicas=2, metrics=Metrics()) as topo:
+            driver = ChurnDriver(
+                topo, ChaosPlan(seed=9, crash_rate=1.0), downtime_steps=2,
+                min_alive=2,
+            )
+            out0 = driver.step(0)
+            assert driver.stats()["currently_down"] == len(out0["crashed"])
+            # Downtime elapsed: step-0 victims revive — but the always-
+            # crash plan takes fresh victims the same step, so the down
+            # count tracks the *new* crash set, not zero.
+            out2 = driver.step(2)
+            assert set(out2["revived"]) >= set(out0["crashed"])
+            assert driver.stats()["currently_down"] == len(out2["crashed"])
+            assert driver.stats()["revivals"] >= len(out0["crashed"])
+
+    def test_constructor_validation(self):
+        with FogTopology(nodes=2, replicas=2, metrics=Metrics()) as topo:
+            plan = ChaosPlan(seed=0, crash_rate=0.5)
+            with pytest.raises(ValueError, match="downtime_steps"):
+                ChurnDriver(topo, plan, downtime_steps=0)
+            with pytest.raises(ValueError, match="min_alive"):
+                ChurnDriver(topo, plan, min_alive=0)
+
+    def test_revived_store_tampering_is_refused_and_counted(self):
+        """The full loss-and-recovery path with a byzantine twist: a node
+        crashes (store wiped), revives, repopulates — and then its cached
+        bytes rot.  The store's digest re-verification must refuse the
+        entry (counted), and the fog must re-execute to the exact bytes."""
+        rng = np.random.default_rng(37)
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 2))
+        want = direct(a, b).tobytes()
+        with FogTopology(nodes=4, replicas=2, metrics=Metrics()) as topo:
+            req = matmul_request("tamper", a, b)
+            uri = name_request(req).uri()
+            primary = topo.owners(req.batch_key())[0]
+            topo.submit(req, ingress=primary.name)
+            topo.crash(primary.name)
+            topo.revive(primary.name)
+            assert primary.store.stats()["entries"] == 0
+            topo.submit(req, ingress=primary.name)  # repopulate
+            assert primary.store.stats()["entries"] == 1
+            # Bit rot in the revived store: flip a byte behind the
+            # read-only guard, exactly what the pinned digest is for.
+            entry = primary.store._entries[uri]
+            tampered = entry.result
+            tampered.setflags(write=True)
+            tampered.flat[0] += 1.0
+            before = primary.store.stats()["integrity_failures"]
+            got = topo.submit(req, ingress=primary.name)
+            assert got.tobytes() == want, "tampered bytes must never be served"
+            assert primary.store.stats()["integrity_failures"] == before + 1
+            # The refused entry was dropped and the re-execution's good
+            # bytes took its place: the next read replays verified content.
+            assert primary.store.get(uri) is not None

@@ -1,0 +1,391 @@
+"""Cross-process fabric: identity, breakers, budgets, degradation.
+
+The fabric's contract stacks three promises on top of the in-process
+fog's: (1) **byte-identity across the process boundary** — a result is
+bit-exact against the PR 7 golden vectors whether executed in a node
+process, replayed from its content store over the wire, or served by the
+degradation rung; (2) **bounded failure cost** — circuit breakers and
+deadline budgets mean a dead peer costs fail-fast time, not a timeout per
+request; (3) **counted degradation** — when every owner is unreachable
+the fabric answers locally and says so in its metrics, never silently.
+
+Process-free classes (breaker state machine, backoff purity, node-server
+frame handling, wire codec) run the logic in-process; the golden class
+spawns one real fabric per module and drives it over sockets.
+"""
+
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine.observe import Metrics
+from repro.engine.registry import array_digest
+from repro.fog import CircuitBreaker, FogFabric, FogUnavailable, name_request
+from repro.fog.fabric import retry_backoff_ms
+from repro.fog.node import FogNode
+from repro.fog.peer import _NodeServer
+from repro.fog.supervisor import restart_backoff_s
+from repro.serve.executor import DeadlineExceeded, EngineExecutor
+from repro.serve.protocol import (
+    Request,
+    decode_array,
+    encode_array,
+    interest_frame,
+    request_from_wire,
+    request_to_wire,
+)
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "fog_posit8_matmul.npz"
+
+pytestmark = pytest.mark.timeout(300)
+
+
+def matmul_request(req_id, a, b):
+    return Request(
+        id=req_id,
+        workload="posit_matmul",
+        tenant="t",
+        bits=8,
+        es=2,
+        a=np.asarray(a, dtype=np.float64),
+        b=np.asarray(b, dtype=np.float64),
+        rows=len(a),
+    )
+
+
+def assert_bitexact(got, want, label):
+    got = np.asarray(got)
+    want = np.asarray(want)
+    assert got.shape == want.shape and got.dtype == want.dtype, label
+    assert got.tobytes() == want.tobytes(), f"{label}: outputs differ bytewise"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with np.load(GOLDEN) as data:
+        return data["a"].copy(), data["b"].copy(), data["y"].copy()
+
+
+# ----------------------------------------------------------------------
+# Deterministic jittered backoff (pure functions)
+# ----------------------------------------------------------------------
+class TestBackoff:
+    def test_retry_backoff_is_deterministic(self):
+        a = retry_backoff_ms(10.0, 2, "uri-x")
+        b = retry_backoff_ms(10.0, 2, "uri-x")
+        assert a == b
+
+    def test_retry_backoff_grows_and_jitters_within_envelope(self):
+        for attempt in range(4):
+            delay = retry_backoff_ms(10.0, attempt, "uri-y", cap_ms=1e9)
+            base = 10.0 * 2**attempt
+            assert 0.5 * base <= delay < 1.5 * base
+
+    def test_retry_backoff_respects_cap(self):
+        assert retry_backoff_ms(10.0, 30, "uri-z", cap_ms=250.0) == 250.0
+
+    def test_retry_backoff_decorrelates_tokens(self):
+        delays = {retry_backoff_ms(10.0, 1, f"uri-{i}") for i in range(16)}
+        assert len(delays) > 1, "every interest retried in lockstep"
+
+    def test_restart_backoff_same_shape(self):
+        assert restart_backoff_s(0.05, 1, "n0") == restart_backoff_s(0.05, 1, "n0")
+        assert restart_backoff_s(0.05, 0, "n0") != restart_backoff_s(0.05, 0, "n1")
+        assert restart_backoff_s(0.05, 99, "n0", cap_s=5.0) == 5.0
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker state machine (injectable clock, no sockets)
+# ----------------------------------------------------------------------
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def make(self, **kw):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, reset_after_s=1.0, clock=clock,
+            metrics=Metrics(), name="t", **kw,
+        )
+        return breaker, clock
+
+    def test_closed_allows_and_failures_below_threshold_stay_closed(self):
+        breaker, _ = self.make()
+        assert breaker.allow()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_threshold_failures_open_the_circuit(self):
+        breaker, _ = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow(), "open circuit must fail fast"
+
+    def test_success_resets_the_failure_count(self):
+        breaker, _ = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_cooldown_admits_exactly_one_probe(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now += 1.5  # past reset_after_s
+        assert breaker.allow(), "first caller after cooldown is the probe"
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow(), "second caller must wait for the probe"
+
+    def test_probe_success_closes(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now += 1.5
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now += 1.5
+        assert breaker.allow()
+        breaker.record_failure()  # one failed probe is enough
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        clock.now += 1.5
+        assert breaker.allow(), "cooldown restarted from the failed probe"
+
+    def test_before_cooldown_stays_open(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now += 0.5  # < reset_after_s
+        assert not breaker.allow()
+
+    def test_force_open_and_reset(self):
+        breaker, _ = self.make()
+        breaker.force_open()
+        assert breaker.state == CircuitBreaker.OPEN
+        breaker.reset()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+
+# ----------------------------------------------------------------------
+# Wire format (arrays + requests round-trip bit-identically)
+# ----------------------------------------------------------------------
+class TestWireFormat:
+    def test_array_roundtrip_is_bitexact(self):
+        rng = np.random.default_rng(7)
+        for arr in (
+            rng.normal(size=(3, 4)),
+            rng.integers(-100, 100, size=(5,), dtype=np.int64),
+            np.array([np.nan, np.inf, -0.0]),
+        ):
+            back = decode_array(encode_array(arr))
+            assert back.dtype == arr.dtype and back.shape == arr.shape
+            assert back.tobytes() == arr.tobytes()
+
+    def test_request_roundtrip_preserves_operand_bytes(self):
+        rng = np.random.default_rng(9)
+        req = matmul_request("w1", rng.normal(size=(2, 3)), rng.normal(size=(3, 2)))
+        back = request_from_wire(request_to_wire(req))
+        assert back.batch_key() == req.batch_key()
+        assert back.a.tobytes() == req.a.tobytes()
+        assert back.b.tobytes() == req.b.tobytes()
+        assert name_request(back).uri() == name_request(req).uri()
+
+
+# ----------------------------------------------------------------------
+# Node-server frame handling (in-process, no sockets)
+# ----------------------------------------------------------------------
+class TestNodeServer:
+    def make(self):
+        node = FogNode(
+            "srv", executor=EngineExecutor(metrics=Metrics()), metrics=Metrics()
+        )
+        return node, _NodeServer(node)
+
+    def test_spent_budget_is_refused_without_executing(self):
+        node, server = self.make()
+        req = matmul_request("b0", [[1.0, 2.0]], [[3.0], [4.0]])
+        node.advertise(req.batch_key())
+        resp = server.handle(interest_frame(req, budget_ms=0.0))
+        assert not resp["ok"] and resp["error"] == "deadline"
+        assert node.executions == 0, "a spent budget must never reach the engine"
+
+    def test_interest_executes_when_owner(self):
+        node, server = self.make()
+        req = matmul_request("b1", [[1.0, 2.0]], [[3.0], [4.0]])
+        node.advertise(req.batch_key())
+        resp = server.handle(interest_frame(req, budget_ms=1000.0))
+        assert resp["ok"] and resp["source"] == "exec"
+        result = decode_array(resp["result"])
+        assert resp["digest"] == array_digest(result)
+        assert_bitexact(result, [[11.0]], "node-server exec")
+
+    def test_interest_cache_hit_after_exec(self):
+        node, server = self.make()
+        req = matmul_request("b2", [[1.0, 2.0]], [[3.0], [4.0]])
+        node.advertise(req.batch_key())
+        first = server.handle(interest_frame(req, budget_ms=1000.0))
+        second = server.handle(interest_frame(req, budget_ms=1000.0))
+        assert second["source"] == "cache"
+        assert second["digest"] == first["digest"]
+
+    def test_non_owner_cant_serve(self):
+        _, server = self.make()
+        req = matmul_request("b3", [[1.0, 2.0]], [[3.0], [4.0]])
+        resp = server.handle(interest_frame(req, budget_ms=1000.0))
+        assert not resp["ok"] and resp["error"] == "cant_serve"
+
+    def test_carry_with_good_digest_is_accepted(self):
+        node, server = self.make()
+        req = matmul_request("b4", [[1.0, 2.0]], [[3.0], [4.0]])
+        result = np.array([[11.0]])
+        uri = name_request(req).uri()
+        from repro.serve.protocol import carry_frame
+
+        resp = server.handle(carry_frame(uri, result, array_digest(result)))
+        assert resp["ok"] and resp["accepted"]
+        assert node.store.get(uri) is not None
+
+    def test_carry_with_bad_digest_is_refused_and_counted(self):
+        node, server = self.make()
+        req = matmul_request("b5", [[1.0, 2.0]], [[3.0], [4.0]])
+        result = np.array([[11.0]])
+        uri = name_request(req).uri()
+        from repro.serve.protocol import carry_frame
+
+        frame = carry_frame(uri, result, "0" * 64)  # wrong pinned digest
+        before = node.store.integrity_failures
+        resp = server.handle(frame)
+        assert resp["ok"] and not resp["accepted"]
+        assert node.store.integrity_failures == before + 1
+        assert node.store.get(uri) is None, "tampered carry must not be cached"
+
+    def test_heartbeat_echoes_seq(self):
+        _, server = self.make()
+        resp = server.handle({"op": "heartbeat", "seq": 42})
+        assert resp["ok"] and resp["seq"] == 42
+
+    def test_unknown_op_is_a_bad_request(self):
+        _, server = self.make()
+        resp = server.handle({"op": "nonsense"})
+        assert not resp["ok"] and resp["error"] == "bad_request"
+
+
+# ----------------------------------------------------------------------
+# Degradation ladder + budget exhaustion (fabric logic, processes down)
+# ----------------------------------------------------------------------
+class TestDegradation:
+    def test_unreachable_owners_degrade_to_counted_local_execution(self, golden):
+        """With every node unreachable the fabric answers locally — the
+        answer is byte-exact and the degradation is counted, not silent."""
+        a, b, y = golden
+        metrics = Metrics()
+        fab = FogFabric(nodes=2, metrics=metrics, start=False)
+        try:
+            for i in range(len(a)):
+                got = fab.submit(matmul_request(f"deg{i}", a[i], b[i]))
+                assert_bitexact(got, y[i], f"degraded pair {i}")
+            assert fab.degraded == len(a)
+            assert metrics.counters.get("fabric.degraded_local") == len(a)
+        finally:
+            fab.close()
+
+    def test_degradation_disabled_raises_unavailable(self):
+        fab = FogFabric(nodes=2, degrade_local=False, metrics=Metrics(), start=False)
+        try:
+            with pytest.raises(FogUnavailable):
+                fab.submit(matmul_request("nd", [[1.0, 2.0]], [[3.0], [4.0]]))
+            assert fab.unavailable == 1
+        finally:
+            fab.close()
+
+    def test_spent_budget_raises_deadline_not_degrades(self):
+        fab = FogFabric(nodes=2, metrics=Metrics(), start=False)
+        try:
+            with pytest.raises(DeadlineExceeded):
+                fab.submit(
+                    matmul_request("sp", [[1.0, 2.0]], [[3.0], [4.0]]),
+                    budget_ms=0.0,
+                )
+            assert fab.degraded == 0, "a spent budget must not burn local compute"
+        finally:
+            fab.close()
+
+    def test_owner_assignment_matches_in_process_topology(self):
+        """Rendezvous owners are a pure function of roster + capability —
+        the fabric and the topology must agree on them."""
+        from repro.fog import FogTopology
+
+        req = matmul_request("own", [[1.0, 2.0]], [[3.0], [4.0]])
+        fab = FogFabric(nodes=4, replicas=2, metrics=Metrics(), start=False)
+        try:
+            fabric_owners = fab.owners(req.batch_key())
+        finally:
+            fab.close()
+        with FogTopology(nodes=4, replicas=2, metrics=Metrics()) as topo:
+            topo_owners = [n.name for n in topo.owners(req.batch_key())]
+        assert fabric_owners == topo_owners
+
+
+# ----------------------------------------------------------------------
+# The real thing: spawned node processes behind sockets
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fabric():
+    metrics = Metrics()
+    fab = FogFabric(
+        nodes=3, replicas=2, heartbeat_ms=50.0, metrics=metrics,
+        retry_backoff_base_ms=5.0,
+    )
+    try:
+        assert fab.wait_all_serving(timeout_s=30.0), "fabric never came up"
+        yield fab
+    finally:
+        fab.close()
+
+
+class TestFabricGolden:
+    def test_results_match_golden_across_the_process_boundary(self, fabric, golden):
+        a, b, y = golden
+        for i in range(len(a)):
+            got = fabric.submit(matmul_request(f"g{i}", a[i], b[i]))
+            assert_bitexact(got, y[i], f"fabric pair {i}")
+        assert fabric.degraded == 0, "healthy fabric must not degrade"
+
+    def test_replay_is_cached_not_reexecuted(self, fabric, golden):
+        a, b, y = golden
+        execs_before = fabric.remote_execs
+        hits_before = fabric.cache_hits
+        for i in range(len(a)):
+            got = fabric.submit(matmul_request(f"g2-{i}", a[i], b[i]))
+            assert_bitexact(got, y[i], f"fabric replay pair {i}")
+        assert fabric.cache_hits > hits_before, "second pass must hit stores"
+        assert fabric.remote_execs == execs_before, "replay must not re-execute"
+
+    def test_stats_shape(self, fabric):
+        stats = fabric.stats()
+        assert set(stats["nodes"]) == {"n0", "n1", "n2"}
+        assert stats["serving"] == ["n0", "n1", "n2"]
+        for breaker in stats["breakers"].values():
+            assert breaker["state"] == "closed"
+        assert stats["submitted"] >= stats["completed"] > 0

@@ -1,0 +1,144 @@
+"""Property-based fuzz for :class:`repro.fog.names.ComputationName`.
+
+Names arrive off the wire, so the parser's contract is API: **totality**
+(anything that is not a well-formed name raises ``ValueError`` — never an
+incidental ``AttributeError``/``TypeError``/``IndexError`` from parsing
+internals) and **round-trip bit-identity** (``parse(uri()).uri() == uri``
+for every constructible name, and ``parse(s).uri() == s`` for every
+string the parser accepts).
+
+Hypothesis generates both directions: structured names built from the
+grammar, and adversarial byte-soup aimed at the parser.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fog.names import ComputationName
+
+pytestmark = pytest.mark.timeout(120)
+
+# ----------------------------------------------------------------------
+# Grammar-directed generators (valid names)
+# ----------------------------------------------------------------------
+_HEX = "0123456789abcdef"
+# Segment alphabets exclude the structural separators "/" and ";" (and
+# "=" for param keys): the uri grammar cannot escape them.
+_workloads = st.text(
+    alphabet=string.ascii_lowercase + string.digits + "_-.",
+    min_size=1,
+    max_size=12,
+).filter(lambda s: s != "-")
+_param_keys = st.text(
+    alphabet=string.ascii_lowercase + string.digits + "_", min_size=1, max_size=8
+)
+_param_values = st.text(
+    alphabet=string.ascii_letters + string.digits + "_-.=", max_size=8
+)
+_digests = st.text(alphabet=_HEX, min_size=64, max_size=64)
+
+_names = st.builds(
+    ComputationName,
+    workload=_workloads,
+    params=st.lists(st.tuples(_param_keys, _param_values), max_size=4).map(tuple),
+    inputs=st.lists(_digests, min_size=1, max_size=3).map(tuple),
+)
+
+
+class TestRoundTrip:
+    @given(_names)
+    def test_uri_parse_uri_is_identity(self, name):
+        uri = name.uri()
+        parsed = ComputationName.parse(uri)
+        assert parsed == name
+        assert parsed.uri() == uri, "round-trip must be bit-identical"
+
+    @given(_names)
+    def test_parse_is_deterministic(self, name):
+        uri = name.uri()
+        assert ComputationName.parse(uri) == ComputationName.parse(uri)
+
+    @given(_names, _names)
+    def test_distinct_names_have_distinct_uris(self, x, y):
+        if x != y:
+            assert x.uri() != y.uri(), "the uri must be injective on names"
+
+
+# ----------------------------------------------------------------------
+# Totality: only ValueError may escape, ever
+# ----------------------------------------------------------------------
+class TestTotality:
+    @given(st.text(max_size=200))
+    def test_arbitrary_text_parses_or_raises_valueerror(self, s):
+        try:
+            parsed = ComputationName.parse(s)
+        except ValueError:
+            return
+        # Accepted strings must round-trip to the exact same bytes.
+        assert parsed.uri() == s
+
+    @given(
+        st.text(alphabet=st.characters(min_codepoint=0, max_codepoint=0x2FF),
+                max_size=120).map(lambda s: "/fog/exec/" + s)
+    )
+    def test_prefix_adjacent_soup_is_total(self, s):
+        """Byte soup behind the real prefix hits every internal branch."""
+        try:
+            parsed = ComputationName.parse(s)
+        except ValueError:
+            return
+        assert parsed.uri() == s
+
+    @given(_names, st.integers(min_value=0, max_value=200))
+    def test_truncations_of_valid_names_are_total(self, name, cut):
+        """Every prefix of a real name either parses or raises ValueError
+        — truncation mid-frame is the normal wire failure mode."""
+        uri = name.uri()
+        s = uri[: min(cut, len(uri))]
+        try:
+            parsed = ComputationName.parse(s)
+        except ValueError:
+            return
+        assert parsed.uri() == s
+
+    @given(
+        st.one_of(
+            st.none(),
+            st.integers(),
+            st.floats(allow_nan=False),
+            st.binary(max_size=40),
+            st.lists(st.text(max_size=5), max_size=3),
+            st.dictionaries(st.text(max_size=3), st.text(max_size=3), max_size=2),
+        )
+    )
+    def test_type_confusion_raises_valueerror(self, junk):
+        """Whatever json.loads may have produced, the contract holds."""
+        with pytest.raises(ValueError):
+            ComputationName.parse(junk)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "/",
+            "/fog",
+            "/fog/exec",
+            "/fog/exec/",
+            "/fog/exec/w",
+            "/fog/exec/w/-",
+            "/fog/exec/w/-/",
+            "/fog/exec/w/-/sha256:",
+            "/fog/exec/w/-/sha256:" + "a" * 63,
+            "/fog/exec/w/-/sha256:" + "a" * 65,
+            "/fog/exec/w/-/md5:" + "a" * 64,
+            "/fog/exec/w/=v/sha256:" + "a" * 64,
+            "/fog/exec/w/;/sha256:" + "a" * 64,
+            "/FOG/exec/w/-/sha256:" + "a" * 64,
+            " /fog/exec/w/-/sha256:" + "a" * 64,
+        ],
+    )
+    def test_known_malformations_raise_valueerror(self, bad):
+        with pytest.raises(ValueError):
+            ComputationName.parse(bad)

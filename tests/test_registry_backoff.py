@@ -1,0 +1,43 @@
+"""Deterministic jittered backoff for the kernel registry's disk I/O.
+
+A herd of worker processes hitting one locked cache file used to sleep in
+lockstep (fixed ``_IO_BACKOFF_S * 2**attempt``), retrying simultaneously
+forever.  The jittered variant decorrelates them while staying a pure
+function of ``(attempt, token)`` — no RNG state, so a given process's
+retry schedule is reproducible.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.engine.registry import _IO_BACKOFF_S, _io_backoff_s, _io_token
+
+pytestmark = pytest.mark.timeout(30)
+
+
+class TestIoBackoff:
+    def test_deterministic(self):
+        for attempt in range(5):
+            assert _io_backoff_s(attempt, "tok") == _io_backoff_s(attempt, "tok")
+
+    def test_envelope_is_half_to_three_halves_of_exponential(self):
+        for attempt in range(6):
+            base = _IO_BACKOFF_S * (2 ** attempt)
+            got = _io_backoff_s(attempt, "worker-7")
+            assert 0.5 * base <= got < 1.5 * base, (attempt, got, base)
+
+    def test_grows_with_attempt(self):
+        # Exponential growth dominates the [0.5, 1.5) jitter band from
+        # two attempts apart: 2**(n+2) * 0.5 >= 2**n * 1.5.
+        for attempt in range(4):
+            assert _io_backoff_s(attempt + 2, "t") > _io_backoff_s(attempt, "t")
+
+    def test_tokens_decorrelate(self):
+        delays = {_io_backoff_s(2, f"pid{i}.tid{i}") for i in range(16)}
+        assert len(delays) > 1, "every process sleeping identically: herd intact"
+
+    def test_token_identifies_process_and_thread(self):
+        token = _io_token()
+        assert token == f"{os.getpid()}.{threading.get_ident()}"

@@ -235,6 +235,104 @@ class TestFailureSurfacing:
 
         run(go())
 
+    def test_timeout_does_not_leak_pending_entry(self):
+        """A timed-out request must remove its future from the pending map.
+
+        The leak mode: ``asyncio.wait_for`` cancels the future but the
+        ``_pending`` entry survived, so every timeout grew the map by one
+        cancelled future for the connection's lifetime — and a late
+        response would try to resolve a dead future.
+        """
+
+        async def go():
+            async def silent_handler(reader, writer):
+                await reader.read()
+
+            server = await asyncio.start_server(silent_handler, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                client = await ServeClient.connect(host, port)
+                for _ in range(5):
+                    with pytest.raises(asyncio.TimeoutError):
+                        await client.request(timeout=0.05, **MATMUL)
+                assert not client._pending, (
+                    f"timed-out requests leaked {len(client._pending)} "
+                    "pending entries"
+                )
+                await client.close()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(go())
+
+    def test_send_failure_does_not_leak_pending_entry(self):
+        """A request whose write fails must not stay pending forever."""
+
+        async def go():
+            async def hangup_handler(reader, writer):
+                writer.close()  # refuse service immediately
+
+            server = await asyncio.start_server(hangup_handler, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                client = await ServeClient.connect(host, port)
+                await asyncio.sleep(0.05)  # let the hangup land
+                for _ in range(3):
+                    with pytest.raises((ConnectionError, asyncio.TimeoutError)):
+                        await client.request(timeout=0.5, **MATMUL)
+                assert not client._pending
+                await client.close()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(go())
+
+    def test_late_response_after_timeout_is_dropped(self):
+        """A response that arrives after its request timed out is ignored,
+        and the connection keeps serving later requests."""
+
+        async def go():
+            async def slow_then_fast(reader, writer):
+                line1 = await reader.readline()
+                req1 = decode_line(line1)
+                line2 = await reader.readline()
+                req2 = decode_line(line2)
+                # Answer the second request first, then the (timed-out)
+                # first one late.
+                writer.write(
+                    encode_line({"id": req2["id"], "ok": True, "result": [[2.0]]})
+                )
+                await writer.drain()
+                await asyncio.sleep(0.1)
+                writer.write(
+                    encode_line({"id": req1["id"], "ok": True, "result": [[1.0]]})
+                )
+                await writer.drain()
+
+            server = await asyncio.start_server(slow_then_fast, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                client = await ServeClient.connect(host, port)
+                first = asyncio.ensure_future(
+                    client.request(id="slow", timeout=0.02, **MATMUL)
+                )
+                await asyncio.sleep(0)  # let the first write go out
+                second = await client.request(id="fast", timeout=5.0, **MATMUL)
+                with pytest.raises(asyncio.TimeoutError):
+                    await first
+                assert second["result"] == [[2.0]]
+                assert "slow" not in client._pending
+                await asyncio.sleep(0.15)  # late response lands harmlessly
+                assert not client._pending
+                await client.close()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(go())
+
     def test_unsolicited_response_id_is_ignored(self):
         """A response for an id the client never sent must not wedge the
         read loop or misdeliver; the real response still arrives."""
