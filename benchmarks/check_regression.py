@@ -34,6 +34,10 @@ the machine-normalized **speedup** ratios instead:
   enforced: graceful degradation makes the expected value ~1.0 regardless
   of host speed, so a drop means failure handling (supervision, breakers,
   degradation) regressed, not the machine.
+* ``BENCH_fogperf.json``: ``pipelined_speedup_16`` = one multiplexed peer
+  connection at 16 in-flight interests over strictly serial calls.
+  Enforced only when ``bar_asserted`` is true (>= 4-CPU host) — on one
+  core every arm is compute-bound and the ratio carries no signal.
 
 Exit status 0 = within budget, 1 = regression (or unreadable inputs).
 """
@@ -56,6 +60,7 @@ CHECKS = (
     ("fused", "BENCH_fused.json", "speedup", "bar_asserted"),
     ("fog", "BENCH_fog.json", "hit_rate", None),
     ("resilience", "BENCH_resilience.json", "availability", None),
+    ("fogperf", "BENCH_fogperf.json", "pipelined_speedup_16", "bar_asserted"),
 )
 
 

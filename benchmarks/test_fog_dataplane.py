@@ -1,0 +1,293 @@
+"""Fog data-plane benchmark: pipelining, binary framing, collapsing.
+
+Measures the three perf mechanisms of the peer data plane:
+
+1. **Pipelined transport** — throughput of one multiplexed connection at
+   1 / 4 / 16 in-flight interests against a node running a worker pool.
+   The serial arm is the PR 9 behavior (one outstanding request per
+   connection); the speedup is what rid-multiplexing buys.  The >= 3x
+   gate is asserted only on >= 4-CPU hosts (``bar_asserted``): on one
+   core every arm is compute-bound and the honest speedup is ~1x.
+2. **Binary framing** — bytes on the wire for the same interest under
+   length-prefixed raw-byte framing vs the legacy base64-in-JSON line.
+   Deterministic, so the <= 0.8x budget is asserted everywhere.
+3. **Singleflight collapsing** — duplicate-interest collapse rate and
+   content-store hit rate under a zipfian working set submitted by
+   concurrent clients against a 2-node fabric.
+
+Results go to ``BENCH_fogperf.json`` at the repo root, gated by
+``check_regression.py`` (metric ``pipelined_speedup_16``).
+"""
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.engine.observe import Metrics
+from repro.engine.registry import array_digest
+from repro.fog import FogFabric, FogUnavailable
+from repro.serve.executor import DeadlineExceeded, EngineExecutor
+from repro.serve.protocol import Request, encode_line, interest_frame
+from repro.fog.frames import pack_frame
+
+from conftest import quick_mode
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+INFLIGHT_LEVELS = (1, 4, 16)
+REQUESTS_PER_ARM = 12 if quick_mode() else 24
+ZIPF_SUBMISSIONS = 48 if quick_mode() else 96
+ZIPF_NAMES = 8
+ZIPF_THREADS = 8
+#: Gate: one multiplexed connection at 16 in-flight must beat serial by
+#: >= 3x — asserted only where the node pool has cores to overlap on.
+SPEEDUP_BAR = 3.0
+#: Gate: binary framing must cut the interest wire bytes to <= 0.8x of
+#: the base64 line.  Deterministic; always asserted.
+BYTES_RATIO_BUDGET = 0.8
+
+
+def _matmul_request(req_id, a, b):
+    return Request(
+        id=req_id, workload="posit_matmul", tenant="bench", bits=8, es=2,
+        a=a, b=b, rows=len(a),
+    )
+
+
+def _distinct_pairs(seed, count, size=10):
+    rng = np.random.default_rng(seed)
+    return [
+        (rng.normal(size=(size, size)), rng.normal(size=(size, size)))
+        for _ in range(count)
+    ]
+
+
+def _drive_inflight(client, requests, inflight):
+    """Push ``requests`` through one client with ``inflight`` workers;
+    returns (wall_s, responses)."""
+    idx_lock = threading.Lock()
+    cursor = iter(range(len(requests)))
+    responses = [None] * len(requests)
+
+    def worker():
+        while True:
+            with idx_lock:
+                i = next(cursor, None)
+            if i is None:
+                return
+            responses[i] = client.call(
+                interest_frame(requests[i], budget_ms=120_000.0, binary=True),
+                timeout_s=120.0,
+            )
+
+    threads = [threading.Thread(target=worker) for _ in range(inflight)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - t0, responses
+
+
+@pytest.fixture(scope="module")
+def measurement():
+    m = {
+        "workload": "posit_matmul (posit<8,2>, 128x128 operands)",
+        "cpu_count": os.cpu_count(),
+        "quick_mode": quick_mode(),
+        "requests_per_arm": REQUESTS_PER_ARM,
+    }
+
+    # ------------------------------------------------------------------
+    # 1. Pipelined vs serial throughput on one multiplexed connection
+    # ------------------------------------------------------------------
+    fab = FogFabric(
+        nodes=1, replicas=1, heartbeat_ms=200.0, metrics=Metrics(),
+        node_workers=16,
+    )
+    throughput = {}
+    try:
+        assert fab.wait_all_serving(timeout_s=30.0), "fabric never came up"
+        client = fab.supervisor.client("n0")
+        warm = _matmul_request("probe", np.zeros((2, 2)), np.zeros((2, 2)))
+        client.call({"op": "advertise", "batch_key": list(warm.batch_key())})
+        # One throwaway exec so the serial arm does not pay the node's
+        # one-time posit table compilation.
+        resp = client.call(
+            interest_frame(warm, budget_ms=120_000.0, binary=True), timeout_s=120.0
+        )
+        assert resp["ok"]
+        for arm, inflight in enumerate(INFLIGHT_LEVELS):
+            # Big enough (~4 ms of posit compute each) that the arms
+            # measure execution overlap, not Python thread overhead.
+            pairs = _distinct_pairs(seed=100 + arm, count=REQUESTS_PER_ARM, size=128)
+            requests = [
+                _matmul_request(f"a{arm}r{i}", a, b)
+                for i, (a, b) in enumerate(pairs)
+            ]
+            wall, responses = _drive_inflight(client, requests, inflight)
+            for i, resp in enumerate(responses):
+                assert resp is not None and resp["ok"], f"arm {inflight} call {i}"
+                result = np.asarray(resp["result"])
+                assert resp["digest"] == array_digest(result), (
+                    f"arm {inflight} call {i}: digest mismatch"
+                )
+            throughput[inflight] = len(requests) / wall
+        assert client.pending() == 0
+    finally:
+        fab.close()
+
+    m["throughput_rps"] = {str(k): v for k, v in throughput.items()}
+    m["pipelined_speedup_4"] = throughput[4] / throughput[1]
+    m["pipelined_speedup_16"] = throughput[16] / throughput[1]
+    m["speedup_bar"] = SPEEDUP_BAR
+    m["bar_asserted"] = (os.cpu_count() or 1) >= 4
+
+    # ------------------------------------------------------------------
+    # 2. Bytes on the wire: binary framing vs base64-in-JSON
+    # ------------------------------------------------------------------
+    rng = np.random.default_rng(7)
+    wire_req = _matmul_request(
+        "wire", rng.normal(size=(16, 16)), rng.normal(size=(16, 16))
+    )
+    binary_bytes = len(pack_frame(interest_frame(wire_req, budget_ms=1e3, binary=True)))
+    base64_bytes = len(encode_line(interest_frame(wire_req, budget_ms=1e3)))
+    m["interest_bytes_binary"] = binary_bytes
+    m["interest_bytes_base64"] = base64_bytes
+    m["bytes_ratio"] = binary_bytes / base64_bytes
+    m["bytes_ratio_budget"] = BYTES_RATIO_BUDGET
+
+    # ------------------------------------------------------------------
+    # 3. Zipfian load: collapse rate + hit rate on a 2-node fabric
+    # ------------------------------------------------------------------
+    pairs = _distinct_pairs(seed=3, count=ZIPF_NAMES, size=6)
+    executor = EngineExecutor(metrics=Metrics())
+    try:
+        want = []
+        for a, b in pairs:
+            req = _matmul_request("ref", a, b)
+            result = executor.execute(req.batch_key(), [req])[0]
+            if isinstance(result, Exception):
+                raise result
+            want.append(np.asarray(result).tobytes())
+    finally:
+        executor.close()
+    weights = 1.0 / np.arange(1, ZIPF_NAMES + 1)
+    weights /= weights.sum()
+    schedule = np.random.default_rng(42).choice(
+        ZIPF_NAMES, size=ZIPF_SUBMISSIONS, p=weights
+    )
+    metrics = Metrics()
+    fab = FogFabric(nodes=2, replicas=2, heartbeat_ms=100.0, metrics=metrics)
+    wrong = [0]
+    rejected = [0]
+    try:
+        assert fab.wait_all_serving(timeout_s=30.0)
+        cursor = iter(range(len(schedule)))
+        idx_lock = threading.Lock()
+
+        def zipf_worker(tid):
+            while True:
+                with idx_lock:
+                    i = next(cursor, None)
+                if i is None:
+                    return
+                j = int(schedule[i])
+                a, b = pairs[j]
+                try:
+                    got = fab.submit(_matmul_request(f"z{tid}s{i}", a, b))
+                except (FogUnavailable, DeadlineExceeded):
+                    with idx_lock:
+                        rejected[0] += 1
+                    continue
+                if got.tobytes() != want[j]:
+                    with idx_lock:
+                        wrong[0] += 1
+
+        threads = [
+            threading.Thread(target=zipf_worker, args=(t,))
+            for t in range(ZIPF_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = fab.stats()
+    finally:
+        fab.close()
+
+    assert wrong[0] == 0, f"{wrong[0]} wrong answers under zipfian load"
+    m["zipf_submissions"] = ZIPF_SUBMISSIONS
+    m["zipf_names"] = ZIPF_NAMES
+    m["zipf_threads"] = ZIPF_THREADS
+    m["zipf_rejected"] = rejected[0]
+    m["collapsed"] = stats["collapsed"]
+    m["collapse_rate"] = stats["collapsed"] / ZIPF_SUBMISSIONS
+    m["cache_hits"] = stats["cache_hits"]
+    m["hit_rate"] = stats["cache_hits"] / max(1, stats["completed"])
+    m["remote_execs"] = stats["remote_execs"]
+    return m
+
+
+def test_fog_dataplane(benchmark, measurement, report):
+    m = measurement
+    assert m["bytes_ratio"] <= BYTES_RATIO_BUDGET, (
+        f"binary framing ships {m['bytes_ratio']:.2f}x of the base64 bytes "
+        f"(budget {BYTES_RATIO_BUDGET}x)"
+    )
+    # Collapsing + caching must do real work under a concurrent zipfian
+    # load: duplicates either collapse in flight or hit a content store.
+    assert m["collapsed"] + m["cache_hits"] > 0, (
+        "zipfian duplicates neither collapsed nor hit caches"
+    )
+    if m["bar_asserted"]:
+        assert m["pipelined_speedup_16"] >= SPEEDUP_BAR, (
+            f"16-deep pipelining only {m['pipelined_speedup_16']:.2f}x over "
+            f"serial (bar {SPEEDUP_BAR}x on {m['cpu_count']} CPUs)"
+        )
+
+    # pytest-benchmark timing on the measured hot path: one pipelined
+    # cache-hit interest over the multiplexed client.
+    fab = FogFabric(nodes=1, replicas=1, metrics=Metrics())
+    try:
+        assert fab.wait_all_serving(timeout_s=30.0)
+        client = fab.supervisor.client("n0")
+        rng = np.random.default_rng(17)
+        req = _matmul_request("hot", rng.normal(size=(6, 6)), rng.normal(size=(6, 6)))
+        client.call({"op": "advertise", "batch_key": list(req.batch_key())})
+        frame = interest_frame(req, budget_ms=60_000.0, binary=True)
+        client.call(frame, timeout_s=60.0)  # warm the store
+        benchmark(lambda: client.call(frame, timeout_s=60.0))
+    finally:
+        fab.close()
+
+    report(
+        "fog_dataplane",
+        [
+            f"workload       {m['workload']}",
+            f"host           {m['cpu_count']} CPUs "
+            f"(quick_mode={m['quick_mode']})",
+            f"throughput     "
+            + "  ".join(
+                f"{k} in-flight: {v:.1f} req/s"
+                for k, v in m["throughput_rps"].items()
+            ),
+            f"pipelining     x4: {m['pipelined_speedup_4']:.2f}x  "
+            f"x16: {m['pipelined_speedup_16']:.2f}x "
+            f"(bar >= {m['speedup_bar']}x, asserted={m['bar_asserted']})",
+            f"wire bytes     binary {m['interest_bytes_binary']} vs "
+            f"base64 {m['interest_bytes_base64']} "
+            f"= {m['bytes_ratio']:.2f}x (budget <= {m['bytes_ratio_budget']}x)",
+            f"zipfian        {m['zipf_submissions']} submissions over "
+            f"{m['zipf_names']} names from {m['zipf_threads']} threads: "
+            f"{m['collapsed']} collapsed ({m['collapse_rate']:.2f}), "
+            f"hit rate {m['hit_rate']:.2f}, {m['remote_execs']} remote execs",
+            "identity       OK (byte-exact vs direct engine, digests verified)",
+        ],
+    )
+    (REPO_ROOT / "BENCH_fogperf.json").write_text(json.dumps(m, indent=2) + "\n")

@@ -40,17 +40,28 @@ The serve front end dispatches into a fog with
 
 from .executor import FogExecutor
 from .fabric import FogFabric
+from .frames import FrameAssembler, pack_frame, unpack_frame
 from .names import ComputationName, name_request
 from .node import FogNode, NodeDown
 from .peer import CircuitBreaker, PeerClient, PeerError
-from .store import ContentStore
+from .store import (
+    AdmissionPolicy,
+    AdmitAll,
+    ContentStore,
+    CostAwareAdmission,
+    make_admission,
+)
 from .supervisor import FabricSupervisor
 from .topology import ChurnDriver, FogTopology, FogUnavailable
 
 __all__ = [
     "ComputationName",
     "name_request",
+    "AdmissionPolicy",
+    "AdmitAll",
     "ContentStore",
+    "CostAwareAdmission",
+    "make_admission",
     "FogNode",
     "NodeDown",
     "FogTopology",
@@ -62,4 +73,7 @@ __all__ = [
     "CircuitBreaker",
     "PeerClient",
     "PeerError",
+    "FrameAssembler",
+    "pack_frame",
+    "unpack_frame",
 ]

@@ -32,8 +32,8 @@ class FogExecutor:
     Parameters:
         topology: An existing fog to serve through, or ``None`` to build
             one from the remaining arguments.
-        nodes / replicas / executor_opts: Forwarded to
-            :class:`FogTopology` when ``topology`` is ``None``.
+        nodes / replicas / executor_opts / store_policy / store_reverify:
+            Forwarded to :class:`FogTopology` when ``topology`` is ``None``.
     """
 
     def __init__(
@@ -43,6 +43,8 @@ class FogExecutor:
         replicas: int = 2,
         metrics: Optional[Metrics] = None,
         executor_opts: Optional[dict] = None,
+        store_policy: str = "lru",
+        store_reverify: int = 1,
     ):
         self.metrics = metrics if metrics is not None else METRICS
         self.topology = (
@@ -53,6 +55,8 @@ class FogExecutor:
                 replicas=replicas,
                 metrics=self.metrics,
                 executor_opts=executor_opts,
+                store_policy=store_policy,
+                store_reverify=store_reverify,
             )
         )
         self.executed = 0

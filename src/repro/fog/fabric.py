@@ -68,6 +68,17 @@ __all__ = ["FogFabric", "retry_backoff_ms"]
 _HOT_JOURNAL = 64
 
 
+class _Gate:
+    """One in-flight interest's singleflight rendezvous point."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.result: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+
+
 def retry_backoff_ms(
     base_ms: float, attempt: int, token: str, cap_ms: float = 250.0
 ) -> float:
@@ -109,6 +120,13 @@ class FogFabric:
         max_restarts / restart_backoff_base_s: Supervisor restart budget.
         executor_opts: Options for each node's engine executor (and the
             local degradation executor, so both produce identical bytes).
+        store_policy: Content-store admission policy per node: ``"lru"``
+            (admit everything, classic) or ``"costaware"``
+            (frequency-sketch × recompute-cost admission).
+        store_reverify: Re-hash cached entries against their pinned
+            digest every Nth hit (1 = every hit, 0 = never).
+        node_workers: Worker threads per node process serving data-plane
+            frames concurrently (heartbeats are always answered inline).
     """
 
     def __init__(
@@ -130,6 +148,9 @@ class FogFabric:
         request_timeout_s: float = 30.0,
         metrics: Optional[Metrics] = None,
         executor_opts: Optional[dict] = None,
+        store_policy: str = "lru",
+        store_reverify: int = 1,
+        node_workers: int = 4,
         start: bool = True,
     ):
         if isinstance(nodes, int):
@@ -155,6 +176,9 @@ class FogFabric:
             node_opts={
                 "executor_opts": self.executor_opts,
                 "capacity_bytes": int(capacity_bytes),
+                "store_policy": str(store_policy),
+                "store_reverify": int(store_reverify),
+                "workers": int(node_workers),
             },
             heartbeat_ms=heartbeat_ms,
             miss_budget=miss_budget,
@@ -175,15 +199,18 @@ class FogFabric:
         }
         self._owners: Dict[Tuple, List[str]] = {}
         self._owned_keys: Dict[str, Set[Tuple]] = {n: set() for n in names}
-        self._hot: "OrderedDict[str, Tuple[np.ndarray, str]]" = OrderedDict()
+        self._hot: "OrderedDict[str, Tuple[np.ndarray, str, float]]" = OrderedDict()
         self._local: Optional[EngineExecutor] = None
         self._lock = threading.Lock()
+        self._inflight: Dict[str, "_Gate"] = {}
+        self._sf_lock = threading.Lock()
         self._hedge_pool = ThreadPoolExecutor(
             max_workers=max(2, 2 * len(names)), thread_name_prefix="fabric-hedge"
         )
         self._ingress_counter = 0
         self.submitted = 0
         self.completed = 0
+        self.collapsed = 0
         self.cache_hits = 0
         self.remote_execs = 0
         self.retries_used = 0
@@ -242,22 +269,35 @@ class FogFabric:
             hot = list(self._hot.items())
         if not keys and not hot:
             return  # initial spawn: nothing to restore yet
+        # The restart-with-state event already happened; count it before
+        # touching the wire so a flaky advertise can't erase the record.
+        self.metrics.inc("fabric.warm_restarts")
         for key in keys:
-            try:
-                client.call({"op": "advertise", "batch_key": list(key)}, timeout_s=5.0)
-            except PeerError:
-                return
+            for attempt in (0, 1):
+                try:
+                    client.call(
+                        {"op": "advertise", "batch_key": list(key)}, timeout_s=5.0
+                    )
+                    break
+                except PeerError:
+                    if attempt:
+                        # Leave the key to lazy re-advertise on the next
+                        # interest; the reseed of the rest proceeds.
+                        self.metrics.inc("fabric.warm_advert_failures")
         carried = 0
-        for uri, (result, digest) in hot:
+        for uri, (result, digest, cost) in hot:
             try:
-                resp = client.call(carry_frame(uri, result, digest), timeout_s=5.0)
+                resp = client.call(
+                    carry_frame(uri, result, digest, cost=cost, binary=True),
+                    timeout_s=5.0,
+                )
                 if resp.get("accepted"):
                     carried += 1
             except PeerError:
+                self.metrics.inc("fabric.warm_carry_failures")
                 break
         if carried:
             self.metrics.inc("fabric.warm_carries", carried)
-        self.metrics.inc("fabric.warm_restarts")
 
     # ------------------------------------------------------------------
     # Liveness view: supervisor verdict + breaker state
@@ -282,6 +322,16 @@ class FogFabric:
     def submit(self, request: Request, budget_ms: Optional[float] = None) -> np.ndarray:
         """Route one named computation through the fabric.
 
+        Duplicate in-flight interests for the same :class:`ComputationName`
+        **collapse**: the first becomes the leader and walks the fabric;
+        the rest attach as waiters to its gate (NFN-style interest
+        aggregation — counted in ``collapsed``) instead of re-dialing or
+        re-executing.  A collapsed waiter still honors its *own* deadline
+        budget: it waits only as long as its budget allows, and if the
+        leader fails it retries as leader with whatever budget it has
+        left.  Content-addressed results make the sharing safe — every
+        in-flight duplicate would have computed the same bytes.
+
         Returns the result array, or raises :class:`DeadlineExceeded`
         (budget spent), :class:`FogUnavailable` (no owner reachable and
         degradation disabled) — rejected, never wrong, never silent.
@@ -297,12 +347,40 @@ class FogFabric:
         deadline = t0 + max(0.0, float(budget_ms)) / 1e3
         name = name_request(request)
         uri = name.uri()
-        with TRACER.span("fabric.submit", interest=uri):
-            result = self._walk(request, uri, deadline)
-        self.completed += 1
-        self.metrics.inc("fabric.completed")
-        self.metrics.observe("fabric.submit_s", time.monotonic() - t0)
-        return result
+        while True:
+            with self._sf_lock:
+                gate = self._inflight.get(uri)
+                leading = gate is None
+                if leading:
+                    gate = self._inflight[uri] = _Gate()
+            if leading:
+                try:
+                    with TRACER.span("fabric.submit", interest=uri):
+                        result = self._walk(request, uri, deadline)
+                    gate.result = result
+                except BaseException as err:
+                    gate.error = err
+                    raise
+                finally:
+                    with self._sf_lock:
+                        self._inflight.pop(uri, None)
+                    gate.event.set()
+            else:
+                self.collapsed += 1
+                self.metrics.inc("fabric.collapsed")
+                remaining_s = deadline - time.monotonic()
+                if remaining_s <= 0 or not gate.event.wait(remaining_s):
+                    self.metrics.inc("fabric.deadline_exhausted")
+                    raise DeadlineExceeded(
+                        f"deadline budget spent waiting on collapsed interest {uri}"
+                    )
+                if gate.error is not None:
+                    continue  # leader failed: lead with our remaining budget
+                result = gate.result
+            self.completed += 1
+            self.metrics.inc("fabric.completed")
+            self.metrics.observe("fabric.submit_s", time.monotonic() - t0)
+            return result
 
     def _remaining_ms(self, deadline: float) -> float:
         return (deadline - time.monotonic()) * 1e3
@@ -400,7 +478,8 @@ class FogFabric:
             return None
         try:
             resp = client.call(
-                interest_frame(request, budget_ms=remaining), timeout_s=timeout_s
+                interest_frame(request, budget_ms=remaining, binary=True),
+                timeout_s=timeout_s,
             )
         except PeerError:
             breaker.record_failure()
@@ -433,7 +512,7 @@ class FogFabric:
                 raise PeerError("budget exhausted before send")
             try:
                 resp = client.call(
-                    interest_frame(request, budget_ms=remaining),
+                    interest_frame(request, budget_ms=remaining, binary=True),
                     timeout_s=min(self.request_timeout_s, remaining / 1e3),
                     oneshot=True,
                 )
@@ -480,9 +559,13 @@ class FogFabric:
         client = self.supervisor.client(name)
         if client is None:
             return
+        with self._lock:
+            hot = self._hot.get(uri)
+        cost = hot[2] if hot is not None else None
         try:
             resp = client.call(
-                carry_frame(uri, result, array_digest(result)), timeout_s=5.0
+                carry_frame(uri, result, array_digest(result), cost=cost, binary=True),
+                timeout_s=5.0,
             )
         except PeerError:
             return
@@ -511,12 +594,16 @@ class FogFabric:
         else:
             self.remote_execs += 1
             self.metrics.inc("fabric.remote_execs")
+        cost = float(resp.get("cost_ms", 1.0))
+        self._journal(uri, result, digest, cost)
+        return result
+
+    def _journal(self, uri: str, result: np.ndarray, digest: str, cost: float) -> None:
         with self._lock:
             self._hot.pop(uri, None)
-            self._hot[uri] = (result, digest)
+            self._hot[uri] = (result, digest, cost)
             while len(self._hot) > _HOT_JOURNAL:
                 self._hot.popitem(last=False)
-        return result
 
     def _execute_local(self, request: Request, uri: str) -> np.ndarray:
         """The degradation rung: in-process execution, counted, byte-exact."""
@@ -526,18 +613,16 @@ class FogFabric:
                 opts.setdefault("metrics", self.metrics)
                 self._local = EngineExecutor(**opts)
             local = self._local
+        started = time.perf_counter()
         results = local.execute(request.batch_key(), [request])
         result = results[0]
         if isinstance(result, Exception):
             raise result
+        cost_ms = (time.perf_counter() - started) * 1e3
         self.degraded += 1
         self.metrics.inc("fabric.degraded_local")
         result = np.asarray(result)
-        with self._lock:
-            self._hot.pop(uri, None)
-            self._hot[uri] = (result, array_digest(result))
-            while len(self._hot) > _HOT_JOURNAL:
-                self._hot.popitem(last=False)
+        self._journal(uri, result, array_digest(result), cost_ms)
         return result
 
     # ------------------------------------------------------------------
@@ -580,6 +665,7 @@ class FogFabric:
             "serving": self.supervisor.serving_names(),
             "submitted": self.submitted,
             "completed": self.completed,
+            "collapsed": self.collapsed,
             "cache_hits": self.cache_hits,
             "remote_execs": self.remote_execs,
             "retries": self.retries_used,

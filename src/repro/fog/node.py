@@ -119,24 +119,37 @@ class FogNode:
         if not self.alive:
             raise NodeDown(self.name)
         key = request.batch_key()
+        started = time.perf_counter()
         results = self.executor.execute(key, [request])
         result = results[0]
         if isinstance(result, Exception):
             raise result
+        cost_ms = (time.perf_counter() - started) * 1e3
         self.executions += 1
         self.metrics.inc(f"fog.node.{self.name}.executions")
-        self.carry(name_request(request), result)
+        self.carry(name_request(request), result, cost_ms=cost_ms)
         return np.asarray(result)
 
-    def carry(self, name: ComputationName, result: np.ndarray) -> None:
-        """Cache a result this node produced or forwarded (on-path caching)."""
+    def carry(
+        self,
+        name: ComputationName,
+        result: np.ndarray,
+        cost_ms: Optional[float] = None,
+    ) -> None:
+        """Cache a result this node produced or forwarded (on-path caching).
+
+        ``cost_ms`` is the producer's measured recompute expense — the
+        value the store's admission policy weighs.  Carried entries whose
+        producer didn't report one default to the store's unit cost.
+        """
         if not self.alive:
             return
         kernel = None
         reg_key = _registry_key_of(name)
         if reg_key is not None:
             kernel = REGISTRY.content_digest(reg_key)
-        if self.store.put(name.uri(), result, kernel_digest=kernel):
+        cost = 1.0 if cost_ms is None else float(cost_ms)
+        if self.store.put(name.uri(), result, kernel_digest=kernel, cost=cost):
             self.metrics.inc(f"fog.node.{self.name}.cache_insertions")
 
     # ------------------------------------------------------------------

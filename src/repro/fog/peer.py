@@ -2,21 +2,36 @@
 
 The cross-process half of the fog lives here.  :func:`node_main` is the
 entry point of one spawned **node process**: it binds an ephemeral
-localhost socket, reports the port back through a pipe, and serves NDJSON
-frames (:mod:`repro.serve.protocol`) over it — ``interest`` (answer from
-the content store or execute locally), ``carry`` (on-path cache
-repopulation, digest-verified before insertion), ``advertise``,
-``heartbeat``, ``stats`` and ``shutdown``.  Inside, the process is just a
-:class:`~repro.fog.node.FogNode`: same executor, same content store, same
-bytes as the in-process topology — which is exactly why fabric results
-replay byte-identical against the PR 7 fog golden vectors.
+localhost socket, reports the port back through a pipe, and serves frames
+(:mod:`repro.fog.frames` binary framing, legacy NDJSON accepted on the
+same connections) — ``interest`` (answer from the content store or execute
+locally), ``carry`` (on-path cache repopulation, digest-verified before
+insertion), ``advertise``, ``heartbeat``, ``stats`` and ``shutdown``.
+Inside, the process is just a :class:`~repro.fog.node.FogNode`: same
+executor, same content store, same bytes as the in-process topology —
+which is exactly why fabric results replay byte-identical against the
+PR 7 fog golden vectors.
 
-On the parent side, :class:`PeerClient` is the blocking socket client the
-fabric routes through: a persistent data connection (closed and re-dialed
-after any failure — a timed-out stream can have a response in flight, so
-it can never be reused), one-shot connections for heartbeats and hedged
-interests (they must not queue behind a long execution), and hard
-connect/request timeouts so a dead or stalled peer costs bounded time.
+On the parent side, :class:`PeerClient` is the **pipelined** socket client
+the fabric routes through.  Every frame carries a client-assigned request
+id (``rid``); a writer lock serializes sends on the persistent data
+connection while a demux thread reads responses and completes the matching
+per-request future — so N in-flight interests share one connection at
+pipeline depth N instead of paying N serial round trips.  Because
+responses are rid-correlated, a timed-out request simply abandons its id
+(the late answer is discarded and counted) **without** tearing down the
+stream; only socket-level failures drop the connection, failing every
+in-flight future at once.  Heartbeats ride a dedicated long-lived probe
+connection (re-dialed on failure) so liveness probes pay the connect cost
+once, not once per probe, and never queue behind a long execution; hedged
+interests still use one-shot connections so an abandoned loser cannot
+desynchronize anything.
+
+On the node side a small worker pool serves data-plane frames
+concurrently — control frames (heartbeat/stats) are answered inline by the
+connection reader so a busy pool can never starve the failure detector —
+with per-capability execution locks so duplicate in-flight interests for
+one name collapse into a single execution.
 
 :class:`CircuitBreaker` wraps each peer with the classic three-state
 machine — **closed** (normal), **open** (recent failures: fail fast, stop
@@ -30,22 +45,19 @@ import os
 import socket
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..engine.observe import METRICS, Metrics
 from ..engine.registry import array_digest
-from ..serve.protocol import (
-    ProtocolError,
-    decode_line,
-    encode_line,
-    request_from_wire,
-)
+from ..serve.protocol import ProtocolError, request_from_wire
+from .frames import FrameAssembler, pack_frame
 
 __all__ = ["CircuitBreaker", "PeerClient", "PeerError", "node_main"]
 
-#: Longest NDJSON frame a peer will buffer (matches the serve front door).
+#: Longest frame a peer will buffer (header + binary body).
 _MAX_FRAME = 32 * 1024 * 1024
 
 
@@ -171,8 +183,28 @@ class CircuitBreaker:
 # ----------------------------------------------------------------------
 # Parent-side client
 # ----------------------------------------------------------------------
+class _Waiter:
+    """One in-flight request's completion slot."""
+
+    __slots__ = ("event", "response", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.response: Optional[dict] = None
+        self.error: Optional[PeerError] = None
+
+
 class PeerClient:
-    """Blocking NDJSON client for one fabric node process."""
+    """Pipelined binary-framed client for one fabric node process.
+
+    Concurrent :meth:`call`\\ s multiplex over one persistent connection:
+    each frame carries a ``rid``, a writer lock serializes the sends, and
+    a reader thread demultiplexes responses to per-request waiters.  A
+    request that times out abandons its rid without dropping the stream
+    (responses are correlated, so nothing can desynchronize); socket
+    failures fail every pending request at once and the next call
+    re-dials.
+    """
 
     def __init__(
         self,
@@ -187,9 +219,20 @@ class PeerClient:
         self.connect_timeout_s = float(connect_timeout_s)
         self.request_timeout_s = float(request_timeout_s)
         self.metrics = metrics if metrics is not None else METRICS
-        self._lock = threading.Lock()
+        self._io_lock = threading.Lock()
+        self._wlock = threading.Lock()
         self._sock: Optional[socket.socket] = None
-        self._buf = b""
+        self._generation = 0
+        self._cur_gen: Optional[int] = None
+        self._rid = 0
+        self._pending: Dict[int, _Waiter] = {}
+        self._closed = False
+        # Dedicated long-lived heartbeat probe connection (re-dialed on
+        # failure): probes stop paying connect cost and port churn.
+        self._probe_lock = threading.Lock()
+        self._probe_sock: Optional[socket.socket] = None
+        self._probe_asm: Optional[FrameAssembler] = None
+        self.probe_dials = 0
 
     # ------------------------------------------------------------------
     def _connect(self) -> socket.socket:
@@ -202,88 +245,244 @@ class PeerClient:
         except OSError as err:
             raise PeerError(f"connect to {self.name} {self.address}: {err}")
 
-    def _read_frame(self, sock: socket.socket, oneshot: bool) -> dict:
-        buf = b"" if oneshot else self._buf
-        while b"\n" not in buf:
-            if len(buf) > _MAX_FRAME:
-                raise PeerError(f"oversized frame from {self.name}")
+    def _ensure_connected_locked(self) -> Tuple[socket.socket, int]:
+        if self._closed:
+            raise PeerError(f"client for {self.name} is closed")
+        if self._sock is None:
+            sock = self._connect()
+            # The send path must not block forever on a wedged peer; the
+            # reader treats this timeout as idle, not failure.
+            sock.settimeout(self.request_timeout_s)
+            self._generation += 1
+            self._sock = sock
+            self._cur_gen = self._generation
+            reader = threading.Thread(
+                target=self._reader_loop,
+                args=(sock, self._generation),
+                name=f"peer-rx-{self.name}",
+                daemon=True,
+            )
+            reader.start()
+        return self._sock, self._cur_gen
+
+    def _teardown_locked(self) -> list:
+        """Drop the data connection; returns the orphaned waiters."""
+        sock, self._sock = self._sock, None
+        self._cur_gen = None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        waiters = list(self._pending.values())
+        self._pending.clear()
+        return waiters
+
+    def _fail_connection(self, generation: int, err: PeerError) -> None:
+        with self._io_lock:
+            if self._cur_gen != generation:
+                return  # stale reader: this connection was already replaced
+            waiters = self._teardown_locked()
+        for waiter in waiters:
+            waiter.error = err
+            waiter.event.set()
+
+    # ------------------------------------------------------------------
+    def _reader_loop(self, sock: socket.socket, generation: int) -> None:
+        """Demux thread: read frames, complete the matching waiters."""
+        assembler = FrameAssembler(max_frame=_MAX_FRAME)
+        while True:
+            try:
+                frame = assembler.next_frame()
+            except ProtocolError as err:
+                self._fail_connection(
+                    generation, PeerError(f"bad frame from {self.name}: {err}")
+                )
+                return
+            if frame is not None:
+                self._complete(frame)
+                continue
             try:
                 chunk = sock.recv(1 << 16)
+            except socket.timeout:
+                continue  # idle stream; per-call timeouts police stalls
             except OSError as err:
-                raise PeerError(f"recv from {self.name}: {err}")
+                self._fail_connection(
+                    generation, PeerError(f"recv from {self.name}: {err}")
+                )
+                return
             if not chunk:
-                raise PeerError(f"peer {self.name} closed the connection")
-            buf += chunk
-        line, _, rest = buf.partition(b"\n")
-        if not oneshot:
-            self._buf = rest
-        try:
-            return decode_line(line)
-        except ProtocolError as err:
-            raise PeerError(f"bad frame from {self.name}: {err}")
+                self._fail_connection(
+                    generation, PeerError(f"peer {self.name} closed the connection")
+                )
+                return
+            assembler.feed(chunk)
 
+    def _complete(self, frame: dict) -> None:
+        # The rid stays in the delivered response: callers can observe the
+        # correlation the demux acted on.
+        rid = frame.get("rid")
+        with self._io_lock:
+            waiter = self._pending.pop(rid, None) if rid is not None else None
+        if waiter is None:
+            # A response whose request already timed out (or a frame with
+            # no rid at all): discarded, counted, stream stays healthy.
+            self.metrics.inc("fabric.peer.orphan_responses")
+            return
+        waiter.response = frame
+        waiter.event.set()
+
+    # ------------------------------------------------------------------
     def call(
         self,
         frame: dict,
         timeout_s: Optional[float] = None,
         oneshot: bool = False,
     ) -> dict:
-        """Send one frame, await one response frame; raises :class:`PeerError`.
+        """Send one frame, await its response frame; raises :class:`PeerError`.
 
-        ``oneshot=True`` dials a dedicated connection for this exchange —
-        what heartbeats and hedged interests use so they never queue
-        behind (or desynchronize) the persistent data stream.  On any
-        failure of the persistent stream the socket is discarded: a reply
-        may still be in flight on it, and reading that reply later would
-        correlate it with the wrong request.
+        The persistent path pipelines: concurrent callers interleave on
+        one connection and are completed by rid.  ``oneshot=True`` dials a
+        dedicated connection for this exchange — what hedged interests use
+        so an abandoned loser can never leave a stale response in the
+        shared stream.
         """
         timeout = self.request_timeout_s if timeout_s is None else float(timeout_s)
-        payload = encode_line(frame)
         if oneshot:
-            sock = self._connect()
-            try:
-                sock.settimeout(timeout)
+            return self._call_oneshot(frame, timeout)
+        with self._io_lock:
+            sock, generation = self._ensure_connected_locked()
+            self._rid += 1
+            rid = self._rid
+        try:
+            payload = pack_frame({**frame, "rid": rid})
+        except ProtocolError as err:
+            raise PeerError(f"unsendable frame for {self.name}: {err}")
+        waiter = _Waiter()
+        with self._io_lock:
+            if self._cur_gen != generation:
+                raise PeerError(f"connection to {self.name} failed while queueing")
+            self._pending[rid] = waiter
+        try:
+            with self._wlock:
                 sock.sendall(payload)
-                return self._read_frame(sock, oneshot=True)
-            except OSError as err:
-                raise PeerError(f"oneshot call to {self.name}: {err}")
-            finally:
+        except OSError as err:
+            # A partial send poisons the stream: fail the connection (and
+            # with it every pending waiter, this one included).
+            self._fail_connection(
+                generation, PeerError(f"send to {self.name}: {err}")
+            )
+            raise PeerError(f"send to {self.name}: {err}")
+        if not waiter.event.wait(timeout):
+            with self._io_lock:
+                self._pending.pop(rid, None)
+            self.metrics.inc("fabric.peer.call_timeouts")
+            # rid-correlation means the stream survives: only this
+            # request is abandoned, not the pipeline.
+            raise PeerError(
+                f"request {rid} to {self.name} timed out after {timeout:.3f}s"
+            )
+        if waiter.error is not None:
+            raise waiter.error
+        return waiter.response
+
+    def _call_oneshot(self, frame: dict, timeout: float) -> dict:
+        sock = self._connect()
+        try:
+            sock.settimeout(timeout)
+            try:
+                sock.sendall(pack_frame(frame))
+            except ProtocolError as err:
+                raise PeerError(f"unsendable frame for {self.name}: {err}")
+            return self._read_one(sock, f"oneshot call to {self.name}")
+        except OSError as err:
+            raise PeerError(f"oneshot call to {self.name}: {err}")
+        finally:
+            try:
                 sock.close()
-        with self._lock:
-            try:
-                if self._sock is None:
-                    self._sock = self._connect()
-                    self._buf = b""
-                self._sock.settimeout(timeout)
-                self._sock.sendall(payload)
-                return self._read_frame(self._sock, oneshot=False)
-            except (OSError, PeerError) as err:
-                self._drop_locked()
-                if isinstance(err, PeerError):
-                    raise
-                raise PeerError(f"call to {self.name}: {err}")
-
-    def heartbeat(self, seq: int, timeout_s: float = 1.0) -> dict:
-        """One liveness probe on a throwaway connection."""
-        resp = self.call(
-            {"op": "heartbeat", "seq": int(seq)}, timeout_s=timeout_s, oneshot=True
-        )
-        if not resp.get("ok") or resp.get("seq") != int(seq):
-            raise PeerError(f"bad heartbeat ack from {self.name}: {resp}")
-        return resp
-
-    def _drop_locked(self) -> None:
-        if self._sock is not None:
-            try:
-                self._sock.close()
             except OSError:
                 pass
-            self._sock = None
-            self._buf = b""
+
+    def _read_one(
+        self,
+        sock: socket.socket,
+        what: str,
+        assembler: Optional[FrameAssembler] = None,
+    ) -> dict:
+        """Read exactly one frame off a serial (non-pipelined) socket."""
+        assembler = assembler if assembler is not None else FrameAssembler(_MAX_FRAME)
+        while True:
+            try:
+                frame = assembler.next_frame()
+            except ProtocolError as err:
+                raise PeerError(f"bad frame from {self.name}: {err}")
+            if frame is not None:
+                frame.pop("rid", None)
+                return frame
+            chunk = sock.recv(1 << 16)
+            if not chunk:
+                raise PeerError(f"{what}: peer closed the connection")
+            assembler.feed(chunk)
+
+    # ------------------------------------------------------------------
+    def heartbeat(self, seq: int, timeout_s: float = 1.0) -> dict:
+        """One liveness probe on the dedicated long-lived probe connection.
+
+        The probe connection is dialed once and reused (counted in
+        ``probe_dials``); any failure — connect, timeout, a desynchronized
+        ack — drops it so the next probe re-dials fresh.  Probes are
+        strictly serial request/response, so no rid bookkeeping is needed.
+        """
+        frame = {"op": "heartbeat", "seq": int(seq)}
+        with self._probe_lock:
+            try:
+                if self._probe_sock is None:
+                    self._probe_sock = self._connect()
+                    self._probe_asm = FrameAssembler(_MAX_FRAME)
+                    self.probe_dials += 1
+                    self.metrics.inc("fabric.peer.probe_dials")
+                sock = self._probe_sock
+                sock.settimeout(timeout_s)
+                sock.sendall(pack_frame(frame))
+                resp = self._read_one(
+                    sock, f"heartbeat to {self.name}", self._probe_asm
+                )
+                if not resp.get("ok") or resp.get("seq") != int(seq):
+                    # A stale or mismatched ack means the probe stream is
+                    # desynchronized; only a fresh dial restores trust.
+                    raise PeerError(f"bad heartbeat ack from {self.name}: {resp}")
+            except PeerError:
+                self._drop_probe_locked()
+                raise
+            except OSError as err:
+                self._drop_probe_locked()
+                raise PeerError(f"heartbeat to {self.name}: {err}")
+        return resp
+
+    def _drop_probe_locked(self) -> None:
+        if self._probe_sock is not None:
+            try:
+                self._probe_sock.close()
+            except OSError:
+                pass
+        self._probe_sock = None
+        self._probe_asm = None
+
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        """In-flight request count (pipeline depth right now)."""
+        with self._io_lock:
+            return len(self._pending)
 
     def close(self) -> None:
-        with self._lock:
-            self._drop_locked()
+        with self._io_lock:
+            self._closed = True
+            waiters = self._teardown_locked()
+        for waiter in waiters:
+            waiter.error = PeerError(f"client for {self.name} closed")
+            waiter.event.set()
+        with self._probe_lock:
+            self._drop_probe_locked()
 
     def __repr__(self):
         return f"PeerClient({self.name!r}, {self.address[0]}:{self.address[1]})"
@@ -298,13 +497,27 @@ def _tuple_key(parts) -> tuple:
 
 
 class _NodeServer:
-    """The frame handler running inside one fabric node process."""
+    """The frame handler running inside one fabric node process.
+
+    The content store is internally locked, so the only extra
+    coordination needed for concurrent frames is a per-capability
+    execution lock: duplicate in-flight interests for one name serialize
+    on it and the second finds the first's result in the store
+    (node-side singleflight) instead of re-executing.
+    """
 
     def __init__(self, node):
         self.node = node
-        # Data-plane ops mutate the content store and executor caches;
-        # one lock serializes them while heartbeats answer concurrently.
-        self._data_lock = threading.Lock()
+        self._cap_lock = threading.Lock()
+        self._exec_locks: Dict[tuple, threading.Lock] = {}
+        self._exec_locks_guard = threading.Lock()
+
+    def _exec_lock(self, key: tuple) -> threading.Lock:
+        with self._exec_locks_guard:
+            lock = self._exec_locks.get(key)
+            if lock is None:
+                lock = self._exec_locks[key] = threading.Lock()
+            return lock
 
     # ------------------------------------------------------------------
     def handle(self, frame: dict) -> dict:
@@ -314,7 +527,7 @@ class _NodeServer:
         if op == "carry":
             return self._carry(frame)
         if op == "advertise":
-            with self._data_lock:
+            with self._cap_lock:
                 self.node.advertise(_tuple_key(frame.get("batch_key", [])))
             return {"ok": True}
         if op == "heartbeat":
@@ -327,8 +540,7 @@ class _NodeServer:
                 "store_entries": len(self.node.store),
             }
         if op == "stats":
-            with self._data_lock:
-                return {"ok": True, "stats": self.node.stats()}
+            return {"ok": True, "stats": self.node.stats()}
         if op == "shutdown":
             return {"ok": True, "bye": True}
         return {"ok": False, "error": "bad_request", "message": f"unknown op {op!r}"}
@@ -346,16 +558,22 @@ class _NodeServer:
         from .names import name_request  # local import: avoid cycle at module load
 
         name = name_request(request)
-        with self._data_lock:
+        cached = self.node.lookup(name)
+        if cached is not None:
+            return self._result(name, cached, source="cache")
+        key = request.batch_key()
+        if not self.node.serves(key):
+            return {
+                "ok": False,
+                "error": "cant_serve",
+                "message": f"{self.node.name} does not own {key}",
+            }
+        with self._exec_lock(key):
+            # Re-check under the lock: a duplicate interest that queued
+            # behind the first execution collapses into its cached result.
             cached = self.node.lookup(name)
             if cached is not None:
-                return self._result(cached, source="cache")
-            if not self.node.serves(request.batch_key()):
-                return {
-                    "ok": False,
-                    "error": "cant_serve",
-                    "message": f"{self.node.name} does not own {request.batch_key()}",
-                }
+                return self._result(name, cached, source="cache")
             try:
                 result = self.node.execute(request)
             except Exception as err:  # noqa: BLE001 — resolve over the wire
@@ -364,17 +582,19 @@ class _NodeServer:
                     "error": "exec_failed",
                     "message": f"{type(err).__name__}: {err}",
                 }
-        return self._result(result, source="exec")
+        return self._result(name, result, source="exec")
 
-    def _result(self, result: np.ndarray, source: str) -> dict:
-        from ..serve.protocol import encode_array
-
-        return {
+    def _result(self, name, result: np.ndarray, source: str) -> dict:
+        resp = {
             "ok": True,
             "source": source,
-            "result": encode_array(result),
+            "result": np.asarray(result),
             "digest": array_digest(result),
         }
+        cost = self.node.store.cost(name.uri())
+        if cost is not None:
+            resp["cost_ms"] = round(float(cost), 4)
+        return resp
 
     def _carry(self, frame: dict) -> dict:
         from ..serve.protocol import decode_array
@@ -397,34 +617,61 @@ class _NodeServer:
             name = ComputationName.parse(str(frame.get("name")))
         except ValueError as err:
             return {"ok": False, "error": "bad_request", "message": str(err)}
-        with self._data_lock:
-            self.node.carry(name, result)
+        cost = frame.get("cost")
+        self.node.carry(
+            name, result, cost_ms=None if cost is None else float(cost)
+        )
         return {"ok": True, "accepted": True}
 
 
-def _serve_connection(conn: socket.socket, server: _NodeServer) -> None:
-    buf = b""
+#: Ops cheap enough (and important enough) to answer inline in the
+#: connection reader: a saturated worker pool must never starve the
+#: failure detector into a false suspect verdict.
+_CONTROL_OPS = frozenset({"heartbeat", "stats", "shutdown"})
+
+
+def _serve_connection(
+    conn: socket.socket, server: _NodeServer, pool: ThreadPoolExecutor
+) -> None:
+    assembler = FrameAssembler(_MAX_FRAME)
+    wlock = threading.Lock()
+
+    def reply(response: dict, rid) -> None:
+        if rid is not None:
+            response = {**response, "rid": rid}
+        try:
+            with wlock:
+                conn.sendall(pack_frame(response))
+        except OSError:
+            pass  # client went away mid-reply: nothing left to tell it
+
+    def work(frame: dict, rid) -> None:
+        reply(server.handle(frame), rid)
+
     try:
         while True:
-            while b"\n" not in buf:
-                if len(buf) > _MAX_FRAME:
-                    return
+            try:
+                frame = assembler.next_frame()
+            except ProtocolError as err:
+                reply(
+                    {"ok": False, "error": err.code, "message": str(err)},
+                    None,
+                )
+                return  # a broken length prefix cannot be resynchronized
+            if frame is None:
                 chunk = conn.recv(1 << 16)
                 if not chunk:
                     return
-                buf += chunk
-            line, _, buf = buf.partition(b"\n")
-            try:
-                frame = decode_line(line)
-            except ProtocolError as err:
-                conn.sendall(
-                    encode_line({"ok": False, "error": "bad_request", "message": str(err)})
-                )
+                assembler.feed(chunk)
                 continue
-            response = server.handle(frame)
-            conn.sendall(encode_line(response))
-            if response.get("bye"):
-                os._exit(0)
+            rid = frame.get("rid")
+            if frame.get("op") in _CONTROL_OPS:
+                response = server.handle(frame)
+                reply(response, rid)
+                if response.get("bye"):
+                    os._exit(0)
+            else:
+                pool.submit(work, frame, rid)
     except OSError:
         pass  # client went away: this connection is done, the node is not
     finally:
@@ -440,14 +687,17 @@ def node_main(name: str, port_conn, opts: Optional[dict] = None) -> None:
     Builds a :class:`~repro.fog.node.FogNode` (executor + content store),
     binds an ephemeral localhost socket, reports the bound port through
     ``port_conn`` (a one-shot pipe to the supervisor) and serves frames
-    until killed or told to shut down.  One thread per connection: the
-    supervisor's heartbeats land on their own connections and are answered
-    even while an execution occupies the data plane.
+    until killed or told to shut down.  One reader thread per connection
+    plus a small shared worker pool (``opts["workers"]``, default 4) that
+    executes data-plane frames concurrently: a pipelining client gets its
+    decode/execute/encode work overlapped instead of strictly serialized,
+    and the supervisor's heartbeats are answered inline even while
+    executions occupy every worker.
     """
     from ..engine.observe import Metrics as _Metrics
     from ..serve.executor import EngineExecutor
     from .node import FogNode
-    from .store import ContentStore
+    from .store import ContentStore, make_admission
 
     opts = dict(opts or {})
     executor_opts = dict(opts.get("executor_opts") or {})
@@ -456,10 +706,18 @@ def node_main(name: str, port_conn, opts: Optional[dict] = None) -> None:
         name,
         capabilities=frozenset(_tuple_key(k) for k in opts.get("capabilities", [])),
         executor=EngineExecutor(**executor_opts),
-        store=ContentStore(capacity_bytes=int(opts.get("capacity_bytes", 16 << 20))),
+        store=ContentStore(
+            capacity_bytes=int(opts.get("capacity_bytes", 16 << 20)),
+            admission=make_admission(opts.get("store_policy", "lru")),
+            reverify_every=int(opts.get("store_reverify", 1)),
+        ),
         metrics=executor_opts["metrics"],
     )
     server = _NodeServer(node)
+    pool = ThreadPoolExecutor(
+        max_workers=max(1, int(opts.get("workers", 4))),
+        thread_name_prefix=f"fog-{name}-worker",
+    )
     listener = socket.create_server(("127.0.0.1", 0))
     listener.settimeout(1.0)
     port_conn.send(listener.getsockname()[1])
@@ -473,7 +731,7 @@ def node_main(name: str, port_conn, opts: Optional[dict] = None) -> None:
                 threads = [t for t in threads if t.is_alive()]
                 continue
             t = threading.Thread(
-                target=_serve_connection, args=(conn, server), daemon=True
+                target=_serve_connection, args=(conn, server, pool), daemon=True
             )
             t.start()
             threads.append(t)

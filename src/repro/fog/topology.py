@@ -28,17 +28,19 @@ fabricates or drops an accepted answer.
 from __future__ import annotations
 
 import hashlib
+import threading
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..engine.faults import ChaosPlan
 from ..engine.observe import METRICS, TRACER, Metrics
-from ..serve.executor import EngineExecutor
+from ..serve.executor import DeadlineExceeded, EngineExecutor
 from ..serve.protocol import Request
 from .names import ComputationName, name_request
 from .node import FogNode, NodeDown
-from .store import ContentStore
+from .store import ContentStore, make_admission
 
 __all__ = ["FogTopology", "FogUnavailable", "ChurnDriver"]
 
@@ -61,6 +63,17 @@ def _rendezvous_score(node_name: str, capability_slug: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+class _Gate:
+    """One in-flight interest's singleflight rendezvous point."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.result: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+
+
 class FogTopology:
     """An in-process fog of edge nodes routing named computations.
 
@@ -72,6 +85,10 @@ class FogTopology:
         max_hops: Forwarding budget per interest (ingress hop included).
         executor_opts: Keyword arguments for each node's
             :class:`~repro.serve.executor.EngineExecutor` (e.g. ``workers``).
+        store_policy: Content-store admission policy per node: ``"lru"``
+            (classic, the default) or ``"costaware"``.
+        store_reverify: Re-hash cached entries against their pinned
+            digest every Nth hit (1 = every hit, 0 = never).
     """
 
     def __init__(
@@ -82,6 +99,8 @@ class FogTopology:
         max_hops: int = 8,
         metrics: Optional[Metrics] = None,
         executor_opts: Optional[dict] = None,
+        store_policy: str = "lru",
+        store_reverify: int = 1,
     ):
         if isinstance(nodes, int):
             if nodes < 1:
@@ -102,7 +121,11 @@ class FogTopology:
             FogNode(
                 name,
                 executor=EngineExecutor(**opts),
-                store=ContentStore(capacity_bytes=capacity_bytes),
+                store=ContentStore(
+                    capacity_bytes=capacity_bytes,
+                    admission=make_admission(store_policy),
+                    reverify_every=store_reverify,
+                ),
                 metrics=self.metrics,
             )
             for name in names
@@ -113,8 +136,12 @@ class FogTopology:
         #: Capability -> owner nodes in rendezvous (fallback) order.
         self._owners: Dict[Tuple, List[FogNode]] = {}
         self._ingress_counter = 0
+        #: Singleflight gates: in-flight interest URI -> rendezvous gate.
+        self._inflight: Dict[str, "_Gate"] = {}
+        self._sf_lock = threading.Lock()
         self.submitted = 0
         self.completed = 0
+        self.collapsed = 0
         self.cache_hits = 0
         self.forwards = 0
         self.reroutes = 0
@@ -193,18 +220,61 @@ class FogTopology:
     def submit(self, request: Request, ingress: Optional[str] = None) -> np.ndarray:
         """Route one named computation through the fog and return its result.
 
+        Duplicate in-flight interests for the same name **collapse**
+        (NFN interest aggregation): concurrent submitters of an already
+        in-flight URI wait on the leader's gate instead of walking the
+        fog again, counted in ``collapsed``.  A collapsed waiter still
+        honors its own ``deadline_s`` while waiting, and retries as
+        leader if the first walk fails.
+
         Raises :class:`FogUnavailable` when no alive node can serve it
         (rejected, not wrong), or whatever the executing engine raised.
         """
         self.submitted += 1
         self.metrics.inc("fog.submitted")
         name = name_request(request)
-        entry = self._by_name[ingress] if ingress is not None else self._ingress()
-        with TRACER.span("fog.submit", interest=name.uri(), ingress=entry.name):
-            result = self._walk(name, request, entry)
-        self.completed += 1
-        self.metrics.inc("fog.completed")
-        return result
+        uri = name.uri()
+        while True:
+            with self._sf_lock:
+                gate = self._inflight.get(uri)
+                leading = gate is None
+                if leading:
+                    gate = self._inflight[uri] = _Gate()
+            if leading:
+                try:
+                    entry = (
+                        self._by_name[ingress]
+                        if ingress is not None
+                        else self._ingress()
+                    )
+                    with TRACER.span(
+                        "fog.submit", interest=uri, ingress=entry.name
+                    ):
+                        result = self._walk(name, request, entry)
+                    gate.result = result
+                except BaseException as err:
+                    gate.error = err
+                    raise
+                finally:
+                    with self._sf_lock:
+                        self._inflight.pop(uri, None)
+                    gate.event.set()
+            else:
+                self.collapsed += 1
+                self.metrics.inc("fog.collapsed")
+                timeout = None
+                if request.deadline_s is not None:
+                    timeout = max(0.0, request.deadline_s - time.monotonic())
+                if not gate.event.wait(timeout):
+                    raise DeadlineExceeded(
+                        f"deadline passed waiting on collapsed interest {uri}"
+                    )
+                if gate.error is not None:
+                    continue  # leader failed: walk it ourselves
+                result = gate.result
+            self.completed += 1
+            self.metrics.inc("fog.completed")
+            return result
 
     def _walk(self, name: ComputationName, request: Request, entry: FogNode) -> np.ndarray:
         key = request.batch_key()
@@ -282,6 +352,7 @@ class FogTopology:
             "replicas": self.replicas,
             "submitted": self.submitted,
             "completed": self.completed,
+            "collapsed": self.collapsed,
             "cache_hits": self.cache_hits,
             "forwards": self.forwards,
             "reroutes": self.reroutes,

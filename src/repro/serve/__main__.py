@@ -55,6 +55,16 @@ def _parse_args(argv=None) -> ServeConfig:
         help="fail fabric interests when every owner is unreachable "
              "instead of degrading to counted in-process execution",
     )
+    parser.add_argument(
+        "--fog-store-policy", choices=("lru", "costaware"), default="lru",
+        help="content-store admission policy per fog node: plain LRU, or "
+             "frequency-sketch x recompute-cost admission (TinyLFU-style)",
+    )
+    parser.add_argument(
+        "--fog-store-reverify", type=int, default=1,
+        help="re-hash cached results against their pinned digest every "
+             "Nth hit (1 = every hit, 0 = never)",
+    )
     args = parser.parse_args(argv)
     if args.fog_fabric and not args.fog_nodes:
         parser.error("--fog-fabric requires --fog-nodes")
@@ -75,6 +85,8 @@ def _parse_args(argv=None) -> ServeConfig:
         fog_miss_budget=args.fog_miss_budget,
         fog_hedge_ms=args.fog_hedge_ms,
         fog_degrade_local=not args.no_fog_degrade,
+        fog_store_policy=args.fog_store_policy,
+        fog_store_reverify=args.fog_store_reverify,
     )
 
 

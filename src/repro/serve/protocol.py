@@ -266,8 +266,23 @@ def encode_array(arr: np.ndarray) -> dict:
     }
 
 
-def decode_array(obj: dict) -> np.ndarray:
-    """Inverse of :func:`encode_array`; raises :class:`ProtocolError`."""
+def decode_array(obj) -> np.ndarray:
+    """Inverse of :func:`encode_array`; raises :class:`ProtocolError`.
+
+    An ``ndarray`` passes straight through (as a copy): the binary frame
+    codec (:mod:`repro.fog.frames`) restores arrays before a frame
+    reaches any handler, so fabric code decoding a response field works
+    identically on legacy base64 frames and binary frames.
+    """
+    if isinstance(obj, np.ndarray):
+        if obj.dtype.hasobject:
+            raise ProtocolError("object dtypes cannot cross the wire")
+        if obj.size > MAX_ELEMENTS:
+            raise ProtocolError(
+                f"array has {obj.size} elements (limit {MAX_ELEMENTS})",
+                code="too_large",
+            )
+        return np.array(obj, copy=True)
     if not isinstance(obj, dict):
         raise ProtocolError("array field must be a {dtype, shape, data} object")
     try:
@@ -299,13 +314,19 @@ def decode_array(obj: dict) -> np.ndarray:
 _WIRE_SCALARS = ("id", "workload", "tenant", "bits", "es", "model", "mult", "rows")
 
 
-def request_to_wire(req: Request) -> dict:
-    """A validated :class:`Request` as a JSON-able fabric payload."""
+def request_to_wire(req: Request, binary: bool = False) -> dict:
+    """A validated :class:`Request` as a JSON-able fabric payload.
+
+    With ``binary=True`` arrays stay raw ``ndarray`` values for
+    :func:`repro.fog.frames.pack_frame` to lift into the frame's binary
+    body — no base64, no +33% wire bytes; without it they become
+    :func:`encode_array` objects and the payload is plain JSON.
+    """
     out = {name: getattr(req, name) for name in _WIRE_SCALARS}
     for name in ("a", "b", "x"):
         arr = getattr(req, name)
         if arr is not None:
-            out[name] = encode_array(arr)
+            out[name] = np.ascontiguousarray(arr) if binary else encode_array(arr)
     return out
 
 
@@ -338,12 +359,15 @@ def request_from_wire(obj: dict) -> Request:
     return req
 
 
-def interest_frame(req: Request, budget_ms: Optional[float] = None) -> dict:
+def interest_frame(
+    req: Request, budget_ms: Optional[float] = None, binary: bool = False
+) -> dict:
     """One fabric interest: a named computation plus its remaining deadline
     budget in milliseconds.  The budget is decremented by every hop and
     retry on the sending side — a peer that receives a spent budget must
-    answer ``deadline`` without executing, never work past it."""
-    frame = {"op": "interest", "request": request_to_wire(req)}
+    answer ``deadline`` without executing, never work past it.
+    ``binary=True`` leaves operand arrays raw for the binary frame codec."""
+    frame = {"op": "interest", "request": request_to_wire(req, binary=binary)}
     if budget_ms is not None:
         frame["budget_ms"] = round(float(budget_ms), 3)
     return frame
@@ -354,16 +378,28 @@ def heartbeat_frame(seq: int) -> dict:
     return {"op": "heartbeat", "seq": int(seq)}
 
 
-def carry_frame(name_uri: str, result: np.ndarray, digest: str) -> dict:
+def carry_frame(
+    name_uri: str,
+    result: np.ndarray,
+    digest: str,
+    cost: Optional[float] = None,
+    binary: bool = False,
+) -> dict:
     """On-path cache repopulation: a result and its pinned sha256 digest.
 
     The receiver re-computes the digest of the decoded bytes and refuses
     the entry on mismatch — the same integrity posture the content store
-    applies on every read.
+    applies on every read.  ``cost`` (recompute milliseconds, when the
+    producer measured it) travels along so the receiving store's
+    admission policy can weigh the entry; ``binary=True`` leaves the
+    result raw for the binary frame codec.
     """
-    return {
+    frame = {
         "op": "carry",
         "name": str(name_uri),
-        "result": encode_array(result),
+        "result": np.ascontiguousarray(result) if binary else encode_array(result),
         "digest": str(digest),
     }
+    if cost is not None:
+        frame["cost"] = round(float(cost), 4)
+    return frame

@@ -98,6 +98,12 @@ class ServeConfig:
     #: Fall back to in-process execution when every owner is unreachable
     #: (counted in ``fabric.degraded_local``); False raises instead.
     fog_degrade_local: bool = True
+    #: Per-node content-store admission policy: ``"lru"`` (classic) or
+    #: ``"costaware"`` (frequency-sketch × recompute-cost admission).
+    fog_store_policy: str = "lru"
+    #: Re-hash cached entries against their pinned digest every Nth hit
+    #: (1 = every hit, the historical default; 0 = never).
+    fog_store_reverify: int = 1
 
 
 class ReproServer:
@@ -141,6 +147,8 @@ class ReproServer:
                         hedge_ms=self.config.fog_hedge_ms,
                         default_budget_ms=self.config.fog_budget_ms,
                         degrade_local=self.config.fog_degrade_local,
+                        store_policy=self.config.fog_store_policy,
+                        store_reverify=self.config.fog_store_reverify,
                         metrics=self.metrics,
                         executor_opts=fabric_opts,
                     ),
@@ -152,6 +160,8 @@ class ReproServer:
                     replicas=self.config.fog_replicas,
                     metrics=self.metrics,
                     executor_opts=executor_opts,
+                    store_policy=self.config.fog_store_policy,
+                    store_reverify=self.config.fog_store_reverify,
                 )
         else:
             self.executor = EngineExecutor(

@@ -389,3 +389,174 @@ class TestFabricGolden:
         for breaker in stats["breakers"].values():
             assert breaker["state"] == "closed"
         assert stats["submitted"] >= stats["completed"] > 0
+
+
+# ----------------------------------------------------------------------
+# Pipelined transport: one multiplexed connection, many in-flight rids
+# ----------------------------------------------------------------------
+class TestPipelinedTransport:
+    def test_responses_echo_request_ids(self, fabric):
+        client = fabric.supervisor.client("n0")
+        resp = client.call({"op": "stats"})
+        assert resp["ok"] and isinstance(resp.get("rid"), int)
+
+    def test_concurrent_calls_demux_to_their_own_callers(self, fabric):
+        """16 interests in flight on ONE connection: every caller gets the
+        result for *its* operands, byte-exact — rid demux cannot cross
+        wires without this failing."""
+        import threading
+
+        client = fabric.supervisor.client("n0")
+        rng = np.random.default_rng(21)
+        pairs = [
+            (rng.normal(size=(2, 3)), rng.normal(size=(3, 2))) for _ in range(16)
+        ]
+        reqs = [matmul_request(f"mux{i}", a, b) for i, (a, b) in enumerate(pairs)]
+        for req in reqs:
+            client.call({"op": "advertise", "batch_key": list(req.batch_key())})
+        results = [None] * len(reqs)
+        barrier = threading.Barrier(len(reqs))
+
+        def fire(i):
+            barrier.wait()
+            results[i] = client.call(
+                interest_frame(reqs[i], budget_ms=30000.0, binary=True),
+                timeout_s=30.0,
+            )
+
+        threads = [
+            threading.Thread(target=fire, args=(i,)) for i in range(len(reqs))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60.0)
+        from repro.engine.posit_backend import PositBackend
+        from repro.posit.format import PositFormat
+
+        backend = PositBackend(PositFormat(8, 2), stable_contractions=True)
+        for i, (a, b) in enumerate(pairs):
+            resp = results[i]
+            assert resp is not None and resp["ok"], f"call {i} failed: {resp}"
+            want = backend.decode(
+                backend.matmul(backend.encode(a), backend.encode(b))
+            )
+            got = decode_array(resp["result"])
+            assert_bitexact(got, want, f"pipelined call {i}")
+            assert resp["digest"] == array_digest(got)
+        assert client.pending() == 0, "every rid must be retired"
+
+    def test_binary_frames_carry_raw_arrays(self, fabric):
+        """The pipelined wire ships tensors as raw bytes: a binary interest
+        response decodes its result via the frame assembler, not base64."""
+        client = fabric.supervisor.client("n1")
+        req = matmul_request("bin0", [[1.0, 2.0]], [[3.0], [4.0]])
+        client.call({"op": "advertise", "batch_key": list(req.batch_key())})
+        resp = client.call(interest_frame(req, budget_ms=30000.0, binary=True))
+        assert resp["ok"]
+        assert isinstance(resp["result"], np.ndarray), (
+            "binary framing must restore ndarrays at the assembler, "
+            f"got {type(resp['result'])}"
+        )
+        assert_bitexact(decode_array(resp["result"]), [[11.0]], "binary result")
+
+    def test_timeout_abandons_rid_but_keeps_connection(self, fabric):
+        """A timed-out call must not tear the multiplexed connection down:
+        the rid is abandoned (late reply counted as orphan) and the very
+        next call reuses the same connection generation."""
+        client = fabric.supervisor.client("n2")
+        rng = np.random.default_rng(33)
+        # Big enough that a posit8 matmul cannot finish in 1ms.
+        req = matmul_request("slow", rng.normal(size=(48, 48)), rng.normal(size=(48, 48)))
+        client.call({"op": "advertise", "batch_key": list(req.batch_key())})
+        gen_before = client._generation
+        from repro.fog import PeerError
+
+        with pytest.raises(PeerError):
+            # A zero wait cannot beat even a loopback round trip, so the
+            # timeout is deterministic.
+            client.call(
+                interest_frame(req, budget_ms=30000.0, binary=True),
+                timeout_s=0.0,
+            )
+        resp = client.call({"op": "stats"}, timeout_s=30.0)
+        assert resp["ok"]
+        assert client._generation == gen_before, (
+            "a slow peer response must not cost a reconnect"
+        )
+        assert client.pending() == 0
+
+
+# ----------------------------------------------------------------------
+# Singleflight interest collapsing
+# ----------------------------------------------------------------------
+class TestSingleflight:
+    def test_duplicate_in_flight_interests_collapse(self, fabric):
+        """8 threads submit the same fresh interest at once: one leader
+        executes, followers attach and get byte-identical results, and the
+        collapse is counted."""
+        import threading
+
+        rng = np.random.default_rng(55)
+        a, b = rng.normal(size=(48, 48)), rng.normal(size=(48, 48))
+        n = 8
+        results = [None] * n
+        errors = [None] * n
+        barrier = threading.Barrier(n)
+        collapsed_before = fabric.collapsed
+        execs_before = fabric.remote_execs
+
+        def fire(i):
+            barrier.wait()
+            try:
+                results[i] = fabric.submit(matmul_request(f"sf{i}", a, b))
+            except Exception as err:  # noqa: BLE001 — surfaced below
+                errors[i] = err
+
+        threads = [threading.Thread(target=fire, args=(i,)) for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120.0)
+        assert all(e is None for e in errors), f"singleflight errors: {errors}"
+        baseline = results[0].tobytes()
+        for i, got in enumerate(results):
+            assert got is not None and got.tobytes() == baseline, (
+                f"collapsed waiter {i} saw different bytes"
+            )
+        assert fabric.collapsed > collapsed_before, (
+            "concurrent duplicates must collapse, not fan out"
+        )
+        assert fabric.remote_execs - execs_before < n, (
+            "collapsing must save executions"
+        )
+
+    def test_topology_collapses_duplicates_too(self):
+        """The in-process topology honors the same singleflight contract."""
+        import threading
+
+        from repro.fog import FogTopology
+
+        rng = np.random.default_rng(77)
+        a, b = rng.normal(size=(48, 48)), rng.normal(size=(48, 48))
+        metrics = Metrics()
+        n = 6
+        with FogTopology(nodes=3, replicas=2, metrics=metrics) as topo:
+            results = [None] * n
+            barrier = threading.Barrier(n)
+
+            def fire(i):
+                barrier.wait()
+                results[i] = topo.submit(matmul_request(f"tsf{i}", a, b))
+
+            threads = [
+                threading.Thread(target=fire, args=(i,)) for i in range(n)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(60.0)
+            baseline = results[0].tobytes()
+            assert all(r is not None and r.tobytes() == baseline for r in results)
+            assert topo.stats()["collapsed"] >= 1
+            assert metrics.counters.get("fog.collapsed", 0) >= 1

@@ -387,3 +387,77 @@ class TestChaosPlanProcesses:
             ), "fabric lost every node for good"
         finally:
             fab.close()
+
+
+# ----------------------------------------------------------------------
+# Pipelined transport under fire: 16 in-flight rids across a SIGKILL
+# ----------------------------------------------------------------------
+class TestPipelinedChaos:
+    def test_sixteen_in_flight_survive_a_kill_without_wrong_answers(self):
+        """16 concurrent interests ride the multiplexed connections while a
+        node is SIGKILLed mid-flight.  The rid demux plus digest checks
+        must keep the usual pair of invariants: every submission either
+        returns bytes exact against the direct backend or raises a typed
+        error — no crossed responses, no hangs, no silent drops."""
+        import threading
+
+        pairs = working_set(seed=29, count=16)
+        want = direct_results(pairs)
+        metrics = Metrics()
+        fab = FogFabric(
+            nodes=3, replicas=2, heartbeat_ms=40.0, miss_budget=2,
+            metrics=metrics, retry_backoff_base_ms=5.0,
+            restart_backoff_base_s=0.02, default_budget_ms=60_000.0,
+        )
+        outcomes = [None] * len(pairs)
+        try:
+            assert fab.wait_all_serving(timeout_s=30.0)
+            barrier = threading.Barrier(len(pairs) + 1)
+
+            def fire(i):
+                a, b = pairs[i]
+                barrier.wait()
+                try:
+                    outcomes[i] = ("ok", fab.submit(
+                        matmul_request(f"pc{i}", a, b)
+                    ).tobytes())
+                except (FogUnavailable, DeadlineExceeded) as err:
+                    outcomes[i] = ("rejected", type(err).__name__)
+                except Exception as err:  # noqa: BLE001 — graded below
+                    outcomes[i] = ("wrong_error", repr(err))
+
+            threads = [
+                threading.Thread(target=fire, args=(i,))
+                for i in range(len(pairs))
+            ]
+            for t in threads:
+                t.start()
+            barrier.wait()  # all 16 in flight together...
+            victim = fab.supervisor.serving_names()[0]
+            assert fab.kill(victim) is not None  # ...then the axe falls
+            for t in threads:
+                t.join(120.0)
+                assert not t.is_alive(), "an in-flight interest hung"
+            completed = rejected = 0
+            for i, outcome in enumerate(outcomes):
+                assert outcome is not None, f"interest {i} silently dropped"
+                kind, detail = outcome
+                assert kind != "wrong_error", (
+                    f"interest {i} leaked an untyped error: {detail}"
+                )
+                if kind == "ok":
+                    completed += 1
+                    assert detail == want[i], f"interest {i} returned wrong bytes"
+                else:
+                    rejected += 1
+            assert completed + rejected == len(pairs)
+            assert completed > 0, "a single kill cannot reject the whole batch"
+            # Recovery: the fabric heals and the full set replays exactly.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline and not fab.supervisor.all_serving():
+                time.sleep(0.02)
+            for i, (a, b) in enumerate(pairs):
+                got = fab.submit(matmul_request(f"pc-after{i}", a, b))
+                assert got.tobytes() == want[i]
+        finally:
+            fab.close()

@@ -1,0 +1,219 @@
+"""Content-store accounting invariants and cost-aware admission.
+
+The store is the fog's only stateful cache, and two properties make it
+safe to trust under churn:
+
+1. **Byte accounting is exact** — ``resident_bytes`` equals the sum of
+   the resident entries' ``nbytes`` after *any* interleaving of puts,
+   evictions, refreshes, tampering and clears, and never exceeds the
+   budget.  A drifting byte counter would silently shrink (or unbound)
+   every node's cache.
+2. **Admission is deterministic** — :class:`CostAwareAdmission` sees only
+   the access sequence, so two stores driven identically must agree on
+   every admit/reject and end bit-identical.  That is what makes the
+   policy replayable in tests and benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fog import AdmitAll, ContentStore, CostAwareAdmission, make_admission
+
+pytestmark = pytest.mark.timeout(120)
+
+
+def payload(kilobytes: int, fill: float = 0.0) -> np.ndarray:
+    return np.full(128 * kilobytes, fill)  # 128 float64 = 1 KiB
+
+
+def assert_accounting_exact(store: ContentStore) -> None:
+    """The invariants every mutation must preserve."""
+    entries = store._entries
+    assert store.resident_bytes == sum(e.nbytes for e in entries.values())
+    assert store.resident_bytes <= store.capacity_bytes
+    assert len(store) == len(entries)
+    stats = store.stats()
+    assert stats["resident_bytes"] == store.resident_bytes
+    assert stats["entries"] == len(entries)
+
+
+# ----------------------------------------------------------------------
+# 1. Byte accounting under storms
+# ----------------------------------------------------------------------
+class TestByteAccounting:
+    def test_eviction_storm_keeps_books_exact(self):
+        store = ContentStore(capacity_bytes=8 * 1024)
+        rng = np.random.default_rng(7)
+        for i in range(200):
+            kb = int(rng.integers(1, 5))
+            store.put(f"n{int(rng.integers(0, 40))}", payload(kb, fill=float(i)))
+            if rng.random() < 0.3:
+                store.get(f"n{int(rng.integers(0, 40))}")
+            assert_accounting_exact(store)
+        assert store.evictions > 0, "the storm must actually evict"
+
+    def test_refresh_same_name_frees_old_bytes_first(self):
+        store = ContentStore(capacity_bytes=4 * 1024)
+        store.put("n", payload(3))
+        assert store.put("n", payload(4)), "refresh fits: old bytes freed first"
+        assert len(store) == 1 and store.resident_bytes == 4 * 1024
+        assert_accounting_exact(store)
+
+    def test_clear_zeroes_bytes_keeps_counters(self):
+        store = ContentStore(capacity_bytes=8 * 1024)
+        for i in range(4):
+            store.put(f"n{i}", payload(1))
+        store.clear()
+        assert store.resident_bytes == 0 and len(store) == 0
+        assert store.insertions == 4
+        assert_accounting_exact(store)
+        # The store is still usable after a wipe.
+        assert store.put("again", payload(1))
+        assert_accounting_exact(store)
+
+    def test_tampered_entry_eviction_updates_bytes(self):
+        store = ContentStore(capacity_bytes=8 * 1024)
+        store.put("good", payload(2))
+        store.put("bad", payload(2))
+        entry = store._entries["bad"]
+        tampered = np.array(entry.result)
+        tampered[0] = -1.0
+        entry.result = tampered
+        assert store.get("bad") is None
+        assert store.integrity_failures == 1
+        assert_accounting_exact(store)
+        assert store.get("good") is not None
+
+    def test_oversized_never_perturbs_books(self):
+        store = ContentStore(capacity_bytes=1024)
+        store.put("n", payload(1))
+        before = store.stats()
+        assert not store.put("big", payload(2))
+        after = store.stats()
+        assert after["resident_bytes"] == before["resident_bytes"]
+        assert after["entries"] == before["entries"]
+        assert after["evictions"] == before["evictions"]
+
+
+# ----------------------------------------------------------------------
+# 2. Cost-aware admission
+# ----------------------------------------------------------------------
+class TestCostAwareAdmission:
+    def test_one_hit_wonder_cannot_evict_hot_expensive_entry(self):
+        store = ContentStore(capacity_bytes=2 * 1024, admission="costaware")
+        store.put("hot", payload(2), cost=50.0)
+        for _ in range(10):
+            store.get("hot")  # build frequency for the incumbent
+        assert not store.put("wonder", payload(1), cost=0.1)
+        assert store.admission_rejections == 1
+        assert "hot" in store and "wonder" not in store
+        assert_accounting_exact(store)
+
+    def test_frequent_expensive_candidate_displaces_cold_entry(self):
+        store = ContentStore(capacity_bytes=2 * 1024, admission="costaware")
+        store.put("cold", payload(2), cost=1.0)
+        for _ in range(8):
+            store.get("contender")  # misses, but the sketch learns the name
+        assert store.put("contender", payload(2), cost=5.0)
+        assert "contender" in store and "cold" not in store
+        assert store.evictions == 1
+
+    def test_lru_policy_is_bit_for_bit_classic(self):
+        """AdmitAll must reproduce the historical always-evict LRU."""
+        plain = ContentStore(capacity_bytes=3 * 1024)
+        lru = ContentStore(capacity_bytes=3 * 1024, admission="lru")
+        for store in (plain, lru):
+            for i in range(5):
+                store.put(f"n{i}", payload(1, fill=float(i)))
+        assert list(plain._entries) == list(lru._entries)
+        assert plain.admission_rejections == lru.admission_rejections == 0
+
+    def test_admission_is_deterministic_across_stores(self):
+        """Identical drive sequences -> bit-identical stores and stats."""
+
+        def drive(store: ContentStore) -> None:
+            rng = np.random.default_rng(11)
+            for i in range(300):
+                name = f"n{int(rng.integers(0, 12))}"
+                if rng.random() < 0.5:
+                    store.get(name)
+                else:
+                    kb = int(rng.integers(1, 3))
+                    store.put(name, payload(kb, fill=float(i % 7)), cost=float(i % 5))
+
+        a = ContentStore(capacity_bytes=6 * 1024, admission="costaware")
+        b = ContentStore(capacity_bytes=6 * 1024, admission="costaware")
+        drive(a)
+        drive(b)
+        assert a.stats() == b.stats()
+        assert list(a._entries) == list(b._entries)
+        for name in a._entries:
+            assert a._entries[name].result.tobytes() == b._entries[name].result.tobytes()
+
+    def test_sketch_ages_by_halving(self):
+        policy = CostAwareAdmission(sample_size=10)
+        for _ in range(9):
+            policy.record_get("x")
+        assert policy.frequency("x") == 9 and policy.ages == 0
+        policy.record_get("x")  # 10th touch triggers the halving
+        assert policy.ages == 1
+        assert policy.frequency("x") == 5
+
+    def test_make_admission_resolves_names_and_instances(self):
+        assert isinstance(make_admission(None), AdmitAll)
+        assert isinstance(make_admission("lru"), AdmitAll)
+        assert isinstance(make_admission("costaware"), CostAwareAdmission)
+        sentinel = CostAwareAdmission(sample_size=3)
+        assert make_admission(sentinel) is sentinel
+        with pytest.raises(ValueError):
+            make_admission("mru")
+        # Fresh instance per store: no shared sketch between nodes.
+        assert make_admission("costaware") is not make_admission("costaware")
+
+    def test_policy_visible_in_stats(self):
+        assert ContentStore().stats()["policy"] == "lru"
+        assert ContentStore(admission="costaware").stats()["policy"] == "costaware"
+
+
+# ----------------------------------------------------------------------
+# 3. reverify_every
+# ----------------------------------------------------------------------
+class TestReverifyKnob:
+    def test_default_verifies_every_hit(self):
+        store = ContentStore()
+        store.put("n", payload(1))
+        for _ in range(5):
+            store.get("n")
+        assert store.reverifications == 5 and store.reverify_skipped == 0
+
+    def test_every_nth_hit_reverifies(self):
+        store = ContentStore(reverify_every=3)
+        store.put("n", payload(1))
+        for _ in range(7):
+            store.get("n")
+        assert store.reverifications == 2  # hits 3 and 6
+        assert store.reverify_skipped == 5
+        assert store.hits == 7
+
+    def test_zero_disables_reverification(self):
+        store = ContentStore(reverify_every=0)
+        store.put("n", payload(1))
+        for _ in range(4):
+            store.get("n")
+        assert store.reverifications == 0 and store.reverify_skipped == 4
+
+    def test_nth_hit_still_catches_tampering(self):
+        store = ContentStore(reverify_every=2)
+        store.put("n", payload(1))
+        entry = store._entries["n"]
+        tampered = np.array(entry.result)
+        tampered[0] = 9.0
+        entry.result = tampered
+        assert store.get("n") is not None, "hit 1 skips the re-hash"
+        assert store.get("n") is None, "hit 2 re-hashes and quarantines"
+        assert store.integrity_failures == 1 and "n" not in store
+        assert_accounting_exact(store)
+
+    def test_negative_reverify_rejected(self):
+        with pytest.raises(ValueError):
+            ContentStore(reverify_every=-1)
